@@ -1,0 +1,132 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (run with no arguments for the full sweep, or name experiment
+   ids; `--list` shows them). `--bechamel` additionally runs wall-clock
+   microbenchmarks of the simulator's core primitives. *)
+
+module H = Stramash_harness
+
+let usage () =
+  Format.printf "usage: main.exe [--list] [--bechamel] [EXPERIMENT-ID]...@.";
+  Format.printf "experiments:@.";
+  List.iter
+    (fun e -> Format.printf "  %-10s %s@." e.H.Experiments.id e.H.Experiments.title)
+    H.Experiments.all
+
+(* ---------- Bechamel microbenchmarks of simulator primitives ---------- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let module Cache_config = Stramash_cache.Config in
+  let module Cache_sim = Stramash_cache.Cache_sim in
+  let module Layout = Stramash_mem.Layout in
+  let module Phys_mem = Stramash_mem.Phys_mem in
+  let module Rbtree = Stramash_kernel.Rbtree in
+  let module Node_id = Stramash_sim.Node_id in
+  let module Rng = Stramash_sim.Rng in
+  let module Kernel = Stramash_kernel.Kernel in
+  let module Page_table = Stramash_kernel.Page_table in
+  let module Pte = Stramash_kernel.Pte in
+  let cache = Cache_sim.create (Cache_config.default Layout.Shared) in
+  let rng = Rng.create ~seed:42L in
+  let phys = Phys_mem.create () in
+  let tree = Rbtree.create () in
+  for i = 0 to 4095 do
+    Rbtree.insert tree ~key:(i * 17) i
+  done;
+  (* warm page table for the walk benchmark *)
+  let kernel = Kernel.boot ~node:Node_id.X86 ~phys in
+  let pt_io =
+    {
+      Page_table.phys;
+      charge_read = ignore;
+      charge_write = ignore;
+      alloc_table = (fun () -> Kernel.alloc_table_page kernel);
+    }
+  in
+  let pt = Page_table.create ~isa:Node_id.X86 pt_io in
+  for page = 0 to 255 do
+    Page_table.map pt pt_io ~vaddr:(0x10000000 + (page * 4096)) ~frame:(page + 1) Pte.default_flags
+  done;
+  (* small interpreter loop for the dispatch benchmark *)
+  let interp_prog =
+    let module B = Stramash_isa.Builder in
+    let b = B.create () in
+    let acc = B.immi b 0 in
+    B.for_up_const b ~lo:0 ~hi:64 (fun i -> B.add_to b acc acc i);
+    Stramash_isa.Codegen.lower ~isa:Node_id.X86 (B.finish b)
+  in
+  let null_memio =
+    { Stramash_isa.Interp.load = (fun _ _ -> 0L); store = (fun _ _ _ -> ()); fetch = ignore }
+  in
+  let counter = ref 0 in
+  [
+    Test.make ~name:"rng-next_int64" (Staged.stage (fun () -> ignore (Rng.next_int64 rng)));
+    Test.make ~name:"cache-l1-hit"
+      (Staged.stage (fun () ->
+           ignore (Cache_sim.access cache ~node:Node_id.X86 Cache_sim.Load ~paddr:4096)));
+    Test.make ~name:"cache-stream"
+      (Staged.stage (fun () ->
+           incr counter;
+           let paddr = !counter * 64 land 0xFFFFFF in
+           ignore (Cache_sim.access cache ~node:Node_id.X86 Cache_sim.Load ~paddr)));
+    Test.make ~name:"phys-read_u64" (Staged.stage (fun () -> ignore (Phys_mem.read_u64 phys 8192)));
+    Test.make ~name:"rbtree-find"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore (Rbtree.find tree ~key:(!counter * 17 mod (4096 * 17)))));
+    Test.make ~name:"rbtree-floor"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore (Rbtree.find_floor tree ~key:(!counter land 65535))));
+    Test.make ~name:"pagetable-walk"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore (Page_table.walk pt pt_io ~vaddr:(0x10000000 + (!counter land 255) * 4096))));
+    Test.make ~name:"interp-64-iter-loop"
+      (Staged.stage (fun () ->
+           let cpu = Stramash_isa.Interp.create interp_prog in
+           ignore (Stramash_isa.Interp.run cpu null_memio ~fuel:1000)));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  Format.printf "@.=== Bechamel primitive microbenchmarks ===@.";
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) () in
+  let instances = Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |] in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> Format.printf "  %-24s %10.1f ns/op@." name est
+          | Some [] | None -> Format.printf "  %-24s (no estimate)@." name)
+        analyzed)
+    (bechamel_tests ())
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let is_flag a = String.length a > 2 && String.sub a 0 2 = "--" in
+  let flags, ids = List.partition is_flag args in
+  if List.mem "--help" flags || List.mem "--list" flags then usage ()
+  else begin
+    let fmt = Format.std_formatter in
+    (match ids with
+    | [] -> H.Experiments.run_all fmt
+    | ids ->
+        List.iter
+          (fun id ->
+            match H.Experiments.find id with
+            | Some e ->
+                Format.fprintf fmt "@.=============== %s: %s ===============@."
+                  e.H.Experiments.id e.H.Experiments.title;
+                e.H.Experiments.run fmt
+            | None ->
+                Format.fprintf fmt "unknown experiment %s@." id;
+                usage ())
+          ids);
+    if List.mem "--bechamel" flags then run_bechamel ()
+  end

@@ -1,0 +1,251 @@
+(* stramash_cli — command-line front end for the Stramash reproduction.
+
+   Subcommands:
+     list                         show available experiments and workloads
+     experiment <id>...           regenerate specific tables/figures
+     npb <bench>                  run one NPB-like kernel under one config
+     redis                        run the network-serving model
+     futex <loops>                run the futex microbenchmark
+     machine                      describe the simulated platform *)
+
+open Cmdliner
+module H = Stramash_harness
+module W = Stramash_workloads
+module Machine = Stramash_machine.Machine
+module Runner = Stramash_machine.Runner
+module Layout = Stramash_mem.Layout
+module Node_id = Stramash_sim.Node_id
+module Cycles = Stramash_sim.Cycles
+
+let fmt = Format.std_formatter
+
+(* ---------- shared arguments ---------- *)
+
+let os_conv =
+  let parse = function
+    | "vanilla" -> Ok Machine.Vanilla
+    | "popcorn-shm" -> Ok Machine.Popcorn_shm
+    | "popcorn-tcp" -> Ok Machine.Popcorn_tcp
+    | "stramash" -> Ok Machine.Stramash_kernel_os
+    | "stramash-nofutexopt" -> Ok Machine.Stramash_no_futex_opt
+    | s -> Error (`Msg (Printf.sprintf "unknown OS personality %S" s))
+  in
+  Arg.conv (parse, fun ppf os -> Format.pp_print_string ppf (Machine.os_choice_name os))
+
+let hw_conv =
+  let parse = function
+    | "separated" -> Ok Layout.Separated
+    | "shared" -> Ok Layout.Shared
+    | "fully-shared" -> Ok Layout.Fully_shared
+    | s -> Error (`Msg (Printf.sprintf "unknown hardware model %S" s))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Layout.hw_model_to_string m))
+
+let os_arg =
+  Arg.(
+    value
+    & opt os_conv Machine.Stramash_kernel_os
+    & info [ "o"; "os" ] ~docv:"OS"
+        ~doc:"OS personality: vanilla | popcorn-shm | popcorn-tcp | stramash | stramash-nofutexopt")
+
+let hw_arg =
+  Arg.(
+    value
+    & opt hw_conv Layout.Shared
+    & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Hardware model: separated | shared | fully-shared")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the artifact-style per-node dump")
+
+(* ---------- list ---------- *)
+
+let list_cmd =
+  let run () =
+    Format.fprintf fmt "Experiments (run with `stramash_cli experiment <id>`):@.";
+    List.iter
+      (fun e -> Format.fprintf fmt "  %-10s %s@." e.H.Experiments.id e.H.Experiments.title)
+      H.Experiments.all;
+    Format.fprintf fmt "@.NPB-like workloads (run with `stramash_cli npb <name>`):@.";
+    Format.fprintf fmt "  is cg mg ft ep lu sp@.";
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List experiments and workloads") Term.(const run $ const ())
+
+(* ---------- experiment ---------- *)
+
+let experiment_cmd =
+  let ids_arg =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (see `list`)")
+  in
+  let run ids =
+    let rec go = function
+      | [] -> 0
+      | id :: rest -> (
+          match H.Experiments.find id with
+          | Some e ->
+              Format.fprintf fmt "@.=== %s: %s ===@." e.H.Experiments.id e.H.Experiments.title;
+              e.H.Experiments.run fmt;
+              go rest
+          | None ->
+              Format.fprintf fmt "unknown experiment %s (try `stramash_cli list`)@." id;
+              1)
+    in
+    go ids
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate one or more of the paper's tables/figures")
+    Term.(const run $ ids_arg)
+
+(* ---------- npb ---------- *)
+
+let npb_cmd =
+  let bench_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"is | cg | mg | ft | ep | lu | sp")
+  in
+  let run bench os hw_model verbose =
+    let spec =
+      match bench with
+      | "is" -> Some (W.Npb_is.spec ())
+      | "cg" -> Some (W.Npb_cg.spec ())
+      | "mg" -> Some (W.Npb_mg.spec ())
+      | "ft" -> Some (W.Npb_ft.spec ())
+      | "ep" -> Some (W.Npb_ep.spec ())
+      | "lu" -> Some (W.Npb_lu.spec ())
+      | "sp" -> Some (W.Npb_sp.spec ())
+      | _ -> None
+    in
+    match spec with
+    | None ->
+        Format.fprintf fmt "unknown benchmark %s@." bench;
+        1
+    | Some spec ->
+        let machine = Machine.create { Machine.default_config with os; hw_model } in
+        let proc, thread = Machine.load machine spec in
+        let result = Runner.run machine proc thread spec in
+        Format.fprintf fmt "%s on %s/%s: wall %.3f ms, %d instructions, %d messages, %d replicated pages@."
+          bench (Machine.os_choice_name os)
+          (Layout.hw_model_to_string hw_model)
+          (Cycles.to_ms result.Runner.wall_cycles)
+          result.Runner.instructions result.Runner.messages result.Runner.replicated_pages;
+        if verbose then Runner.pp_result fmt result;
+        0
+  in
+  Cmd.v
+    (Cmd.info "npb" ~doc:"Run one NPB-like kernel with cross-ISA migration")
+    Term.(const run $ bench_arg $ os_arg $ hw_arg $ verbose_arg)
+
+(* ---------- redis ---------- *)
+
+let redis_cmd =
+  let requests_arg =
+    Arg.(value & opt int 10_000 & info [ "n"; "requests" ] ~docv:"N" ~doc:"Requests per op")
+  in
+  let run os requests =
+    match os with
+    | Machine.Vanilla ->
+        Format.fprintf fmt "the redis model needs a migratable OS personality@.";
+        1
+    | _ ->
+        List.iter
+          (fun (r : W.Redis.result) ->
+            Format.fprintf fmt "%-6s %10.0f cycles/request (%.2f us)@." (W.Redis.op_name r.W.Redis.op)
+              r.W.Redis.cycles_per_request
+              (Cycles.to_us (int_of_float r.W.Redis.cycles_per_request)))
+          (W.Redis.run ~os ~requests ());
+        0
+  in
+  Cmd.v
+    (Cmd.info "redis" ~doc:"Run the Redis-like network-serving model")
+    Term.(const run $ os_arg $ requests_arg)
+
+(* ---------- futex ---------- *)
+
+let futex_cmd =
+  let loops_arg = Arg.(value & pos 0 int 1000 & info [] ~docv:"LOOPS" ~doc:"Lock/unlock loops") in
+  let run loops =
+    List.iter
+      (fun (label, wall) -> Format.fprintf fmt "%-34s %10.3f ms@." label (Cycles.to_ms wall))
+      (H.Micro_experiments.fig13_walls ~loops);
+    0
+  in
+  Cmd.v (Cmd.info "futex" ~doc:"Run the futex microbenchmark") Term.(const run $ loops_arg)
+
+(* ---------- disasm ---------- *)
+
+let spec_of_bench = function
+  | "is" -> Some (W.Npb_is.spec ())
+  | "cg" -> Some (W.Npb_cg.spec ())
+  | "mg" -> Some (W.Npb_mg.spec ())
+  | "ft" -> Some (W.Npb_ft.spec ())
+  | "ep" -> Some (W.Npb_ep.spec ())
+  | "lu" -> Some (W.Npb_lu.spec ())
+  | "sp" -> Some (W.Npb_sp.spec ())
+  | _ -> None
+
+let disasm_cmd =
+  let bench_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"is | cg | mg | ft | ep | lu | sp")
+  in
+  let isa_conv =
+    let parse = function
+      | "x86" -> Ok Node_id.X86
+      | "arm" -> Ok Node_id.Arm
+      | s -> Error (`Msg (Printf.sprintf "unknown ISA %S (x86 | arm)" s))
+    in
+    Arg.conv (parse, Node_id.pp)
+  in
+  let isa_arg =
+    Arg.(value & opt isa_conv Node_id.X86 & info [ "i"; "isa" ] ~docv:"ISA" ~doc:"x86 | arm")
+  in
+  let limit_arg =
+    Arg.(value & opt int 80 & info [ "n"; "limit" ] ~docv:"N" ~doc:"Instructions to print (0 = all)")
+  in
+  let run bench isa limit =
+    match spec_of_bench bench with
+    | None ->
+        Format.fprintf fmt "unknown benchmark %s@." bench;
+        1
+    | Some spec ->
+        let image = Stramash_isa.Codegen.lower ~isa spec.Stramash_machine.Spec.mir in
+        let rendered = Format.asprintf "%a" Stramash_isa.Machine.pp_program image in
+        let lines = String.split_on_char '\n' rendered in
+        let shown = if limit = 0 then lines else List.filteri (fun i _ -> i <= limit) lines in
+        List.iter (Format.fprintf fmt "%s@.") shown;
+        if limit <> 0 && List.length lines > limit + 1 then
+          Format.fprintf fmt "... (%d more instructions; --limit 0 for all)@."
+            (List.length lines - limit - 1);
+        0
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a workload's image for one ISA")
+    Term.(const run $ bench_arg $ isa_arg $ limit_arg)
+
+(* ---------- machine ---------- *)
+
+let machine_cmd =
+  let run () =
+    Format.fprintf fmt "Simulated platform (paper Figs. 1, 3, 4):@.";
+    Format.fprintf fmt "  nodes: x86-64 island + AArch64 island, cache-coherent shared memory@.";
+    Format.fprintf fmt "  physical memory: %d GB total@." (Layout.total_memory / Stramash_mem.Addr.gib 1);
+    Format.fprintf fmt "  x86 private:  %a@." Layout.pp_region Layout.x86_private;
+    Format.fprintf fmt "  arm private:  %a@." Layout.pp_region Layout.arm_private;
+    Format.fprintf fmt "  message ring: %a@." Layout.pp_region Layout.message_ring;
+    Format.fprintf fmt "  global pool:  %a@." Layout.pp_region Layout.pool;
+    Format.fprintf fmt "  canonical clock: %.1f GHz; cross-ISA IPI: %.1f us; TCP RTT: 75 us@."
+      Cycles.frequency_ghz
+      (Cycles.to_us Stramash_interconnect.Ipi.cross_isa_ipi_cycles);
+    H.Validation.table2 fmt;
+    0
+  in
+  Cmd.v (Cmd.info "machine" ~doc:"Describe the simulated platform") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "stramash_cli" ~version:"1.0.0"
+      ~doc:"Fused-kernel OS (Stramash, ASPLOS'25) reproduction toolkit"
+  in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; experiment_cmd; npb_cmd; redis_cmd; futex_cmd; machine_cmd; disasm_cmd ]))

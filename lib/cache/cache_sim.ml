@@ -1,0 +1,418 @@
+module Node_id = Stramash_sim.Node_id
+module Metrics = Stramash_sim.Metrics
+module Addr = Stramash_mem.Addr
+module Layout = Stramash_mem.Layout
+module Latency = Stramash_mem.Latency
+
+type kind = Ifetch | Load | Store
+
+(* Mutable per-node counters: this module sits on the simulator's hottest
+   path (one call per simulated instruction), so counters are plain record
+   fields rather than string-keyed metrics. *)
+type node_stats = {
+  mutable l1i_hits : int;
+  mutable l1i_accesses : int;
+  mutable l1d_hits : int;
+  mutable l1d_accesses : int;
+  mutable l2_hits : int;
+  mutable l2_accesses : int;
+  mutable l3_hits : int;
+  mutable l3_accesses : int;
+  mutable local_mem_hits : int;
+  mutable remote_mem_hits : int;
+  mutable remote_shared_mem_hits : int;
+  mutable writebacks : int;
+  mutable back_invalidations : int;
+  mutable snoop_data : int;
+  mutable snoop_invalidates : int;
+  mutable mem_accesses : int;
+}
+
+let fresh_stats () =
+  {
+    l1i_hits = 0;
+    l1i_accesses = 0;
+    l1d_hits = 0;
+    l1d_accesses = 0;
+    l2_hits = 0;
+    l2_accesses = 0;
+    l3_hits = 0;
+    l3_accesses = 0;
+    local_mem_hits = 0;
+    remote_mem_hits = 0;
+    remote_shared_mem_hits = 0;
+    writebacks = 0;
+    back_invalidations = 0;
+    snoop_data = 0;
+    snoop_invalidates = 0;
+    mem_accesses = 0;
+  }
+
+let zero_stats s =
+  s.l1i_hits <- 0;
+  s.l1i_accesses <- 0;
+  s.l1d_hits <- 0;
+  s.l1d_accesses <- 0;
+  s.l2_hits <- 0;
+  s.l2_accesses <- 0;
+  s.l3_hits <- 0;
+  s.l3_accesses <- 0;
+  s.local_mem_hits <- 0;
+  s.remote_mem_hits <- 0;
+  s.remote_shared_mem_hits <- 0;
+  s.writebacks <- 0;
+  s.back_invalidations <- 0;
+  s.snoop_data <- 0;
+  s.snoop_invalidates <- 0;
+  s.mem_accesses <- 0
+
+let stat_value s = function
+  | "l1i_hits" -> s.l1i_hits
+  | "l1i_accesses" -> s.l1i_accesses
+  | "l1d_hits" -> s.l1d_hits
+  | "l1d_accesses" -> s.l1d_accesses
+  | "l2_hits" -> s.l2_hits
+  | "l2_accesses" -> s.l2_accesses
+  | "l3_hits" -> s.l3_hits
+  | "l3_accesses" -> s.l3_accesses
+  | "local_mem_hits" -> s.local_mem_hits
+  | "remote_mem_hits" -> s.remote_mem_hits
+  | "remote_shared_mem_hits" -> s.remote_shared_mem_hits
+  | "writebacks" -> s.writebacks
+  | "back_invalidations" -> s.back_invalidations
+  | "snoop_data" -> s.snoop_data
+  | "snoop_invalidates" -> s.snoop_invalidates
+  | "mem_accesses" -> s.mem_accesses
+  | name -> invalid_arg ("Cache_sim.stat: unknown counter " ^ name)
+
+let stat_names =
+  [
+    "l1i_hits"; "l1i_accesses"; "l1d_hits"; "l1d_accesses"; "l2_hits"; "l2_accesses";
+    "l3_hits"; "l3_accesses"; "local_mem_hits"; "remote_mem_hits"; "remote_shared_mem_hits";
+    "writebacks"; "back_invalidations"; "snoop_data"; "snoop_invalidates"; "mem_accesses";
+  ]
+
+type node_caches = { l1i : Level.t; l1d : Level.t; l2 : Level.t; l3 : Level.t option }
+
+type t = {
+  cfg : Config.t;
+  nodes : node_caches array;
+  nstats : node_stats array;
+  shared_l3 : Level.t option;
+  dir : Directory.t;
+  mutable probe : (Node_id.t -> kind -> int -> unit) option;
+  mutable writeback_hook : (Node_id.t -> line:int -> unit) option;
+}
+
+let create cfg =
+  let make_node () =
+    {
+      l1i = Level.create cfg.Config.l1i;
+      l1d = Level.create cfg.Config.l1d;
+      l2 = Level.create cfg.Config.l2;
+      l3 = (if cfg.Config.shared_l3 then None else Some (Level.create cfg.Config.l3));
+    }
+  in
+  {
+    cfg;
+    nodes = [| make_node (); make_node () |];
+    nstats = [| fresh_stats (); fresh_stats () |];
+    shared_l3 = (if cfg.Config.shared_l3 then Some (Level.create cfg.Config.l3) else None);
+    dir = Directory.create ();
+    probe = None;
+    writeback_hook = None;
+  }
+
+let config t = t.cfg
+
+let stats t =
+  let reg = Metrics.registry () in
+  List.iter
+    (fun node ->
+      let s = t.nstats.(Node_id.index node) in
+      List.iter
+        (fun name -> Metrics.set reg (Node_id.to_string node ^ "." ^ name) (stat_value s name))
+        stat_names)
+    Node_id.all;
+  reg
+
+let stat t node name = stat_value t.nstats.(Node_id.index node) name
+
+let hit_rate t node level =
+  let hits = stat t node (level ^ "_hits") in
+  let accesses = stat t node (level ^ "_accesses") in
+  if accesses = 0 then 0.0 else float_of_int hits /. float_of_int accesses
+
+let set_probe t probe = t.probe <- probe
+let set_writeback_hook t hook = t.writeback_hook <- hook
+let reset_stats t = Array.iter zero_stats t.nstats
+
+let fire_writeback t node ~line =
+  match t.writeback_hook with Some f -> f node ~line | None -> ()
+
+let caches t node = t.nodes.(Node_id.index node)
+let nstat t node = t.nstats.(Node_id.index node)
+
+(* Drop a line from every private level of [node], maintaining the
+   directory; returns whether the line was dirty (M). *)
+let invalidate_private t node ~line =
+  let c = caches t node in
+  ignore (Level.invalidate c.l1i ~line);
+  ignore (Level.invalidate c.l1d ~line);
+  ignore (Level.invalidate c.l2 ~line);
+  (match c.l3 with Some l3 -> ignore (Level.invalidate l3 ~line) | None -> ());
+  let was_m = Mesi.equal (Directory.get t.dir node ~line) Mesi.M in
+  Directory.set t.dir node ~line Mesi.I;
+  was_m
+
+(* Eviction from a node's coherence point (private L3, or L2 when the L3 is
+   shared): back-invalidate upper levels, record write-backs. *)
+let evict_from_coherence_point t node ~line =
+  let c = caches t node in
+  ignore (Level.invalidate c.l1i ~line);
+  ignore (Level.invalidate c.l1d ~line);
+  (match c.l3 with Some _ -> ignore (Level.invalidate c.l2 ~line) | None -> ());
+  let s = nstat t node in
+  if Mesi.equal (Directory.get t.dir node ~line) Mesi.M then begin
+    s.writebacks <- s.writebacks + 1;
+    fire_writeback t node ~line
+  end;
+  Directory.set t.dir node ~line Mesi.I
+
+(* Eviction from the shared L3 invalidates both nodes' private copies
+   (Back-Invalidate Snoop in CXL terms). *)
+let evict_from_shared_l3 t ~line =
+  List.iter
+    (fun node ->
+      if Directory.holds t.dir node ~line then begin
+        let s = nstat t node in
+        if invalidate_private t node ~line then begin
+          s.writebacks <- s.writebacks + 1;
+          fire_writeback t node ~line
+        end;
+        s.back_invalidations <- s.back_invalidations + 1
+      end)
+    Node_id.all
+
+let insert_with_eviction t node level ~line ~coherence_point =
+  match Level.insert level ~line with
+  | None -> ()
+  | Some evicted ->
+      if coherence_point then evict_from_coherence_point t node ~line:evicted
+      else begin
+        (* Inclusive hierarchy: dropping from L2 drops from the L1s too. *)
+        let c = caches t node in
+        ignore (Level.invalidate c.l1i ~line:evicted);
+        ignore (Level.invalidate c.l1d ~line:evicted)
+      end
+
+let insert_shared_l3 t level ~line =
+  match Level.insert level ~line with
+  | None -> ()
+  | Some evicted -> evict_from_shared_l3 t ~line:evicted
+
+(* Classify the memory behind [paddr] for [node] and count the fill. *)
+let memory_fill_latency t node paddr =
+  let lat = Config.latencies t.cfg node in
+  let s = nstat t node in
+  match Layout.locality t.cfg.Config.hw_model ~node paddr with
+  | Layout.Local ->
+      s.local_mem_hits <- s.local_mem_hits + 1;
+      lat.Latency.mem
+  | Layout.Remote ->
+      if Layout.in_message_ring paddr then
+        s.remote_shared_mem_hits <- s.remote_shared_mem_hits + 1
+      else s.remote_mem_hits <- s.remote_mem_hits + 1;
+      lat.Latency.remote_mem
+
+let snoop_cost t node = function
+  | Mesi.No_snoop -> 0
+  | Mesi.Snoop_data ->
+      let s = nstat t node in
+      s.snoop_data <- s.snoop_data + 1;
+      t.cfg.Config.cxl.Cxl.snoop_data
+  | Mesi.Snoop_invalidate ->
+      let s = nstat t node in
+      s.snoop_invalidates <- s.snoop_invalidates + 1;
+      t.cfg.Config.cxl.Cxl.snoop_invalidate
+
+let access t ~node kind ~paddr =
+  (match t.probe with Some f -> f node kind paddr | None -> ());
+  let line = Addr.line_of paddr in
+  let c = caches t node in
+  let s = nstat t node in
+  let other = Node_id.other node in
+  let lat = Config.latencies t.cfg node in
+  let l1 = match kind with Ifetch -> c.l1i | Load | Store -> c.l1d in
+  (match kind with
+  | Ifetch ->
+      s.l1i_accesses <- s.l1i_accesses + 1;
+      s.mem_accesses <- s.mem_accesses + 1
+  | Load | Store ->
+      s.l1d_accesses <- s.l1d_accesses + 1;
+      s.mem_accesses <- s.mem_accesses + 1);
+  (* A store that hits a Shared line needs an invalidating upgrade. *)
+  let upgrade_cost () =
+    match kind with
+    | Ifetch | Load -> 0
+    | Store -> (
+        match Directory.get t.dir node ~line with
+        | Mesi.M -> 0
+        | Mesi.E ->
+            Directory.set t.dir node ~line Mesi.M;
+            0
+        | Mesi.S ->
+            let mine, theirs, snoop =
+              Mesi.on_upgrade ~other:(Directory.get t.dir other ~line)
+            in
+            let cost = snoop_cost t node snoop in
+            if Directory.holds t.dir other ~line then ignore (invalidate_private t other ~line);
+            Directory.set t.dir node ~line mine;
+            Directory.set t.dir other ~line theirs;
+            cost
+        | Mesi.I ->
+            (* Hierarchy says present but directory says absent: impossible
+               by construction (inclusive hierarchy + directory updated on
+               every fill/eviction). *)
+            assert false)
+  in
+  if Level.probe l1 ~line then begin
+    (match kind with
+    | Ifetch -> s.l1i_hits <- s.l1i_hits + 1
+    | Load | Store -> s.l1d_hits <- s.l1d_hits + 1);
+    lat.Latency.l1 + upgrade_cost ()
+  end
+  else begin
+    s.l2_accesses <- s.l2_accesses + 1;
+    if Level.probe c.l2 ~line then begin
+      s.l2_hits <- s.l2_hits + 1;
+      insert_with_eviction t node l1 ~line ~coherence_point:false;
+      lat.Latency.l2 + upgrade_cost ()
+    end
+    else begin
+      let l3_latency = match lat.Latency.l3 with Some v -> v | None -> lat.Latency.l2 in
+      let hit_l3 =
+        match (c.l3, t.shared_l3) with
+        | Some l3, _ ->
+            s.l3_accesses <- s.l3_accesses + 1;
+            Level.probe l3 ~line
+        | None, Some shared ->
+            s.l3_accesses <- s.l3_accesses + 1;
+            Level.probe shared ~line
+        | None, None -> false
+      in
+      if hit_l3 then begin
+        s.l3_hits <- s.l3_hits + 1;
+        if t.shared_l3 <> None && not (Directory.holds t.dir node ~line) then begin
+          (* First private fill from the shared L3: run the coherence
+             transaction against the other node's private copies. *)
+          let mine, theirs, snoop =
+            match kind with
+            | Ifetch | Load -> Mesi.on_read ~other:(Directory.get t.dir other ~line)
+            | Store -> Mesi.on_write ~other:(Directory.get t.dir other ~line)
+          in
+          let snoop_c = snoop_cost t node snoop in
+          (match snoop with
+          | Mesi.Snoop_invalidate ->
+              if Directory.holds t.dir other ~line then
+                ignore (invalidate_private t other ~line)
+          | Mesi.Snoop_data | Mesi.No_snoop -> ());
+          Directory.set t.dir other ~line theirs;
+          Directory.set t.dir node ~line mine;
+          insert_with_eviction t node c.l2 ~line ~coherence_point:true;
+          insert_with_eviction t node l1 ~line ~coherence_point:false;
+          l3_latency + snoop_c
+        end
+        else begin
+          let l2_is_coherence_point = c.l3 = None in
+          insert_with_eviction t node c.l2 ~line ~coherence_point:l2_is_coherence_point;
+          insert_with_eviction t node l1 ~line ~coherence_point:false;
+          l3_latency + upgrade_cost ()
+        end
+      end
+      else begin
+        (* Full miss: coherence transaction + memory fill. *)
+        let other_state = Directory.get t.dir other ~line in
+        let mine, theirs, snoop =
+          match kind with
+          | Ifetch | Load -> Mesi.on_read ~other:other_state
+          | Store -> Mesi.on_write ~other:other_state
+        in
+        let snoop_c = snoop_cost t node snoop in
+        (match snoop with
+        | Mesi.Snoop_invalidate ->
+            if Directory.holds t.dir other ~line then
+              ignore (invalidate_private t other ~line)
+        | Mesi.Snoop_data | Mesi.No_snoop -> ());
+        Directory.set t.dir other ~line theirs;
+        let mem_lat = memory_fill_latency t node paddr in
+        (match (c.l3, t.shared_l3) with
+        | Some l3, _ -> insert_with_eviction t node l3 ~line ~coherence_point:true
+        | None, Some shared -> insert_shared_l3 t shared ~line
+        | None, None -> ());
+        let l2_is_coherence_point = c.l3 = None in
+        insert_with_eviction t node c.l2 ~line ~coherence_point:l2_is_coherence_point;
+        insert_with_eviction t node l1 ~line ~coherence_point:false;
+        Directory.set t.dir node ~line mine;
+        mem_lat + snoop_c
+      end
+    end
+  end
+
+(* Structural invariants; see the .mli. Iterates every resident line, so
+   intended for tests, not hot paths. *)
+let check_consistency t =
+  let exception Bad of string in
+  let fail fmt_str = Printf.ksprintf (fun s -> raise (Bad s)) fmt_str in
+  try
+    Directory.iter_lines t.dir ~f:(fun line ->
+        List.iter
+          (fun node ->
+            let c = caches t node in
+            let coherence_contains =
+              match c.l3 with
+              | Some l3 -> Level.contains l3 ~line
+              | None -> Level.contains c.l2 ~line
+            in
+            let state = Directory.get t.dir node ~line in
+            (match (state, coherence_contains) with
+            | (Mesi.S | Mesi.E | Mesi.M), false ->
+                fail "line 0x%x in directory (%c) but absent from %s hierarchy" line
+                  (Mesi.to_char state) (Node_id.to_string node)
+            | (Mesi.I | Mesi.S | Mesi.E | Mesi.M), _ -> ());
+            (* Inclusion: an L1-resident line must be L2-resident, and an
+               L2-resident line must sit at the private L3 if one exists. *)
+            if
+              (Level.contains c.l1i ~line || Level.contains c.l1d ~line)
+              && not (Level.contains c.l2 ~line)
+            then fail "L1 line 0x%x not in %s L2 (inclusion)" line (Node_id.to_string node);
+            (match c.l3 with
+            | Some l3 ->
+                if Level.contains c.l2 ~line && not (Level.contains l3 ~line) then
+                  fail "L2 line 0x%x not in %s L3 (inclusion)" line (Node_id.to_string node)
+            | None -> ());
+            (* A resident line must be known to the directory. *)
+            if Level.contains c.l2 ~line && Mesi.equal state Mesi.I then
+              fail "line 0x%x resident at %s but directory says I" line (Node_id.to_string node))
+          Node_id.all;
+        let writable node =
+          match Directory.get t.dir node ~line with
+          | Mesi.E | Mesi.M -> true
+          | Mesi.S | Mesi.I -> false
+        in
+        if writable Node_id.X86 && writable Node_id.Arm then
+          fail "line 0x%x writable on both nodes" line);
+    Ok ()
+  with Bad s -> Error s
+
+let access_bytes t ~node kind ~paddr ~len =
+  let first = Addr.line_base paddr in
+  let lines = Addr.lines_spanned paddr ~len in
+  let total = ref 0 in
+  for i = 0 to lines - 1 do
+    total := !total + access t ~node kind ~paddr:(first + (i * Addr.line_size))
+  done;
+  !total
+
+let atomic_rmw t ~node ~paddr =
+  access t ~node Store ~paddr + t.cfg.Config.cxl.Cxl.atomic_extra

@@ -1,0 +1,52 @@
+(** The Stramash-QEMU cache plugin, reimplemented: a 3-level inclusive MESI
+    hierarchy per node, with CXL snoop overheads between the two nodes and
+    local/remote memory fill latencies from Table 2.
+
+    Every simulated memory access flows through {!access}, which returns the
+    cycle cost to feed back into the requesting node's icount — the exact
+    feedback loop of paper §7.3. Statistics mirror the artifact's output
+    (L1/L2/L3 hits and accesses, local / remote / remote-shared memory
+    hits, write-backs). *)
+
+type t
+
+type kind = Ifetch | Load | Store
+
+val create : Config.t -> t
+val config : t -> Config.t
+
+val access : t -> node:Stramash_sim.Node_id.t -> kind -> paddr:int -> int
+(** Simulate one access to the line holding [paddr]; returns its latency
+    in cycles. *)
+
+val access_bytes : t -> node:Stramash_sim.Node_id.t -> kind -> paddr:int -> len:int -> int
+(** Access every cache line spanned by [[paddr, paddr+len)]; the cost of a
+    bulk copy such as a message payload or a page replication. *)
+
+val atomic_rmw : t -> node:Stramash_sim.Node_id.t -> paddr:int -> int
+(** An atomic read-modify-write (CAS / LSE, §6.5): a store-class access
+    plus the configured atomic overhead. *)
+
+val stats : t -> Stramash_sim.Metrics.registry
+val stat : t -> Stramash_sim.Node_id.t -> string -> int
+(** Per-node counter, e.g. [stat t X86 "l1d_hits"]. *)
+
+val hit_rate : t -> Stramash_sim.Node_id.t -> string -> float
+(** [hit_rate t node "l1d"] from the hit/access counters; 0 if unused. *)
+
+val set_probe : t -> (Stramash_sim.Node_id.t -> kind -> int -> unit) option -> unit
+(** Observation hook used to record traces for the Fig. 8 validation. *)
+
+val set_writeback_hook : t -> (Stramash_sim.Node_id.t -> line:int -> unit) option -> unit
+(** Fired whenever a dirty line is written back from a node's coherence
+    point. Popcorn's DSM registers here: a write-back to a replicated page
+    triggers the software consistency policy (paper §9.2.2). The hook must
+    not recurse into the cache simulator. *)
+
+val reset_stats : t -> unit
+
+val check_consistency : t -> (unit, string) result
+(** Validate the model's structural invariants: the hierarchy is inclusive
+    (L1 contents are in L2, L2's in the private L3), the directory agrees
+    with presence at each node's coherence point, and no line is writable
+    ([E]/[M]) on both nodes at once. Used by the property tests. *)

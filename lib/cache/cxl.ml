@@ -1,0 +1,15 @@
+type t = {
+  snoop_data : int;
+  snoop_invalidate : int;
+  back_invalidate : int;
+  atomic_extra : int;
+}
+
+(* Round-trip snoop on a CXL link is of the same order as a remote memory
+   access minus the DRAM access itself; we use ~80ns (168 cycles) for data
+   snoops and slightly less for pure invalidations, in line with the
+   CXL-latency discussion the paper cites (Sharma, IEEE Micro 2023). *)
+let default =
+  { snoop_data = 170; snoop_invalidate = 130; back_invalidate = 130; atomic_extra = 20 }
+
+let zero = { snoop_data = 0; snoop_invalidate = 0; back_invalidate = 0; atomic_extra = 0 }

@@ -1,0 +1,19 @@
+(** CXL coherence-traffic overheads (paper §7.3, "CXL Access Overhead
+    Feedback"), in cycles.
+
+    The paper models the extra delay of SNOOP messages and responses used by
+    CXL 3.0 to keep replicas coherent across hosts: Snoop Invalidate (a
+    writer forces other holders to drop the line), Snoop Data (a reader
+    demotes a remote Exclusive/Modified copy to Shared), and Back-Invalidate
+    Snoop (inclusion-driven invalidation from the pool device). *)
+
+type t = {
+  snoop_data : int;
+  snoop_invalidate : int;
+  back_invalidate : int;
+  atomic_extra : int; (* extra cost of an atomic read-modify-write *)
+}
+
+val default : t
+val zero : t
+(** No coherence overhead; used in ablations. *)

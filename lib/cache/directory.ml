@@ -1,0 +1,26 @@
+module Node_id = Stramash_sim.Node_id
+
+(* Two 2-bit states packed per line: bits [1:0] = node 0, bits [3:2] = node 1. *)
+type t = (int, int) Hashtbl.t
+
+let create () : t = Hashtbl.create 4096
+
+let encode = function Mesi.I -> 0 | Mesi.S -> 1 | Mesi.E -> 2 | Mesi.M -> 3
+let decode = function 0 -> Mesi.I | 1 -> Mesi.S | 2 -> Mesi.E | _ -> Mesi.M
+
+let get t node ~line =
+  match Hashtbl.find_opt t line with
+  | None -> Mesi.I
+  | Some packed -> decode ((packed lsr (2 * Node_id.index node)) land 3)
+
+let set t node ~line state =
+  let shift = 2 * Node_id.index node in
+  let packed = match Hashtbl.find_opt t line with None -> 0 | Some p -> p in
+  let packed = packed land lnot (3 lsl shift) lor (encode state lsl shift) in
+  if packed = 0 then Hashtbl.remove t line else Hashtbl.replace t line packed
+
+let holds t node ~line = not (Mesi.equal (get t node ~line) Mesi.I)
+
+let tracked_lines t = Hashtbl.length t
+
+let iter_lines (t : t) ~f = Hashtbl.iter (fun line _ -> f line) t

@@ -1,0 +1,77 @@
+type t = {
+  sets : int;
+  ways : int;
+  tags : int array; (* -1 = invalid; indexed set*ways + way *)
+  stamp : int array; (* LRU timestamps *)
+  mutable tick : int;
+  mutable occupied : int;
+}
+
+let create (g : Config.geometry) =
+  let sets = Config.sets g in
+  {
+    sets;
+    ways = g.ways;
+    tags = Array.make (sets * g.ways) (-1);
+    stamp = Array.make (sets * g.ways) 0;
+    tick = 0;
+    occupied = 0;
+  }
+
+let set_of t line = line land (t.sets - 1)
+
+let find t line =
+  let base = set_of t line * t.ways in
+  let rec scan w =
+    if w >= t.ways then -1
+    else if t.tags.(base + w) = line then base + w
+    else scan (w + 1)
+  in
+  scan 0
+
+let touch t idx =
+  t.tick <- t.tick + 1;
+  t.stamp.(idx) <- t.tick
+
+let probe t ~line =
+  let idx = find t line in
+  if idx >= 0 then begin
+    touch t idx;
+    true
+  end
+  else false
+
+let contains t ~line = find t line >= 0
+
+let insert t ~line =
+  assert (find t line < 0);
+  let base = set_of t line * t.ways in
+  (* Prefer an invalid way; otherwise evict the least recently used. *)
+  let victim = ref base in
+  let found_invalid = ref false in
+  for w = 0 to t.ways - 1 do
+    let idx = base + w in
+    if (not !found_invalid) && t.tags.(idx) = -1 then begin
+      victim := idx;
+      found_invalid := true
+    end
+    else if (not !found_invalid) && t.stamp.(idx) < t.stamp.(!victim) then victim := idx
+  done;
+  let evicted = if !found_invalid then None else Some t.tags.(!victim) in
+  if !found_invalid then t.occupied <- t.occupied + 1;
+  t.tags.(!victim) <- line;
+  touch t !victim;
+  evicted
+
+let invalidate t ~line =
+  let idx = find t line in
+  if idx >= 0 then begin
+    t.tags.(idx) <- -1;
+    t.stamp.(idx) <- 0;
+    t.occupied <- t.occupied - 1;
+    true
+  end
+  else false
+
+let capacity_lines t = t.sets * t.ways
+let occupied t = t.occupied

@@ -1,0 +1,25 @@
+(** One set-associative cache level with LRU replacement.
+
+    Lines are identified by their line number (physical address lsr 6);
+    tags store the full line number, which wastes no simulated state and
+    keeps lookups trivially correct. *)
+
+type t
+
+val create : Config.geometry -> t
+
+val probe : t -> line:int -> bool
+(** Lookup; on hit, refreshes the line's LRU position. *)
+
+val contains : t -> line:int -> bool
+(** Lookup without touching replacement state. *)
+
+val insert : t -> line:int -> int option
+(** Insert a line (must not already be present); returns the evicted line,
+    if the chosen way held one. *)
+
+val invalidate : t -> line:int -> bool
+(** Drop a line; returns whether it was present. *)
+
+val capacity_lines : t -> int
+val occupied : t -> int

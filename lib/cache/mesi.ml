@@ -1,0 +1,31 @@
+type state = I | S | E | M
+
+let to_char = function I -> 'I' | S -> 'S' | E -> 'E' | M -> 'M'
+
+let equal a b =
+  match (a, b) with
+  | I, I | S, S | E, E | M, M -> true
+  | (I | S | E | M), _ -> false
+
+type snoop = No_snoop | Snoop_data | Snoop_invalidate
+
+let on_read ~other =
+  match other with
+  | M -> (S, S, Snoop_data) (* remote dirty copy demoted; data forwarded *)
+  | E -> (S, S, Snoop_data)
+  | S -> (S, S, No_snoop)
+  | I -> (E, I, No_snoop)
+
+let on_write ~other =
+  match other with
+  | M | E | S -> (M, I, Snoop_invalidate)
+  | I -> (M, I, No_snoop)
+
+let on_upgrade ~other =
+  match other with
+  | S -> (M, I, Snoop_invalidate)
+  | M | E ->
+      (* Cannot happen in a consistent directory (we hold S, so the other
+         node cannot hold E/M); treated as an invalidating upgrade. *)
+      (M, I, Snoop_invalidate)
+  | I -> (M, I, No_snoop)

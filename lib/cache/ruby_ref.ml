@@ -1,0 +1,191 @@
+module Node_id = Stramash_sim.Node_id
+module Metrics = Stramash_sim.Metrics
+module Addr = Stramash_mem.Addr
+
+(* A tree-PLRU set-associative array — the pseudo-LRU replacement Ruby's
+   cache models use, deliberately distinct from Level.t's exact LRU so the
+   two models are genuinely independent implementations of the same
+   protocol. The per-set bit tree has [ways - 1] internal nodes; accesses
+   flip the bits on their path to point away, victims follow the bits. *)
+module Plru_array = struct
+  type t = { sets : int; ways : int; tags : int array; bits : bool array }
+
+  let create (g : Config.geometry) =
+    let sets = Config.sets g in
+    assert (g.ways land (g.ways - 1) = 0);
+    {
+      sets;
+      ways = g.ways;
+      tags = Array.make (sets * g.ways) (-1);
+      bits = Array.make (sets * g.ways) false (* ways-1 used per set *);
+    }
+
+  let find t line =
+    let base = line land (t.sets - 1) * t.ways in
+    let rec scan w =
+      if w >= t.ways then -1 else if t.tags.(base + w) = line then base + w else scan (w + 1)
+    in
+    scan 0
+
+  (* Flip the tree bits so that [way] becomes the protected (most recently
+     used) leaf of its set. *)
+  let touch t set way =
+    let bbase = set * t.ways in
+    let rec go node lo hi =
+      if hi - lo > 1 then begin
+        let mid = (lo + hi) / 2 in
+        if way < mid then begin
+          t.bits.(bbase + node) <- true (* true = victim on the right *);
+          go ((2 * node) + 1) lo mid
+        end
+        else begin
+          t.bits.(bbase + node) <- false;
+          go ((2 * node) + 2) mid hi
+        end
+      end
+    in
+    go 0 0 t.ways
+
+  let victim_way t set =
+    let bbase = set * t.ways in
+    let rec go node lo hi =
+      if hi - lo <= 1 then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if t.bits.(bbase + node) then go ((2 * node) + 2) mid hi
+        else go ((2 * node) + 1) lo mid
+      end
+    in
+    go 0 0 t.ways
+
+  let contains t line =
+    let idx = find t line in
+    if idx >= 0 then begin
+      let set = line land (t.sets - 1) in
+      touch t set (idx - (set * t.ways));
+      true
+    end
+    else false
+
+  let insert t line =
+    let set = line land (t.sets - 1) in
+    let base = set * t.ways in
+    let rec empty w =
+      if w >= t.ways then -1 else if t.tags.(base + w) = -1 then w else empty (w + 1)
+    in
+    let w = match empty 0 with -1 -> victim_way t set | w -> w in
+    let evicted = t.tags.(base + w) in
+    t.tags.(base + w) <- line;
+    touch t set w;
+    if evicted = -1 then None else Some evicted
+
+  let invalidate t line =
+    let idx = find t line in
+    if idx >= 0 then t.tags.(idx) <- -1
+end
+
+module Fifo_array = Plru_array
+
+type node_side = { l1i : Fifo_array.t; l1d : Fifo_array.t; l2 : Fifo_array.t; l3 : Fifo_array.t }
+
+type t = { cfg : Config.t; sides : node_side array; owner : (int, int) Hashtbl.t; stats : Metrics.registry }
+(* [owner] maps a line to a bitmask of nodes holding it, with bit 2 set when
+   some node holds it writable; enough state for hit-rate equivalence. *)
+
+let create cfg =
+  let side () =
+    {
+      l1i = Fifo_array.create cfg.Config.l1i;
+      l1d = Fifo_array.create cfg.Config.l1d;
+      l2 = Fifo_array.create cfg.Config.l2;
+      l3 = Fifo_array.create cfg.Config.l3;
+    }
+  in
+  { cfg; sides = [| side (); side () |]; owner = Hashtbl.create 4096; stats = Metrics.registry () }
+
+let stats t = t.stats
+let key node name = Node_id.to_string node ^ "." ^ name
+let bump t node name = Metrics.incr t.stats (key node name)
+
+let hit_rate t node level =
+  let hits = Metrics.get t.stats (key node (level ^ "_hits")) in
+  let accesses = Metrics.get t.stats (key node (level ^ "_accesses")) in
+  if accesses = 0 then 0.0 else float_of_int hits /. float_of_int accesses
+
+let drop_node t node line =
+  let s = t.sides.(Node_id.index node) in
+  Fifo_array.invalidate s.l1i line;
+  Fifo_array.invalidate s.l1d line;
+  Fifo_array.invalidate s.l2 line;
+  Fifo_array.invalidate s.l3 line;
+  let mask = match Hashtbl.find_opt t.owner line with Some m -> m | None -> 0 in
+  let mask = mask land lnot (1 lsl Node_id.index node) in
+  if mask land 3 = 0 then Hashtbl.remove t.owner line else Hashtbl.replace t.owner line (mask land 3)
+
+(* Strictly inclusive: inserting at an upper level never bypasses lower
+   ones, and an L3 eviction recalls the line from L2/L1. *)
+let fill t node line =
+  let s = t.sides.(Node_id.index node) in
+  (match Fifo_array.insert s.l3 line with
+  | Some evicted ->
+      Fifo_array.invalidate s.l2 evicted;
+      Fifo_array.invalidate s.l1i evicted;
+      Fifo_array.invalidate s.l1d evicted;
+      let mask = match Hashtbl.find_opt t.owner evicted with Some m -> m | None -> 0 in
+      let mask = mask land lnot (1 lsl Node_id.index node) in
+      if mask land 3 = 0 then Hashtbl.remove t.owner evicted else Hashtbl.replace t.owner evicted mask
+  | None -> ());
+  (match Fifo_array.insert s.l2 line with
+  | Some evicted ->
+      Fifo_array.invalidate s.l1i evicted;
+      Fifo_array.invalidate s.l1d evicted
+  | None -> ())
+
+let fill_l1 t node kind line =
+  let s = t.sides.(Node_id.index node) in
+  let l1 = match kind with Cache_sim.Ifetch -> s.l1i | Cache_sim.Load | Cache_sim.Store -> s.l1d in
+  ignore (Fifo_array.insert l1 line)
+
+let access t ~node kind ~paddr =
+  let line = Addr.line_of paddr in
+  let s = t.sides.(Node_id.index node) in
+  let l1, l1name =
+    match kind with
+    | Cache_sim.Ifetch -> (s.l1i, "l1i")
+    | Cache_sim.Load | Cache_sim.Store -> (s.l1d, "l1d")
+  in
+  (* Writes by the other node invalidate our copies before our next access
+     sees them; model this eagerly on each write. *)
+  (match kind with
+  | Cache_sim.Store ->
+      let other = Node_id.other node in
+      let omask = match Hashtbl.find_opt t.owner line with Some m -> m | None -> 0 in
+      if omask land (1 lsl Node_id.index other) <> 0 then drop_node t other line
+  | Cache_sim.Ifetch | Cache_sim.Load -> ());
+  bump t node (l1name ^ "_accesses");
+  if Fifo_array.contains l1 line then bump t node (l1name ^ "_hits")
+  else begin
+    bump t node "l2_accesses";
+    if Fifo_array.contains s.l2 line then begin
+      bump t node "l2_hits";
+      fill_l1 t node kind line
+    end
+    else begin
+      bump t node "l3_accesses";
+      if Fifo_array.contains s.l3 line then begin
+        bump t node "l3_hits";
+        (match Fifo_array.insert s.l2 line with
+        | Some evicted ->
+            Fifo_array.invalidate s.l1i evicted;
+            Fifo_array.invalidate s.l1d evicted
+        | None -> ());
+        fill_l1 t node kind line
+      end
+      else begin
+        fill t node line;
+        fill_l1 t node kind line
+      end
+    end
+  end;
+  let mask = match Hashtbl.find_opt t.owner line with Some m -> m | None -> 0 in
+  Hashtbl.replace t.owner line (mask lor (1 lsl Node_id.index node))

@@ -1,0 +1,42 @@
+module Node_id = Stramash_sim.Node_id
+
+type entry = { node : Node_id.t; kind : Cache_sim.kind; paddr : int }
+
+(* Entries are packed into two int arrays (node+kind tag, paddr) to keep
+   multi-million-access traces cheap. *)
+type t = {
+  mutable tags : int array;
+  mutable addrs : int array;
+  mutable len : int;
+}
+
+let create () = { tags = Array.make 4096 0; addrs = Array.make 4096 0; len = 0 }
+
+let kind_to_int = function Cache_sim.Ifetch -> 0 | Cache_sim.Load -> 1 | Cache_sim.Store -> 2
+let kind_of_int = function 0 -> Cache_sim.Ifetch | 1 -> Cache_sim.Load | _ -> Cache_sim.Store
+
+let record t node kind paddr =
+  if t.len = Array.length t.tags then begin
+    let grow a = Array.append a (Array.make (Array.length a) 0) in
+    t.tags <- grow t.tags;
+    t.addrs <- grow t.addrs
+  end;
+  t.tags.(t.len) <- (Node_id.index node lsl 2) lor kind_to_int kind;
+  t.addrs.(t.len) <- paddr;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let entry t i =
+  let tag = t.tags.(i) in
+  { node = Node_id.of_index (tag lsr 2); kind = kind_of_int (tag land 3); paddr = t.addrs.(i) }
+
+let iter t ~f =
+  for i = 0 to t.len - 1 do
+    f (entry t i)
+  done
+
+let attach t cache = Cache_sim.set_probe cache (Some (record t))
+
+let replay_into_ruby t ruby =
+  iter t ~f:(fun e -> Ruby_ref.access ruby ~node:e.node e.kind ~paddr:e.paddr)

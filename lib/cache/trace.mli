@@ -1,0 +1,16 @@
+(** Memory-access traces: recorded from {!Cache_sim} via its probe hook and
+    replayed into the {!Ruby_ref} reference model for the Fig. 8 validation
+    (both models must see the identical access stream). *)
+
+type entry = { node : Stramash_sim.Node_id.t; kind : Cache_sim.kind; paddr : int }
+type t
+
+val create : unit -> t
+val record : t -> Stramash_sim.Node_id.t -> Cache_sim.kind -> int -> unit
+val length : t -> int
+val iter : t -> f:(entry -> unit) -> unit
+
+val attach : t -> Cache_sim.t -> unit
+(** Install this trace as the cache simulator's probe. *)
+
+val replay_into_ruby : t -> Ruby_ref.t -> unit

@@ -1,0 +1,48 @@
+(** Minimal/secure kernel-level data sharing (paper §5, §6 "Prototype
+    Limitations").
+
+    A fused kernel must not let a compromised peer roam its entire
+    memory: the paper postulates that only *required* data structures be
+    shared, everything else protected by hardware (MPU/MMU/IOMMU), and —
+    to make such protection practical — that shared structures be packed
+    into contiguous physical memory so the protected window is small and
+    simple to describe.
+
+    This module implements that mechanism: a per-kernel {e shared window}
+    of contiguous frames into which kernel objects are packed (moving
+    pages to reorganise data, as the prototype does), plus an MPU-style
+    checker that validates remote accesses against the window. The
+    Stramash prototype implements the packing but leaves enforcement to
+    future work (§6); we provide both, with enforcement off by default to
+    match the prototype. *)
+
+type t
+
+val create :
+  Stramash_kernel.Env.t ->
+  owner:Stramash_sim.Node_id.t ->
+  window_bytes:int ->
+  t
+(** Reserve a contiguous window in the owner kernel's memory. *)
+
+val window : t -> Stramash_mem.Layout.region
+val owner : t -> Stramash_sim.Node_id.t
+
+val pack : t -> src:int -> bytes:int -> (int, [ `Window_full ]) result
+(** Move [bytes] of kernel data from [src] into the window (the owner
+    pays the copy through the cache), returning the new packed address.
+    Subsequent remote accessor functions should use the packed address. *)
+
+val packed_bytes : t -> int
+val objects_packed : t -> int
+
+val remote_access_allowed : t -> paddr:int -> bool
+(** The MPU check a remote kernel's access would face: inside the shared
+    window (or outside the owner's memory entirely) is allowed. *)
+
+val check_remote_access :
+  t -> actor:Stramash_sim.Node_id.t -> paddr:int -> (unit, [ `Protection_violation ]) result
+(** Enforcement entry point: owner accesses always pass; remote accesses
+    must fall inside the window. Violations are counted. *)
+
+val violations : t -> int

@@ -1,0 +1,7 @@
+module Namespace = Stramash_kernel.Namespace
+
+let fuse_kernels a _b = Namespace.fuse a.Stramash_kernel.Kernel.ns
+
+let same_environment = Namespace.same_view
+
+let cpu_list ~cores_per_node = Namespace.fused_cpu_list ~cores_per_node

@@ -1,0 +1,11 @@
+(** Fused namespaces (paper §6.6): make two kernel instances present the
+    same mount/PID/net/UTS/user/cgroup namespaces and a unified CPU list,
+    so a migrated application observes an identical environment. *)
+
+val fuse_kernels : Stramash_kernel.Kernel.t -> Stramash_kernel.Kernel.t -> Stramash_kernel.Namespace.set
+(** The shared namespace set both kernels expose after fusing (derived
+    from the first kernel's set). *)
+
+val same_environment : Stramash_kernel.Namespace.set -> Stramash_kernel.Namespace.set -> bool
+
+val cpu_list : cores_per_node:int -> Stramash_kernel.Namespace.cpu_info list

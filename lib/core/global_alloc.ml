@@ -1,0 +1,84 @@
+module Node_id = Stramash_sim.Node_id
+module Meter = Stramash_sim.Meter
+module Rng = Stramash_sim.Rng
+module Addr = Stramash_mem.Addr
+module Layout = Stramash_mem.Layout
+module Env = Stramash_kernel.Env
+module Kernel = Stramash_kernel.Kernel
+module Frame_alloc = Stramash_kernel.Frame_alloc
+module Hotplug = Stramash_kernel.Hotplug
+
+type t = {
+  env : Env.t;
+  block_size : int;
+  rng : Rng.t;
+  mutable free : Layout.region list;
+  mutable owned : (Node_id.t * Layout.region) list;
+}
+
+let pressure_threshold = 0.70
+
+let create env ?(block_size = Addr.mib 16) ~rng () =
+  assert (block_size mod Addr.page_size = 0);
+  let pool = Layout.pool in
+  let rec split lo acc =
+    if lo + block_size > pool.Layout.hi then List.rev acc
+    else split (lo + block_size) ({ Layout.lo; hi = lo + block_size } :: acc)
+  in
+  { env; block_size; rng; free = split pool.Layout.lo []; owned = [] }
+
+let block_size t = t.block_size
+let free_blocks t = List.length t.free
+let blocks_owned t node = List.length (List.filter (fun (n, _) -> Node_id.equal n node) t.owned)
+
+let online_to t node region =
+  let kernel = Env.kernel t.env node in
+  let r = Hotplug.online kernel.Kernel.frames region ~isa:node ~rng:t.rng in
+  Meter.add (Env.meter t.env node) r.Hotplug.cycles;
+  t.owned <- (node, region) :: t.owned
+
+(* Try to reclaim a fully-free block from the other kernel. *)
+let evict_from_other t node =
+  let other = Node_id.other node in
+  let candidates = List.filter (fun (n, _) -> Node_id.equal n other) t.owned in
+  let kernel = Env.kernel t.env other in
+  let rec try_blocks = function
+    | [] -> None
+    | (_, region) :: rest -> (
+        match Hotplug.offline kernel.Kernel.frames region ~isa:other ~rng:t.rng with
+        | Ok r ->
+            Meter.add (Env.meter t.env other) r.Hotplug.cycles;
+            t.owned <- List.filter (fun (_, reg) -> reg <> region) t.owned;
+            Some region
+        | Error (`Pages_in_use _) -> try_blocks rest)
+  in
+  try_blocks candidates
+
+let request_block t node =
+  match t.free with
+  | region :: rest ->
+      t.free <- rest;
+      online_to t node region;
+      Ok region
+  | [] -> (
+      match evict_from_other t node with
+      | Some region ->
+          online_to t node region;
+          Ok region
+      | None -> Error `Exhausted)
+
+let release_block t node region =
+  let kernel = Env.kernel t.env node in
+  match Hotplug.offline kernel.Kernel.frames region ~isa:node ~rng:t.rng with
+  | Ok r ->
+      Meter.add (Env.meter t.env node) r.Hotplug.cycles;
+      t.owned <- List.filter (fun (n, reg) -> not (Node_id.equal n node && reg = region)) t.owned;
+      t.free <- region :: t.free;
+      Ok ()
+  | Error _ as e -> e
+
+let check_pressure t node =
+  let kernel = Env.kernel t.env node in
+  if Frame_alloc.pressure kernel.Kernel.frames > pressure_threshold then
+    match request_block t node with Ok _ -> true | Error `Exhausted -> false
+  else false

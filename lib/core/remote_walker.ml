@@ -1,0 +1,33 @@
+module Env = Stramash_kernel.Env
+module Page_table = Stramash_kernel.Page_table
+module Process = Stramash_kernel.Process
+module Pte = Stramash_kernel.Pte
+module Vma = Stramash_kernel.Vma
+
+(* The io's allocator must never fire on read-only walks; owner is
+   irrelevant there, and install_leaf never allocates by construction. *)
+let io env ~actor =
+  {
+    Page_table.phys = env.Env.phys;
+    charge_read = (fun paddr -> Env.charge_load env actor ~paddr);
+    charge_write = (fun paddr -> Env.charge_store env actor ~paddr);
+    alloc_table = (fun () -> assert false);
+  }
+
+let walk env ~actor ~owner_mm ~vaddr =
+  Page_table.walk owner_mm.Process.pgtable (io env ~actor) ~vaddr
+
+let upper_levels_present env ~actor ~owner_mm ~vaddr =
+  Page_table.upper_levels_present owner_mm.Process.pgtable (io env ~actor) ~vaddr
+
+let install_leaf env ~actor ~owner_mm ~vaddr ~frame ~remote_owned =
+  let flags = { Pte.default_flags with remote_owned } in
+  Page_table.set_leaf_if_upper_present owner_mm.Process.pgtable (io env ~actor) ~vaddr ~frame
+    flags
+
+let find_vma env ~actor ~owner_mm ~vaddr =
+  Env.charge_atomic env actor ~paddr:(Vma.lock_addr owner_mm.Process.vmas);
+  let charge v = Env.charge_load env actor ~paddr:v.Vma.struct_addr in
+  let result = Vma.find ~visit:charge owner_mm.Process.vmas ~vaddr in
+  Env.charge_store env actor ~paddr:(Vma.lock_addr owner_mm.Process.vmas);
+  result

@@ -1,0 +1,44 @@
+(** Software remote page-table walker (paper §6.4).
+
+    A kernel walks the *other* kernel's page table directly through the
+    fused VAS: each level's entry read is a memory access by the walking
+    node against table pages living in the owning kernel's memory (remote
+    latency via the cache model), decoded with the owner's PTE format.
+    This replaces Popcorn's long-latency message round trips. *)
+
+val walk :
+  Stramash_kernel.Env.t ->
+  actor:Stramash_sim.Node_id.t ->
+  owner_mm:Stramash_kernel.Process.mm ->
+  vaddr:int ->
+  (int * Stramash_kernel.Pte.flags) option
+(** Decoded leaf (frame number, flags) of the owner's table, with every
+    entry read charged to [actor]. *)
+
+val upper_levels_present :
+  Stramash_kernel.Env.t ->
+  actor:Stramash_sim.Node_id.t ->
+  owner_mm:Stramash_kernel.Process.mm ->
+  vaddr:int ->
+  bool
+
+val install_leaf :
+  Stramash_kernel.Env.t ->
+  actor:Stramash_sim.Node_id.t ->
+  owner_mm:Stramash_kernel.Process.mm ->
+  vaddr:int ->
+  frame:int ->
+  remote_owned:bool ->
+  bool
+(** Write a leaf PTE into the owner's table in the owner's format without
+    allocating directories; false when an upper level is missing (the
+    caller then falls back to the origin kernel, §9.2.3). *)
+
+val find_vma :
+  Stramash_kernel.Env.t ->
+  actor:Stramash_sim.Node_id.t ->
+  owner_mm:Stramash_kernel.Process.mm ->
+  vaddr:int ->
+  Stramash_kernel.Vma.t option
+(** Remote VMA walk: takes the owner's VMA lock (remote CAS) and charges
+    one load per rb-tree node visited. *)

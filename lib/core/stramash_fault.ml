@@ -1,0 +1,182 @@
+module Node_id = Stramash_sim.Node_id
+module Addr = Stramash_mem.Addr
+module Phys_mem = Stramash_mem.Phys_mem
+module Env = Stramash_kernel.Env
+module Kernel = Stramash_kernel.Kernel
+module Kheap = Stramash_kernel.Kheap
+module Vma = Stramash_kernel.Vma
+module Pte = Stramash_kernel.Pte
+module Page_table = Stramash_kernel.Page_table
+module Process = Stramash_kernel.Process
+module Tlb = Stramash_kernel.Tlb
+module Msg_layer = Stramash_popcorn.Msg_layer
+
+type t = {
+  env : Env.t;
+  msg : Msg_layer.t;
+  ptls : (int, Stramash_ptl.t) Hashtbl.t; (* pid -> origin-table lock *)
+  mutable fallback_pages : int;
+  mutable remote_walks : int;
+  mutable shared_mappings : int;
+}
+
+let create env msg =
+  { env; msg; ptls = Hashtbl.create 16; fallback_pages = 0; remote_walks = 0; shared_mappings = 0 }
+
+let fallback_pages t = t.fallback_pages
+let remote_walks t = t.remote_walks
+let shared_mappings t = t.shared_mappings
+
+let reset_counters t =
+  t.fallback_pages <- 0;
+  t.remote_walks <- 0;
+  t.shared_mappings <- 0
+
+let ensure_mm t ~proc ~node =
+  match Process.mm proc node with
+  | Some mm -> mm
+  | None ->
+      let kernel = Env.kernel t.env node in
+      let io = Env.pt_io t.env ~actor:node ~owner:node in
+      let mm =
+        {
+          Process.vmas = Vma.create_set ~alloc_struct:(fun () -> Kheap.alloc_line kernel.Kernel.kheap);
+          pgtable = Page_table.create ~isa:node io;
+          ptl_addr = Kheap.alloc_line kernel.Kernel.kheap;
+        }
+      in
+      Process.add_mm proc node mm;
+      mm
+
+let ptl_for t ~proc =
+  match Hashtbl.find_opt t.ptls proc.Process.pid with
+  | Some ptl -> ptl
+  | None ->
+      let omm = Process.mm_exn proc proc.Process.origin in
+      let ptl = Stramash_ptl.create t.env ~lock_addr:omm.Process.ptl_addr in
+      Hashtbl.add t.ptls proc.Process.pid ptl;
+      ptl
+
+let map_local t ~node ~(mm : Process.mm) ~vaddr ~frame ~writable =
+  let io = Env.pt_io t.env ~actor:node ~owner:node in
+  Page_table.map mm.Process.pgtable io ~vaddr:(Addr.page_base vaddr)
+    ~frame:(frame lsr Addr.page_shift) { Pte.default_flags with writable };
+  Tlb.flush_page (Env.tlb t.env node) ~vpage:(Addr.page_of vaddr)
+
+let alloc_zeroed t ~node =
+  let kernel = Env.kernel t.env node in
+  let frame = Kernel.alloc_frame_exn kernel in
+  Phys_mem.zero_page t.env.Env.phys frame;
+  frame
+
+(* Find the governing VMA: locally at the origin, or by the remote VMA
+   walker on the origin's list (no replication of VMA structs). *)
+let vma_for t ~proc ~node ~vaddr =
+  let origin = proc.Process.origin in
+  if Node_id.equal node origin then begin
+    let mm = Process.mm_exn proc origin in
+    let charge v = Env.charge_load t.env node ~paddr:v.Vma.struct_addr in
+    Vma.find ~visit:charge mm.Process.vmas ~vaddr
+  end
+  else begin
+    let omm = Process.mm_exn proc origin in
+    Remote_walker.find_vma t.env ~actor:node ~owner_mm:omm ~vaddr
+  end
+
+(* §6.4 teardown: every kernel invalidates its own PTEs over the process's
+   VMA ranges (held by the origin) and frees exactly the frames it
+   allocated — determined by allocator ownership, which the remote-owned
+   PTE flag mirrors on the origin side. *)
+let exit_process t ~proc =
+  let origin = proc.Process.origin in
+  let omm = Process.mm_exn proc origin in
+  let ranges = ref [] in
+  Vma.iter omm.Process.vmas ~f:(fun vma -> ranges := (vma.Vma.v_start, vma.Vma.v_end) :: !ranges);
+  List.iter
+    (fun (node, mm) ->
+      let io = Env.pt_io t.env ~actor:node ~owner:node in
+      let kernel = Env.kernel t.env node in
+      List.iter
+        (fun (v_start, v_end) ->
+          let vaddr = ref v_start in
+          while !vaddr < v_end do
+            (match Page_table.walk mm.Process.pgtable io ~vaddr:!vaddr with
+            | Some (frame, _flags) ->
+                ignore (Page_table.unmap mm.Process.pgtable io ~vaddr:!vaddr);
+                Tlb.flush_page (Env.tlb t.env node) ~vpage:(Addr.page_of !vaddr);
+                let paddr = frame lsl Addr.page_shift in
+                if
+                  Stramash_kernel.Frame_alloc.owns_address kernel.Kernel.frames paddr
+                  && Stramash_kernel.Frame_alloc.is_allocated kernel.Kernel.frames paddr
+                then Stramash_kernel.Frame_alloc.free kernel.Kernel.frames paddr
+            | None -> ());
+            vaddr := !vaddr + Addr.page_size
+          done)
+        !ranges)
+    proc.Process.mms
+
+let handle_fault t ~proc ~node ~vaddr ~write =
+  ignore write;
+  let origin = proc.Process.origin in
+  let mm = ensure_mm t ~proc ~node in
+  match vma_for t ~proc ~node ~vaddr with
+  | None ->
+      failwith
+        (Printf.sprintf "stramash: segfault pid=%d vaddr=0x%x on %s" proc.Process.pid vaddr
+           (Node_id.to_string node))
+  | Some vma -> (
+      let writable = vma.Vma.writable in
+      let local_io = Env.pt_io t.env ~actor:node ~owner:node in
+      match Page_table.walk mm.Process.pgtable local_io ~vaddr with
+      | Some _ -> () (* raced/spurious: already mapped *)
+      | None ->
+          if Node_id.equal node origin then begin
+            (* Check whether the remote kernel installed the page in our
+               table's absence — possible only via the fallback path, which
+               fills the origin table; otherwise it's a fresh anon page. *)
+            let frame = alloc_zeroed t ~node in
+            map_local t ~node ~mm ~vaddr ~frame ~writable
+          end
+          else begin
+            let omm = Process.mm_exn proc origin in
+            let ptl = ptl_for t ~proc in
+            Stramash_ptl.with_lock ptl ~actor:node (fun () ->
+                t.remote_walks <- t.remote_walks + 1;
+                match Remote_walker.walk t.env ~actor:node ~owner_mm:omm ~vaddr with
+                | Some (frame, _flags) ->
+                    (* The page exists at the origin: map the same frame;
+                       coherent shared memory does the rest. *)
+                    map_local t ~node ~mm ~vaddr ~frame:(frame lsl Addr.page_shift) ~writable;
+                    t.shared_mappings <- t.shared_mappings + 1
+                | None ->
+                    if Remote_walker.upper_levels_present t.env ~actor:node ~owner_mm:omm ~vaddr
+                    then begin
+                      (* Fast path: allocate node-locally, install the PTE
+                         in both tables (origin's in origin format, marked
+                         remote-owned so the origin never frees it). *)
+                      let frame = alloc_zeroed t ~node in
+                      map_local t ~node ~mm ~vaddr ~frame ~writable;
+                      let ok =
+                        Remote_walker.install_leaf t.env ~actor:node ~owner_mm:omm
+                          ~vaddr:(Addr.page_base vaddr) ~frame:(frame lsr Addr.page_shift)
+                          ~remote_owned:true
+                      in
+                      assert ok;
+                      t.shared_mappings <- t.shared_mappings + 1
+                    end
+                    else begin
+                      (* Upper directory missing in the origin table: the
+                         origin kernel handles the fault (§9.2.3). *)
+                      let oframe = ref 0 in
+                      Msg_layer.rpc t.msg ~src:node ~label:"dir_fallback" ~req_bytes:64
+                        ~resp_bytes:64 ~handler:(fun () ->
+                          let frame = alloc_zeroed t ~node:origin in
+                          let oio = Env.pt_io t.env ~actor:origin ~owner:origin in
+                          Page_table.map omm.Process.pgtable oio ~vaddr:(Addr.page_base vaddr)
+                            ~frame:(frame lsr Addr.page_shift)
+                            { Pte.default_flags with writable };
+                          oframe := frame);
+                      map_local t ~node ~mm ~vaddr ~frame:!oframe ~writable;
+                      t.fallback_pages <- t.fallback_pages + 1
+                    end)
+          end)

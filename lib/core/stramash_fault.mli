@@ -1,0 +1,45 @@
+(** The Stramash page-fault handler (paper §6.4).
+
+    The fused-kernel fast path: a faulting kernel walks the other kernel's
+    VMA list and page table directly over coherent shared memory; if the
+    page exists it maps the *same frame* into its own table (no copy, no
+    message); if the page is fresh anonymous memory it allocates from its
+    own local memory and installs the PTE in both tables under the
+    cross-ISA page-table lock. Only when the origin table lacks upper
+    directory levels does it fall back to a message so the origin kernel
+    handles the fault — the residual replication of §9.2.3 / Table 3. *)
+
+type t
+
+val create : Stramash_kernel.Env.t -> Stramash_popcorn.Msg_layer.t -> t
+
+val ensure_mm :
+  t -> proc:Stramash_kernel.Process.t -> node:Stramash_sim.Node_id.t -> Stramash_kernel.Process.mm
+
+val handle_fault :
+  t ->
+  proc:Stramash_kernel.Process.t ->
+  node:Stramash_sim.Node_id.t ->
+  vaddr:int ->
+  write:bool ->
+  unit
+(** Raises [Failure] on segfault. *)
+
+val ptl_for : t -> proc:Stramash_kernel.Process.t -> Stramash_ptl.t
+(** The cross-ISA page-table lock guarding the process's origin table. *)
+
+val fallback_pages : t -> int
+(** Pages that took the origin-fallback path (Table 3's residual
+    "replicated pages" for Stramash). *)
+
+val remote_walks : t -> int
+val shared_mappings : t -> int
+(** Frames mapped by both kernels without replication. *)
+
+val exit_process : t -> proc:Stramash_kernel.Process.t -> unit
+(** The §6.4 memory-recycling protocol: each kernel instance walks its own
+    table over the process's address ranges, invalidates every PTE, and
+    releases only the frames its own allocator owns — the origin never
+    frees remote-owned pages, the remote kernel finalises its own. *)
+
+val reset_counters : t -> unit

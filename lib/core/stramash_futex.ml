@@ -1,0 +1,90 @@
+module Node_id = Stramash_sim.Node_id
+module Meter = Stramash_sim.Meter
+module Addr = Stramash_mem.Addr
+module Phys_mem = Stramash_mem.Phys_mem
+module Env = Stramash_kernel.Env
+module Kernel = Stramash_kernel.Kernel
+module Futex = Stramash_kernel.Futex
+module Process = Stramash_kernel.Process
+module Thread = Stramash_kernel.Thread
+module Page_table = Stramash_kernel.Page_table
+module Ipi = Stramash_interconnect.Ipi
+
+type t = { env : Env.t; faults : Stramash_fault.t; mutable ipis : int }
+
+let create env faults = { env; faults; ipis = 0 }
+let ipis_sent t = t.ipis
+
+(* Resolve the futex word's physical address through the caller's own page
+   table, faulting the page in if necessary (shared frame — the word is the
+   same memory on both kernels). *)
+let word_paddr t ~proc ~node ~uaddr =
+  let mm = Stramash_fault.ensure_mm t.faults ~proc ~node in
+  let io = Env.pt_io t.env ~actor:node ~owner:node in
+  let frame =
+    match Page_table.walk mm.Process.pgtable io ~vaddr:uaddr with
+    | Some (frame, _) -> frame
+    | None ->
+        Stramash_fault.handle_fault t.faults ~proc ~node ~vaddr:uaddr ~write:true;
+        (match Page_table.walk mm.Process.pgtable io ~vaddr:uaddr with
+        | Some (frame, _) -> frame
+        | None -> assert false)
+  in
+  (frame lsl Addr.page_shift) + Addr.page_offset uaddr
+
+let wait_acting t ~actor ~proc ~thread ~uaddr ~expected =
+  let origin = proc.Process.origin in
+  let kernel = Env.kernel t.env origin in
+  (* Direct access to the origin's futex bucket: CAS + queue ops by the
+     acting node (remote latency when the actor is not the origin). *)
+  let bucket = Futex.bucket_addr kernel.Kernel.futexes ~uaddr in
+  Env.charge_atomic t.env actor ~paddr:bucket;
+  let wp = word_paddr t ~proc ~node:actor ~uaddr in
+  Env.charge_load t.env actor ~paddr:wp;
+  let value = Phys_mem.read t.env.Env.phys wp ~width:4 in
+  if Int64.logand value 0xFFFFFFFFL = Int64.logand expected 0xFFFFFFFFL then begin
+    Futex.enqueue_waiter kernel.Kernel.futexes ~uaddr ~tid:thread.Thread.tid;
+    Env.charge_store t.env actor ~paddr:bucket;
+    Env.charge_store t.env actor ~paddr:bucket;
+    `Block
+  end
+  else begin
+    Env.charge_store t.env actor ~paddr:bucket;
+    `Proceed
+  end
+
+let wait t ~proc ~thread ~uaddr ~expected =
+  wait_acting t ~actor:thread.Thread.node ~proc ~thread ~uaddr ~expected
+
+let wake_acting t ~actor ~proc ~threads ~uaddr ~nwake =
+  let node = actor in
+  let origin = proc.Process.origin in
+  let kernel = Env.kernel t.env origin in
+  let bucket = Futex.bucket_addr kernel.Kernel.futexes ~uaddr in
+  Env.charge_atomic t.env node ~paddr:bucket;
+  let rec collect n acc =
+    if n = 0 then List.rev acc
+    else
+      match Futex.dequeue_waiter kernel.Kernel.futexes ~uaddr with
+      | None -> List.rev acc
+      | Some tid ->
+          Env.charge_load t.env node ~paddr:bucket;
+          collect (n - 1) (tid :: acc)
+  in
+  let woken = collect nwake [] in
+  Env.charge_store t.env node ~paddr:bucket;
+  (* One cross-ISA IPI per waiter parked on the other kernel instance. *)
+  List.iter
+    (fun tid ->
+      match List.find_opt (fun th -> th.Thread.tid = tid) threads with
+      | Some th when not (Node_id.equal th.Thread.node node) ->
+          t.ipis <- t.ipis + 1;
+          Meter.add (Env.meter t.env node) (Ipi.cross_isa_ipi_cycles / 8)
+          (* triggering the IPI is cheap for the sender; delivery latency
+             lands on the waiter via the machine's wake logic *)
+      | Some _ | None -> ())
+    woken;
+  woken
+
+let wake t ~proc ~thread ~threads ~uaddr ~nwake =
+  wake_acting t ~actor:thread.Stramash_kernel.Thread.node ~proc ~threads ~uaddr ~nwake

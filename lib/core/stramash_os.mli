@@ -1,0 +1,60 @@
+(** The Stramash fused-kernel personality (the paper's contribution).
+
+    Shared-mostly coordination: page faults resolve by direct remote
+    walks and shared-frame mappings, futexes by direct queue access plus a
+    single IPI, namespaces are fused, and the global memory allocator
+    moves blocks between kernels via hotplug. Messages survive only for
+    the migration handshake and the missing-directory fallback. *)
+
+type t
+
+val create : ?futex_optimized:bool -> Stramash_kernel.Env.t -> unit -> t
+(** [futex_optimized] (default true) selects between direct remote futex
+    access (§6.5) and the origin-managed message protocol — the Fig. 13
+    ablation. *)
+
+val futex_optimized : t -> bool
+
+val env : t -> Stramash_kernel.Env.t
+val faults : t -> Stramash_fault.t
+val futexes : t -> Stramash_futex.t
+val msg : t -> Stramash_popcorn.Msg_layer.t
+val global_alloc : t -> Global_alloc.t
+
+val handle_fault :
+  t ->
+  proc:Stramash_kernel.Process.t ->
+  node:Stramash_sim.Node_id.t ->
+  vaddr:int ->
+  write:bool ->
+  unit
+
+val migrate :
+  t ->
+  proc:Stramash_kernel.Process.t ->
+  thread:Stramash_kernel.Thread.t ->
+  dst:Stramash_sim.Node_id.t ->
+  point:int ->
+  unit
+(** Lightweight handshake (one request/response message pair) plus the
+    state transformation; no page or VMA shipping. *)
+
+val futex_wait :
+  t ->
+  proc:Stramash_kernel.Process.t ->
+  thread:Stramash_kernel.Thread.t ->
+  uaddr:int ->
+  expected:int64 ->
+  [ `Block | `Proceed ]
+
+val futex_wake :
+  t ->
+  proc:Stramash_kernel.Process.t ->
+  thread:Stramash_kernel.Thread.t ->
+  threads:Stramash_kernel.Thread.t list ->
+  uaddr:int ->
+  nwake:int ->
+  int list
+
+val exit_process : t -> proc:Stramash_kernel.Process.t -> unit
+(** §6.4 memory recycling (see {!Stramash_fault.exit_process}). *)

@@ -1,0 +1,39 @@
+module Node_id = Stramash_sim.Node_id
+module Env = Stramash_kernel.Env
+module Layout = Stramash_mem.Layout
+
+type t = {
+  env : Env.t;
+  lock_addr : int;
+  mutable held_by : Node_id.t option;
+  mutable acquisitions : int;
+  mutable remote_acquisitions : int;
+}
+
+let create env ~lock_addr =
+  { env; lock_addr; held_by = None; acquisitions = 0; remote_acquisitions = 0 }
+
+let lock_addr t = t.lock_addr
+
+let with_lock t ~actor f =
+  assert (t.held_by = None);
+  Env.charge_atomic t.env actor ~paddr:t.lock_addr;
+  t.held_by <- Some actor;
+  t.acquisitions <- t.acquisitions + 1;
+  (match Layout.locality t.env.Env.hw_model ~node:actor t.lock_addr with
+  | Layout.Remote -> t.remote_acquisitions <- t.remote_acquisitions + 1
+  | Layout.Local -> ());
+  let finish () =
+    Env.charge_store t.env actor ~paddr:t.lock_addr;
+    t.held_by <- None
+  in
+  match f () with
+  | result ->
+      finish ();
+      result
+  | exception e ->
+      finish ();
+      raise e
+
+let acquisitions t = t.acquisitions
+let remote_acquisitions t = t.remote_acquisitions

@@ -1,0 +1,21 @@
+(** Cross-ISA page-table lock (paper §6.4, "Stramash-PTL").
+
+    One lock word per process/kernel page table, living in the owning
+    kernel's memory; either kernel may take it with a CAS over coherent
+    shared memory, so a remote acquisition is an atomic access with remote
+    latency — no messages. Our execution model serialises kernel entry
+    points, so acquisitions never spin; the acquisition/release memory
+    traffic is still charged, and contention statistics are tracked for
+    the ablation benches. *)
+
+type t
+
+val create : Stramash_kernel.Env.t -> lock_addr:int -> t
+val lock_addr : t -> int
+
+val with_lock : t -> actor:Stramash_sim.Node_id.t -> (unit -> 'a) -> 'a
+(** Charges the CAS (acquire) and store (release) at [lock_addr] to
+    [actor]'s meter around the critical section. *)
+
+val acquisitions : t -> int
+val remote_acquisitions : t -> int

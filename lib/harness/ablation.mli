@@ -1,0 +1,19 @@
+(** Ablation experiments for the design choices DESIGN.md calls out:
+    CXL snoop-overhead sensitivity, messaging notification mode (IPI vs
+    polling), the Stramash origin-fallback path, and the secure
+    data-packing window. These go beyond the paper's figures and probe
+    why the headline results look the way they do. *)
+
+val cxl_sweep : Format.formatter -> unit
+(** IS under Stramash with the CXL snoop costs zeroed / default / tripled. *)
+
+val notify_mode : Format.formatter -> unit
+(** Popcorn-SHM with IPI vs polling notification (paper §6.2). *)
+
+val fallback_stats : Format.formatter -> unit
+(** Remote-walk / shared-mapping / fallback counters per NPB benchmark:
+    how often the fused fast path vs the origin fallback fires. *)
+
+val data_packing : Format.formatter -> unit
+(** Pack the kernel's shared structures and measure the window footprint
+    plus the MPU check behaviour. *)

@@ -1,0 +1,35 @@
+type t = { id : string; title : string; run : Format.formatter -> unit }
+
+let all =
+  [
+    { id = "fig5-6"; title = "IPI latency characterisation"; run = Validation.fig5_6 };
+    { id = "fig7"; title = "icount/cycle-estimate validation"; run = Validation.fig7 };
+    { id = "fig8"; title = "cache plugin vs Ruby reference"; run = Validation.fig8 };
+    { id = "table2"; title = "memory-operation latency configuration"; run = Validation.table2 };
+    { id = "fig9"; title = "NPB cross-ISA migration"; run = Npb_experiments.fig9 };
+    { id = "table3"; title = "messages & replicated pages"; run = Npb_experiments.table3 };
+    { id = "fig10"; title = "cache-size sensitivity (IS vs CG)"; run = Npb_experiments.fig10 };
+    { id = "fig9x"; title = "NPB extension kernels (EP/LU/SP)"; run = Npb_experiments.fig9_extended };
+    { id = "fig9b"; title = "NPB overhead breakdown (INST/mem/MSG)"; run = Npb_experiments.fig9_breakdown };
+    { id = "fig11"; title = "memory-access microbenchmark"; run = Micro_experiments.fig11 };
+    { id = "fig12"; title = "DSM vs HW coherence granularity"; run = Micro_experiments.fig12 };
+    { id = "fig13"; title = "futex microbenchmark"; run = Micro_experiments.fig13 };
+    { id = "table4"; title = "global allocator hotplug overheads"; run = Micro_experiments.table4 };
+    { id = "fig14"; title = "Redis-like network-serving application"; run = Redis_experiment.fig14 };
+    { id = "ablation-cxl"; title = "ablation: CXL snoop-cost sensitivity"; run = Ablation.cxl_sweep };
+    { id = "ablation-notify"; title = "ablation: IPI vs polling notification"; run = Ablation.notify_mode };
+    { id = "ablation-fallback"; title = "ablation: fused fault-path breakdown"; run = Ablation.fallback_stats };
+    { id = "ablation-packing"; title = "ablation: secure data packing"; run = Ablation.data_packing };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+let ids () = List.map (fun e -> e.id) all
+
+let run_all fmt =
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "@.=============== %s: %s ===============@." e.id e.title;
+      let t0 = Sys.time () in
+      e.run fmt;
+      Format.fprintf fmt "[%s completed in %.1fs host time]@." e.id (Sys.time () -. t0))
+    all

@@ -1,0 +1,9 @@
+(** Registry of every table/figure experiment (the DESIGN.md per-experiment
+    index, executable). *)
+
+type t = { id : string; title : string; run : Format.formatter -> unit }
+
+val all : t list
+val find : string -> t option
+val ids : unit -> string list
+val run_all : Format.formatter -> unit

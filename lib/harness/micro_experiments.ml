@@ -1,0 +1,173 @@
+module Node_id = Stramash_sim.Node_id
+module Rng = Stramash_sim.Rng
+module Cycles = Stramash_sim.Cycles
+module Addr = Stramash_mem.Addr
+module Layout = Stramash_mem.Layout
+module Frame_alloc = Stramash_kernel.Frame_alloc
+module Hotplug = Stramash_kernel.Hotplug
+module Machine = Stramash_machine.Machine
+module Runner = Stramash_machine.Runner
+module W = Stramash_workloads
+module Mem = W.Micro_memaccess
+module Gran = W.Micro_granularity
+module Fut = W.Micro_futex
+
+let measured_span result =
+  Runner.phase_span result ~start:Mem.measure_start ~stop:Mem.measure_stop
+
+let run_measured ~os ~hw_model spec =
+  let machine = Machine.create { Machine.default_config with os; hw_model } in
+  let proc, thread = Machine.load machine spec in
+  measured_span (Runner.run machine proc thread spec)
+
+(* ---------- Fig. 11 ---------- *)
+
+let fig11 fmt =
+  let r =
+    Report.create ~title:"Fig. 11: memory access analysis (10MB sequential, scaled)"
+      ~note:"RaO = remote accesses origin's memory, OaR = origin accesses remote's, NC = \
+             warmed; paper: Stramash up to 2.5x (Shared) / 4.5x (Fully Shared) over SHM, but \
+             SHM wins warmed re-reads (no cold remote misses after replication)"
+      ~columns:[ "variant"; "config"; "measured (ms)"; "vs Vanilla" ]
+  in
+  let vanilla =
+    run_measured ~os:Machine.Stramash_kernel_os ~hw_model:Layout.Shared (Mem.spec Mem.Vanilla)
+  in
+  let configs =
+    [
+      ("shm (all models)", Machine.Popcorn_shm, Layout.Shared);
+      ("stramash-separated", Machine.Stramash_kernel_os, Layout.Separated);
+      ("stramash-shared", Machine.Stramash_kernel_os, Layout.Shared);
+      ("stramash-fullyshared", Machine.Stramash_kernel_os, Layout.Fully_shared);
+    ]
+  in
+  Report.add_row r
+    [ "vanilla*"; "(Shared model)"; Report.cell_f (Cycles.to_ms vanilla); Report.cell_x 1.0 ];
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun (label, os, hw_model) ->
+          let span = run_measured ~os ~hw_model (Mem.spec variant) in
+          Report.add_row r
+            [
+              Mem.variant_name variant;
+              label;
+              Report.cell_f (Cycles.to_ms span);
+              Report.cell_x (float_of_int span /. float_of_int vanilla);
+            ])
+        configs)
+    [
+      Mem.Remote_access_origin;
+      Mem.Remote_access_origin_warm;
+      Mem.Origin_access_remote;
+      Mem.Origin_access_remote_warm;
+      Mem.Remote_random;
+    ];
+  Report.print fmt r
+
+(* ---------- Fig. 12 ---------- *)
+
+let fig12_ratios ?pages ~lines () =
+  List.map
+    (fun l ->
+      let spec = Gran.spec ?pages ~lines:l () in
+      let dsm = run_measured ~os:Machine.Popcorn_shm ~hw_model:Layout.Shared spec in
+      let hw = run_measured ~os:Machine.Stramash_kernel_os ~hw_model:Layout.Shared spec in
+      (l, float_of_int dsm /. float_of_int hw))
+    lines
+
+let fig12 fmt =
+  let lines = [ 1; 2; 4; 8; 16; 32; 64 ] in
+  let r =
+    Report.create ~title:"Fig. 12: page access at cacheline granularity (DSM vs HW coherence)"
+      ~note:"paper: >300x DSM overhead at 1 cacheline, ~2x at a full page (64 lines)"
+      ~columns:[ "cachelines"; "bytes"; "DSM (ms)"; "HW coherence (ms)"; "DSM/HW" ]
+  in
+  List.iter
+    (fun l ->
+      let spec = Gran.spec ~lines:l () in
+      let dsm = run_measured ~os:Machine.Popcorn_shm ~hw_model:Layout.Shared spec in
+      let hw = run_measured ~os:Machine.Stramash_kernel_os ~hw_model:Layout.Shared spec in
+      Report.add_row r
+        [
+          string_of_int l;
+          string_of_int (l * 64);
+          Report.cell_f (Cycles.to_ms dsm);
+          Report.cell_f (Cycles.to_ms hw);
+          Report.cell_x (float_of_int dsm /. float_of_int hw);
+        ])
+    lines;
+  Report.print fmt r
+
+(* ---------- Fig. 13 ---------- *)
+
+let futex_configs =
+  [
+    ("popcorn-shm (origin-managed)", Machine.Popcorn_shm);
+    ("stramash regular (no futex opt)", Machine.Stramash_no_futex_opt);
+    ("stramash futex-optimized", Machine.Stramash_kernel_os);
+  ]
+
+let fig13_walls ~loops =
+  List.map
+    (fun (label, os) ->
+      let spec = Fut.spec ~loops in
+      let machine = Machine.create { Machine.default_config with os; hw_model = Layout.Shared } in
+      let proc, locker = Machine.load machine spec in
+      let unlocker = Machine.spawn_thread machine proc ~at_point:Fut.unlocker_entry ~node:Node_id.Arm in
+      let result = Runner.run_threads machine proc [ locker; unlocker ] spec in
+      (label, result.Runner.wall_cycles))
+    futex_configs
+
+let fig13 fmt =
+  let r =
+    Report.create ~title:"Fig. 13: futex lock/unlock ping-pong"
+      ~note:"origin locks, remote unlocks; paper: the optimised path needs one cross-ISA IPI \
+             per wake instead of a full message protocol"
+      ~columns:[ "loops"; "config"; "wall (ms)" ]
+  in
+  List.iter
+    (fun loops ->
+      List.iter
+        (fun (label, wall) ->
+          Report.add_row r [ string_of_int loops; label; Report.cell_f (Cycles.to_ms wall) ])
+        (fig13_walls ~loops))
+    [ 250; 500; 1000; 2000 ];
+  Report.print fmt r
+
+(* ---------- Table 4 ---------- *)
+
+let table4 fmt =
+  let r =
+    Report.create ~title:"Table 4: global allocator offline/online overheads"
+      ~note:"average time to offline/online a memory slice; page isolation dominates"
+      ~columns:[ "pages"; "x86 offline"; "x86 online"; "arm offline"; "arm online" ]
+  in
+  let rng = Rng.create ~seed:0x7AB4L in
+  List.iter
+    (fun exp ->
+      let pages = 1 lsl exp in
+      let measure isa =
+        (* Place the slice in the pool and run the real hotplug path. *)
+        let frames = Frame_alloc.create ~name:"table4" in
+        let region = { Layout.lo = Layout.pool.Layout.lo; hi = Layout.pool.Layout.lo + (pages * Addr.page_size) } in
+        let on = Hotplug.online frames region ~isa ~rng in
+        let off =
+          match Hotplug.offline frames region ~isa ~rng with
+          | Ok res -> res
+          | Error (`Pages_in_use _) -> assert false
+        in
+        (Cycles.to_ms off.Hotplug.cycles, Cycles.to_ms on.Hotplug.cycles)
+      in
+      let x86_off, x86_on = measure Node_id.X86 in
+      let arm_off, arm_on = measure Node_id.Arm in
+      Report.add_row r
+        [
+          Printf.sprintf "2^%d" exp;
+          Printf.sprintf "%.1fms" x86_off;
+          Printf.sprintf "%.1fms" x86_on;
+          Printf.sprintf "%.1fms" arm_off;
+          Printf.sprintf "%.1fms" arm_on;
+        ])
+    [ 15; 16; 17; 18; 19; 20 ];
+  Report.print fmt r

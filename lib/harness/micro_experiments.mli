@@ -1,0 +1,15 @@
+(** Microbenchmark experiments: Fig. 11 (memory-access cost), Fig. 12
+    (DSM vs hardware coherence at cacheline granularity), Fig. 13 (futex),
+    Table 4 (global allocator hotplug overheads). *)
+
+val fig11 : Format.formatter -> unit
+val fig12 : Format.formatter -> unit
+val fig13 : Format.formatter -> unit
+val table4 : Format.formatter -> unit
+
+val fig12_ratios : ?pages:int -> lines:int list -> unit -> (int * float) list
+(** [(lines, dsm/hw cost ratio)]; monotone decreasing per the paper. *)
+
+val fig13_walls :
+  loops:int -> (string * int) list
+(** Wall cycles per configuration for one futex loop count. *)

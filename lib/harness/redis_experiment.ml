@@ -1,0 +1,29 @@
+module Machine = Stramash_machine.Machine
+module Redis = Stramash_workloads.Redis
+
+let speedups ?(requests = 10_000) () =
+  let run os = Redis.run ~os ~requests () in
+  let tcp = run Machine.Popcorn_tcp in
+  let shm = run Machine.Popcorn_shm in
+  let str = run Machine.Stramash_kernel_os in
+  List.map
+    (fun (t : Redis.result) ->
+      let find rs = (List.find (fun (r : Redis.result) -> r.Redis.op = t.Redis.op) rs).Redis.cycles_per_request in
+      ( Redis.op_name t.Redis.op,
+        t.Redis.cycles_per_request /. find shm,
+        t.Redis.cycles_per_request /. find str ))
+    tcp
+
+let fig14 fmt =
+  let r =
+    Report.create ~title:"Fig. 14: Redis-like server speedup over Popcorn-TCP"
+      ~note:"10K requests, 1024B payload; migrated server, socket owned by the origin kernel; \
+             paper: SHM 4-10x, Stramash up to 12x (indicative / functional validation)"
+      ~columns:[ "op"; "POPCORN-SHM"; "STRAMASH"; "" ]
+  in
+  List.iter
+    (fun (op, shm, str) ->
+      Report.add_row r
+        [ op; Report.cell_x shm; Report.cell_x str; Report.bar str ~max:14.0 ~width:28 ])
+    (speedups ());
+  Report.print fmt r

@@ -1,0 +1,8 @@
+(** Fig. 14: Redis-like network-serving application, per-op speedup over
+    the Popcorn-TCP messaging layer (functional validation, as in the
+    paper). *)
+
+val fig14 : Format.formatter -> unit
+
+val speedups : ?requests:int -> unit -> (string * float * float) list
+(** [(op, shm_speedup, stramash_speedup)] over Popcorn-TCP. *)

@@ -1,0 +1,43 @@
+type t = {
+  title : string;
+  note : string;
+  columns : string list;
+  mutable body : string list list; (* reversed *)
+}
+
+let create ~title ~note ~columns = { title; note; columns; body = [] }
+let add_row t row = t.body <- row :: t.body
+let rows t = List.rev t.body
+
+let cell_f v =
+  if Float.abs v >= 1000.0 then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 10.0 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.3f" v
+
+let cell_pct v = Printf.sprintf "%.2f%%" (100.0 *. v)
+let cell_x v = Printf.sprintf "%.2fx" v
+
+let bar v ~max ~width =
+  let filled =
+    if max <= 0.0 then 0
+    else int_of_float (Float.round (float_of_int width *. Float.min 1.0 (v /. max)))
+  in
+  String.concat "" (List.init width (fun i -> if i < filled then "#" else "."))
+
+let print fmt t =
+  let all = t.columns :: rows t in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let pad i s = s ^ String.make (max 0 (widths.(i) - String.length s)) ' ' in
+  let line ch = String.concat "-+-" (Array.to_list (Array.map (fun w -> String.make w ch) widths)) in
+  Format.fprintf fmt "@.### %s@." t.title;
+  if t.note <> "" then Format.fprintf fmt "(%s)@." t.note;
+  Format.fprintf fmt "%s@." (String.concat " | " (List.mapi pad t.columns));
+  Format.fprintf fmt "%s@." (line '-');
+  List.iter
+    (fun row -> Format.fprintf fmt "%s@." (String.concat " | " (List.mapi pad row)))
+    (rows t)

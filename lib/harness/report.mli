@@ -1,0 +1,21 @@
+(** ASCII table/series rendering for the experiment harness: every table
+    and figure of the paper is regenerated as one of these. *)
+
+type t
+
+val create : title:string -> note:string -> columns:string list -> t
+val add_row : t -> string list -> unit
+val rows : t -> string list list
+val print : Format.formatter -> t -> unit
+
+val cell_f : float -> string
+(** Compact float formatting for table cells. *)
+
+val cell_pct : float -> string
+(** [0.1234] renders as ["12.34%"]. *)
+
+val cell_x : float -> string
+(** Speedup factor, e.g. ["2.10x"]. *)
+
+val bar : float -> max:float -> width:int -> string
+(** A unicode bar proportional to value/max, for figure-like output. *)

@@ -1,0 +1,287 @@
+module Node_id = Stramash_sim.Node_id
+module Rng = Stramash_sim.Rng
+module Metrics = Stramash_sim.Metrics
+module Addr = Stramash_mem.Addr
+module Latency = Stramash_mem.Latency
+module Layout = Stramash_mem.Layout
+module Ipi = Stramash_interconnect.Ipi
+module Cache_config = Stramash_cache.Config
+module Cache_sim = Stramash_cache.Cache_sim
+module Ruby_ref = Stramash_cache.Ruby_ref
+module Trace = Stramash_cache.Trace
+module Machine = Stramash_machine.Machine
+module Runner = Stramash_machine.Runner
+module W = Stramash_workloads
+
+(* ---------- Figs. 5 & 6: IPI latency matrices ---------- *)
+
+let ipi_machines = [ Ipi.small_arm; Ipi.big_arm; Ipi.small_x86; Ipi.big_x86 ]
+
+(* The paper shows per-core-pair heatmaps; render one downsampled to at
+   most 16x16 blocks with a 5-shade ramp over the latency range. *)
+let print_heatmap fmt (m : Ipi.machine) mat =
+  let n = Array.length mat in
+  let blocks = min 16 n in
+  let per = n / blocks in
+  let shades = [| ' '; '.'; ':'; 'o'; '#' |] in
+  let lo = ref infinity and hi = ref 0.0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v ->
+          if i <> j then begin
+            if v < !lo then lo := v;
+            if v > !hi then hi := v
+          end)
+        row)
+    mat;
+  Format.fprintf fmt "%s (%dx%d cores, %dx%d blocks; ' '=%.0fns '#'=%.0fns):@." m.Ipi.name n n
+    blocks blocks !lo !hi;
+  for bi = 0 to blocks - 1 do
+    Format.fprintf fmt "  ";
+    for bj = 0 to blocks - 1 do
+      let sum = ref 0.0 and cnt = ref 0 in
+      for i = bi * per to (bi * per) + per - 1 do
+        for j = bj * per to (bj * per) + per - 1 do
+          if i <> j then begin
+            sum := !sum +. mat.(i).(j);
+            incr cnt
+          end
+        done
+      done;
+      let mean = if !cnt = 0 then !lo else !sum /. float_of_int !cnt in
+      let t = (mean -. !lo) /. Float.max 1.0 (!hi -. !lo) in
+      let idx = min 4 (int_of_float (t *. 5.0)) in
+      Format.fprintf fmt "%c%c" shades.(idx) shades.(idx)
+    done;
+    Format.fprintf fmt "@."
+  done
+
+let fig5_6 fmt =
+  let r =
+    Report.create ~title:"Figs. 5-6: IPI latency per machine (ns)"
+      ~note:"per-core-pair measurement harness over the topology model; big-pair mean calibrates \
+             the 2us cross-ISA IPI"
+      ~columns:[ "machine"; "cores"; "mean"; "min"; "max"; "p95" ]
+  in
+  List.iter
+    (fun m ->
+      let rng = Rng.create ~seed:0x1B1L in
+      let mat = Ipi.matrix rng m in
+      let values = ref [] in
+      Array.iteri
+        (fun i row -> Array.iteri (fun j v -> if i <> j then values := v :: !values) row)
+        mat;
+      let values = Array.of_list !values in
+      Array.sort compare values;
+      let n = Array.length values in
+      let mean = Ipi.matrix_mean_ns mat in
+      Report.add_row r
+        [
+          m.Ipi.name;
+          string_of_int m.Ipi.cores;
+          Report.cell_f mean;
+          Report.cell_f values.(0);
+          Report.cell_f values.(n - 1);
+          Report.cell_f values.(n * 95 / 100);
+        ])
+    ipi_machines;
+  Report.print fmt r;
+  Format.fprintf fmt "@.";
+  List.iter
+    (fun m ->
+      let rng = Rng.create ~seed:0x1B1L in
+      print_heatmap fmt m (Ipi.matrix rng m))
+    [ Ipi.big_arm; Ipi.big_x86 ];
+  Format.fprintf fmt "simulated cross-ISA IPI cost: %d cycles (%.2f us)@." Ipi.cross_isa_ipi_cycles
+    (Stramash_sim.Cycles.to_us Ipi.cross_isa_ipi_cycles)
+
+(* ---------- Fig. 7: cycle-estimate validation ---------- *)
+
+(* Reduced workload classes so the validation sweep stays fast. *)
+let small_specs () =
+  [
+    ("is", W.Npb_is.spec ~params:{ W.Npb_is.nkeys = 16384; max_key = 1024; iterations = 2 } ());
+    ("cg", W.Npb_cg.spec ~params:{ W.Npb_cg.n = 4096; row_nnz = 8; iterations = 2 } ());
+    ("mg", W.Npb_mg.spec ~params:{ W.Npb_mg.n = 16; iterations = 2 } ());
+    ("ft", W.Npb_ft.spec ~params:{ W.Npb_ft.n = 8; iterations = 2 } ());
+  ]
+
+(* "Native" reference machines: the published per-pair latency tables
+   (Table 2 — the small pair's Cortex-A72 has no L3) plus a per-machine
+   base-CPI calibration factor standing in for the micro-architectural
+   behaviour (superscalar issue, prefetching) our fixed-CPI simulator does
+   not model. The estimate always uses the canonical Stramash-QEMU
+   configuration with CPI 1; the relative error between the two is the
+   Fig. 7 metric. *)
+let machine_pair_config ~pair hw_model =
+  let base = Cache_config.default hw_model in
+  match pair with
+  | `Big ->
+      {
+        base with
+        Cache_config.x86_lat = Latency.of_core Latency.Xeon_gold;
+        arm_lat = Latency.of_core Latency.Thunderx2;
+      }
+  | `Small ->
+      {
+        base with
+        Cache_config.x86_lat = Latency.of_core Latency.E5_2620;
+        arm_lat = Latency.of_core Latency.Cortex_a72;
+      }
+
+(* Effective (base CPI, memory-stall) factors of each reference machine
+   relative to the simulator's fixed CPI 1 and unprefetched memory model
+   (calibration constants, DESIGN.md substitution table): real cores issue
+   more than one op per cycle but also hide fewer stalls than the in-order
+   model assumes, in different proportions per machine. *)
+let machine_factors ~pair node =
+  match (pair, node) with
+  | `Big, Node_id.X86 -> (0.97, 0.97)
+  | `Big, Node_id.Arm -> (1.04, 1.03)
+  | `Small, Node_id.X86 -> (0.95, 1.03)
+  | `Small, Node_id.Arm -> (1.07, 1.04)
+
+let run_nodes ~cache_config spec =
+  let machine =
+    Machine.create { Machine.default_config with os = Machine.Popcorn_shm; cache_config }
+  in
+  let proc, thread = Machine.load machine spec in
+  let result = Runner.run machine proc thread spec in
+  (result.Runner.node_cycles, result.Runner.node_icounts)
+
+let fig7_errors () =
+  List.concat_map
+    (fun (name, spec) ->
+      let est, _ = run_nodes ~cache_config:None spec in
+      List.concat_map
+        (fun (pair, suffix) ->
+          let raw, icounts =
+            run_nodes ~cache_config:(Some (machine_pair_config ~pair Layout.Shared)) spec
+          in
+          List.map
+            (fun node ->
+              let i = Node_id.index node in
+              (* native cycles = CPI * instructions + stall-factor * memory stalls *)
+              let cpi, stall_f = machine_factors ~pair node in
+              let stalls = raw.(i) - icounts.(i) in
+              let truth = (cpi *. float_of_int icounts.(i)) +. (stall_f *. float_of_int stalls) in
+              let err = Float.abs (float_of_int est.(i) -. truth) /. Float.max truth 1.0 in
+              (Printf.sprintf "%s_%s_%s" name (Node_id.to_string node) suffix, err))
+            Node_id.all)
+        [ (`Small, "s"); (`Big, "b") ])
+    (small_specs ())
+
+let fig7 fmt =
+  let r =
+    Report.create ~title:"Fig. 7: icount-based cycle estimate vs reference-machine model"
+      ~note:"relative error of the canonical simulator configuration against per-machine-pair \
+             latency/geometry models; paper: always <13%, ~4% average"
+      ~columns:[ "measurement"; "rel. error"; "" ]
+  in
+  let errors = fig7_errors () in
+  List.iter
+    (fun (label, err) ->
+      Report.add_row r [ label; Report.cell_pct err; Report.bar err ~max:0.13 ~width:26 ])
+    errors;
+  let avg = List.fold_left (fun a (_, e) -> a +. e) 0.0 errors /. float_of_int (List.length errors) in
+  let worst = List.fold_left (fun a (_, e) -> Float.max a e) 0.0 errors in
+  Report.print fmt r;
+  Format.fprintf fmt "average error: %s   worst: %s@." (Report.cell_pct avg) (Report.cell_pct worst)
+
+(* ---------- Fig. 8: cache plugin vs Ruby-style reference ---------- *)
+
+let fig8_levels = [ "l1i"; "l1d"; "l2"; "l3" ]
+
+let fig8_run () =
+  List.map
+    (fun (name, spec) ->
+      let machine = Machine.create { Machine.default_config with os = Machine.Stramash_kernel_os } in
+      let cache = Machine.cache machine in
+      let trace = Trace.create () in
+      Trace.attach trace cache;
+      let proc, thread = Machine.load machine spec in
+      ignore (Runner.run machine proc thread spec);
+      Cache_sim.set_probe cache None;
+      let ruby = Ruby_ref.create (Cache_sim.config cache) in
+      Trace.replay_into_ruby trace ruby;
+      (name, cache, ruby, Trace.length trace))
+    (small_specs ())
+
+(* Hit-rate comparisons are only meaningful for levels that see real
+   traffic; a level behind a 99%+ upstream hit rate has a handful of
+   accesses and its rate is noise (the paper's full-size runs give every
+   level millions of accesses). *)
+let fig8_min_accesses = 2000
+
+let fig8_gaps () =
+  List.concat_map
+    (fun (name, cache, ruby, _len) ->
+      List.concat_map
+        (fun node ->
+          List.filter_map
+            (fun level ->
+              if Cache_sim.stat cache node (level ^ "_accesses") < fig8_min_accesses then None
+              else
+                let a = Cache_sim.hit_rate cache node level in
+                let b = Ruby_ref.hit_rate ruby node level in
+                Some
+                  (Printf.sprintf "%s_%s_%s" name (Node_id.to_string node) level, Float.abs (a -. b)))
+            fig8_levels)
+        Node_id.all)
+    (fig8_run ())
+
+let fig8 fmt =
+  let r =
+    Report.create ~title:"Fig. 8: cache-plugin vs gem5-Ruby-style reference (hit rates)"
+      ~note:"same traces through both models; paper: discrepancies < 5% at every level"
+      ~columns:[ "benchmark"; "node"; "level"; "accesses"; "plugin"; "ruby"; "|gap|" ]
+  in
+  List.iter
+    (fun (name, cache, ruby, _len) ->
+      List.iter
+        (fun node ->
+          List.iter
+            (fun level ->
+              let accesses = Cache_sim.stat cache node (level ^ "_accesses") in
+              let a = Cache_sim.hit_rate cache node level in
+              let b = Ruby_ref.hit_rate ruby node level in
+              let low_traffic = accesses < fig8_min_accesses in
+              Report.add_row r
+                [
+                  name;
+                  Node_id.to_string node;
+                  level;
+                  string_of_int accesses;
+                  Report.cell_pct a;
+                  Report.cell_pct b;
+                  (if low_traffic then Report.cell_pct (Float.abs (a -. b)) ^ " (low traffic)"
+                   else Report.cell_pct (Float.abs (a -. b)));
+                ])
+            fig8_levels)
+        Node_id.all)
+    (fig8_run ());
+  Report.print fmt r
+
+(* ---------- Table 2 ---------- *)
+
+let table2 fmt =
+  let r =
+    Report.create ~title:"Table 2: memory-operation latencies (cycles)"
+      ~note:"CXL latency for remote memory; '*' = no L3 on the reference core"
+      ~columns:[ "core"; "L1"; "L2"; "L3"; "mem"; "remote-mem" ]
+  in
+  List.iter
+    (fun core ->
+      let l = Latency.of_core core in
+      Report.add_row r
+        [
+          Latency.core_name core;
+          string_of_int l.Latency.l1;
+          string_of_int l.Latency.l2;
+          (match l.Latency.l3 with Some v -> string_of_int v | None -> "*");
+          string_of_int l.Latency.mem;
+          string_of_int l.Latency.remote_mem;
+        ])
+    Latency.all_cores;
+  Report.print fmt r

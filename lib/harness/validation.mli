@@ -1,0 +1,15 @@
+(** Simulator-validation experiments (paper §9.1): IPI latency
+    characterisation (Figs. 5-6), icount/cycle-estimate validation
+    (Fig. 7), cache-model cross-validation against the independent
+    Ruby-style reference (Fig. 8), and the Table-2 latency configuration. *)
+
+val fig5_6 : Format.formatter -> unit
+val fig7 : Format.formatter -> unit
+val fig8 : Format.formatter -> unit
+val table2 : Format.formatter -> unit
+
+val fig7_errors : unit -> (string * float) list
+(** [(label, relative error)] pairs, for the test suite's <13% check. *)
+
+val fig8_gaps : unit -> (string * float) list
+(** [(level label, |hit-rate gap|)] pairs, for the <5% check. *)

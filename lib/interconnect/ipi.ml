@@ -1,0 +1,113 @@
+module Rng = Stramash_sim.Rng
+module Cycles = Stramash_sim.Cycles
+
+type machine = {
+  name : string;
+  cores : int;
+  smt : int;
+  cores_per_cluster : int;
+  sockets : int;
+  base_ns : float;
+  smt_discount_ns : float;
+  cluster_penalty_ns : float;
+  socket_penalty_ns : float;
+  jitter_ns : float;
+}
+
+(* Calibrated so the big pair averages ~2us, matching the paper's use of
+   that figure as the simulated cross-ISA IPI cost. *)
+let small_arm =
+  {
+    name = "small_arm";
+    cores = 8;
+    smt = 1;
+    cores_per_cluster = 4;
+    sockets = 1;
+    base_ns = 1350.0;
+    smt_discount_ns = 0.0;
+    cluster_penalty_ns = 260.0;
+    socket_penalty_ns = 0.0;
+    jitter_ns = 90.0;
+  }
+
+let big_arm =
+  {
+    name = "big_arm";
+    cores = 64;
+    smt = 4;
+    cores_per_cluster = 16;
+    sockets = 2;
+    base_ns = 1500.0;
+    smt_discount_ns = 450.0;
+    cluster_penalty_ns = 180.0;
+    socket_penalty_ns = 700.0;
+    jitter_ns = 120.0;
+  }
+
+let small_x86 =
+  {
+    name = "small_x86";
+    cores = 16;
+    smt = 2;
+    cores_per_cluster = 8;
+    sockets = 1;
+    base_ns = 1400.0;
+    smt_discount_ns = 400.0;
+    cluster_penalty_ns = 150.0;
+    socket_penalty_ns = 0.0;
+    jitter_ns = 110.0;
+  }
+
+let big_x86 =
+  {
+    name = "big_x86";
+    cores = 104;
+    smt = 2;
+    cores_per_cluster = 26;
+    sockets = 2;
+    base_ns = 1550.0;
+    smt_discount_ns = 420.0;
+    cluster_penalty_ns = 160.0;
+    socket_penalty_ns = 650.0;
+    jitter_ns = 130.0;
+  }
+
+let physical_core m cpu = cpu / m.smt
+let cluster m cpu = physical_core m cpu / (m.cores_per_cluster / m.smt)
+let socket m cpu =
+  let clusters_total = m.cores / m.cores_per_cluster in
+  let clusters_per_socket = max 1 (clusters_total / m.sockets) in
+  cluster m cpu / clusters_per_socket
+
+let pair_latency_ns rng m ~src ~dst =
+  if src = dst then 0.0
+  else begin
+    let lat = ref m.base_ns in
+    if physical_core m src = physical_core m dst then lat := !lat -. m.smt_discount_ns
+    else begin
+      if cluster m src <> cluster m dst then lat := !lat +. m.cluster_penalty_ns;
+      if socket m src <> socket m dst then lat := !lat +. m.socket_penalty_ns
+    end;
+    let noisy = Rng.gaussian rng ~mean:!lat ~sigma:m.jitter_ns in
+    Float.max 200.0 noisy
+  end
+
+let matrix rng m =
+  Array.init m.cores (fun src ->
+      Array.init m.cores (fun dst -> pair_latency_ns rng m ~src ~dst))
+
+let matrix_mean_ns mat =
+  let sum = ref 0.0 and n = ref 0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v ->
+          if i <> j then begin
+            sum := !sum +. v;
+            incr n
+          end)
+        row)
+    mat;
+  if !n = 0 then 0.0 else !sum /. float_of_int !n
+
+let cross_isa_ipi_cycles = Cycles.of_us 2.0

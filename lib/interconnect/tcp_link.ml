@@ -1,0 +1,13 @@
+module Cycles = Stramash_sim.Cycles
+
+type t = { rtt_us : float; per_kib_ns : float }
+
+let create ?(rtt_us = 75.0) ?(per_kib_ns = 3.0) () = { rtt_us; per_kib_ns }
+
+let one_way_cycles t ~payload_bytes =
+  let ns = (t.rtt_us *. 500.0) +. (t.per_kib_ns *. (float_of_int payload_bytes /. 1024.0)) in
+  Cycles.of_ns ns
+
+let round_trip_cycles t ~payload_bytes = 2 * one_way_cycles t ~payload_bytes
+
+let rtt_us t = t.rtt_us

@@ -1,0 +1,16 @@
+(** TCP/IP messaging-layer cost model (paper §8.2).
+
+    Popcorn's network transport is modelled as a latency-per-message link:
+    the paper adds ~75 us per 64 KB message round trip (software-to-software
+    over the SmartNIC path), independent of the hardware memory model. We
+    expose one-way and round-trip costs with a small per-byte serialisation
+    term so unusually large payloads are not free. *)
+
+type t
+
+val create : ?rtt_us:float -> ?per_kib_ns:float -> unit -> t
+(** Defaults: 75 us round trip, 3 ns per KiB of payload. *)
+
+val one_way_cycles : t -> payload_bytes:int -> int
+val round_trip_cycles : t -> payload_bytes:int -> int
+val rtt_us : t -> float

@@ -1,0 +1,342 @@
+module Node_id = Stramash_sim.Node_id
+
+let code_base = 0x400000
+
+(* Growable op buffer with label back-patching. *)
+type buf = {
+  mutable ops : Machine.mop array;
+  mutable len : int;
+  label_pos : int array; (* label -> op index, -1 until placed *)
+  mutable patches : (int * Mir.label) list; (* op index to patch, label *)
+  mutable migrate_pcs : (int * int) list;
+}
+
+let buf_create nlabels =
+  {
+    ops = Array.make 256 Machine.MHalt;
+    len = 0;
+    label_pos = Array.make (max nlabels 1) (-1);
+    patches = [];
+    migrate_pcs = [];
+  }
+
+let push b op =
+  if b.len = Array.length b.ops then begin
+    let bigger = Array.make (2 * b.len) Machine.MHalt in
+    Array.blit b.ops 0 bigger 0 b.len;
+    b.ops <- bigger
+  end;
+  b.ops.(b.len) <- op;
+  b.len <- b.len + 1
+
+let emit_jump b l =
+  b.patches <- (b.len, l) :: b.patches;
+  push b (Machine.MJmp (-1))
+
+let emit_branch b c r1 r2 l =
+  b.patches <- (b.len, l) :: b.patches;
+  push b (Machine.MBr (c, r1, r2, -1))
+
+let resolve b =
+  List.iter
+    (fun (idx, l) ->
+      let target = b.label_pos.(l) in
+      assert (target >= 0);
+      match b.ops.(idx) with
+      | Machine.MJmp _ -> b.ops.(idx) <- Machine.MJmp target
+      | Machine.MBr (c, a, r, _) -> b.ops.(idx) <- Machine.MBr (c, a, r, target)
+      | _ -> assert false)
+    b.patches
+
+(* armish immediates: how many movz/movk steps a 64-bit value needs. *)
+let arm_imm_chunks v =
+  if v = 0L then 1
+  else begin
+    let n = ref 0 in
+    for i = 0 to 3 do
+      if Int64.logand (Int64.shift_right_logical v (16 * i)) 0xFFFFL <> 0L then incr n
+    done;
+    max !n 1
+  end
+
+(* Emit an armish immediate load: one movz plus movk's, materialised as
+   partial values so intermediate architectural state is honest. *)
+let arm_load_imm b r v =
+  let chunks = arm_imm_chunks v in
+  if chunks = 1 then push b (Machine.MImm (r, v))
+  else begin
+    let acc = ref 0L in
+    let emitted = ref 0 in
+    for i = 0 to 3 do
+      let chunk = Int64.logand (Int64.shift_right_logical v (16 * i)) 0xFFFFL in
+      if chunk <> 0L then begin
+        acc := Int64.logor !acc (Int64.shift_left chunk (16 * i));
+        incr emitted;
+        push b (Machine.MImm (r, !acc))
+      end
+    done;
+    assert (!emitted = chunks)
+  end
+
+let fits_arm_alu_imm v = v >= 0L && v < 4096L
+let fits_arm_disp d = d > -4096 && d < 4096
+
+(* ---------- armish lowering ---------- *)
+
+let lower_armish (p : Mir.program) =
+  let b = buf_create p.Mir.nlabels in
+  (* Two scratch registers for address/immediate materialisation. *)
+  let scratch0 = p.Mir.nregs in
+  let scratch1 = p.Mir.nregs + 1 in
+  let nregs = p.Mir.nregs + 2 in
+  let mem_operand (a : Mir.addr) width =
+    let wbytes = Mir.bytes_of_width width in
+    match a.Mir.index with
+    | None when fits_arm_disp a.Mir.disp ->
+        { Machine.mbase = a.Mir.base; mindex = None; mscale = 1; mdisp = a.Mir.disp }
+    | None ->
+        (* Displacement out of range: materialise it and add. *)
+        arm_load_imm b scratch0 (Int64.of_int a.Mir.disp);
+        push b (Machine.MAlu3 (Mir.Add, scratch0, a.Mir.base, scratch0));
+        { Machine.mbase = scratch0; mindex = None; mscale = 1; mdisp = 0 }
+    | Some i when a.Mir.disp = 0 && (a.Mir.scale = 1 || a.Mir.scale = wbytes) ->
+        (* Register-offset addressing (optionally scaled by the width). *)
+        { Machine.mbase = a.Mir.base; mindex = Some i; mscale = a.Mir.scale; mdisp = 0 }
+    | Some i ->
+        (* General case: scratch0 = base + index * scale, then base+disp. *)
+        let scale_pow2 = a.Mir.scale land (a.Mir.scale - 1) = 0 in
+        (if scale_pow2 then begin
+           if a.Mir.scale = 1 then push b (Machine.MAlu3 (Mir.Add, scratch0, a.Mir.base, i))
+           else begin
+             let log2 = int_of_float (Float.round (Float.log2 (float_of_int a.Mir.scale))) in
+             push b (Machine.MAlu3I (Mir.Shl, scratch0, i, Int64.of_int log2));
+             push b (Machine.MAlu3 (Mir.Add, scratch0, a.Mir.base, scratch0))
+           end
+         end
+         else begin
+           arm_load_imm b scratch1 (Int64.of_int a.Mir.scale);
+           push b (Machine.MAlu3 (Mir.Mul, scratch0, i, scratch1));
+           push b (Machine.MAlu3 (Mir.Add, scratch0, a.Mir.base, scratch0))
+         end);
+        if fits_arm_disp a.Mir.disp then
+          { Machine.mbase = scratch0; mindex = None; mscale = 1; mdisp = a.Mir.disp }
+        else begin
+          arm_load_imm b scratch1 (Int64.of_int a.Mir.disp);
+          push b (Machine.MAlu3 (Mir.Add, scratch0, scratch0, scratch1));
+          { Machine.mbase = scratch0; mindex = None; mscale = 1; mdisp = 0 }
+        end
+  in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Mir.Const (r, v) -> arm_load_imm b r v
+      | Mir.Fconst (r, v) -> arm_load_imm b r (Int64.bits_of_float v)
+      | Mir.Mov (d, s) -> push b (Machine.MMovR (d, s))
+      | Mir.Bin (op, d, a, b') -> push b (Machine.MAlu3 (op, d, a, b'))
+      | Mir.Bini (op, d, a, v) ->
+          if fits_arm_alu_imm v then push b (Machine.MAlu3I (op, d, a, v))
+          else begin
+            arm_load_imm b scratch0 v;
+            push b (Machine.MAlu3 (op, d, a, scratch0))
+          end
+      | Mir.Fbin (op, d, a, b') -> push b (Machine.MFAlu3 (op, d, a, b'))
+      | Mir.F_of_int (d, s) -> push b (Machine.MCvtIF (d, s))
+      | Mir.Int_of_f (d, s) -> push b (Machine.MCvtFI (d, s))
+      | Mir.Load (w, d, a) ->
+          let m = mem_operand a w in
+          push b (Machine.MLoad (w, d, m))
+      | Mir.Store (w, s, a) ->
+          let m = mem_operand a w in
+          push b (Machine.MStore (w, s, m))
+      | Mir.Jump l -> emit_jump b l
+      | Mir.Branch (c, r1, r2, l) -> emit_branch b c r1 r2 l
+      | Mir.Label l -> b.label_pos.(l) <- b.len
+      | Mir.Syscall s -> push b (Machine.MSyscall s)
+      | Mir.Migrate_point id ->
+          b.migrate_pcs <- (id, b.len) :: b.migrate_pcs;
+          push b (Machine.MMigrate id)
+      | Mir.Halt -> push b Machine.MHalt)
+    p.Mir.code;
+  (b, nregs)
+
+(* ---------- x86ish lowering ---------- *)
+
+(* Load-op fusion: a W64 [Load (t, m)] immediately followed by the only
+   read of [t] as the second source of an ALU op folds into a
+   memory-operand instruction, as an x86 instruction selector would do.
+   [read_sites] finds registers read at exactly one instruction. *)
+let single_read_site (p : Mir.program) =
+  let nregs = p.Mir.nregs in
+  let site = Array.make nregs (-1) in
+  let multi = Array.make nregs false in
+  let note i r = if site.(r) = -1 then site.(r) <- i else if site.(r) <> i then multi.(r) <- true in
+  let note_addr i (a : Mir.addr) =
+    note i a.Mir.base;
+    match a.Mir.index with Some r -> note i r | None -> ()
+  in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Mir.Const _ | Mir.Fconst _ | Mir.Label _ | Mir.Jump _ | Mir.Migrate_point _ | Mir.Halt -> ()
+      | Mir.Mov (_, s) | Mir.F_of_int (_, s) | Mir.Int_of_f (_, s) -> note i s
+      | Mir.Bin (_, _, a, b) | Mir.Fbin (_, _, a, b) ->
+          note i a;
+          note i b
+      | Mir.Bini (_, _, a, _) -> note i a
+      | Mir.Load (_, _, addr) -> note_addr i addr
+      | Mir.Store (_, s, addr) ->
+          note i s;
+          note_addr i addr
+      | Mir.Branch (_, a, b, _) ->
+          note i a;
+          note i b
+      | Mir.Syscall (Mir.Futex_wait { uaddr; expected }) ->
+          note i uaddr;
+          note i expected
+      | Mir.Syscall (Mir.Futex_wake { uaddr; _ }) -> note i uaddr)
+    p.Mir.code;
+  fun r i -> (not multi.(r)) && site.(r) = i
+
+let lower_x86ish (p : Mir.program) =
+  let b = buf_create p.Mir.nlabels in
+  let scratch0 = p.Mir.nregs in
+  let nregs = p.Mir.nregs + 1 in
+  let only_read_at = single_read_site p in
+  let mem_operand (a : Mir.addr) =
+    match a.Mir.index with
+    | Some _ when not (List.mem a.Mir.scale [ 1; 2; 4; 8 ]) ->
+        (* x86 SIB scales are 1/2/4/8 only; precompute the index. *)
+        let i = Option.get a.Mir.index in
+        push b (Machine.MMovR (scratch0, i));
+        push b (Machine.MAluI (Mir.Mul, scratch0, Int64.of_int a.Mir.scale));
+        { Machine.mbase = a.Mir.base; mindex = Some scratch0; mscale = 1; mdisp = a.Mir.disp }
+    | _ ->
+        { Machine.mbase = a.Mir.base; mindex = a.Mir.index; mscale = a.Mir.scale; mdisp = a.Mir.disp }
+  in
+  let two_address d a src_emit =
+    (* d <- a op b on a two-address machine. *)
+    if d = a then src_emit d
+    else begin
+      push b (Machine.MMovR (d, a));
+      src_emit d
+    end
+  in
+  let lower_one instr =
+    match instr with
+    | Mir.Const (r, v) -> push b (Machine.MImm (r, v))
+    | Mir.Fconst (r, v) -> push b (Machine.MImm (r, Int64.bits_of_float v))
+    | Mir.Mov (d, s) -> push b (Machine.MMovR (d, s))
+    | Mir.Bin (op, d, a, b') ->
+        if d = a then push b (Machine.MAlu2 (op, d, b'))
+        else if d = b' && Mir.binop_commutative op then push b (Machine.MAlu2 (op, d, a))
+        else if d = b' then begin
+          (* d aliases the second source of a non-commutative op: save it. *)
+          push b (Machine.MMovR (scratch0, b'));
+          push b (Machine.MMovR (d, a));
+          push b (Machine.MAlu2 (op, d, scratch0))
+        end
+        else two_address d a (fun d -> push b (Machine.MAlu2 (op, d, b')))
+    | Mir.Bini (op, d, a, v) ->
+        if d = a then push b (Machine.MAluI (op, d, v))
+        else begin
+          push b (Machine.MMovR (d, a));
+          push b (Machine.MAluI (op, d, v))
+        end
+    | Mir.Fbin (op, d, a, b') ->
+        if d = a then push b (Machine.MFAlu2 (op, d, b'))
+        else if d = b' && (op = Mir.Fadd || op = Mir.Fmul) then push b (Machine.MFAlu2 (op, d, a))
+        else if d = b' then begin
+          push b (Machine.MMovR (scratch0, b'));
+          push b (Machine.MMovR (d, a));
+          push b (Machine.MFAlu2 (op, d, scratch0))
+        end
+        else begin
+          push b (Machine.MMovR (d, a));
+          push b (Machine.MFAlu2 (op, d, b'))
+        end
+    | Mir.F_of_int (d, s) -> push b (Machine.MCvtIF (d, s))
+    | Mir.Int_of_f (d, s) -> push b (Machine.MCvtFI (d, s))
+    | Mir.Load (w, d, a) ->
+        let m = mem_operand a in
+        push b (Machine.MLoad (w, d, m))
+    | Mir.Store (w, s, a) ->
+        let m = mem_operand a in
+        push b (Machine.MStore (w, s, m))
+    | Mir.Jump l -> emit_jump b l
+    | Mir.Branch (c, r1, r2, l) -> emit_branch b c r1 r2 l
+    | Mir.Label l -> b.label_pos.(l) <- b.len
+    | Mir.Syscall s -> push b (Machine.MSyscall s)
+    | Mir.Migrate_point id ->
+        b.migrate_pcs <- (id, b.len) :: b.migrate_pcs;
+        push b (Machine.MMigrate id)
+    | Mir.Halt -> push b Machine.MHalt
+  in
+  (* Fusion guard: the moved [mov d, a] must not clobber the address
+     registers of the fused memory operand. *)
+  let safe_dest ~d ~a (addr : Mir.addr) =
+    d = a || (d <> addr.Mir.base && Some d <> addr.Mir.index)
+  in
+  let code = p.Mir.code in
+  let n = Array.length code in
+  let i = ref 0 in
+  while !i < n do
+    let fused =
+      match code.(!i) with
+      | Mir.Load (Mir.W64, t, addr) when !i + 1 < n -> (
+          match code.(!i + 1) with
+          | Mir.Bin (op, d, a, b') when b' = t && a <> t && d <> t && only_read_at t (!i + 1)
+                                        && safe_dest ~d ~a addr ->
+              two_address d a (fun d -> push b (Machine.MAluMem (op, d, mem_operand addr)));
+              true
+          | Mir.Bin (op, d, a, b')
+            when a = t && b' <> t && d <> t && Mir.binop_commutative op
+                 && only_read_at t (!i + 1)
+                 && safe_dest ~d ~a:b' addr ->
+              two_address d b' (fun d -> push b (Machine.MAluMem (op, d, mem_operand addr)));
+              true
+          | Mir.Fbin (op, d, a, b') when b' = t && a <> t && d <> t && only_read_at t (!i + 1)
+                                         && safe_dest ~d ~a addr ->
+              two_address d a (fun d -> push b (Machine.MFAluMem (op, d, mem_operand addr)));
+              true
+          | Mir.Fbin (op, d, a, b')
+            when a = t && b' <> t && d <> t
+                 && (op = Mir.Fadd || op = Mir.Fmul)
+                 && only_read_at t (!i + 1)
+                 && safe_dest ~d ~a:b' addr ->
+              two_address d b' (fun d -> push b (Machine.MFAluMem (op, d, mem_operand addr)));
+              true
+          | _ -> false)
+      | _ -> false
+    in
+    if fused then i := !i + 2
+    else begin
+      lower_one code.(!i);
+      incr i
+    end
+  done;
+  (b, nregs)
+
+let lower ~isa (p : Mir.program) =
+  (match Mir.validate p with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Codegen.lower: " ^ msg));
+  let b, nregs =
+    match isa with Node_id.Arm -> lower_armish p | Node_id.X86 -> lower_x86ish p
+  in
+  resolve b;
+  let ops = Array.sub b.ops 0 b.len in
+  let code_off = Array.make b.len 0 in
+  let off = ref 0 in
+  Array.iteri
+    (fun i op ->
+      code_off.(i) <- !off;
+      off := !off + Machine.op_bytes isa op)
+    ops;
+  {
+    Machine.isa;
+    ops;
+    code_off;
+    code_bytes = !off;
+    migrate_pcs = List.rev b.migrate_pcs;
+    nregs;
+  }

@@ -1,0 +1,22 @@
+(** Lowering Mir to the two toy ISAs.
+
+    [x86ish] is CISC-flavoured: two-address ALU ops (a three-address Mir op
+    whose destination differs from both sources costs an extra [mov]), any
+    64-bit immediate in one instruction, and full base+index*scale+disp
+    addressing.
+
+    [armish] is RISC-flavoured: three-address ALU ops, immediates built
+    from 16-bit chunks (movz/movk style), ALU immediates limited to 12
+    bits, and addressing limited to base+disp (|disp| < 4096) or
+    base+index (scale 1 or the access width); anything richer is computed
+    into scratch registers with extra instructions.
+
+    These asymmetries make the two instruction streams differ in count and
+    mix for the same Mir program, which is what the paper's per-ISA icount
+    behaviour (Fig. 7) relies on. *)
+
+val lower : isa:Stramash_sim.Node_id.t -> Mir.program -> Machine.program
+(** Raises [Invalid_argument] if the program fails {!Mir.validate}. *)
+
+val code_base : int
+(** Virtual address of the text segment in every process image. *)

@@ -1,0 +1,125 @@
+type memio = {
+  load : int -> int -> int64;
+  store : int -> int -> int64 -> unit;
+  fetch : int -> unit;
+}
+
+type t = {
+  prog : Machine.program;
+  register_file : int64 array;
+  mutable pc : int;
+  mutable icount : int;
+  mutable halted : bool;
+}
+
+type outcome = Out_of_fuel | Halted | Migrate of int | Syscall of Mir.syscall
+
+exception Trap of string
+
+let create prog =
+  {
+    prog;
+    register_file = Array.make prog.Machine.nregs 0L;
+    pc = 0;
+    icount = 0;
+    halted = false;
+  }
+
+let program t = t.prog
+let pc t = t.pc
+let set_pc t pc = t.pc <- pc
+let icount t = t.icount
+let reg t r = t.register_file.(r)
+let set_reg t r v = t.register_file.(r) <- v
+let regs t = t.register_file
+let halted t = t.halted
+
+let eval_binop op a b =
+  match op with
+  | Mir.Add -> Int64.add a b
+  | Mir.Sub -> Int64.sub a b
+  | Mir.Mul -> Int64.mul a b
+  | Mir.Div -> if b = 0L then raise (Trap "division by zero") else Int64.div a b
+  | Mir.Rem -> if b = 0L then raise (Trap "remainder by zero") else Int64.rem a b
+  | Mir.And -> Int64.logand a b
+  | Mir.Or -> Int64.logor a b
+  | Mir.Xor -> Int64.logxor a b
+  | Mir.Shl -> Int64.shift_left a (Int64.to_int b land 63)
+  | Mir.Shr -> Int64.shift_right_logical a (Int64.to_int b land 63)
+
+let eval_fbinop op a b =
+  let x = Int64.float_of_bits a and y = Int64.float_of_bits b in
+  let r =
+    match op with
+    | Mir.Fadd -> x +. y
+    | Mir.Fsub -> x -. y
+    | Mir.Fmul -> x *. y
+    | Mir.Fdiv -> x /. y
+  in
+  Int64.bits_of_float r
+
+let effective_address regs (m : Machine.mem) =
+  let base = Int64.to_int regs.(m.Machine.mbase) in
+  let idx =
+    match m.Machine.mindex with
+    | None -> 0
+    | Some i -> Int64.to_int regs.(i) * m.Machine.mscale
+  in
+  base + idx + m.Machine.mdisp
+
+let run t memio ~fuel =
+  if t.halted then Halted
+  else begin
+    let ops = t.prog.Machine.ops in
+    let code_off = t.prog.Machine.code_off in
+    let regs = t.register_file in
+    let nops = Array.length ops in
+    let remaining = ref fuel in
+    let result = ref Out_of_fuel in
+    let running = ref true in
+    while !running && !remaining > 0 do
+      if t.pc < 0 || t.pc >= nops then raise (Trap "pc out of text segment");
+      let pc = t.pc in
+      memio.fetch (Codegen.code_base + code_off.(pc));
+      t.icount <- t.icount + 1;
+      decr remaining;
+      t.pc <- pc + 1;
+      (match ops.(pc) with
+      | Machine.MImm (r, v) -> regs.(r) <- v
+      | Machine.MMovR (d, s) -> regs.(d) <- regs.(s)
+      | Machine.MAlu3 (op, d, a, b) -> regs.(d) <- eval_binop op regs.(a) regs.(b)
+      | Machine.MAlu2 (op, d, s) -> regs.(d) <- eval_binop op regs.(d) regs.(s)
+      | Machine.MAluI (op, d, v) -> regs.(d) <- eval_binop op regs.(d) v
+      | Machine.MAlu3I (op, d, a, v) -> regs.(d) <- eval_binop op regs.(a) v
+      | Machine.MLoad (w, d, m) ->
+          let va = effective_address regs m in
+          regs.(d) <- memio.load (Mir.bytes_of_width w) va
+      | Machine.MStore (w, s, m) ->
+          let va = effective_address regs m in
+          memio.store (Mir.bytes_of_width w) va regs.(s)
+      | Machine.MAluMem (op, d, m) ->
+          let va = effective_address regs m in
+          regs.(d) <- eval_binop op regs.(d) (memio.load 8 va)
+      | Machine.MFAluMem (op, d, m) ->
+          let va = effective_address regs m in
+          regs.(d) <- eval_fbinop op regs.(d) (memio.load 8 va)
+      | Machine.MFAlu3 (op, d, a, b) -> regs.(d) <- eval_fbinop op regs.(a) regs.(b)
+      | Machine.MFAlu2 (op, d, s) -> regs.(d) <- eval_fbinop op regs.(d) regs.(s)
+      | Machine.MCvtIF (d, s) -> regs.(d) <- Int64.bits_of_float (Int64.to_float regs.(s))
+      | Machine.MCvtFI (d, s) -> regs.(d) <- Int64.of_float (Int64.float_of_bits regs.(s))
+      | Machine.MJmp target -> t.pc <- target
+      | Machine.MBr (c, a, b, target) ->
+          if Mir.eval_cond c regs.(a) regs.(b) then t.pc <- target
+      | Machine.MSyscall s ->
+          result := Syscall s;
+          running := false
+      | Machine.MMigrate id ->
+          result := Migrate id;
+          running := false
+      | Machine.MHalt ->
+          t.halted <- true;
+          result := Halted;
+          running := false)
+    done;
+    !result
+  end

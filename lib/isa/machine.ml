@@ -1,0 +1,97 @@
+module Node_id = Stramash_sim.Node_id
+
+type mem = { mbase : Mir.reg; mindex : Mir.reg option; mscale : int; mdisp : int }
+
+type mop =
+  | MImm of Mir.reg * int64
+  | MMovR of Mir.reg * Mir.reg
+  | MAlu3 of Mir.binop * Mir.reg * Mir.reg * Mir.reg
+  | MAlu2 of Mir.binop * Mir.reg * Mir.reg
+  | MAluI of Mir.binop * Mir.reg * int64
+  | MAlu3I of Mir.binop * Mir.reg * Mir.reg * int64
+  | MLoad of Mir.width * Mir.reg * mem
+  | MStore of Mir.width * Mir.reg * mem
+  | MAluMem of Mir.binop * Mir.reg * mem
+  | MFAluMem of Mir.fbinop * Mir.reg * mem
+  | MFAlu3 of Mir.fbinop * Mir.reg * Mir.reg * Mir.reg
+  | MFAlu2 of Mir.fbinop * Mir.reg * Mir.reg
+  | MCvtIF of Mir.reg * Mir.reg
+  | MCvtFI of Mir.reg * Mir.reg
+  | MJmp of int
+  | MBr of Mir.cond * Mir.reg * Mir.reg * int
+  | MSyscall of Mir.syscall
+  | MMigrate of int
+  | MHalt
+
+type program = {
+  isa : Node_id.t;
+  ops : mop array;
+  code_off : int array;
+  code_bytes : int;
+  migrate_pcs : (int * int) list;
+  nregs : int;
+}
+
+(* Rough x86-64 encoding lengths; armish (like AArch64) is uniformly 4. *)
+let op_bytes isa op =
+  match isa with
+  | Node_id.Arm -> 4
+  | Node_id.X86 -> (
+      match op with
+      | MImm _ -> 10 (* movabs *)
+      | MMovR _ -> 3
+      | MAlu2 _ -> 3
+      | MAluI _ -> 4
+      | MAlu3 _ | MAlu3I _ -> 4 (* not emitted by the x86ish codegen *)
+      | MLoad _ | MStore _ -> 5
+      | MAluMem _ -> 6
+      | MFAluMem _ -> 7
+      | MFAlu3 _ -> 5
+      | MFAlu2 _ -> 4
+      | MCvtIF _ | MCvtFI _ -> 4
+      | MJmp _ -> 5
+      | MBr _ -> 6 (* cmp+jcc fused pair, counted as one op *)
+      | MSyscall _ -> 2
+      | MMigrate _ -> 2
+      | MHalt -> 1)
+
+let find_migrate_pc p id = List.assoc id p.migrate_pcs
+
+let pp_mem fmt m =
+  match m.mindex with
+  | None -> Format.fprintf fmt "[r%d%+d]" m.mbase m.mdisp
+  | Some i -> Format.fprintf fmt "[r%d+r%d*%d%+d]" m.mbase i m.mscale m.mdisp
+
+let pp_mop fmt = function
+  | MImm (r, v) -> Format.fprintf fmt "imm r%d, %Ld" r v
+  | MMovR (d, s) -> Format.fprintf fmt "mov r%d, r%d" d s
+  | MAlu3 (_, d, a, b) -> Format.fprintf fmt "alu3 r%d, r%d, r%d" d a b
+  | MAlu2 (_, d, s) -> Format.fprintf fmt "alu2 r%d, r%d" d s
+  | MAluI (_, d, v) -> Format.fprintf fmt "alui r%d, %Ld" d v
+  | MAlu3I (_, d, a, v) -> Format.fprintf fmt "alu3i r%d, r%d, %Ld" d a v
+  | MLoad (_, d, m) -> Format.fprintf fmt "load r%d, %a" d pp_mem m
+  | MStore (_, s, m) -> Format.fprintf fmt "store r%d, %a" s pp_mem m
+  | MAluMem (_, d, m) -> Format.fprintf fmt "alumem r%d, %a" d pp_mem m
+  | MFAluMem (_, d, m) -> Format.fprintf fmt "falumem r%d, %a" d pp_mem m
+  | MFAlu3 (_, d, a, b) -> Format.fprintf fmt "falu3 r%d, r%d, r%d" d a b
+  | MFAlu2 (_, d, s) -> Format.fprintf fmt "falu2 r%d, r%d" d s
+  | MCvtIF (d, s) -> Format.fprintf fmt "cvtif r%d, r%d" d s
+  | MCvtFI (d, s) -> Format.fprintf fmt "cvtfi r%d, r%d" d s
+  | MJmp target -> Format.fprintf fmt "jmp %d" target
+  | MBr (_, a, b, target) -> Format.fprintf fmt "br r%d, r%d, %d" a b target
+  | MSyscall _ -> Format.fprintf fmt "syscall"
+  | MMigrate id -> Format.fprintf fmt "migrate %d" id
+  | MHalt -> Format.fprintf fmt "halt"
+
+let pp_program fmt p =
+  Format.fprintf fmt "; %s image: %d instructions, %d text bytes, %d registers@."
+    (Node_id.to_string p.isa) (Array.length p.ops) p.code_bytes p.nregs;
+  Array.iteri
+    (fun i op ->
+      let annot =
+        match List.find_opt (fun (_, pc) -> pc = i) p.migrate_pcs with
+        | Some (id, _) -> Printf.sprintf "    ; migration point %d" id
+        | None -> ""
+      in
+      Format.fprintf fmt "%6d  +0x%-5x %a%s@." i p.code_off.(i) pp_mop op annot)
+    p.ops

@@ -1,0 +1,19 @@
+(** Cross-ISA execution-state transformation — the runtime half of the
+    Popcorn compiler toolchain (paper §5 "Applications' Compiler and
+    Linker").
+
+    Migration is only legal at migration points ({!Mir.Migrate_point}),
+    which are compiled into both ISA binaries; at such a point the live
+    architectural state is exactly the Mir virtual registers (codegen
+    scratch registers are never live across a Mir instruction), so
+    transformation copies the common register file and maps the program
+    counter through the per-ISA migration-point tables. *)
+
+val transform : src:Interp.t -> point:int -> dst_prog:Machine.program -> Interp.t
+(** Build a destination-ISA CPU state resuming just after migration point
+    [point]. Raises [Not_found] if [dst_prog] lacks the point. *)
+
+val transform_cost_instructions : int
+(** Modelled cost (in instructions, charged by the migration service) of
+    rewriting the register/stack state, standing in for the Popcorn
+    runtime's state-transformation pass. *)

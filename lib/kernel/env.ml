@@ -1,0 +1,39 @@
+module Node_id = Stramash_sim.Node_id
+module Meter = Stramash_sim.Meter
+module Cache_sim = Stramash_cache.Cache_sim
+
+type t = {
+  cache : Cache_sim.t;
+  phys : Stramash_mem.Phys_mem.t;
+  kernels : Kernel.t array;
+  meters : Meter.t array;
+  tlbs : Tlb.t array;
+  hw_model : Stramash_mem.Layout.hw_model;
+}
+
+let kernel t node = t.kernels.(Node_id.index node)
+let meter t node = t.meters.(Node_id.index node)
+let tlb t node = t.tlbs.(Node_id.index node)
+
+let charge_load t node ~paddr =
+  Meter.add (meter t node) (Cache_sim.access t.cache ~node Cache_sim.Load ~paddr)
+
+let charge_store t node ~paddr =
+  Meter.add (meter t node) (Cache_sim.access t.cache ~node Cache_sim.Store ~paddr)
+
+let charge_atomic t node ~paddr =
+  Meter.add (meter t node) (Cache_sim.atomic_rmw t.cache ~node ~paddr)
+
+let charge_bytes_load t node ~paddr ~len =
+  Meter.add (meter t node) (Cache_sim.access_bytes t.cache ~node Cache_sim.Load ~paddr ~len)
+
+let charge_bytes_store t node ~paddr ~len =
+  Meter.add (meter t node) (Cache_sim.access_bytes t.cache ~node Cache_sim.Store ~paddr ~len)
+
+let pt_io t ~actor ~owner =
+  {
+    Page_table.phys = t.phys;
+    charge_read = (fun paddr -> charge_load t actor ~paddr);
+    charge_write = (fun paddr -> charge_store t actor ~paddr);
+    alloc_table = (fun () -> Kernel.alloc_table_page (kernel t owner));
+  }

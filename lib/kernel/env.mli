@@ -1,0 +1,33 @@
+(** The shared simulation environment handed to OS personalities.
+
+    One cache simulator and physical memory span both nodes; kernels,
+    cycle meters and TLBs are per node. OS code charges all of its memory
+    traffic through [cache] against the meter of the node doing the work,
+    which is how fused-kernel remote accesses and multiple-kernel message
+    handling acquire honest costs. *)
+
+type t = {
+  cache : Stramash_cache.Cache_sim.t;
+  phys : Stramash_mem.Phys_mem.t;
+  kernels : Kernel.t array; (* indexed by Node_id.index *)
+  meters : Stramash_sim.Meter.t array;
+  tlbs : Tlb.t array;
+  hw_model : Stramash_mem.Layout.hw_model;
+}
+
+val kernel : t -> Stramash_sim.Node_id.t -> Kernel.t
+val meter : t -> Stramash_sim.Node_id.t -> Stramash_sim.Meter.t
+val tlb : t -> Stramash_sim.Node_id.t -> Tlb.t
+
+val charge_load : t -> Stramash_sim.Node_id.t -> paddr:int -> unit
+(** One cache-simulated load by [node], billed to its meter. *)
+
+val charge_store : t -> Stramash_sim.Node_id.t -> paddr:int -> unit
+val charge_atomic : t -> Stramash_sim.Node_id.t -> paddr:int -> unit
+val charge_bytes_load : t -> Stramash_sim.Node_id.t -> paddr:int -> len:int -> unit
+val charge_bytes_store : t -> Stramash_sim.Node_id.t -> paddr:int -> len:int -> unit
+
+val pt_io : t -> actor:Stramash_sim.Node_id.t -> owner:Stramash_sim.Node_id.t -> Page_table.io
+(** Page-table access descriptor: table pages are allocated from the
+    [owner] kernel; entry reads/writes are performed (and billed) by
+    [actor] — for a remote software walk the two differ. *)

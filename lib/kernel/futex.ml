@@ -1,0 +1,33 @@
+type bucket = { addr : int; waiters : int Queue.t }
+
+type t = { table : (int, bucket) Hashtbl.t; alloc_struct : unit -> int }
+
+let create ~alloc_struct = { table = Hashtbl.create 64; alloc_struct }
+
+let bucket t uaddr =
+  match Hashtbl.find_opt t.table uaddr with
+  | Some b -> b
+  | None ->
+      let b = { addr = t.alloc_struct (); waiters = Queue.create () } in
+      Hashtbl.add t.table uaddr b;
+      b
+
+let bucket_addr t ~uaddr = (bucket t uaddr).addr
+
+let enqueue_waiter t ~uaddr ~tid = Queue.push tid (bucket t uaddr).waiters
+
+let dequeue_waiter t ~uaddr =
+  let b = bucket t uaddr in
+  Queue.take_opt b.waiters
+
+let remove_waiter t ~uaddr ~tid =
+  let b = bucket t uaddr in
+  let kept = Queue.create () in
+  let removed = ref false in
+  Queue.iter (fun w -> if w = tid && not !removed then removed := true else Queue.push w kept) b.waiters;
+  Queue.clear b.waiters;
+  Queue.transfer kept b.waiters;
+  !removed
+
+let waiter_count t ~uaddr = Queue.length (bucket t uaddr).waiters
+let buckets t = Hashtbl.length t.table

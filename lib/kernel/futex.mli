@@ -1,0 +1,24 @@
+(** Kernel futex subsystem (paper §6.5).
+
+    A futex is a 32-bit word in user memory; the kernel keeps hash buckets
+    of waiter queues keyed by the futex address. Each bucket struct has a
+    kernel-heap physical address so both the origin-managed protocol
+    (Popcorn) and direct remote list access (Stramash) charge honest
+    memory costs when touching it. Blocking/waking policy lives in the OS
+    personality; this module is the shared bucket mechanism. *)
+
+type t
+
+val create : alloc_struct:(unit -> int) -> t
+
+val bucket_addr : t -> uaddr:int -> int
+(** Physical address of the bucket struct for a futex (created on first
+    use). *)
+
+val enqueue_waiter : t -> uaddr:int -> tid:int -> unit
+val dequeue_waiter : t -> uaddr:int -> int option
+(** FIFO wake order. *)
+
+val remove_waiter : t -> uaddr:int -> tid:int -> bool
+val waiter_count : t -> uaddr:int -> int
+val buckets : t -> int

@@ -1,0 +1,40 @@
+module Node_id = Stramash_sim.Node_id
+module Cycles = Stramash_sim.Cycles
+module Rng = Stramash_sim.Rng
+module Addr = Stramash_mem.Addr
+module Layout = Stramash_mem.Layout
+
+type op_result = { cycles : int; pages : int }
+
+(* Affine fits to Table 4 endpoints (2^15 and 2^20 pages), in ns/page and
+   ms fixed. The x86 offline path is the slow one, dominated by page
+   isolation; Arm's is ~4x cheaper per page. *)
+let offline_params = function
+  | Node_id.X86 -> (230.0, 4.96) (* per-page ns, fixed ms *)
+  | Node_id.Arm -> (58.7, 2.88)
+
+let online_params = function
+  | Node_id.X86 -> (61.3, 3.79)
+  | Node_id.Arm -> (73.9, 3.38)
+
+let model (per_page_ns, fixed_ms) ~pages =
+  fixed_ms +. (per_page_ns *. float_of_int pages /. 1.0e6)
+
+let offline_cost_model ~isa ~pages = model (offline_params isa) ~pages
+let online_cost_model ~isa ~pages = model (online_params isa) ~pages
+
+let jittered rng ms = Float.max 0.1 (Rng.gaussian rng ~mean:ms ~sigma:(ms *. 0.04))
+
+let offline frames region ~isa ~rng =
+  match Frame_alloc.remove_region frames region with
+  | Error _ as e -> e
+  | Ok () ->
+      let pages = Layout.region_size region / Addr.page_size in
+      let ms = jittered rng (offline_cost_model ~isa ~pages) in
+      Ok { cycles = Cycles.of_ns (ms *. 1.0e6); pages }
+
+let online frames region ~isa ~rng =
+  Frame_alloc.add_region frames region;
+  let pages = Layout.region_size region / Addr.page_size in
+  let ms = jittered rng (online_cost_model ~isa ~pages) in
+  { cycles = Cycles.of_ns (ms *. 1.0e6); pages }

@@ -1,0 +1,31 @@
+(** Memory hotplug: offlining/onlining memory slices (paper §6.3, Table 4).
+
+    Stramash-Linux's global allocator is built on a modified hotplug path:
+    hot-remove evacuates a block and isolates its pages rather than
+    unplugging. Offline/online walk every page of the slice (isolation,
+    struct-page init); the per-page and fixed costs are calibrated to the
+    paper's Table 4 measurements, with the x86 kernel's offline path
+    notably more expensive per page than Arm's. *)
+
+type op_result = { cycles : int; pages : int }
+
+val offline :
+  Frame_alloc.t ->
+  Stramash_mem.Layout.region ->
+  isa:Stramash_sim.Node_id.t ->
+  rng:Stramash_sim.Rng.t ->
+  (op_result, [ `Pages_in_use of int ]) result
+(** Evacuation is the caller's job (the global allocator evicts first);
+    offlining a slice with live pages fails. *)
+
+val online :
+  Frame_alloc.t ->
+  Stramash_mem.Layout.region ->
+  isa:Stramash_sim.Node_id.t ->
+  rng:Stramash_sim.Rng.t ->
+  op_result
+
+val offline_cost_model : isa:Stramash_sim.Node_id.t -> pages:int -> float
+(** Deterministic mean cost in milliseconds (Table 4 calibration). *)
+
+val online_cost_model : isa:Stramash_sim.Node_id.t -> pages:int -> float

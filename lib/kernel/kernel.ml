@@ -1,0 +1,37 @@
+module Node_id = Stramash_sim.Node_id
+module Layout = Stramash_mem.Layout
+module Phys_mem = Stramash_mem.Phys_mem
+
+type t = {
+  node : Node_id.t;
+  frames : Frame_alloc.t;
+  kheap : Kheap.t;
+  futexes : Futex.t;
+  ns : Namespace.set;
+  phys : Phys_mem.t;
+  stats : Stramash_sim.Metrics.registry;
+}
+
+let boot ~node ~phys =
+  let frames = Frame_alloc.create ~name:(Node_id.to_string node) in
+  Frame_alloc.add_region frames (Layout.private_region node);
+  let kheap = Kheap.create ~alloc_frame:(fun () -> Frame_alloc.alloc_exn frames) in
+  let futexes = Futex.create ~alloc_struct:(fun () -> Kheap.alloc_line kheap) in
+  {
+    node;
+    frames;
+    kheap;
+    futexes;
+    ns = Namespace.fresh_set ();
+    phys;
+    stats = Stramash_sim.Metrics.registry ();
+  }
+
+let alloc_table_page t =
+  let paddr = Frame_alloc.alloc_exn t.frames in
+  Phys_mem.zero_page t.phys paddr;
+  paddr
+
+let alloc_frame_exn t = Frame_alloc.alloc_exn t.frames
+
+let owns t paddr = Frame_alloc.owns_address t.frames paddr

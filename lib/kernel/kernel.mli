@@ -1,0 +1,25 @@
+(** A kernel instance: the per-node monolithic kernel state.
+
+    Booting follows the paper's §6.1: the instance discovers everything
+    but initialises only its own private memory; pool memory arrives later
+    through the global allocator. *)
+
+type t = {
+  node : Stramash_sim.Node_id.t;
+  frames : Frame_alloc.t;
+  kheap : Kheap.t;
+  futexes : Futex.t;
+  ns : Namespace.set;
+  phys : Stramash_mem.Phys_mem.t;
+  stats : Stramash_sim.Metrics.registry;
+}
+
+val boot : node:Stramash_sim.Node_id.t -> phys:Stramash_mem.Phys_mem.t -> t
+(** Initialise a kernel owning its private boot region (Fig. 4). *)
+
+val alloc_table_page : t -> int
+(** A zeroed frame for a page-table page. *)
+
+val alloc_frame_exn : t -> int
+val owns : t -> int -> bool
+(** Whether a physical address lies in memory this kernel allocates from. *)

@@ -1,0 +1,34 @@
+type kind = Mount | Pid | Net | Uts | User | Cgroup
+
+let all_kinds = [ Mount; Pid; Net; Uts; User; Cgroup ]
+
+let kind_to_string = function
+  | Mount -> "mount"
+  | Pid -> "pid"
+  | Net -> "net"
+  | Uts -> "uts"
+  | User -> "user"
+  | Cgroup -> "cgroup"
+
+type set = { ids : (kind * int) list }
+
+let counter = ref 0
+
+let fresh_id () =
+  incr counter;
+  !counter
+
+let fresh_set () = { ids = List.map (fun k -> (k, fresh_id ())) all_kinds }
+
+let fuse t = { ids = t.ids }
+
+let id t kind = List.assoc kind t.ids
+
+let same_view a b = List.for_all (fun k -> id a k = id b k) all_kinds
+
+type cpu_info = { node : Stramash_sim.Node_id.t; core : int }
+
+let fused_cpu_list ~cores_per_node =
+  List.concat_map
+    (fun node -> List.init cores_per_node (fun core -> { node; core }))
+    Stramash_sim.Node_id.all

@@ -1,0 +1,30 @@
+(** Namespaces (paper §6.6, "Fused Namespace").
+
+    Stramash-Linux gives a migrating application the same mount, PID, net,
+    UTS, user and cgroup namespaces on every kernel instance, plus a
+    unified CPU list with topology. We model a namespace set as named
+    identifiers; fusing makes two kernels' sets share identifiers, so a
+    migrated process observes an identical environment. *)
+
+type kind = Mount | Pid | Net | Uts | User | Cgroup
+
+val all_kinds : kind list
+val kind_to_string : kind -> string
+
+type set
+
+val fresh_set : unit -> set
+(** Independent namespace identifiers (the separated / multiple-kernel
+    default: a remote kernel has its own). *)
+
+val fuse : set -> set
+(** A set sharing the argument's identifiers (fused-kernel behaviour). *)
+
+val id : set -> kind -> int
+val same_view : set -> set -> bool
+(** All six namespaces agree. *)
+
+type cpu_info = { node : Stramash_sim.Node_id.t; core : int }
+
+val fused_cpu_list : cores_per_node:int -> cpu_info list
+(** The unified CPU list with topology visible on every kernel instance. *)

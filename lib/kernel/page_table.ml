@@ -1,0 +1,116 @@
+module Node_id = Stramash_sim.Node_id
+module Addr = Stramash_mem.Addr
+module Phys_mem = Stramash_mem.Phys_mem
+
+type t = { isa : Node_id.t; root : int; mutable table_pages : int }
+
+type io = {
+  phys : Phys_mem.t;
+  charge_read : int -> unit;
+  charge_write : int -> unit;
+  alloc_table : unit -> int;
+}
+
+let levels = 5
+let index_bits = 9
+let entries = 1 lsl index_bits
+
+let create ~isa io =
+  let root = io.alloc_table () in
+  { isa; root; table_pages = 1 }
+
+let isa t = t.isa
+let root t = t.root
+
+(* Level [levels-1] is the root, level 0 holds leaf PTEs. *)
+let index_at ~level vaddr = (vaddr lsr (Addr.page_shift + (index_bits * level))) land (entries - 1)
+
+let entry_addr table_paddr idx = table_paddr + (idx * 8)
+
+let read_entry io paddr =
+  io.charge_read paddr;
+  Phys_mem.read_u64 io.phys paddr
+
+let write_entry io paddr v =
+  io.charge_write paddr;
+  Phys_mem.write_u64 io.phys paddr v
+
+(* Directory entries use the same per-ISA encoding as leaves. *)
+let decode_dir t v = Option.map fst (Pte.decode ~isa:t.isa v)
+
+(* Descend to the table that holds the leaf entry. [alloc] controls whether
+   missing directories are created. Returns the leaf table's paddr. *)
+let rec descend t io ~level ~table ~vaddr ~alloc =
+  if level = 0 then Some table
+  else begin
+    let slot = entry_addr table (index_at ~level vaddr) in
+    let raw = read_entry io slot in
+    match decode_dir t raw with
+    | Some frame -> descend t io ~level:(level - 1) ~table:(frame lsl Addr.page_shift) ~vaddr ~alloc
+    | None ->
+        if not alloc then None
+        else begin
+          let fresh = io.alloc_table () in
+          t.table_pages <- t.table_pages + 1;
+          let entry =
+            Pte.encode ~isa:t.isa ~frame:(fresh lsr Addr.page_shift) Pte.default_flags
+          in
+          write_entry io slot entry;
+          descend t io ~level:(level - 1) ~table:fresh ~vaddr ~alloc
+        end
+  end
+
+let leaf_entry_paddr t io ~vaddr =
+  match descend t io ~level:(levels - 1) ~table:t.root ~vaddr ~alloc:false with
+  | None -> None
+  | Some table -> Some (entry_addr table (index_at ~level:0 vaddr))
+
+let walk_raw t io ~vaddr =
+  match leaf_entry_paddr t io ~vaddr with
+  | None -> None
+  | Some slot ->
+      let raw = read_entry io slot in
+      if Pte.decode ~isa:t.isa raw = None then None else Some raw
+
+let walk t io ~vaddr =
+  match leaf_entry_paddr t io ~vaddr with
+  | None -> None
+  | Some slot -> Pte.decode ~isa:t.isa (read_entry io slot)
+
+let upper_levels_present t io ~vaddr =
+  descend t io ~level:(levels - 1) ~table:t.root ~vaddr ~alloc:false <> None
+
+let map t io ~vaddr ~frame flags =
+  match descend t io ~level:(levels - 1) ~table:t.root ~vaddr ~alloc:true with
+  | None -> assert false
+  | Some table ->
+      let slot = entry_addr table (index_at ~level:0 vaddr) in
+      write_entry io slot (Pte.encode ~isa:t.isa ~frame flags)
+
+let set_leaf_if_upper_present t io ~vaddr ~frame flags =
+  match descend t io ~level:(levels - 1) ~table:t.root ~vaddr ~alloc:false with
+  | None -> false
+  | Some table ->
+      let slot = entry_addr table (index_at ~level:0 vaddr) in
+      write_entry io slot (Pte.encode ~isa:t.isa ~frame flags);
+      true
+
+let update_flags t io ~vaddr flags =
+  match leaf_entry_paddr t io ~vaddr with
+  | None -> false
+  | Some slot -> (
+      match Pte.decode ~isa:t.isa (read_entry io slot) with
+      | None -> false
+      | Some (frame, _) ->
+          write_entry io slot (Pte.encode ~isa:t.isa ~frame flags);
+          true)
+
+let unmap t io ~vaddr =
+  match leaf_entry_paddr t io ~vaddr with
+  | None -> false
+  | Some slot ->
+      let present = Pte.decode ~isa:t.isa (read_entry io slot) <> None in
+      if present then write_entry io slot Pte.not_present;
+      present
+
+let table_pages t = t.table_pages

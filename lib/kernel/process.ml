@@ -1,0 +1,31 @@
+type mm = { vmas : Vma.set; pgtable : Page_table.t; ptl_addr : int }
+
+type t = {
+  pid : int;
+  origin : Stramash_sim.Node_id.t;
+  mir : Stramash_isa.Mir.program;
+  images : (Stramash_sim.Node_id.t * Stramash_isa.Machine.program) list;
+  mutable mms : (Stramash_sim.Node_id.t * mm) list;
+  mutable next_tid : int;
+}
+
+let create ~pid ~origin ~mir ~images = { pid; origin; mir; images; mms = []; next_tid = 0 }
+
+let image t node = List.assoc node t.images
+let mm t node = List.assoc_opt node t.mms
+
+let mm_exn t node =
+  match mm t node with
+  | Some m -> m
+  | None ->
+      failwith
+        (Printf.sprintf "process %d has no mm on %s" t.pid (Stramash_sim.Node_id.to_string node))
+
+let add_mm t node m =
+  assert (mm t node = None);
+  t.mms <- (node, m) :: t.mms
+
+let fresh_tid t =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  tid

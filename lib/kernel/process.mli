@@ -1,0 +1,36 @@
+(** User processes spanning kernel instances.
+
+    A process has one Mir source program, one compiled image per ISA, and
+    one memory descriptor ([mm]) per kernel instance it has run on: VMAs
+    plus a page table in that kernel's PTE format, a page-table lock word
+    (the cross-ISA Stramash-PTL) and the VMA lock word. Under Popcorn the
+    two mms are kept consistent by messages and page replication; under
+    Stramash both page tables reference the same frames (paper §6.4). *)
+
+type mm = {
+  vmas : Vma.set;
+  pgtable : Page_table.t;
+  ptl_addr : int; (* page-table lock word, owner kernel's heap *)
+}
+
+type t = {
+  pid : int;
+  origin : Stramash_sim.Node_id.t;
+  mir : Stramash_isa.Mir.program;
+  images : (Stramash_sim.Node_id.t * Stramash_isa.Machine.program) list;
+  mutable mms : (Stramash_sim.Node_id.t * mm) list;
+  mutable next_tid : int;
+}
+
+val create :
+  pid:int ->
+  origin:Stramash_sim.Node_id.t ->
+  mir:Stramash_isa.Mir.program ->
+  images:(Stramash_sim.Node_id.t * Stramash_isa.Machine.program) list ->
+  t
+
+val image : t -> Stramash_sim.Node_id.t -> Stramash_isa.Machine.program
+val mm : t -> Stramash_sim.Node_id.t -> mm option
+val mm_exn : t -> Stramash_sim.Node_id.t -> mm
+val add_mm : t -> Stramash_sim.Node_id.t -> mm -> unit
+val fresh_tid : t -> int

@@ -1,0 +1,19 @@
+type state = Ready | Blocked_futex of int | Finished
+
+type t = {
+  tid : int;
+  origin : Stramash_sim.Node_id.t;
+  mutable node : Stramash_sim.Node_id.t;
+  mutable cpu : Stramash_isa.Interp.t;
+  mutable state : state;
+  mutable migrations : int;
+}
+
+let create ~tid ~origin ~cpu = { tid; origin; node = origin; cpu; state = Ready; migrations = 0 }
+
+let is_runnable t = match t.state with Ready -> true | Blocked_futex _ | Finished -> false
+
+let pp_state fmt = function
+  | Ready -> Format.pp_print_string fmt "ready"
+  | Blocked_futex uaddr -> Format.fprintf fmt "blocked(futex@0x%x)" uaddr
+  | Finished -> Format.pp_print_string fmt "finished"

@@ -1,0 +1,23 @@
+(** Kernel threads of a migratable user process.
+
+    A thread carries one live CPU context ({!Stramash_isa.Interp.t}) for
+    the ISA of the node it currently runs on; migration replaces it via
+    {!Stramash_isa.Migrate_state.transform}. *)
+
+type state =
+  | Ready
+  | Blocked_futex of int (* uaddr it waits on *)
+  | Finished
+
+type t = {
+  tid : int;
+  origin : Stramash_sim.Node_id.t;
+  mutable node : Stramash_sim.Node_id.t;
+  mutable cpu : Stramash_isa.Interp.t;
+  mutable state : state;
+  mutable migrations : int;
+}
+
+val create : tid:int -> origin:Stramash_sim.Node_id.t -> cpu:Stramash_isa.Interp.t -> t
+val is_runnable : t -> bool
+val pp_state : Format.formatter -> state -> unit

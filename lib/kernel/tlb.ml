@@ -1,0 +1,56 @@
+type entry = { frame : int; writable : bool }
+
+type t = {
+  size : int;
+  vpages : int array; (* -1 invalid *)
+  asids : int array;
+  entries : entry array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let none = { frame = 0; writable = false }
+
+let create ?(entries = 64) () =
+  assert (entries > 0 && entries land (entries - 1) = 0);
+  {
+    size = entries;
+    vpages = Array.make entries (-1);
+    asids = Array.make entries (-1);
+    entries = Array.make entries none;
+    hits = 0;
+    misses = 0;
+  }
+
+let slot t vpage = vpage land (t.size - 1)
+
+let lookup t ~asid ~vpage =
+  let s = slot t vpage in
+  if t.vpages.(s) = vpage && t.asids.(s) = asid then begin
+    t.hits <- t.hits + 1;
+    Some t.entries.(s)
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    None
+  end
+
+let insert t ~asid ~vpage entry =
+  let s = slot t vpage in
+  t.vpages.(s) <- vpage;
+  t.asids.(s) <- asid;
+  t.entries.(s) <- entry
+
+let flush_page t ~vpage =
+  let s = slot t vpage in
+  if t.vpages.(s) = vpage then begin
+    t.vpages.(s) <- -1;
+    t.asids.(s) <- -1
+  end
+
+let flush_all t =
+  Array.fill t.vpages 0 t.size (-1);
+  Array.fill t.asids 0 t.size (-1)
+
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,23 @@
+(** Per-node TLB: direct-mapped translation cache over virtual page
+    numbers, tagged with an address-space id (ASID = pid) so concurrent
+    processes with overlapping virtual layouts do not alias. A hit costs
+    nothing extra (folded into the access); a miss triggers a charged
+    software walk in the node layer. Must be flushed on unmap and
+    protection change. *)
+
+type entry = { frame : int; writable : bool }
+type t
+
+val create : ?entries:int -> unit -> t
+(** Default 64 entries. *)
+
+val lookup : t -> asid:int -> vpage:int -> entry option
+val insert : t -> asid:int -> vpage:int -> entry -> unit
+
+val flush_page : t -> vpage:int -> unit
+(** Drop any entry for this virtual page, regardless of ASID (a
+    conservative shootdown). *)
+
+val flush_all : t -> unit
+val hits : t -> int
+val misses : t -> int

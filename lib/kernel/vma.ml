@@ -1,0 +1,50 @@
+module Addr = Stramash_mem.Addr
+
+type kind = Code | Data | Heap | Stack | Anon
+
+type t = {
+  v_start : int;
+  v_end : int;
+  kind : kind;
+  writable : bool;
+  struct_addr : int;
+}
+
+let kind_to_string = function
+  | Code -> "code"
+  | Data -> "data"
+  | Heap -> "heap"
+  | Stack -> "stack"
+  | Anon -> "anon"
+
+let contains t vaddr = vaddr >= t.v_start && vaddr < t.v_end
+let pages t = (t.v_end - t.v_start + Addr.page_size - 1) / Addr.page_size
+
+type set = { tree : t Rbtree.t; alloc_struct : unit -> int; lock_addr : int }
+
+let create_set ~alloc_struct = { tree = Rbtree.create (); alloc_struct; lock_addr = alloc_struct () }
+
+let lock_addr set = set.lock_addr
+
+let overlaps set ~start ~end_ =
+  (* A neighbour starting before [end_] whose end exceeds [start]. *)
+  match Rbtree.find_floor set.tree ~key:(end_ - 1) with
+  | Some (_, vma) when vma.v_end > start -> true
+  | Some _ | None -> false
+
+let add set ~start ~end_ kind ~writable =
+  if start >= end_ then invalid_arg "Vma.add: empty range";
+  if overlaps set ~start ~end_ then invalid_arg "Vma.add: overlapping VMA";
+  let vma = { v_start = start; v_end = end_; kind; writable; struct_addr = set.alloc_struct () } in
+  Rbtree.insert set.tree ~key:start vma;
+  vma
+
+let remove set ~start = Rbtree.remove set.tree ~key:start
+
+let find ?visit set ~vaddr =
+  match Rbtree.find_floor ?visit set.tree ~key:vaddr with
+  | Some (_, vma) when contains vma vaddr -> Some vma
+  | Some _ | None -> None
+
+let iter set ~f = Rbtree.iter set.tree ~f:(fun _ vma -> f vma)
+let count set = Rbtree.size set.tree

@@ -1,0 +1,39 @@
+(** Virtual memory areas and the per-address-space VMA set.
+
+    Each VMA struct is assigned a kernel-heap physical address so remote
+    VMA walks (paper §6.4, "Software Remote VMA Walker") can be charged one
+    memory access per visited node, and the set carries a lock word for the
+    VMA lock the walker must take. *)
+
+type kind = Code | Data | Heap | Stack | Anon
+
+type t = {
+  v_start : int;
+  v_end : int; (* exclusive *)
+  kind : kind;
+  writable : bool;
+  struct_addr : int; (* paddr of this struct in the owning kernel's heap *)
+}
+
+val kind_to_string : kind -> string
+val contains : t -> int -> bool
+val pages : t -> int
+
+type set
+
+val create_set : alloc_struct:(unit -> int) -> set
+(** [alloc_struct] yields kernel-heap addresses (one per VMA and one for
+    the set's lock word). *)
+
+val lock_addr : set -> int
+
+val add : set -> start:int -> end_:int -> kind -> writable:bool -> t
+(** Raises [Invalid_argument] on overlap with an existing VMA. *)
+
+val remove : set -> start:int -> bool
+
+val find : ?visit:(t -> unit) -> set -> vaddr:int -> t option
+(** The VMA containing [vaddr]; [visit] fires per rb-tree node touched. *)
+
+val iter : set -> f:(t -> unit) -> unit
+val count : set -> int

@@ -1,0 +1,72 @@
+(** OS personality dispatch.
+
+    [Vanilla] is the paper's no-migration baseline (a single kernel
+    serving its local application); [Popcorn] the shared-nothing
+    multiple-kernel baseline; [Stramash] the fused kernel. *)
+
+type t =
+  | Vanilla
+  | Popcorn of Stramash_popcorn.Popcorn_os.t
+  | Stramash of Stramash_core.Stramash_os.t
+
+val name : t -> string
+val supports_migration : t -> bool
+
+val ensure_mm :
+  t ->
+  env:Stramash_kernel.Env.t ->
+  proc:Stramash_kernel.Process.t ->
+  node:Stramash_sim.Node_id.t ->
+  Stramash_kernel.Process.mm
+
+val handle_fault :
+  t ->
+  env:Stramash_kernel.Env.t ->
+  proc:Stramash_kernel.Process.t ->
+  node:Stramash_sim.Node_id.t ->
+  vaddr:int ->
+  write:bool ->
+  unit
+
+val migrate :
+  t ->
+  proc:Stramash_kernel.Process.t ->
+  thread:Stramash_kernel.Thread.t ->
+  dst:Stramash_sim.Node_id.t ->
+  point:int ->
+  unit
+
+val futex_wait :
+  t ->
+  env:Stramash_kernel.Env.t ->
+  proc:Stramash_kernel.Process.t ->
+  thread:Stramash_kernel.Thread.t ->
+  uaddr:int ->
+  expected:int64 ->
+  [ `Block | `Proceed ]
+
+val futex_wake :
+  t ->
+  env:Stramash_kernel.Env.t ->
+  proc:Stramash_kernel.Process.t ->
+  thread:Stramash_kernel.Thread.t ->
+  threads:Stramash_kernel.Thread.t list ->
+  uaddr:int ->
+  nwake:int ->
+  int list
+
+val message_count : t -> int
+val message_counts : t -> (string * int) list
+val replicated_pages : t -> int
+(** Popcorn: DSM page copies; Stramash: origin-fallback pages; Vanilla: 0. *)
+
+val exit_process :
+  t -> env:Stramash_kernel.Env.t -> proc:Stramash_kernel.Process.t -> unit
+(** Process teardown and memory recycling (paper §6.4): each personality
+    frees pages per its ownership rules, with teardown traffic charged. *)
+
+val seed_resident_page : t -> proc:Stramash_kernel.Process.t -> vaddr:int -> frame:int -> unit
+(** Loader hook: a page mapped eagerly at the origin must be known to the
+    DSM protocol as origin-owned. *)
+
+val reset_counters : t -> unit

@@ -1,0 +1,300 @@
+module Node_id = Stramash_sim.Node_id
+module Meter = Stramash_sim.Meter
+module Metrics = Stramash_sim.Metrics
+module Cycles = Stramash_sim.Cycles
+module Addr = Stramash_mem.Addr
+module Layout = Stramash_mem.Layout
+module Phys_mem = Stramash_mem.Phys_mem
+module Cache_sim = Stramash_cache.Cache_sim
+module Cache_config = Stramash_cache.Config
+module Env = Stramash_kernel.Env
+module Page_table = Stramash_kernel.Page_table
+module Process = Stramash_kernel.Process
+module Thread = Stramash_kernel.Thread
+module Tlb = Stramash_kernel.Tlb
+module Mir = Stramash_isa.Mir
+module Interp = Stramash_isa.Interp
+module Ipi = Stramash_interconnect.Ipi
+
+type result = {
+  os_name : string;
+  hw_model : Layout.hw_model;
+  wall_cycles : int;
+  node_cycles : int array;
+  node_icounts : int array;
+  instructions : int;
+  migrations : int;
+  messages : int;
+  replicated_pages : int;
+  tlb_misses : int array;
+  cache : Metrics.registry;
+  phase_marks : (int * int) list;
+  node_user_stalls : int array;
+  node_idle : int array;
+}
+
+let node_busy r node =
+  let i = Node_id.index node in
+  r.node_cycles.(i) - r.node_idle.(i)
+
+let phase_span r ~start ~stop =
+  match (List.assoc_opt start r.phase_marks, List.assoc_opt stop r.phase_marks) with
+  | Some a, Some b -> b - a
+  | _ -> invalid_arg "Runner.phase_span: missing phase mark"
+
+exception Deadlock of string
+
+(* Retry bound for fault-then-walk loops: a single fault must make the
+   page accessible, so more than a few retries indicates a protocol bug. *)
+let max_fault_retries = 4
+
+let make_memio machine proc thread ~user_stalls =
+  let env = Machine.env machine in
+  let node = thread.Thread.node in
+  let node_index = Node_id.index node in
+  let cache = env.Env.cache in
+  let phys = env.Env.phys in
+  let meter = Env.meter env node in
+  let tlb = Env.tlb env node in
+  let mm = Process.mm_exn proc node in
+  let io = Env.pt_io env ~actor:node ~owner:node in
+  let l1_lat = (Cache_config.latencies (Cache_sim.config cache) node).Stramash_mem.Latency.l1 in
+  let stall lat =
+    if lat > l1_lat then begin
+      user_stalls.(node_index) <- user_stalls.(node_index) + lat;
+      lat
+    end
+    else 0
+  in
+  let asid = proc.Process.pid in
+  let rec translate vaddr ~write ~retries =
+    let vpage = Addr.page_of vaddr in
+    match Tlb.lookup tlb ~asid ~vpage with
+    | Some e when (not write) || e.Tlb.writable -> e.Tlb.frame
+    | _ -> (
+        match Page_table.walk mm.Process.pgtable io ~vaddr with
+        | Some (frame, flags) when (not write) || flags.Stramash_kernel.Pte.writable ->
+            Tlb.insert tlb ~asid ~vpage
+              { Tlb.frame; writable = flags.Stramash_kernel.Pte.writable };
+            frame
+        | _ ->
+            if retries >= max_fault_retries then
+              failwith
+                (Printf.sprintf "fault loop at 0x%x (%s, write=%b)" vaddr
+                   (Node_id.to_string node) write);
+            Os.handle_fault (Machine.os machine) ~env ~proc ~node ~vaddr ~write;
+            translate vaddr ~write ~retries:(retries + 1))
+  in
+  let data_paddr vaddr ~write =
+    let frame = translate vaddr ~write ~retries:0 in
+    (frame lsl Addr.page_shift) + Addr.page_offset vaddr
+  in
+  {
+    Interp.load =
+      (fun width vaddr ->
+        let paddr = data_paddr vaddr ~write:false in
+        Meter.add meter (stall (Cache_sim.access cache ~node Cache_sim.Load ~paddr));
+        Phys_mem.read phys paddr ~width);
+    store =
+      (fun width vaddr value ->
+        let paddr = data_paddr vaddr ~write:true in
+        Meter.add meter (stall (Cache_sim.access cache ~node Cache_sim.Store ~paddr));
+        Phys_mem.write phys paddr ~width value);
+    fetch =
+      (fun vaddr ->
+        let paddr = data_paddr vaddr ~write:false in
+        (* one base cycle per instruction + any fetch stall *)
+        Meter.add meter (1 + stall (Cache_sim.access cache ~node Cache_sim.Ifetch ~paddr)));
+  }
+
+let resolve_futex_args thread (syscall : Mir.syscall) =
+  let regs = Interp.regs thread.Thread.cpu in
+  match syscall with
+  | Mir.Futex_wait { uaddr; expected } ->
+      `Wait (Int64.to_int regs.(uaddr), regs.(expected))
+  | Mir.Futex_wake { uaddr; nwake } -> `Wake (Int64.to_int regs.(uaddr), nwake)
+
+let collect machine threads ~migrations =
+  let env = Machine.env machine in
+  let os = Machine.os machine in
+  let node_cycles = Array.map Meter.get env.Env.meters in
+  let wall = Array.fold_left max 0 node_cycles in
+  let icounts = [| 0; 0 |] in
+  List.iter (fun _ -> ()) threads;
+  {
+    os_name = Os.name os;
+    hw_model = env.Env.hw_model;
+    wall_cycles = wall;
+    node_cycles;
+    node_icounts = icounts;
+    instructions = 0;
+    migrations;
+    messages = Os.message_count os;
+    replicated_pages = Os.replicated_pages os;
+    tlb_misses = Array.map Tlb.misses env.Env.tlbs;
+    cache = Cache_sim.stats env.Env.cache;
+    phase_marks = [];
+    node_user_stalls = [| 0; 0 |];
+    node_idle = [| 0; 0 |];
+  }
+
+(* The scheduler: run the runnable thread whose node clock is lowest,
+   interleaving in [fuel]-instruction quanta. Handles migration points,
+   futex syscalls and completion for any number of threads. *)
+let run_scheduler machine items ~fuel =
+  (* items : (spec, proc, thread) list — each thread belongs to a process
+     with its own migration plan *)
+  let env = Machine.env machine in
+  let os = Machine.os machine in
+  let node_icounts = [| 0; 0 |] in
+  let user_stalls = [| 0; 0 |] in
+  let idle = [| 0; 0 |] in
+  let migrations = ref 0 in
+  let marks = ref [] in
+  let seg_start = Hashtbl.create 8 in
+  let threads = List.map (fun (_, _, th) -> th) items in
+  let owner = Hashtbl.create 8 in
+  List.iter
+    (fun (spec, proc, th) ->
+      Hashtbl.replace seg_start th.Thread.tid 0;
+      Hashtbl.replace owner th.Thread.tid (spec, proc))
+    items;
+  let spec_of th = fst (Hashtbl.find owner th.Thread.tid) in
+  let proc_of th = snd (Hashtbl.find owner th.Thread.tid) in
+  let account th =
+    let count = Interp.icount th.Thread.cpu in
+    let prev = Hashtbl.find seg_start th.Thread.tid in
+    let idx = Node_id.index th.Thread.node in
+    node_icounts.(idx) <- node_icounts.(idx) + (count - prev);
+    Hashtbl.replace seg_start th.Thread.tid count
+  in
+  let sync_clock ~from_node ~to_node =
+    let src = Env.meter env from_node in
+    let dst = Env.meter env to_node in
+    if Meter.get dst < Meter.get src then begin
+      idle.(Node_id.index to_node) <- idle.(Node_id.index to_node) + (Meter.get src - Meter.get dst);
+      Meter.set dst (Meter.get src)
+    end
+  in
+  let finished th = th.Thread.state = Thread.Finished in
+  let rec loop () =
+    let live = List.filter (fun th -> not (finished th)) threads in
+    if live <> [] then begin
+      let runnable = List.filter Thread.is_runnable live in
+      match runnable with
+      | [] ->
+          raise
+            (Deadlock
+               (String.concat ", "
+                  (List.map
+                     (fun th ->
+                       Format.asprintf "tid%d:%a" th.Thread.tid Thread.pp_state th.Thread.state)
+                     live)))
+      | _ ->
+          let th =
+            List.fold_left
+              (fun best cand ->
+                let mb = Meter.get (Env.meter env best.Thread.node) in
+                let mc = Meter.get (Env.meter env cand.Thread.node) in
+                if mc < mb then cand else best)
+              (List.hd runnable) (List.tl runnable)
+          in
+          let memio = make_memio machine (proc_of th) th ~user_stalls in
+          (match Interp.run th.Thread.cpu memio ~fuel with
+          | Interp.Out_of_fuel -> account th
+          | Interp.Halted ->
+              account th;
+              th.Thread.state <- Thread.Finished
+          | Interp.Migrate point -> (
+              account th;
+              if not (List.mem_assoc point !marks) then
+                marks := (point, Meter.get (Env.meter env th.Thread.node)) :: !marks;
+              match Spec.target_for (spec_of th) point with
+              | Some dst
+                when Os.supports_migration os && not (Node_id.equal dst th.Thread.node) ->
+                  let src_node = th.Thread.node in
+                  Os.migrate os ~proc:(proc_of th) ~thread:th ~dst ~point;
+                  incr migrations;
+                  sync_clock ~from_node:src_node ~to_node:dst;
+                  Hashtbl.replace seg_start th.Thread.tid (Interp.icount th.Thread.cpu)
+              | Some _ | None -> ())
+          | Interp.Syscall syscall -> (
+              account th;
+              match resolve_futex_args th syscall with
+              | `Wait (uaddr, expected) -> (
+                  match Os.futex_wait os ~env ~proc:(proc_of th) ~thread:th ~uaddr ~expected with
+                  | `Block -> th.Thread.state <- Thread.Blocked_futex uaddr
+                  | `Proceed -> ())
+              | `Wake (uaddr, nwake) ->
+                  let woken =
+                    Os.futex_wake os ~env ~proc:(proc_of th) ~thread:th
+                      ~threads:(Machine.threads machine) ~uaddr ~nwake
+                  in
+                  let wake_time = Meter.get (Env.meter env th.Thread.node) in
+                  List.iter
+                    (fun tid ->
+                      match
+                        List.find_opt (fun t2 -> t2.Thread.tid = tid) (Machine.threads machine)
+                      with
+                      | Some waiter ->
+                          waiter.Thread.state <- Thread.Ready;
+                          let delivery =
+                            if Node_id.equal waiter.Thread.node th.Thread.node then
+                              Cycles.of_ns 300.0
+                            else Ipi.cross_isa_ipi_cycles
+                          in
+                          let wm = Env.meter env waiter.Thread.node in
+                          if Meter.get wm < wake_time + delivery then begin
+                            let wi = Node_id.index waiter.Thread.node in
+                            idle.(wi) <- idle.(wi) + (wake_time + delivery - Meter.get wm);
+                            Meter.set wm (wake_time + delivery)
+                          end
+                      | None -> ())
+                    woken));
+          loop ()
+    end
+  in
+  loop ();
+  let result = collect machine threads ~migrations:!migrations in
+  let instructions = Array.fold_left ( + ) 0 node_icounts in
+  {
+    result with
+    node_icounts;
+    instructions;
+    phase_marks = List.rev !marks;
+    node_user_stalls = user_stalls;
+    node_idle = idle;
+  }
+
+let run machine proc thread spec = run_scheduler machine [ (spec, proc, thread) ] ~fuel:50_000
+
+let run_threads machine proc threads spec =
+  run_scheduler machine (List.map (fun th -> (spec, proc, th)) threads) ~fuel:400
+
+let run_workloads machine items = run_scheduler machine items ~fuel:2_000
+
+let pp_result fmt r =
+  let pct x = 100.0 *. x in
+  Format.fprintf fmt "=== %s / %s ===@." r.os_name (Layout.hw_model_to_string r.hw_model);
+  List.iter
+    (fun node ->
+      let idx = Node_id.index node in
+      let g name = Metrics.get r.cache (Node_id.to_string node ^ "." ^ name) in
+      let rate h a = if a = 0 then 0.0 else float_of_int h /. float_of_int a in
+      Format.fprintf fmt "%s:@." (Node_id.to_string node);
+      Format.fprintf fmt "  L1 Cache Hit Rate: %.2f%%@."
+        (pct
+           (rate
+              (g "l1d_hits" + g "l1i_hits")
+              (g "l1d_accesses" + g "l1i_accesses")));
+      Format.fprintf fmt "  L2 Cache Hit Rate: %.2f%%@." (pct (rate (g "l2_hits") (g "l2_accesses")));
+      Format.fprintf fmt "  L3 Cache Hit Rate: %.2f%%@." (pct (rate (g "l3_hits") (g "l3_accesses")));
+      Format.fprintf fmt "  Local Memory Hits: %d@." (g "local_mem_hits");
+      Format.fprintf fmt "  Remote Memory Hits: %d@." (g "remote_mem_hits");
+      Format.fprintf fmt "  Remote Shared Memory Hits: %d@." (g "remote_shared_mem_hits");
+      Format.fprintf fmt "  Number of Instructions: %d@." r.node_icounts.(idx);
+      Format.fprintf fmt "  Runtime: %d cycles (%.3f ms)@." r.node_cycles.(idx)
+        (Cycles.to_ms r.node_cycles.(idx)))
+    Node_id.all;
+  Format.fprintf fmt "Wall: %d cycles (%.3f ms); migrations=%d messages=%d replicated=%d@."
+    r.wall_cycles (Cycles.to_ms r.wall_cycles) r.migrations r.messages r.replicated_pages

@@ -1,0 +1,56 @@
+(** Execution engine: drives threads through the interpreter, translating
+    every access (TLB → charged page-table walk → OS fault handler) and
+    feeding every memory reference through the cache simulator — the
+    complete Stramash-QEMU execution model.
+
+    Timing: one base cycle per instruction; stalls are charged for any
+    access that misses the L1 (the fixed-non-memory-IPC model of §7.3).
+    Migration synchronises the destination node's clock with the source's,
+    so a single-threaded run's completion time is the final node's meter. *)
+
+type result = {
+  os_name : string;
+  hw_model : Stramash_mem.Layout.hw_model;
+  wall_cycles : int;
+  node_cycles : int array; (* per Node_id.index *)
+  node_icounts : int array;
+  instructions : int;
+  migrations : int;
+  messages : int;
+  replicated_pages : int;
+  tlb_misses : int array;
+  cache : Stramash_sim.Metrics.registry; (* cache counters snapshot *)
+  phase_marks : (int * int) list; (* (migration-point id, wall cycles when crossed) *)
+  node_user_stalls : int array;
+      (* memory-stall cycles charged to user-mode accesses per node; the
+         paper's Fig. 9 breakdown separates INST (= instructions at CPI 1),
+         memory overhead (these stalls), and MSG/OS work (the remainder) *)
+  node_idle : int array;
+      (* clock-synchronisation jumps (waiting for a migration arrival or a
+         futex wake): simulated time during which the node did no work *)
+}
+
+val node_busy : result -> Stramash_sim.Node_id.t -> int
+(** Cycles of actual work on a node: its clock minus its idle jumps. *)
+
+val phase_span : result -> start:int -> stop:int -> int
+(** Cycles elapsed between two phase marks (both must be present). *)
+
+val run : Machine.t -> Stramash_kernel.Process.t -> Stramash_kernel.Thread.t -> Spec.t -> result
+(** Run a single thread to completion, following the spec's migration
+    plan (ignored under an OS that cannot migrate). *)
+
+val run_threads :
+  Machine.t -> Stramash_kernel.Process.t -> Stramash_kernel.Thread.t list -> Spec.t -> result
+(** Interleave several threads (smallest-clock-first), with futex
+    block/wake semantics; used by the futex microbenchmark. *)
+
+val run_workloads : Machine.t -> (Spec.t * Stramash_kernel.Process.t * Stramash_kernel.Thread.t) list -> result
+(** Run several processes concurrently on the platform (each with its own
+    spec/migration plan); threads interleave smallest-clock-first, so two
+    threads resident on the same node serialise on that node's single
+    simulated core. *)
+
+val pp_result : Format.formatter -> result -> unit
+(** Artifact-style per-node dump (cache hit rates, memory hit classes,
+    runtime) as in the paper's appendix A.5 example output. *)

@@ -1,0 +1,22 @@
+type init = Zeroed | F64s of float array | I64s of int64 array | I32s of int32 array
+
+type segment = { base : int; len : int; writable : bool; eager : bool; init : init }
+
+type t = {
+  name : string;
+  description : string;
+  mir : Stramash_isa.Mir.program;
+  segments : segment list;
+  migration_targets : (int * Stramash_sim.Node_id.t) list;
+}
+
+let segment ?(writable = true) ?(eager = true) ?(init = Zeroed) ~base ~len () =
+  assert (base land (Stramash_mem.Addr.page_size - 1) = 0);
+  assert (len > 0);
+  { base; len; writable; eager; init }
+
+let stack_base = 0x7FF0_0000
+let stack_len = 64 * 1024
+let heap_base = 0x1000_0000
+
+let target_for t id = List.assoc_opt id t.migration_targets

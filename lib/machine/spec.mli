@@ -1,0 +1,34 @@
+(** Workload specification: a Mir program plus its memory image and
+    migration plan. This is what benchmarks hand to {!Machine.load}. *)
+
+type init =
+  | Zeroed
+  | F64s of float array
+  | I64s of int64 array
+  | I32s of int32 array
+
+type segment = {
+  base : int; (* page-aligned virtual address *)
+  len : int; (* bytes *)
+  writable : bool;
+  eager : bool; (* mapped + initialised at load (origin); else demand-faulted *)
+  init : init;
+}
+
+type t = {
+  name : string;
+  description : string;
+  mir : Stramash_isa.Mir.program;
+  segments : segment list;
+  (* At Migrate_point [id], move the thread to this node (no-op if already
+     there). Points absent from the list are ignored. *)
+  migration_targets : (int * Stramash_sim.Node_id.t) list;
+}
+
+val segment : ?writable:bool -> ?eager:bool -> ?init:init -> base:int -> len:int -> unit -> segment
+val stack_base : int
+val stack_len : int
+val heap_base : int
+(** Conventional layout constants shared by the bundled workloads. *)
+
+val target_for : t -> int -> Stramash_sim.Node_id.t option

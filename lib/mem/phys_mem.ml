@@ -1,0 +1,76 @@
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  (* One-entry lookup cache: sequential access patterns dominate. *)
+  mutable last_frame : int;
+  mutable last_page : Bytes.t;
+}
+
+let absent = Bytes.create 0
+
+let create () = { pages = Hashtbl.create 4096; last_frame = -1; last_page = absent }
+
+let page_for t frame =
+  if frame = t.last_frame then t.last_page
+  else begin
+    let page =
+      match Hashtbl.find_opt t.pages frame with
+      | Some p -> p
+      | None ->
+          let p = Bytes.make Addr.page_size '\000' in
+          Hashtbl.add t.pages frame p;
+          p
+    in
+    t.last_frame <- frame;
+    t.last_page <- page;
+    page
+  end
+
+(* Accesses are assumed not to straddle a page boundary; all simulator
+   clients issue naturally aligned accesses. *)
+let check_width a width =
+  assert (width = 1 || width = 2 || width = 4 || width = 8);
+  assert (Addr.page_offset a + width <= Addr.page_size)
+
+let read t a ~width =
+  check_width a width;
+  let page = page_for t (Addr.page_of a) in
+  let off = Addr.page_offset a in
+  match width with
+  | 1 -> Int64.of_int (Char.code (Bytes.get page off))
+  | 2 -> Int64.of_int (Bytes.get_uint16_le page off)
+  | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le page off)) 0xFFFFFFFFL
+  | _ -> Bytes.get_int64_le page off
+
+let write t a ~width v =
+  check_width a width;
+  let page = page_for t (Addr.page_of a) in
+  let off = Addr.page_offset a in
+  match width with
+  | 1 -> Bytes.set page off (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+  | 2 -> Bytes.set_uint16_le page off (Int64.to_int (Int64.logand v 0xFFFFL))
+  | 4 -> Bytes.set_int32_le page off (Int64.to_int32 v)
+  | _ -> Bytes.set_int64_le page off v
+
+let read_u8 t a = Int64.to_int (read t a ~width:1)
+let write_u8 t a v = write t a ~width:1 (Int64.of_int v)
+let read_u64 t a = read t a ~width:8
+let write_u64 t a v = write t a ~width:8 v
+
+let read_f64 t a = Int64.float_of_bits (read_u64 t a)
+let write_f64 t a v = write_u64 t a (Int64.bits_of_float v)
+
+let copy_page t ~src ~dst =
+  assert (Addr.is_page_aligned src && Addr.is_page_aligned dst);
+  let sp = page_for t (Addr.page_of src) in
+  let dp = page_for t (Addr.page_of dst) in
+  Bytes.blit sp 0 dp 0 Addr.page_size
+
+let zero_page t a =
+  assert (Addr.is_page_aligned a);
+  let p = page_for t (Addr.page_of a) in
+  Bytes.fill p 0 Addr.page_size '\000'
+
+let host_write_u64 = write_u64
+let host_write_f64 = write_f64
+
+let touched_pages t = Hashtbl.length t.pages

@@ -1,0 +1,137 @@
+module Node_id = Stramash_sim.Node_id
+module Meter = Stramash_sim.Meter
+module Metrics = Stramash_sim.Metrics
+module Addr = Stramash_mem.Addr
+module Layout = Stramash_mem.Layout
+module Env = Stramash_kernel.Env
+module Ring_buffer = Stramash_interconnect.Ring_buffer
+module Tcp_link = Stramash_interconnect.Tcp_link
+module Ipi = Stramash_interconnect.Ipi
+
+type kind = Shm | Tcp
+
+type notify_mode = Ipi | Polling
+
+type t = {
+  kind : kind;
+  env : Env.t;
+  rings : unit Ring_buffer.t array; (* index = sender Node_id.index *)
+  tcp : Tcp_link.t;
+  staging : int array; (* per-node staging buffer paddr for TCP serialisation *)
+  notify_kind : notify_mode;
+  counts : Metrics.registry;
+  mutable total : int;
+}
+
+(* Mean delay until a polling receiver notices a new message, and the
+   busy-work it burns per message while spinning on the ring head. *)
+let poll_notice_cycles = 400
+let poll_busy_cycles = 300
+
+let create kind env ?(ring_slots = 512) ?(slot_bytes = 256) ?(notify = Ipi) ?tcp () =
+  let ring sender_index =
+    let sender = Node_id.of_index sender_index in
+    (* Each direction gets half of a dedicated slice of the ring area. *)
+    let base = Layout.message_ring.Layout.lo + (sender_index * Addr.mib 32) in
+    Ring_buffer.create ~cache:env.Env.cache ~base ~slots:ring_slots ~slot_bytes ~sender
+  in
+  let staging =
+    Array.map
+      (fun kernel -> Stramash_kernel.Kheap.alloc kernel.Stramash_kernel.Kernel.kheap ~bytes:Addr.page_size)
+      env.Env.kernels
+  in
+  {
+    kind;
+    env;
+    rings = [| ring 0; ring 1 |];
+    tcp = (match tcp with Some l -> l | None -> Tcp_link.create ());
+    staging;
+    notify_kind = notify;
+    counts = Metrics.registry ();
+    total = 0;
+  }
+
+let transport t = t.kind
+let notify_mode t = t.notify_kind
+
+let shm_notify_latency t ~dst =
+  match t.notify_kind with
+  | Ipi -> Ipi.cross_isa_ipi_cycles
+  | Polling ->
+      (* the receiver pays its spin work; the sender only waits for the
+         next poll to come around *)
+      Meter.add (Env.meter t.env dst) poll_busy_cycles;
+      poll_notice_cycles
+
+let count t label =
+  Metrics.incr t.counts label;
+  t.total <- t.total + 1
+
+(* Move one message from [src] to [dst]; returns the extra latency the
+   sender observes before the handler can start (notification). Send-side
+   work is charged to [src]'s meter, receive-side to [dst]'s. *)
+let convey t ~src ~bytes =
+  let dst = Node_id.other src in
+  match t.kind with
+  | Shm ->
+      let ring = t.rings.(Node_id.index src) in
+      (* RPCs are synchronous, so the ring never actually fills; drain
+         defensively if it somehow did. *)
+      (match Ring_buffer.send ring ~payload_bytes:bytes () with
+      | Ok cost -> Meter.add (Env.meter t.env src) cost
+      | Error `Full ->
+          while Ring_buffer.length ring > 0 do
+            ignore (Ring_buffer.recv ring)
+          done;
+          (match Ring_buffer.send ring ~payload_bytes:bytes () with
+          | Ok cost -> Meter.add (Env.meter t.env src) cost
+          | Error `Full -> invalid_arg "Msg_layer: message larger than ring"));
+      let recv_cost = match Ring_buffer.recv ring with Some (c, ()) -> c | None -> 0 in
+      Meter.add (Env.meter t.env dst) recv_cost;
+      shm_notify_latency t ~dst
+  | Tcp ->
+      (* Serialise into the staging page (bounced through the cache),
+         then pay the wire latency; receiver deserialises. *)
+      let src_buf = t.staging.(Node_id.index src) in
+      let dst_buf = t.staging.(Node_id.index dst) in
+      let chunk = min bytes Addr.page_size in
+      Env.charge_bytes_store t.env src ~paddr:src_buf ~len:chunk;
+      Env.charge_bytes_load t.env dst ~paddr:dst_buf ~len:chunk;
+      Tcp_link.one_way_cycles t.tcp ~payload_bytes:bytes
+
+let rpc t ~src ~label ~req_bytes ~resp_bytes ~handler =
+  let dst = Node_id.other src in
+  let src_meter = Env.meter t.env src in
+  let dst_meter = Env.meter t.env dst in
+  count t label;
+  let notify_latency = convey t ~src ~bytes:req_bytes in
+  Meter.add src_meter notify_latency;
+  (* Peer handles the request; the requester blocks for that long. *)
+  let handler_cycles = Meter.delta dst_meter handler in
+  Meter.add src_meter handler_cycles;
+  (* Response. *)
+  count t (label ^ "_reply");
+  let reply_notify = ref 0 in
+  let reply_latency =
+    Meter.delta dst_meter (fun () -> reply_notify := convey t ~src:dst ~bytes:resp_bytes)
+  in
+  Meter.add src_meter reply_latency;
+  Meter.add src_meter !reply_notify
+
+let notify t ~src ~label ~bytes ~handler =
+  let dst = Node_id.other src in
+  count t label;
+  let lat = convey t ~src ~bytes in
+  ignore lat;
+  (* The peer processes the message on its own time. *)
+  ignore (Meter.delta (Env.meter t.env dst) handler)
+
+let record_async t ~label = count t label
+
+let message_count t = t.total
+let count_for t label = Metrics.get t.counts label
+let counts t = List.map (fun name -> (name, Metrics.get t.counts name)) (Metrics.names t.counts)
+
+let reset_counts t =
+  Metrics.reset t.counts;
+  t.total <- 0

@@ -1,0 +1,16 @@
+type t = int
+
+let frequency_ghz = 2.1
+
+let of_ns ns = int_of_float (Float.round (ns *. frequency_ghz))
+let of_us us = of_ns (us *. 1000.0)
+let to_ns c = float_of_int c /. frequency_ghz
+let to_us c = to_ns c /. 1000.0
+let to_ms c = to_ns c /. 1_000_000.0
+
+let pp fmt c =
+  let ns = to_ns c in
+  if ns < 1_000.0 then Format.fprintf fmt "%.0fns" ns
+  else if ns < 1_000_000.0 then Format.fprintf fmt "%.2fus" (ns /. 1_000.0)
+  else if ns < 1_000_000_000.0 then Format.fprintf fmt "%.2fms" (ns /. 1_000_000.0)
+  else Format.fprintf fmt "%.3fs" (ns /. 1_000_000_000.0)

@@ -1,0 +1,106 @@
+(* Binary min-heap of (time, sequence, callback); the sequence number makes
+   equal-time events fire in insertion order. *)
+
+type event = { at : Cycles.t; seq : int; fn : unit -> unit }
+
+type t = {
+  mutable clock : Cycles.t;
+  mutable heap : event array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy = { at = 0; seq = 0; fn = ignore }
+
+let create () = { clock = 0; heap = Array.make 64 dummy; size = 0; next_seq = 0 }
+
+let now t = t.clock
+
+let earlier a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+let swap h i j =
+  let tmp = h.(i) in
+  h.(i) <- h.(j);
+  h.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier h.(i) h.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h size i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < size && earlier h.(l) h.(i) then l else i in
+  let smallest = if r < size && earlier h.(r) h.(smallest) then r else smallest in
+  if smallest <> i then begin
+    swap h i smallest;
+    sift_down h size smallest
+  end
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  sift_up t.heap (t.size - 1)
+
+let pop t =
+  assert (t.size > 0);
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  if t.size > 0 then sift_down t.heap t.size 0;
+  top
+
+let peek t = if t.size = 0 then None else Some t.heap.(0)
+
+let pending t = t.size
+
+let next_event_at t = Option.map (fun ev -> ev.at) (peek t)
+
+let schedule_at t ~at fn =
+  assert (at >= t.clock);
+  push t { at; seq = t.next_seq; fn };
+  t.next_seq <- t.next_seq + 1
+
+let schedule t ~delay fn =
+  assert (delay >= 0);
+  schedule_at t ~at:(t.clock + delay) fn
+
+(* Fire every event with timestamp <= horizon, then settle the clock there. *)
+let drain_until t horizon =
+  let rec loop () =
+    match peek t with
+    | Some ev when ev.at <= horizon ->
+        let ev = pop t in
+        t.clock <- ev.at;
+        ev.fn ();
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if t.clock < horizon then t.clock <- horizon
+
+let advance t d =
+  assert (d >= 0);
+  drain_until t (t.clock + d)
+
+let advance_to t at = if at > t.clock then drain_until t at
+
+let run_until_idle t =
+  let rec loop () =
+    match peek t with
+    | None -> ()
+    | Some ev ->
+        drain_until t ev.at;
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,37 @@
+(** Discrete-event simulation engine.
+
+    A single global clock (in {!Cycles.t}) and a priority queue of pending
+    events. Components either advance the clock directly (synchronous cost
+    accounting, the common case for CPU execution) or schedule callbacks at
+    future instants (message delivery, IPIs, timers). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Cycles.t
+(** Current simulated time. *)
+
+val advance : t -> Cycles.t -> unit
+(** [advance t d] moves the clock forward by [d] cycles, firing any events
+    that fall inside the skipped interval (in timestamp order).
+    Requires [d >= 0]. *)
+
+val advance_to : t -> Cycles.t -> unit
+(** Move the clock to an absolute instant (no-op if already past it). *)
+
+val schedule : t -> delay:Cycles.t -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] once the clock reaches [now t + delay].
+    Events with equal timestamps fire in insertion order. *)
+
+val schedule_at : t -> at:Cycles.t -> (unit -> unit) -> unit
+
+val pending : t -> int
+(** Number of events not yet fired. *)
+
+val run_until_idle : t -> unit
+(** Fire all pending events, advancing the clock to each; terminates when
+    the queue is empty. Events may schedule further events. *)
+
+val next_event_at : t -> Cycles.t option
+(** Timestamp of the earliest pending event, if any. *)

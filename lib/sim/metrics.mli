@@ -1,0 +1,40 @@
+(** Named counters and histograms for simulation statistics.
+
+    Each machine component holds a [registry]; the harness dumps registries
+    into report tables. Counter lookup is by string name, created on first
+    use so call sites stay terse. *)
+
+type registry
+
+val registry : unit -> registry
+
+val incr : registry -> string -> unit
+val add : registry -> string -> int -> unit
+val set : registry -> string -> int -> unit
+val get : registry -> string -> int
+(** Missing counters read as 0. *)
+
+val reset : registry -> unit
+val names : registry -> string list
+(** Sorted counter names present in the registry. *)
+
+val fold : registry -> init:'a -> f:('a -> string -> int -> 'a) -> 'a
+
+(** Fixed-bound histogram with uniform buckets, used for latency
+    distributions (e.g. the IPI matrices of Figs. 5-6). *)
+module Histogram : sig
+  type t
+
+  val create : buckets:int -> lo:float -> hi:float -> t
+  val record : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val min_value : t -> float
+  val max_value : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t 0.5] approximates the median from bucket boundaries. *)
+
+  val bucket_counts : t -> (float * int) array
+  (** [(lower_bound, count)] per bucket, plus overflow in the last one. *)
+end

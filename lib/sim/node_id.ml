@@ -1,0 +1,14 @@
+type t = X86 | Arm
+
+let other = function X86 -> Arm | Arm -> X86
+let index = function X86 -> 0 | Arm -> 1
+
+let of_index = function
+  | 0 -> X86
+  | 1 -> Arm
+  | n -> invalid_arg (Printf.sprintf "Node_id.of_index: %d" n)
+
+let all = [ X86; Arm ]
+let to_string = function X86 -> "x86" | Arm -> "arm"
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let equal a b = match (a, b) with X86, X86 | Arm, Arm -> true | X86, Arm | Arm, X86 -> false

@@ -1,0 +1,16 @@
+(** Identity of a kernel instance / CPU complex.
+
+    The paper's prototype (and ours) is a pair: an x86-64 island and an
+    AArch64 island, each running its own kernel instance. *)
+
+type t = X86 | Arm
+
+val other : t -> t
+val index : t -> int
+(** [X86] is node 0, [Arm] is node 1 (matching the artifact's layout). *)
+
+val of_index : int -> t
+val all : t list
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

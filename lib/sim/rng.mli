@@ -1,0 +1,35 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    Every stochastic component of the simulator draws from an explicit [t]
+    so that whole-machine runs are reproducible from a single seed. *)
+
+type t
+
+val create : seed:int64 -> t
+(** Fresh generator from a 64-bit seed. *)
+
+val split : t -> t
+(** Derive an independent stream; the parent remains usable. *)
+
+val copy : t -> t
+(** Duplicate the exact state (same future draws). *)
+
+val next_int64 : t -> int64
+(** Uniform 64-bit draw. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val gaussian : t -> mean:float -> sigma:float -> float
+(** Box-Muller normal draw. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

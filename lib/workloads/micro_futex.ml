@@ -1,0 +1,64 @@
+module B = Stramash_isa.Builder
+module Mir = Stramash_isa.Mir
+module Spec = Stramash_machine.Spec
+
+type params = { loops : int }
+
+let unlocker_entry = 101
+
+let word_base = Spec.heap_base (* futex word W *)
+let flag_off = 64 (* shutdown flag F, separate line, same page *)
+
+let program ~loops =
+  let b = B.create () in
+  (* ---- T1: the locker, runs from the entry point on x86 ---- *)
+  let w_r = B.immi b word_base in
+  let f_r = B.immi b (word_base + flag_off) in
+  let one = B.immi b 1 in
+  let counter = B.immi b 0 in
+  let zero_r = B.immi b 0 in
+  B.for_up_const b ~lo:0 ~hi:loops (fun _i ->
+      let again = B.label b in
+      let acquired = B.label b in
+      B.place b again;
+      let v = B.load b Mir.W32 (Mir.based w_r) in
+      B.branch b Mir.Eq v zero_r acquired;
+      (* contended: sleep until the unlocker releases *)
+      B.futex_wait b ~uaddr:w_r ~expected:one;
+      B.jump b again;
+      B.place b acquired;
+      B.store b Mir.W32 one (Mir.based w_r);
+      B.addi_to b counter counter 1);
+  (* signal shutdown and release the lock one last time *)
+  B.store b Mir.W32 one (Mir.based f_r);
+  B.store b Mir.W32 zero_r (Mir.based w_r);
+  let chk = B.immi b Npb_common.checksum_vaddr in
+  B.store b Mir.W64 counter (Mir.based chk);
+  B.halt b;
+  (* ---- T2: the unlocker, spawned at [unlocker_entry] on Arm ---- *)
+  B.migrate_point b unlocker_entry;
+  let w2 = B.immi b word_base in
+  let f2 = B.immi b (word_base + flag_off) in
+  let dummy = B.immi b 0 in
+  let top = B.label b in
+  let exit = B.label b in
+  B.place b top;
+  let f = B.load b Mir.W32 (Mir.based f2) in
+  B.branchi b Mir.Ne f 0 exit;
+  let z = B.immi b 0 in
+  B.store b Mir.W32 z (Mir.based w2);
+  B.futex_wake b ~uaddr:w2 ~nwake:1;
+  B.addi_to b dummy dummy 1;
+  B.jump b top;
+  B.place b exit;
+  B.halt b;
+  B.finish b
+
+let spec ~loops =
+  {
+    Spec.name = Printf.sprintf "futex-%d" loops;
+    description = "cross-ISA futex lock/unlock ping-pong (Fig. 13)";
+    mir = program ~loops;
+    segments = [ Stramash_machine.Spec.segment ~base:word_base ~len:4096 (); Npb_common.checksum_segment ];
+    migration_targets = [];
+  }

@@ -1,0 +1,16 @@
+(** Futex microbenchmark (paper §9.2.6, Fig. 13).
+
+    The origin thread repeatedly takes a futex-backed lock; a remote
+    thread repeatedly releases it, each loop performing one addition. The
+    origin-managed protocol (regular) pays message rounds per operation;
+    Stramash's optimisation reduces a cross-kernel wake to direct queue
+    access plus one IPI.
+
+    Usage: [Machine.load] the spec (main thread = locker at x86), then
+    [Machine.spawn_thread ~at_point:unlocker_entry ~node:Arm], and drive
+    both with [Runner.run_threads]. *)
+
+type params = { loops : int }
+
+val unlocker_entry : int
+val spec : loops:int -> Stramash_machine.Spec.t

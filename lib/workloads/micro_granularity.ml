@@ -1,0 +1,49 @@
+module B = Stramash_isa.Builder
+module Mir = Stramash_isa.Mir
+module Node_id = Stramash_sim.Node_id
+module Spec = Stramash_machine.Spec
+
+type params = { pages : int; lines : int }
+
+let default_pages = 128
+let measure_start = 10
+let measure_stop = 11
+
+let data_base = Spec.heap_base
+
+let program ~pages ~lines =
+  let b = B.create () in
+  let base_r = B.immi b data_base in
+  let acc = B.immi b 0 in
+  B.migrate_point b 0 (* -> Arm *);
+  B.migrate_point b measure_start;
+  B.for_up_const b ~lo:0 ~hi:pages (fun page ->
+      let page_addr = B.shli b page 12 in
+      let page_addr = B.add b page_addr base_r in
+      B.for_up_const b ~lo:0 ~hi:lines (fun line ->
+          let a = B.shli b line 6 in
+          let a = B.add b a page_addr in
+          let v = B.load b Mir.W64 (Mir.based a) in
+          B.add_to b acc acc v));
+  B.migrate_point b measure_stop;
+  B.migrate_point b 1 (* -> back *);
+  let chk = B.immi b Npb_common.checksum_vaddr in
+  B.store b Mir.W64 acc (Mir.based chk);
+  B.finish b
+
+let spec ?(pages = default_pages) ~lines () =
+  assert (lines >= 1 && lines <= 64);
+  let bytes = pages * 4096 in
+  {
+    Spec.name = Printf.sprintf "granularity-%dL" lines;
+    description = "per-cacheline remote access vs page-granularity DSM (Fig. 12)";
+    mir = program ~pages ~lines;
+    segments =
+      [
+        Spec.segment ~base:data_base ~len:bytes
+          ~init:(Spec.I64s (Array.init (bytes / 8) Int64.of_int))
+          ();
+        Npb_common.checksum_segment;
+      ];
+    migration_targets = [ (0, Node_id.Arm); (1, Node_id.X86) ];
+  }

@@ -1,0 +1,129 @@
+module B = Stramash_isa.Builder
+module Mir = Stramash_isa.Mir
+module Node_id = Stramash_sim.Node_id
+module Spec = Stramash_machine.Spec
+
+type variant =
+  | Vanilla
+  | Remote_access_origin
+  | Remote_access_origin_warm
+  | Origin_access_remote
+  | Origin_access_remote_warm
+  | Remote_random
+
+let all_variants =
+  [
+    Vanilla;
+    Remote_access_origin;
+    Remote_access_origin_warm;
+    Origin_access_remote;
+    Origin_access_remote_warm;
+    Remote_random;
+  ]
+
+let variant_name = function
+  | Vanilla -> "vanilla"
+  | Remote_access_origin -> "RaO"
+  | Remote_access_origin_warm -> "RaO-NC"
+  | Origin_access_remote -> "OaR"
+  | Origin_access_remote_warm -> "OaR-NC"
+  | Remote_random -> "RaO-rand"
+
+let measure_start = 10
+let measure_stop = 11
+
+type params = { bytes : int }
+
+let default = { bytes = 640 * 1024 } (* paper's 10 MB at the 16x scale *)
+
+let data_base = Spec.heap_base
+
+let emit_read_pass b ~elems ~base_r =
+  let acc = B.immi b 0 in
+  B.for_up_const b ~lo:0 ~hi:elems (fun i ->
+      let v = B.load b Mir.W64 (Mir.indexed base_r i ~scale:8) in
+      B.add_to b acc acc v);
+  acc
+
+let emit_write_pass b ~elems ~base_r =
+  B.for_up_const b ~lo:0 ~hi:elems (fun i ->
+      B.store b Mir.W64 i (Mir.indexed base_r i ~scale:8))
+
+(* One load per element in LCG-permuted order; [elems] must be a power of
+   two so the mask keeps indices in range. *)
+let emit_random_read_pass b ~elems ~base_r =
+  assert (elems land (elems - 1) = 0);
+  let acc = B.immi b 0 in
+  let state = B.immi b 12345 in
+  let mul = B.imm b 6364136223846793005L in
+  let inc = B.imm b 1442695040888963407L in
+  B.for_up_const b ~lo:0 ~hi:elems (fun _i ->
+      let s1 = B.mul b state mul in
+      let s2 = B.add b s1 inc in
+      B.set b state s2;
+      let idx = B.shri b state 24 in
+      let idx = B.andi b idx (elems - 1) in
+      let v = B.load b Mir.W64 (Mir.indexed base_r idx ~scale:8) in
+      B.add_to b acc acc v);
+  acc
+
+let program ~variant ~elems =
+  let b = B.create () in
+  let base_r = B.immi b data_base in
+  let finish_with acc =
+    let chk = B.immi b Npb_common.checksum_vaddr in
+    B.store b Mir.W64 acc (Mir.based chk);
+    B.finish b
+  in
+  match variant with
+  | Vanilla ->
+      B.migrate_point b measure_start;
+      let acc = emit_read_pass b ~elems ~base_r in
+      B.migrate_point b measure_stop;
+      finish_with acc
+  | Remote_access_origin | Remote_access_origin_warm ->
+      B.migrate_point b 0 (* -> Arm *);
+      if variant = Remote_access_origin_warm then ignore (emit_read_pass b ~elems ~base_r);
+      B.migrate_point b measure_start;
+      let acc = emit_read_pass b ~elems ~base_r in
+      B.migrate_point b measure_stop;
+      B.migrate_point b 1 (* -> back *);
+      finish_with acc
+  | Origin_access_remote | Origin_access_remote_warm ->
+      (* First touch happens on the Arm side: the remote kernel allocates. *)
+      B.migrate_point b 0;
+      emit_write_pass b ~elems ~base_r;
+      B.migrate_point b 1 (* back to x86 *);
+      if variant = Origin_access_remote_warm then ignore (emit_read_pass b ~elems ~base_r);
+      B.migrate_point b measure_start;
+      let acc = emit_read_pass b ~elems ~base_r in
+      B.migrate_point b measure_stop;
+      finish_with acc
+  | Remote_random ->
+      let rec pow2 v = if 2 * v <= elems then pow2 (2 * v) else v in
+      let elems = pow2 1 in
+      B.migrate_point b 0;
+      B.migrate_point b measure_start;
+      let acc = emit_random_read_pass b ~elems ~base_r in
+      B.migrate_point b measure_stop;
+      B.migrate_point b 1;
+      finish_with acc
+
+let spec ?(params = default) variant =
+  let elems = params.bytes / 8 in
+  let eager =
+    match variant with
+    | Origin_access_remote | Origin_access_remote_warm -> false
+    | Vanilla | Remote_access_origin | Remote_access_origin_warm | Remote_random -> true
+  in
+  let init =
+    if eager then Spec.I64s (Array.init elems (fun i -> Int64.of_int (i * 3))) else Spec.Zeroed
+  in
+  {
+    Spec.name = "memaccess-" ^ variant_name variant;
+    description = "sequential access microbenchmark (Fig. 11)";
+    mir = program ~variant ~elems;
+    segments =
+      [ Spec.segment ~base:data_base ~len:params.bytes ~eager ~init (); Npb_common.checksum_segment ];
+    migration_targets = [ (0, Node_id.Arm); (1, Node_id.X86) ];
+  }

@@ -1,0 +1,29 @@
+(** Memory-access microbenchmark (paper §9.2.4, Fig. 11).
+
+    10 MB (scaled) of data is allocated by either the origin or the remote
+    kernel, then read sequentially by one side or the other, cold or
+    pre-warmed. Under Popcorn the first remote pass replicates pages via
+    DSM; under Stramash reads go straight to (possibly remote) memory via
+    hardware coherence. The measured window is delimited by phase marks
+    {!measure_start}/{!measure_stop}. *)
+
+type variant =
+  | Vanilla (* origin reads its own memory *)
+  | Remote_access_origin (* Arm reads x86-allocated memory, cold *)
+  | Remote_access_origin_warm (* ... after a prior warming pass (NC) *)
+  | Origin_access_remote (* x86 reads Arm-allocated memory, cold *)
+  | Origin_access_remote_warm
+  | Remote_random
+      (* Arm reads x86 memory in pseudo-random order: the dispersed
+         fine-grained pattern of the paper's §9.2.5 takeaway, worst for
+         page-granularity replication *)
+
+val all_variants : variant list
+val variant_name : variant -> string
+val measure_start : int
+val measure_stop : int
+
+type params = { bytes : int }
+
+val default : params
+val spec : ?params:params -> variant -> Stramash_machine.Spec.t

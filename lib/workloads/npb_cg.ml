@@ -1,0 +1,114 @@
+module B = Stramash_isa.Builder
+module Mir = Stramash_isa.Mir
+module Spec = Stramash_machine.Spec
+
+type params = { n : int; row_nnz : int; iterations : int }
+
+let default = { n = 8192; row_nnz = 12; iterations = 10 }
+
+let rowptr_base = Spec.heap_base
+let colidx_base p = rowptr_base + (8 * (p.n + 1)) + 0x10000
+let vals_base p = colidx_base p + (8 * p.n * p.row_nnz) + 0x10000
+let p_base pr = vals_base pr + (8 * pr.n * pr.row_nnz) + 0x10000
+let q_base pr = p_base pr + (8 * pr.n) + 0x10000
+
+let align_page a = (a + 4095) land lnot 4095
+
+let matrix p = Npb_common.csr_matrix ~seed:0xC6L ~n:p.n ~row_nnz:p.row_nnz
+let p_init p = Npb_common.random_f64s ~seed:0xCAFEL ~n:p.n
+
+(* Each iteration: q = A*p (the dominant, load-heavy phase), a dot product,
+   and an axpy refreshing p — the CG skeleton without the scalar recurrences
+   that contribute no memory traffic. *)
+let program pr =
+  let b = B.create () in
+  let rowptr_r = B.immi b (align_page rowptr_base) in
+  let colidx_r = B.immi b (align_page (colidx_base pr)) in
+  let vals_r = B.immi b (align_page (vals_base pr)) in
+  let p_r = B.immi b (align_page (p_base pr)) in
+  let q_r = B.immi b (align_page (q_base pr)) in
+  let dot = B.fimm b 0.0 in
+  for iter = 0 to pr.iterations - 1 do
+    Npb_common.with_round b ~round:iter (fun () ->
+        (* q = A * p *)
+        B.for_up_const b ~lo:0 ~hi:pr.n (fun row ->
+            let lo = B.load b Mir.W64 (Mir.indexed rowptr_r row ~scale:8) in
+            let hi = B.load b Mir.W64 (Mir.indexed_disp rowptr_r row ~scale:8 ~disp:8) in
+            let sum = B.fimm b 0.0 in
+            B.for_range b ~from:lo ~to_:hi (fun j ->
+                let c = B.load b Mir.W64 (Mir.indexed colidx_r j ~scale:8) in
+                let v = B.load b Mir.W64 (Mir.indexed vals_r j ~scale:8) in
+                let pv = B.load b Mir.W64 (Mir.indexed p_r c ~scale:8) in
+                let prod = B.fmul b v pv in
+                B.fadd_to b sum sum prod);
+            B.store b Mir.W64 sum (Mir.indexed q_r row ~scale:8));
+        (* dot = p . q *)
+        let d = B.fimm b 0.0 in
+        B.for_up_const b ~lo:0 ~hi:pr.n (fun i ->
+            let pv = B.load b Mir.W64 (Mir.indexed p_r i ~scale:8) in
+            let qv = B.load b Mir.W64 (Mir.indexed q_r i ~scale:8) in
+            let prod = B.fmul b pv qv in
+            B.fadd_to b d d prod);
+        B.fadd_to b dot dot d;
+        (* p = 0.5*p + 0.001*q : keeps values bounded and deterministic *)
+        let half = B.fimm b 0.5 in
+        let eps = B.fimm b 0.001 in
+        B.for_up_const b ~lo:0 ~hi:pr.n (fun i ->
+            let pv = B.load b Mir.W64 (Mir.indexed p_r i ~scale:8) in
+            let qv = B.load b Mir.W64 (Mir.indexed q_r i ~scale:8) in
+            let a = B.fmul b pv half in
+            let c = B.fmul b qv eps in
+            let nv = B.fadd b a c in
+            B.store b Mir.W64 nv (Mir.indexed p_r i ~scale:8)))
+  done;
+  let chk = B.immi b Npb_common.checksum_vaddr in
+  B.store b Mir.W64 dot (Mir.based chk);
+  B.finish b
+
+let expected_checksum pr =
+  let rowptr, colidx, vals = matrix pr in
+  let p = p_init pr in
+  let q = Array.make pr.n 0.0 in
+  let dot = ref 0.0 in
+  for _iter = 0 to pr.iterations - 1 do
+    for row = 0 to pr.n - 1 do
+      let lo = Int64.to_int rowptr.(row) and hi = Int64.to_int rowptr.(row + 1) in
+      let sum = ref 0.0 in
+      for j = lo to hi - 1 do
+        sum := !sum +. (vals.(j) *. p.(Int64.to_int colidx.(j)))
+      done;
+      q.(row) <- !sum
+    done;
+    let d = ref 0.0 in
+    for i = 0 to pr.n - 1 do
+      d := !d +. (p.(i) *. q.(i))
+    done;
+    dot := !dot +. !d;
+    for i = 0 to pr.n - 1 do
+      p.(i) <- (0.5 *. p.(i)) +. (0.001 *. q.(i))
+    done
+  done;
+  !dot
+
+let spec ?(params = default) () =
+  let pr = params in
+  let rowptr, colidx, vals = matrix pr in
+  {
+    Spec.name = "cg";
+    description =
+      Printf.sprintf "NPB CG-like sparse CG skeleton (n=%d, nnz/row=%d, %d iterations)" pr.n
+        pr.row_nnz pr.iterations;
+    mir = program pr;
+    segments =
+      [
+        Spec.segment ~base:(align_page rowptr_base) ~len:(8 * (pr.n + 1)) ~init:(Spec.I64s rowptr) ();
+        Spec.segment ~base:(align_page (colidx_base pr)) ~len:(8 * pr.n * pr.row_nnz)
+          ~init:(Spec.I64s colidx) ();
+        Spec.segment ~base:(align_page (vals_base pr)) ~len:(8 * pr.n * pr.row_nnz)
+          ~init:(Spec.F64s vals) ();
+        Spec.segment ~base:(align_page (p_base pr)) ~len:(8 * pr.n) ~init:(Spec.F64s (p_init pr)) ();
+        Spec.segment ~base:(align_page (q_base pr)) ~len:(8 * pr.n) ~eager:false ();
+        Npb_common.checksum_segment;
+      ];
+    migration_targets = Npb_common.round_trip_targets ~rounds:pr.iterations;
+  }

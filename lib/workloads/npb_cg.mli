@@ -1,0 +1,11 @@
+(** NPB CG (Conjugate Gradient): sparse matrix-vector products — the
+    paper's read-intensive benchmark (98.34% of memory instructions are
+    loads, §9.2.1). Under the Shared/Separated models this is where
+    Popcorn-SHM's replicate-then-read-locally strategy can beat Stramash's
+    direct remote access at small L3 sizes (Fig. 10). *)
+
+type params = { n : int; row_nnz : int; iterations : int }
+
+val default : params
+val spec : ?params:params -> unit -> Stramash_machine.Spec.t
+val expected_checksum : params -> float

@@ -1,0 +1,34 @@
+module Node_id = Stramash_sim.Node_id
+module Rng = Stramash_sim.Rng
+module B = Stramash_isa.Builder
+module Spec = Stramash_machine.Spec
+
+let round_trip_targets ~rounds =
+  List.concat
+    (List.init rounds (fun k -> [ (2 * k, Node_id.Arm); ((2 * k) + 1, Node_id.X86) ]))
+
+let with_round b ~round body =
+  B.migrate_point b (2 * round);
+  body ();
+  B.migrate_point b ((2 * round) + 1)
+
+let checksum_base = 0x0F00_0000
+let checksum_vaddr = checksum_base
+
+let checksum_segment = Spec.segment ~base:checksum_base ~len:4096 ~eager:true ()
+
+let random_keys ~seed ~n ~max_key =
+  let rng = Rng.create ~seed in
+  Array.init n (fun _ -> Int64.of_int (Rng.int rng max_key))
+
+let random_f64s ~seed ~n =
+  let rng = Rng.create ~seed in
+  Array.init n (fun _ -> Rng.float rng 2.0 -. 1.0)
+
+let csr_matrix ~seed ~n ~row_nnz =
+  let rng = Rng.create ~seed in
+  let nnz = n * row_nnz in
+  let rowptr = Array.init (n + 1) (fun i -> Int64.of_int (i * row_nnz)) in
+  let colidx = Array.init nnz (fun _ -> Int64.of_int (Rng.int rng n)) in
+  let vals = Array.init nnz (fun _ -> Rng.float rng 2.0 -. 1.0) in
+  (rowptr, colidx, vals)

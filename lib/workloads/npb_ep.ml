@@ -1,0 +1,68 @@
+module B = Stramash_isa.Builder
+module Mir = Stramash_isa.Mir
+module Spec = Stramash_machine.Spec
+
+type params = { samples : int; iterations : int }
+
+let default = { samples = 200_000; iterations = 2 }
+
+let hist_base = Spec.heap_base
+let hist_buckets = 64
+
+(* A 64-bit LCG evaluated in registers; only the small histogram touches
+   memory. *)
+let lcg_mul = 6364136223846793005L
+let lcg_inc = 1442695040888963407L
+
+let program p =
+  let b = B.create () in
+  let hist_r = B.immi b hist_base in
+  let x = B.imm b 0x9E3779B97F4A7C15L in
+  for iter = 0 to p.iterations - 1 do
+    Npb_common.with_round b ~round:iter (fun () ->
+        B.for_up_const b ~lo:0 ~hi:p.samples (fun _i ->
+            let m = B.imm b lcg_mul in
+            let c = B.imm b lcg_inc in
+            let x1 = B.mul b x m in
+            let x2 = B.add b x1 c in
+            B.set b x x2;
+            let bucket = B.shri b x 58 in
+            let cnt = B.load b Mir.W64 (Mir.indexed hist_r bucket ~scale:8) in
+            let cnt1 = B.addi b cnt 1 in
+            B.store b Mir.W64 cnt1 (Mir.indexed hist_r bucket ~scale:8)))
+  done;
+  let acc = B.immi b 0 in
+  B.for_up_const b ~lo:0 ~hi:hist_buckets (fun k ->
+      let c = B.load b Mir.W64 (Mir.indexed hist_r k ~scale:8) in
+      let kc = B.mul b c (B.addi b k 3) in
+      B.add_to b acc acc kc);
+  let chk = B.immi b Npb_common.checksum_vaddr in
+  B.store b Mir.W64 acc (Mir.based chk);
+  B.finish b
+
+let expected_checksum p =
+  let hist = Array.make hist_buckets 0 in
+  let x = ref 0x9E3779B97F4A7C15L in
+  for _iter = 0 to p.iterations - 1 do
+    for _i = 0 to p.samples - 1 do
+      x := Int64.add (Int64.mul !x lcg_mul) lcg_inc;
+      let bucket = Int64.to_int (Int64.shift_right_logical !x 58) in
+      hist.(bucket) <- hist.(bucket) + 1
+    done
+  done;
+  let acc = ref 0L in
+  Array.iteri (fun k c -> acc := Int64.add !acc (Int64.of_int (c * (k + 3)))) hist;
+  !acc
+
+let spec ?(params = default) () =
+  let p = params in
+  {
+    Spec.name = "ep";
+    description =
+      Printf.sprintf "NPB EP-like register-resident random sampling (%d samples x%d)" p.samples
+        p.iterations;
+    mir = program p;
+    segments =
+      [ Spec.segment ~base:hist_base ~len:(8 * hist_buckets) ~eager:false (); Npb_common.checksum_segment ];
+    migration_targets = Npb_common.round_trip_targets ~rounds:p.iterations;
+  }

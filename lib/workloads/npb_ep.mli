@@ -1,0 +1,10 @@
+(** NPB EP (Embarrassingly Parallel): pseudo-random number generation with
+    almost no memory traffic — the compute-bound contrast workload. Used
+    by the ablation benches to show that fused-kernel benefits vanish when
+    the OS is not on the critical path. *)
+
+type params = { samples : int; iterations : int }
+
+val default : params
+val spec : ?params:params -> unit -> Stramash_machine.Spec.t
+val expected_checksum : params -> int64

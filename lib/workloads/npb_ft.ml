@@ -1,0 +1,261 @@
+module B = Stramash_isa.Builder
+module Mir = Stramash_isa.Mir
+module Spec = Stramash_machine.Spec
+
+type params = { n : int; iterations : int }
+
+let default = { n = 16; iterations = 3 }
+
+let points p = p.n * p.n * p.n
+let array_bytes p = 16 * points p (* interleaved complex *)
+
+let u_base = Spec.heap_base
+let w_base p = u_base + array_bytes p + 0x10000
+let fac_base p = w_base p + 0x10000 (* the twiddle table needs only n/2 lines *)
+
+(* Per-iteration scratch arrays. Each lives in its own 2MB-aligned virtual
+   region (one leaf page table per region), is demand-faulted, and under
+   cross-ISA migration is first-touched on the remote node — so the origin
+   kernel's page table lacks the upper levels and the remote fault takes
+   the origin-fallback path (§9.2.3). This is FT's signature behaviour and
+   the source of its residual Table-3 messages/pages. *)
+let scratch_base _p ~iter ~half = 0x2000_0000 + (((2 * iter) + half) * 0x200000)
+
+let u_init p = Npb_common.random_f64s ~seed:0xF7L ~n:(2 * points p)
+let fac_init p = Npb_common.random_f64s ~seed:0xFAC70AL ~n:(points p)
+
+let twiddles p =
+  Array.concat
+    (List.init (p.n / 2) (fun k ->
+         let angle = -2.0 *. Float.pi *. float_of_int k /. float_of_int p.n in
+         [| cos angle; sin angle |]))
+
+(* In-place DIF radix-2 FFT of every contiguous [n]-point line of the
+   array at [arr_r]; twiddle index step doubles as the span halves. *)
+let emit_fft_lines b ~p ~arr_r ~w_r =
+  let n = p.n in
+  B.for_up_const b ~lo:0 ~hi:(n * n) (fun line ->
+      let lbase = B.muli b line n in
+      let span = B.immi b (n / 2) in
+      let kstep = B.immi b 1 in
+      let top = B.label b in
+      let exit = B.label b in
+      B.place b top;
+      B.branchi b Mir.Lt span 1 exit;
+      (* for start in 0..n step 2*span *)
+      let start = B.immi b 0 in
+      let step = B.shli b span 1 in
+      let stop = B.immi b n in
+      let stop_lbl = B.label b in
+      let stop_top = B.label b in
+      B.seti b start 0;
+      B.place b stop_top;
+      B.branch b Mir.Ge start stop stop_lbl;
+      (let zero = B.immi b 0 in
+       B.for_range b ~from:zero ~to_:span (fun j ->
+           let i1 = B.add b lbase start in
+           B.add_to b i1 i1 j;
+           let i2 = B.add b i1 span in
+           let a1 = B.shli b i1 4 in
+           let a1 = B.add b a1 arr_r in
+           let a2 = B.shli b i2 4 in
+           let a2 = B.add b a2 arr_r in
+           let are = B.load b Mir.W64 (Mir.based a1) in
+           let aim = B.load b Mir.W64 (Mir.based_disp a1 8) in
+           let bre = B.load b Mir.W64 (Mir.based a2) in
+           let bim = B.load b Mir.W64 (Mir.based_disp a2 8) in
+           let sre = B.fadd b are bre in
+           let sim = B.fadd b aim bim in
+           B.store b Mir.W64 sre (Mir.based a1);
+           B.store b Mir.W64 sim (Mir.based_disp a1 8);
+           let tre = B.fsub b are bre in
+           let tim = B.fsub b aim bim in
+           let k = B.mul b j kstep in
+           let wa = B.shli b k 4 in
+           let wa = B.add b wa w_r in
+           let c = B.load b Mir.W64 (Mir.based wa) in
+           let d = B.load b Mir.W64 (Mir.based_disp wa 8) in
+           let m1 = B.fmul b tre c in
+           let m2 = B.fmul b tim d in
+           let ore = B.fsub b m1 m2 in
+           let m3 = B.fmul b tre d in
+           let m4 = B.fmul b tim c in
+           let oim = B.fadd b m3 m4 in
+           B.store b Mir.W64 ore (Mir.based a2);
+           B.store b Mir.W64 oim (Mir.based_disp a2 8)));
+      B.add_to b start start step;
+      B.jump b stop_top;
+      B.place b stop_lbl;
+      (* span /= 2; kstep *= 2 *)
+      B.bin_to b Mir.Shr span span (B.immi b 1);
+      B.bin_to b Mir.Shl kstep kstep (B.immi b 1);
+      B.jump b top;
+      B.place b exit)
+
+(* Coordinate rotation (z,y,x) -> x*n^2 + z*n + y, moving the next
+   dimension into the contiguous position. *)
+let emit_rotate b ~p ~src_r ~dst_r =
+  let n = p.n in
+  let log_n =
+    let rec go k acc = if 1 lsl acc = k then acc else go k (acc + 1) in
+    go n 0
+  in
+  let mask = n - 1 in
+  B.for_up_const b ~lo:0 ~hi:(points p) (fun i ->
+      let x = B.andi b i mask in
+      let y = B.shri b i log_n in
+      let y = B.andi b y mask in
+      let z = B.shri b i (2 * log_n) in
+      let j = B.shli b x log_n in
+      B.add_to b j j z;
+      let j2 = B.shli b j log_n in
+      B.add_to b j2 j2 y;
+      let sa = B.shli b i 4 in
+      let sa = B.add b sa src_r in
+      let da = B.shli b j2 4 in
+      let da = B.add b da dst_r in
+      let re = B.load b Mir.W64 (Mir.based sa) in
+      let im = B.load b Mir.W64 (Mir.based_disp sa 8) in
+      B.store b Mir.W64 re (Mir.based da);
+      B.store b Mir.W64 im (Mir.based_disp da 8))
+
+let program p =
+  let b = B.create () in
+  let u_r = B.immi b u_base in
+  let w_r = B.immi b (w_base p) in
+  let fac_r = B.immi b (fac_base p) in
+  for iter = 0 to p.iterations - 1 do
+    let s1_r = B.immi b (scratch_base p ~iter ~half:0) in
+    let s2_r = B.immi b (scratch_base p ~iter ~half:1) in
+    Npb_common.with_round b ~round:iter (fun () ->
+        emit_fft_lines b ~p ~arr_r:u_r ~w_r;
+        emit_rotate b ~p ~src_r:u_r ~dst_r:s1_r;
+        emit_fft_lines b ~p ~arr_r:s1_r ~w_r;
+        emit_rotate b ~p ~src_r:s1_r ~dst_r:s2_r;
+        emit_fft_lines b ~p ~arr_r:s2_r ~w_r;
+        (* evolve: u = s2 * fac (real factor), closing the iteration *)
+        B.for_up_const b ~lo:0 ~hi:(points p) (fun i ->
+            let sa = B.shli b i 4 in
+            let sa = B.add b sa s2_r in
+            let fa = B.shli b i 3 in
+            let fa = B.add b fa fac_r in
+            let ua = B.shli b i 4 in
+            let ua = B.add b ua u_r in
+            let re = B.load b Mir.W64 (Mir.based sa) in
+            let im = B.load b Mir.W64 (Mir.based_disp sa 8) in
+            let f = B.load b Mir.W64 (Mir.based fa) in
+            let re = B.fmul b re f in
+            let im = B.fmul b im f in
+            B.store b Mir.W64 re (Mir.based ua);
+            B.store b Mir.W64 im (Mir.based_disp ua 8)))
+  done;
+  (* checksum: strided sum of real parts *)
+  let acc = B.fimm b 0.0 in
+  B.for_up_const b ~lo:0 ~hi:(points p / 16) (fun i ->
+      let idx = B.muli b i 16 in
+      let a = B.shli b idx 4 in
+      let a = B.add b a u_r in
+      let v = B.load b Mir.W64 (Mir.based a) in
+      B.fadd_to b acc acc v);
+  let chk = B.immi b Npb_common.checksum_vaddr in
+  B.store b Mir.W64 acc (Mir.based chk);
+  B.finish b
+
+let expected_checksum p =
+  let n = p.n in
+  let npts = points p in
+  let re = Array.make npts 0.0 and im = Array.make npts 0.0 in
+  let ui = u_init p in
+  for i = 0 to npts - 1 do
+    re.(i) <- ui.(2 * i);
+    im.(i) <- ui.((2 * i) + 1)
+  done;
+  let w = twiddles p in
+  let fac = fac_init p in
+  let fft_lines re im =
+    for line = 0 to (n * n) - 1 do
+      let lbase = line * n in
+      let span = ref (n / 2) and kstep = ref 1 in
+      while !span >= 1 do
+        let start = ref 0 in
+        while !start < n do
+          for j = 0 to !span - 1 do
+            let i1 = lbase + !start + j in
+            let i2 = i1 + !span in
+            let are = re.(i1) and aim = im.(i1) in
+            let bre = re.(i2) and bim = im.(i2) in
+            re.(i1) <- are +. bre;
+            im.(i1) <- aim +. bim;
+            let tre = are -. bre and tim = aim -. bim in
+            let k = j * !kstep in
+            let c = w.(2 * k) and d = w.((2 * k) + 1) in
+            re.(i2) <- (tre *. c) -. (tim *. d);
+            im.(i2) <- (tre *. d) +. (tim *. c)
+          done;
+          start := !start + (2 * !span)
+        done;
+        span := !span / 2;
+        kstep := !kstep * 2
+      done
+    done
+  in
+  let log_n =
+    let rec go acc = if 1 lsl acc = n then acc else go (acc + 1) in
+    go 0
+  in
+  let mask = n - 1 in
+  let rotate src_re src_im dst_re dst_im =
+    for i = 0 to npts - 1 do
+      let x = i land mask in
+      let y = (i lsr log_n) land mask in
+      let z = i lsr (2 * log_n) in
+      let j = ((((x lsl log_n) + z) lsl log_n) + y) in
+      dst_re.(j) <- src_re.(i);
+      dst_im.(j) <- src_im.(i)
+    done
+  in
+  let s1re = Array.make npts 0.0 and s1im = Array.make npts 0.0 in
+  let s2re = Array.make npts 0.0 and s2im = Array.make npts 0.0 in
+  for _iter = 0 to p.iterations - 1 do
+    fft_lines re im;
+    rotate re im s1re s1im;
+    fft_lines s1re s1im;
+    rotate s1re s1im s2re s2im;
+    fft_lines s2re s2im;
+    for i = 0 to npts - 1 do
+      re.(i) <- s2re.(i) *. fac.(i);
+      im.(i) <- s2im.(i) *. fac.(i)
+    done
+  done;
+  let acc = ref 0.0 in
+  for i = 0 to (npts / 16) - 1 do
+    acc := !acc +. re.(i * 16)
+  done;
+  !acc
+
+let spec ?(params = default) () =
+  let p = params in
+  let scratch_segments =
+    List.concat
+      (List.init p.iterations (fun iter ->
+           [
+             Spec.segment ~base:(scratch_base p ~iter ~half:0) ~len:(array_bytes p) ~eager:false ();
+             Spec.segment ~base:(scratch_base p ~iter ~half:1) ~len:(array_bytes p) ~eager:false ();
+           ]))
+  in
+  {
+    Spec.name = "ft";
+    description =
+      Printf.sprintf "NPB FT-like 3-D FFT (grid %d^3, %d iterations, fresh scratch per iteration)"
+        p.n p.iterations;
+    mir = program p;
+    segments =
+      [
+        Spec.segment ~base:u_base ~len:(array_bytes p) ~init:(Spec.F64s (u_init p)) ();
+        Spec.segment ~base:(w_base p) ~len:(16 * (p.n / 2)) ~init:(Spec.F64s (twiddles p)) ();
+        Spec.segment ~base:(fac_base p) ~len:(8 * points p) ~init:(Spec.F64s (fac_init p)) ();
+        Npb_common.checksum_segment;
+      ]
+      @ scratch_segments;
+    migration_targets = Npb_common.round_trip_targets ~rounds:p.iterations;
+  }

@@ -1,0 +1,14 @@
+(** NPB FT (3-D FFT): per-dimension radix-2 FFT passes (decimation in
+    frequency, results in bit-scrambled order) separated by coordinate
+    rotations into iteration-fresh scratch arrays.
+
+    FT is the workload where fresh memory is repeatedly first-touched on
+    the remote side, producing the paper's residual Stramash messaging
+    and replication (Table 3's FT row: the fallback to the origin kernel
+    when upper page-table levels are missing, §9.2.3). *)
+
+type params = { n : int (* edge, power of two *); iterations : int }
+
+val default : params
+val spec : ?params:params -> unit -> Stramash_machine.Spec.t
+val expected_checksum : params -> float

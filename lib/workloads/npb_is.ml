@@ -1,0 +1,112 @@
+module B = Stramash_isa.Builder
+module Mir = Stramash_isa.Mir
+module Spec = Stramash_machine.Spec
+
+type params = { nkeys : int; max_key : int; iterations : int }
+
+let default = { nkeys = 65536; max_key = 2048; iterations = 4 }
+
+let keys_base = Spec.heap_base
+let counts_base p = keys_base + (8 * p.nkeys) + 0x10000 (* page-separated *)
+let out_base p = counts_base p + (8 * p.max_key) + 0x10000
+
+let keys p = Npb_common.random_keys ~seed:0x15AEE7L ~n:p.nkeys ~max_key:p.max_key
+
+(* Each ranking iteration: zero the histogram, count keys, prefix-sum into
+   start offsets, then scatter keys into the output array. Counting and
+   scattering are store-heavy — IS's signature. *)
+let program p =
+  let b = B.create () in
+  let keys_r = B.immi b keys_base in
+  let counts_r = B.immi b (counts_base p) in
+  let out_r = B.immi b (out_base p) in
+  let verify_acc = B.immi b 0 in
+  for iter = 0 to p.iterations - 1 do
+    Npb_common.with_round b ~round:iter (fun () ->
+        (* zero counts *)
+        let z = B.immi b 0 in
+        B.for_up_const b ~lo:0 ~hi:p.max_key (fun k ->
+            B.store b Mir.W64 z (Mir.indexed counts_r k ~scale:8));
+        (* count occurrences *)
+        B.for_up_const b ~lo:0 ~hi:p.nkeys (fun i ->
+            let key = B.load b Mir.W64 (Mir.indexed keys_r i ~scale:8) in
+            let c = B.load b Mir.W64 (Mir.indexed counts_r key ~scale:8) in
+            let c1 = B.addi b c 1 in
+            B.store b Mir.W64 c1 (Mir.indexed counts_r key ~scale:8));
+        (* exclusive prefix sum *)
+        let acc = B.immi b 0 in
+        B.for_up_const b ~lo:0 ~hi:p.max_key (fun k ->
+            let c = B.load b Mir.W64 (Mir.indexed counts_r k ~scale:8) in
+            B.store b Mir.W64 acc (Mir.indexed counts_r k ~scale:8);
+            B.add_to b acc acc c);
+        (* scatter *)
+        B.for_up_const b ~lo:0 ~hi:p.nkeys (fun i ->
+            let key = B.load b Mir.W64 (Mir.indexed keys_r i ~scale:8) in
+            let pos = B.load b Mir.W64 (Mir.indexed counts_r key ~scale:8) in
+            B.store b Mir.W64 key (Mir.indexed out_r pos ~scale:8);
+            let pos1 = B.addi b pos 1 in
+            B.store b Mir.W64 pos1 (Mir.indexed counts_r key ~scale:8)));
+    (* Partial verification and key-array update back at the origin, as
+       NPB IS does between rank() calls: sample the rank output once per
+       page, and rewrite the key array (value-preserving, one store per
+       cache line). Under Popcorn the writes ping-pong page ownership and
+       force re-replication every iteration; under Stramash they are plain
+       cache-coherence invalidations — which also keep the remote L3 miss
+       rate high regardless of its size (the paper's Fig. 10 analysis). *)
+    B.for_up_const b ~lo:0 ~hi:(p.nkeys / 512) (fun pg ->
+        let idx = B.shli b pg 9 in
+        let v = B.load b Mir.W64 (Mir.indexed out_r idx ~scale:8) in
+        B.add_to b verify_acc verify_acc v);
+    B.for_up_const b ~lo:0 ~hi:(p.nkeys / 8) (fun ln ->
+        let idx = B.shli b ln 3 in
+        let k = B.load b Mir.W64 (Mir.indexed keys_r idx ~scale:8) in
+        B.store b Mir.W64 k (Mir.indexed keys_r idx ~scale:8))
+  done;
+  (* Checksum at the origin: sum of out[i] * (i mod 8 + 1). *)
+  let acc = B.immi b 0 in
+  B.for_up_const b ~lo:0 ~hi:p.nkeys (fun i ->
+      let v = B.load b Mir.W64 (Mir.indexed out_r i ~scale:8) in
+      let w = B.andi b i 7 in
+      let w1 = B.addi b w 1 in
+      let wv = B.mul b v w1 in
+      B.add_to b acc acc wv);
+  B.add_to b acc acc verify_acc;
+  let chk = B.immi b Npb_common.checksum_vaddr in
+  B.store b Mir.W64 acc (Mir.based chk);
+  B.finish b
+
+let expected_checksum p =
+  let sorted = Array.map Int64.to_int (keys p) in
+  Array.sort compare sorted;
+  let acc = ref 0L in
+  Array.iteri
+    (fun i v ->
+      let w = Int64.of_int ((i land 7) + 1) in
+      acc := Int64.add !acc (Int64.mul (Int64.of_int v) w))
+    sorted;
+  (* partial-verification sums: one sample per page per iteration *)
+  for _iter = 1 to p.iterations do
+    for pg = 0 to (p.nkeys / 512) - 1 do
+      acc := Int64.add !acc (Int64.of_int sorted.(pg * 512))
+    done
+  done;
+  !acc
+
+let spec ?(params = default) () =
+  let p = params in
+  {
+    Spec.name = "is";
+    description =
+      Printf.sprintf "NPB IS-like integer bucket sort (n=%d, buckets=%d, %d iterations)"
+        p.nkeys p.max_key p.iterations;
+    mir = program p;
+    segments =
+      [
+        Spec.segment ~base:keys_base ~len:(8 * p.nkeys) ~init:(Spec.I64s (keys p)) ();
+        (* histogram and output are demand-faulted where first touched *)
+        Spec.segment ~base:(counts_base p) ~len:(8 * p.max_key) ~eager:false ();
+        Spec.segment ~base:(out_base p) ~len:(8 * p.nkeys) ~eager:false ();
+        Npb_common.checksum_segment;
+      ];
+    migration_targets = Npb_common.round_trip_targets ~rounds:p.iterations;
+  }

@@ -1,0 +1,13 @@
+(** NPB IS (Integer Sort): bucket/counting sort — the paper's
+    write-intensive benchmark (it "modif[ies] the sequence of keys during
+    the procedure stage", §9.2.1), which is where Stramash's advantage
+    over Popcorn-SHM peaks (2.1x at the small L3, Fig. 9/10). *)
+
+type params = { nkeys : int; max_key : int; iterations : int }
+
+val default : params
+val spec : ?params:params -> unit -> Stramash_machine.Spec.t
+
+val expected_checksum : params -> int64
+(** Host-computed reference value of the checksum the Mir program stores
+    at {!Npb_common.checksum_vaddr}. *)

@@ -1,0 +1,133 @@
+module B = Stramash_isa.Builder
+module Mir = Stramash_isa.Mir
+module Spec = Stramash_machine.Spec
+
+type params = { n : int; iterations : int }
+
+let default = { n = 24; iterations = 3 }
+
+let cells p = p.n * p.n * p.n
+let align_page a = (a + 4095) land lnot 4095
+let u_base = Spec.heap_base
+let v_base p = align_page (u_base + (8 * cells p) + 0x10000)
+
+let v_init p = Npb_common.random_f64s ~seed:0x1BL ~n:(cells p)
+let omega = 0.3
+let coeff = 0.2
+
+(* One SSOR iteration: a lower (ascending) sweep consuming freshly-updated
+   west/south/down neighbours, then an upper (descending) sweep consuming
+   fresh east/north/up neighbours. *)
+let program p =
+  let n = p.n in
+  let n2 = n * n in
+  let b = B.create () in
+  let u_r = B.immi b u_base in
+  let v_r = B.immi b (v_base p) in
+  let om = B.fimm b omega in
+  let cf = B.fimm b coeff in
+  let interior body =
+    B.for_up_const b ~lo:1 ~hi:(n - 1) (fun z ->
+        B.for_up_const b ~lo:1 ~hi:(n - 1) (fun y ->
+            B.for_up_const b ~lo:1 ~hi:(n - 1) (fun x -> body z y x)))
+  in
+  let cell_index z y x =
+    let zy = B.mul b z (B.immi b n) in
+    let zy = B.add b zy y in
+    let idx = B.mul b zy (B.immi b n) in
+    B.add b idx x
+  in
+  for iter = 0 to p.iterations - 1 do
+    Npb_common.with_round b ~round:iter (fun () ->
+        (* lower sweep, ascending *)
+        interior (fun z y x ->
+            let idx = cell_index z y x in
+            let a = B.shli b idx 3 in
+            let a = B.add b a u_r in
+            let west = B.load b Mir.W64 (Mir.based_disp a (-8)) in
+            let south = B.load b Mir.W64 (Mir.based_disp a (-8 * n)) in
+            let down = B.load b Mir.W64 (Mir.based_disp a (-8 * n2)) in
+            let vv = B.load b Mir.W64 (Mir.indexed v_r idx ~scale:8) in
+            let s1 = B.fadd b west south in
+            let s2 = B.fadd b s1 down in
+            let s3 = B.fmul b s2 cf in
+            let s4 = B.fadd b vv s3 in
+            let nv = B.fmul b s4 om in
+            B.store b Mir.W64 nv (Mir.based a));
+        (* upper sweep, descending: iterate r and mirror the index *)
+        interior (fun zr yr xr ->
+            let nm1 = B.immi b (n - 1) in
+            let z = B.sub b nm1 zr in
+            let y = B.sub b nm1 yr in
+            let x = B.sub b nm1 xr in
+            let idx = cell_index z y x in
+            let a = B.shli b idx 3 in
+            let a = B.add b a u_r in
+            let east = B.load b Mir.W64 (Mir.based_disp a 8) in
+            let north = B.load b Mir.W64 (Mir.based_disp a (8 * n)) in
+            let up = B.load b Mir.W64 (Mir.based_disp a (8 * n2)) in
+            let self = B.load b Mir.W64 (Mir.based a) in
+            let s1 = B.fadd b east north in
+            let s2 = B.fadd b s1 up in
+            let s3 = B.fmul b s2 cf in
+            let s4 = B.fmul b s3 om in
+            let nv = B.fadd b self s4 in
+            B.store b Mir.W64 nv (Mir.based a)))
+  done;
+  let acc = B.fimm b 0.0 in
+  B.for_up_const b ~lo:0 ~hi:(cells p / 32) (fun i ->
+      let idx = B.muli b i 32 in
+      let vv = B.load b Mir.W64 (Mir.indexed u_r idx ~scale:8) in
+      B.fadd_to b acc acc vv);
+  let chk = B.immi b Npb_common.checksum_vaddr in
+  B.store b Mir.W64 acc (Mir.based chk);
+  B.finish b
+
+let expected_checksum p =
+  let n = p.n in
+  let n2 = n * n in
+  let u = Array.make (cells p) 0.0 in
+  let v = v_init p in
+  let fidx z y x = ((z * n) + y) * n + x in
+  for _iter = 0 to p.iterations - 1 do
+    for z = 1 to n - 2 do
+      for y = 1 to n - 2 do
+        for x = 1 to n - 2 do
+          let idx = fidx z y x in
+          u.(idx) <-
+            (v.(idx) +. ((u.(idx - 1) +. u.(idx - n) +. u.(idx - n2)) *. coeff)) *. omega
+        done
+      done
+    done;
+    for zr = 1 to n - 2 do
+      for yr = 1 to n - 2 do
+        for xr = 1 to n - 2 do
+          let z = n - 1 - zr and y = n - 1 - yr and x = n - 1 - xr in
+          let idx = fidx z y x in
+          u.(idx) <- u.(idx) +. ((u.(idx + 1) +. u.(idx + n) +. u.(idx + n2)) *. coeff *. omega)
+        done
+      done
+    done
+  done;
+  let acc = ref 0.0 in
+  for i = 0 to (cells p / 32) - 1 do
+    acc := !acc +. u.(i * 32)
+  done;
+  !acc
+
+let spec ?(params = default) () =
+  let p = params in
+  {
+    Spec.name = "lu";
+    description =
+      Printf.sprintf "NPB LU-like SSOR wavefront sweeps (grid %d^3, %d iterations)" p.n
+        p.iterations;
+    mir = program p;
+    segments =
+      [
+        Spec.segment ~base:u_base ~len:(8 * cells p) ();
+        Spec.segment ~base:(v_base p) ~len:(8 * cells p) ~init:(Spec.F64s (v_init p)) ();
+        Npb_common.checksum_segment;
+      ];
+    migration_targets = Npb_common.round_trip_targets ~rounds:p.iterations;
+  }

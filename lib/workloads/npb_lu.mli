@@ -1,0 +1,10 @@
+(** NPB LU-like kernel: SSOR over a 3-D grid — wavefront-dependent lower
+    and upper sweeps (ascending and descending traversal of the same
+    array), a different access pattern from MG's independent stencils:
+    every cell read-modify-writes its predecessors' fresh values. *)
+
+type params = { n : int; iterations : int }
+
+val default : params
+val spec : ?params:params -> unit -> Stramash_machine.Spec.t
+val expected_checksum : params -> float

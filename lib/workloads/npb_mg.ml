@@ -1,0 +1,236 @@
+module B = Stramash_isa.Builder
+module Mir = Stramash_isa.Mir
+module Spec = Stramash_machine.Spec
+
+type params = { n : int; iterations : int }
+
+let default = { n = 32; iterations = 3 }
+
+let cells p = p.n * p.n * p.n
+let coarse_cells p = cells p / 8
+
+let u_base = Spec.heap_base
+let v_base p = u_base + (8 * cells p) + 0x10000
+let r_base p = v_base p + (8 * cells p) + 0x10000
+let uc_base p = r_base p + (8 * cells p) + 0x10000
+
+let v_init p = Npb_common.random_f64s ~seed:0x36L ~n:(cells p)
+
+(* Stencil weights of the simplified operator. *)
+let w_center = 0.5
+let w_neigh = 1.0 /. 12.0
+
+(* One V-cycle: residual on the fine grid, restriction to the coarse grid,
+   two Jacobi sweeps there, prolongation back, one fine smoothing pass. *)
+let program p =
+  let n = p.n in
+  let n2 = n * n in
+  let b = B.create () in
+  let u_r = B.immi b u_base in
+  let v_r = B.immi b (v_base p) in
+  let r_r = B.immi b (r_base p) in
+  let uc_r = B.immi b (uc_base p) in
+  let wc = B.fimm b w_center in
+  let wn = B.fimm b w_neigh in
+  let interior body =
+    (* iterate z,y,x over [1, n-1) *)
+    B.for_up_const b ~lo:1 ~hi:(n - 1) (fun z ->
+        B.for_up_const b ~lo:1 ~hi:(n - 1) (fun y ->
+            let zy = B.mul b z (B.immi b n) in
+            let zy = B.add b zy y in
+            let row = B.mul b zy (B.immi b n) in
+            B.for_up_const b ~lo:1 ~hi:(n - 1) (fun x ->
+                let idx = B.add b row x in
+                body idx)))
+  in
+  let stencil ~src idx =
+    (* weighted 7-point: wc*src[idx] + wn*sum(neighbours) *)
+    let a = B.shli b idx 3 in
+    let a = B.add b a src in
+    let c = B.load b Mir.W64 (Mir.based a) in
+    let acc = B.fmul b c wc in
+    let add_neigh disp =
+      let v = B.load b Mir.W64 (Mir.based_disp a disp) in
+      let v = B.fmul b v wn in
+      B.fadd_to b acc acc v
+    in
+    add_neigh 8;
+    add_neigh (-8);
+    add_neigh (8 * n);
+    add_neigh (-8 * n);
+    add_neigh (8 * n2);
+    add_neigh (-8 * n2);
+    acc
+  in
+  for iter = 0 to p.iterations - 1 do
+    Npb_common.with_round b ~round:iter (fun () ->
+        (* r = v - A u *)
+        interior (fun idx ->
+            let au = stencil ~src:u_r idx in
+            let av = B.load b Mir.W64 (Mir.indexed v_r idx ~scale:8) in
+            let res = B.fsub b av au in
+            B.store b Mir.W64 res (Mir.indexed r_r idx ~scale:8));
+        (* restrict r -> coarse (sample every other point) *)
+        let nc = n / 2 in
+        B.for_up_const b ~lo:0 ~hi:nc (fun zc ->
+            B.for_up_const b ~lo:0 ~hi:nc (fun yc ->
+                B.for_up_const b ~lo:0 ~hi:nc (fun xc ->
+                    let z2 = B.shli b zc 1 in
+                    let y2 = B.shli b yc 1 in
+                    let x2 = B.shli b xc 1 in
+                    let fi = B.mul b z2 (B.immi b n) in
+                    let fi = B.add b fi y2 in
+                    let fi = B.mul b fi (B.immi b n) in
+                    let fi = B.add b fi x2 in
+                    let v = B.load b Mir.W64 (Mir.indexed r_r fi ~scale:8) in
+                    let ci = B.mul b zc (B.immi b nc) in
+                    let ci = B.add b ci yc in
+                    let ci = B.mul b ci (B.immi b nc) in
+                    let ci = B.add b ci xc in
+                    B.store b Mir.W64 v (Mir.indexed uc_r ci ~scale:8))));
+        (* two damped point-Jacobi sweeps on the coarse grid (in place) *)
+        let quarter = B.fimm b 0.25 in
+        for _sweep = 0 to 1 do
+          B.for_up_const b ~lo:1 ~hi:(nc - 1) (fun zc ->
+              B.for_up_const b ~lo:1 ~hi:(nc - 1) (fun yc ->
+                  B.for_up_const b ~lo:1 ~hi:(nc - 1) (fun xc ->
+                      let ci = B.mul b zc (B.immi b nc) in
+                      let ci = B.add b ci yc in
+                      let ci = B.mul b ci (B.immi b nc) in
+                      let ci = B.add b ci xc in
+                      let a = B.shli b ci 3 in
+                      let a = B.add b a uc_r in
+                      let c = B.load b Mir.W64 (Mir.based a) in
+                      let e = B.load b Mir.W64 (Mir.based_disp a 8) in
+                      let w = B.load b Mir.W64 (Mir.based_disp a (-8)) in
+                      let s1 = B.fadd b e w in
+                      let s2 = B.fadd b c s1 in
+                      let nv = B.fmul b s2 quarter in
+                      B.store b Mir.W64 nv (Mir.based a))))
+        done;
+        (* prolongate + correct: u[fine] += coarse sample *)
+        B.for_up_const b ~lo:0 ~hi:nc (fun zc ->
+            B.for_up_const b ~lo:0 ~hi:nc (fun yc ->
+                B.for_up_const b ~lo:0 ~hi:nc (fun xc ->
+                    let ci = B.mul b zc (B.immi b nc) in
+                    let ci = B.add b ci yc in
+                    let ci = B.mul b ci (B.immi b nc) in
+                    let ci = B.add b ci xc in
+                    let cv = B.load b Mir.W64 (Mir.indexed uc_r ci ~scale:8) in
+                    let z2 = B.shli b zc 1 in
+                    let y2 = B.shli b yc 1 in
+                    let x2 = B.shli b xc 1 in
+                    let fi = B.mul b z2 (B.immi b n) in
+                    let fi = B.add b fi y2 in
+                    let fi = B.mul b fi (B.immi b n) in
+                    let fi = B.add b fi x2 in
+                    let uv = B.load b Mir.W64 (Mir.indexed u_r fi ~scale:8) in
+                    let nv = B.fadd b uv cv in
+                    B.store b Mir.W64 nv (Mir.indexed u_r fi ~scale:8))));
+        (* one fine smoothing pass: u = u + 0.1*(v - A u) *)
+        let tenth = B.fimm b 0.1 in
+        interior (fun idx ->
+            let au = stencil ~src:u_r idx in
+            let av = B.load b Mir.W64 (Mir.indexed v_r idx ~scale:8) in
+            let res = B.fsub b av au in
+            let corr = B.fmul b res tenth in
+            let uv = B.load b Mir.W64 (Mir.indexed u_r idx ~scale:8) in
+            let nv = B.fadd b uv corr in
+            B.store b Mir.W64 nv (Mir.indexed u_r idx ~scale:8)))
+  done;
+  (* checksum: sum of u over a diagonal stripe *)
+  let acc = B.fimm b 0.0 in
+  B.for_up_const b ~lo:0 ~hi:(cells p / 64) (fun i ->
+      let idx = B.muli b i 64 in
+      let v = B.load b Mir.W64 (Mir.indexed u_r idx ~scale:8) in
+      B.fadd_to b acc acc v);
+  let chk = B.immi b Npb_common.checksum_vaddr in
+  B.store b Mir.W64 acc (Mir.based chk);
+  B.finish b
+
+let expected_checksum p =
+  let n = p.n in
+  let n2 = n * n in
+  let nc = n / 2 in
+  let u = Array.make (cells p) 0.0 in
+  let v = v_init p in
+  let r = Array.make (cells p) 0.0 in
+  let uc = Array.make (coarse_cells p) 0.0 in
+  let fidx z y x = ((z * n) + y) * n + x in
+  let cidx z y x = ((z * nc) + y) * nc + x in
+  let stencil src idx =
+    (w_center *. src.(idx))
+    +. (w_neigh *. src.(idx + 1))
+    +. (w_neigh *. src.(idx - 1))
+    +. (w_neigh *. src.(idx + n))
+    +. (w_neigh *. src.(idx - n))
+    +. (w_neigh *. src.(idx + n2))
+    +. (w_neigh *. src.(idx - n2))
+  in
+  for _iter = 0 to p.iterations - 1 do
+    for z = 1 to n - 2 do
+      for y = 1 to n - 2 do
+        for x = 1 to n - 2 do
+          let idx = fidx z y x in
+          r.(idx) <- v.(idx) -. stencil u idx
+        done
+      done
+    done;
+    for zc = 0 to nc - 1 do
+      for yc = 0 to nc - 1 do
+        for xc = 0 to nc - 1 do
+          uc.(cidx zc yc xc) <- r.(fidx (2 * zc) (2 * yc) (2 * xc))
+        done
+      done
+    done;
+    for _sweep = 0 to 1 do
+      for zc = 1 to nc - 2 do
+        for yc = 1 to nc - 2 do
+          for xc = 1 to nc - 2 do
+            let ci = cidx zc yc xc in
+            uc.(ci) <- (uc.(ci) +. (uc.(ci + 1) +. uc.(ci - 1))) *. 0.25
+          done
+        done
+      done
+    done;
+    for zc = 0 to nc - 1 do
+      for yc = 0 to nc - 1 do
+        for xc = 0 to nc - 1 do
+          let fi = fidx (2 * zc) (2 * yc) (2 * xc) in
+          u.(fi) <- u.(fi) +. uc.(cidx zc yc xc)
+        done
+      done
+    done;
+    for z = 1 to n - 2 do
+      for y = 1 to n - 2 do
+        for x = 1 to n - 2 do
+          let idx = fidx z y x in
+          u.(idx) <- u.(idx) +. (0.1 *. (v.(idx) -. stencil u idx))
+        done
+      done
+    done
+  done;
+  let acc = ref 0.0 in
+  for i = 0 to (cells p / 64) - 1 do
+    acc := !acc +. u.(i * 64)
+  done;
+  !acc
+
+let spec ?(params = default) () =
+  let p = params in
+  {
+    Spec.name = "mg";
+    description =
+      Printf.sprintf "NPB MG-like 3-D multigrid V-cycle (grid %d^3, %d iterations)" p.n
+        p.iterations;
+    mir = program p;
+    segments =
+      [
+        Spec.segment ~base:u_base ~len:(8 * cells p) ();
+        Spec.segment ~base:(v_base p) ~len:(8 * cells p) ~init:(Spec.F64s (v_init p)) ();
+        Spec.segment ~base:(r_base p) ~len:(8 * cells p) ~eager:false ();
+        Spec.segment ~base:(uc_base p) ~len:(8 * coarse_cells p) ~eager:false ();
+        Npb_common.checksum_segment;
+      ];
+    migration_targets = Npb_common.round_trip_targets ~rounds:p.iterations;
+  }

@@ -1,0 +1,10 @@
+(** NPB MG (MultiGrid): 3-D 7-point stencil V-cycles over a hierarchy of
+    grids — mixed read/write with strided neighbour accesses whose
+    displacements exceed the armish addressing range (extra address
+    arithmetic on Arm, one-instruction addressing on x86ish). *)
+
+type params = { n : int (* fine grid edge, power of two *); iterations : int }
+
+val default : params
+val spec : ?params:params -> unit -> Stramash_machine.Spec.t
+val expected_checksum : params -> float

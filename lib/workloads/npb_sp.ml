@@ -1,0 +1,153 @@
+module B = Stramash_isa.Builder
+module Mir = Stramash_isa.Mir
+module Spec = Stramash_machine.Spec
+
+type params = { n : int; iterations : int }
+
+let default = { n = 24; iterations = 2 }
+
+let cells p = p.n * p.n * p.n
+let align_page a = (a + 4095) land lnot 4095
+let u_base = Spec.heap_base
+let cp_base p = align_page (u_base + (8 * cells p) + 0x10000) (* c' scratch, one line *)
+let dp_base p = cp_base p + 0x10000 (* d' scratch, one line *)
+
+let u_init p = Npb_common.random_f64s ~seed:0x59L ~n:(cells p)
+
+(* Constant-coefficient tridiagonal system a*x[i-1] + b*x[i] + c*x[i+1] =
+   d[i], solved by the Thomas algorithm per grid line. *)
+let ca = 0.25
+let cb = 1.5
+let cc = 0.25
+
+(* Emit one line solve: elements at u[line_base + k*stride], k in [0,n). *)
+let emit_line_solve b ~n ~u_r ~cp_r ~dp_r ~line_base ~stride =
+  let a_c = B.fimm b ca in
+  let b_c = B.fimm b cb in
+  let c_c = B.fimm b cc in
+  let elem k =
+    (* address of u[line_base + k*stride] *)
+    let off = B.mul b k (B.immi b stride) in
+    let idx = B.add b line_base off in
+    let addr = B.shli b idx 3 in
+    B.add b addr u_r
+  in
+  (* forward elimination *)
+  let zero = B.immi b 0 in
+  let a0 = elem zero in
+  let d0 = B.load b Mir.W64 (Mir.based a0) in
+  let cp0 = B.fdiv b c_c b_c in
+  let dp0 = B.fdiv b d0 b_c in
+  B.store b Mir.W64 cp0 (Mir.based cp_r);
+  B.store b Mir.W64 dp0 (Mir.based dp_r);
+  B.for_up_const b ~lo:1 ~hi:n (fun k ->
+      let ak = elem k in
+      let dk = B.load b Mir.W64 (Mir.based ak) in
+      let km1 = B.addi b k (-1) in
+      let cpm = B.load b Mir.W64 (Mir.indexed cp_r km1 ~scale:8) in
+      let dpm = B.load b Mir.W64 (Mir.indexed dp_r km1 ~scale:8) in
+      let t = B.fmul b a_c cpm in
+      let denom = B.fsub b b_c t in
+      let cpk = B.fdiv b c_c denom in
+      let t2 = B.fmul b a_c dpm in
+      let num = B.fsub b dk t2 in
+      let dpk = B.fdiv b num denom in
+      B.store b Mir.W64 cpk (Mir.indexed cp_r k ~scale:8);
+      B.store b Mir.W64 dpk (Mir.indexed dp_r k ~scale:8));
+  (* back substitution, writing the solution over u *)
+  let last = B.immi b (n - 1) in
+  let alast = elem last in
+  let xlast = B.load b Mir.W64 (Mir.indexed dp_r last ~scale:8) in
+  B.store b Mir.W64 xlast (Mir.based alast);
+  B.for_up_const b ~lo:1 ~hi:n (fun kr ->
+      let k = B.sub b last kr in
+      let kp1 = B.addi b k 1 in
+      let ak = elem k in
+      let akp = elem kp1 in
+      let xnext = B.load b Mir.W64 (Mir.based akp) in
+      let cpk = B.load b Mir.W64 (Mir.indexed cp_r k ~scale:8) in
+      let dpk = B.load b Mir.W64 (Mir.indexed dp_r k ~scale:8) in
+      let t = B.fmul b cpk xnext in
+      let xk = B.fsub b dpk t in
+      B.store b Mir.W64 xk (Mir.based ak))
+
+let program p =
+  let n = p.n in
+  let b = B.create () in
+  let u_r = B.immi b u_base in
+  let cp_r = B.immi b (cp_base p) in
+  let dp_r = B.immi b (dp_base p) in
+  for iter = 0 to p.iterations - 1 do
+    Npb_common.with_round b ~round:iter (fun () ->
+        (* x-direction solves: lines are contiguous *)
+        B.for_up_const b ~lo:0 ~hi:(n * n) (fun line ->
+            let line_base = B.mul b line (B.immi b n) in
+            emit_line_solve b ~n ~u_r ~cp_r ~dp_r ~line_base ~stride:1);
+        (* y-direction solves: stride n within each z-plane *)
+        B.for_up_const b ~lo:0 ~hi:n (fun z ->
+            B.for_up_const b ~lo:0 ~hi:n (fun x ->
+                let zbase = B.mul b z (B.immi b (n * n)) in
+                let line_base = B.add b zbase x in
+                emit_line_solve b ~n ~u_r ~cp_r ~dp_r ~line_base ~stride:n)))
+  done;
+  let acc = B.fimm b 0.0 in
+  B.for_up_const b ~lo:0 ~hi:(cells p / 32) (fun i ->
+      let idx = B.muli b i 32 in
+      let vv = B.load b Mir.W64 (Mir.indexed u_r idx ~scale:8) in
+      B.fadd_to b acc acc vv);
+  let chk = B.immi b Npb_common.checksum_vaddr in
+  B.store b Mir.W64 acc (Mir.based chk);
+  B.finish b
+
+let solve_line u cp dp ~n ~base ~stride =
+  let at k = base + (k * stride) in
+  cp.(0) <- cc /. cb;
+  dp.(0) <- u.(at 0) /. cb;
+  for k = 1 to n - 1 do
+    let denom = cb -. (ca *. cp.(k - 1)) in
+    cp.(k) <- cc /. denom;
+    dp.(k) <- (u.(at k) -. (ca *. dp.(k - 1))) /. denom
+  done;
+  u.(at (n - 1)) <- dp.(n - 1);
+  for kr = 1 to n - 1 do
+    let k = n - 1 - kr in
+    u.(at k) <- dp.(k) -. (cp.(k) *. u.(at (k + 1)))
+  done
+
+let expected_checksum p =
+  let n = p.n in
+  let u = Array.copy (u_init p) in
+  let cp = Array.make n 0.0 and dp = Array.make n 0.0 in
+  for _iter = 0 to p.iterations - 1 do
+    for line = 0 to (n * n) - 1 do
+      solve_line u cp dp ~n ~base:(line * n) ~stride:1
+    done;
+    for z = 0 to n - 1 do
+      for x = 0 to n - 1 do
+        solve_line u cp dp ~n ~base:((z * n * n) + x) ~stride:n
+      done
+    done
+  done;
+  let acc = ref 0.0 in
+  for i = 0 to (cells p / 32) - 1 do
+    acc := !acc +. u.(i * 32)
+  done;
+  !acc
+
+let spec ?(params = default) () =
+  let p = params in
+  {
+    Spec.name = "sp";
+    description =
+      Printf.sprintf "NPB SP-like scalar ADI line solver (grid %d^3, %d iterations)" p.n
+        p.iterations;
+    mir = program p;
+    segments =
+      [
+        Spec.segment ~base:u_base ~len:(8 * cells p) ~init:(Spec.F64s (u_init p)) ();
+        Spec.segment ~base:(cp_base p) ~len:(8 * p.n) ~eager:false ();
+        Spec.segment ~base:(dp_base p) ~len:(8 * p.n) ~eager:false ();
+        Npb_common.checksum_segment;
+      ];
+    migration_targets = Npb_common.round_trip_targets ~rounds:p.iterations;
+  }

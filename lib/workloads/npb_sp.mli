@@ -1,0 +1,10 @@
+(** NPB SP-like kernel: ADI with scalar tridiagonal (Thomas) line solves
+    along x (unit stride) and y (stride n) — division-heavy forward
+    elimination followed by a descending back-substitution, a memory/FP
+    mix none of the other kernels exercise. *)
+
+type params = { n : int; iterations : int }
+
+val default : params
+val spec : ?params:params -> unit -> Stramash_machine.Spec.t
+val expected_checksum : params -> float

@@ -1,0 +1,33 @@
+(** Redis-like network-serving application model (paper §9.2.8, Fig. 14).
+
+    The server process has migrated to the Arm island while its socket
+    remains owned by the origin (x86) kernel — the Popcorn limitation the
+    paper works around by migrating during the time event. Every request
+    therefore crosses kernels:
+
+    - under Popcorn, socket reads/writes are forwarded over the messaging
+      layer (TCP or SHM ring), payload included;
+    - under Stramash, the server reads/writes the origin's socket buffers
+      directly through coherent shared memory, with an IPI for
+      notification.
+
+    Operation costs (parse, data-structure work) are charged through the
+    cache simulator against server-local memory. As in the paper, results
+    are functional-validation-grade: normalised per-request processing
+    times, not absolute throughput. *)
+
+type op = Get | Set | Lpush | Rpush | Lpop | Rpop | Sadd | Mset
+
+val all_ops : op list
+val op_name : op -> string
+
+type result = { op : op; cycles_per_request : float }
+
+val run :
+  os:Stramash_machine.Machine.os_choice ->
+  ?requests:int ->
+  ?payload:int ->
+  unit ->
+  result list
+(** Defaults: 10 000 requests of 1024 B, as in the paper. [os] must not be
+    [Vanilla]. *)

@@ -1,0 +1,205 @@
+(* Integration tests: end-to-end properties the paper's evaluation claims,
+   checked on reduced workload classes. *)
+
+module Node_id = Stramash_sim.Node_id
+module Machine = Stramash_machine.Machine
+module Runner = Stramash_machine.Runner
+module W = Stramash_workloads
+module H = Stramash_harness
+
+let run ~os ~hw_model spec =
+  let machine = Machine.create { Machine.default_config with os; hw_model } in
+  let proc, thread = Machine.load machine spec in
+  Runner.run machine proc thread spec
+
+let shared = Stramash_mem.Layout.Shared
+let small_is = W.Npb_is.spec ~params:{ W.Npb_is.nkeys = 16384; max_key = 1024; iterations = 2 } ()
+
+(* ---------- Fig. 9 shape ---------- *)
+
+let test_fig9_ordering_is () =
+  let stramash = (run ~os:Machine.Stramash_kernel_os ~hw_model:shared small_is).Runner.wall_cycles in
+  let shm = (run ~os:Machine.Popcorn_shm ~hw_model:shared small_is).Runner.wall_cycles in
+  let tcp = (run ~os:Machine.Popcorn_tcp ~hw_model:shared small_is).Runner.wall_cycles in
+  Alcotest.(check bool) "stramash < popcorn-shm" true (stramash < shm);
+  Alcotest.(check bool) "popcorn-shm < popcorn-tcp" true (shm < tcp);
+  (* headline: a substantial speedup on the write-intensive benchmark *)
+  let ratio = float_of_int shm /. float_of_int stramash in
+  Alcotest.(check bool)
+    (Printf.sprintf "IS speedup >= 1.5x (got %.2f)" ratio)
+    true (ratio >= 1.5)
+
+let test_fully_shared_closest_to_vanilla () =
+  let vanilla = (run ~os:Machine.Vanilla ~hw_model:shared small_is).Runner.wall_cycles in
+  let fully =
+    (run ~os:Machine.Stramash_kernel_os ~hw_model:Stramash_mem.Layout.Fully_shared small_is)
+      .Runner.wall_cycles
+  in
+  let separated =
+    (run ~os:Machine.Stramash_kernel_os ~hw_model:Stramash_mem.Layout.Separated small_is)
+      .Runner.wall_cycles
+  in
+  Alcotest.(check bool) "fully shared beats separated" true (fully < separated);
+  let gap = Float.abs (float_of_int fully -. float_of_int vanilla) /. float_of_int vanilla in
+  Alcotest.(check bool)
+    (Printf.sprintf "fully shared within 35%% of vanilla (gap %.2f)" gap)
+    true (gap < 0.35)
+
+(* ---------- Table 3 shape ---------- *)
+
+let test_table3_reductions () =
+  let p = run ~os:Machine.Popcorn_shm ~hw_model:shared small_is in
+  let s = run ~os:Machine.Stramash_kernel_os ~hw_model:shared small_is in
+  Alcotest.(check bool) "popcorn sends many messages" true (p.Runner.messages > 100);
+  Alcotest.(check bool) "popcorn replicates many pages" true (p.Runner.replicated_pages > 20);
+  let msg_reduction = 1.0 -. (float_of_int s.Runner.messages /. float_of_int p.Runner.messages) in
+  let page_reduction =
+    1.0 -. (float_of_int s.Runner.replicated_pages /. float_of_int (max p.Runner.replicated_pages 1))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "message reduction > 90%% (got %.3f)" msg_reduction)
+    true (msg_reduction > 0.9);
+  Alcotest.(check bool)
+    (Printf.sprintf "page reduction > 90%% (got %.3f)" page_reduction)
+    true (page_reduction > 0.9)
+
+(* ---------- Fig. 12 shape ---------- *)
+
+let test_fig12_monotone_and_extremes () =
+  let ratios = H.Micro_experiments.fig12_ratios ~pages:32 ~lines:[ 1; 8; 64 ] () in
+  (match ratios with
+  | [ (1, r1); (8, r8); (64, r64) ] ->
+      Alcotest.(check bool) (Printf.sprintf "1-line ratio large (%.0f)" r1) true (r1 > 20.0);
+      Alcotest.(check bool) "monotone decreasing" true (r1 > r8 && r8 > r64);
+      Alcotest.(check bool) (Printf.sprintf "full-page ratio small (%.1f)" r64) true (r64 < 8.0)
+  | _ -> Alcotest.fail "unexpected ratio list")
+
+(* ---------- Fig. 13 shape ---------- *)
+
+let test_fig13_futex_ordering () =
+  let walls = H.Micro_experiments.fig13_walls ~loops:100 in
+  let get label =
+    match List.find_opt (fun (l, _) -> l = label) walls with
+    | Some (_, w) -> w
+    | None -> Alcotest.fail ("missing " ^ label)
+  in
+  let popcorn = get "popcorn-shm (origin-managed)" in
+  let regular = get "stramash regular (no futex opt)" in
+  let optimized = get "stramash futex-optimized" in
+  Alcotest.(check bool) "optimized fastest" true (optimized < regular);
+  Alcotest.(check bool) "regular beats popcorn (shared pages already help)" true
+    (regular < popcorn)
+
+let test_fig13_scales_linearly () =
+  let wall loops =
+    List.assoc "stramash futex-optimized" (H.Micro_experiments.fig13_walls ~loops)
+  in
+  let w100 = wall 100 and w400 = wall 400 in
+  let ratio = float_of_int w400 /. float_of_int w100 in
+  Alcotest.(check bool) (Printf.sprintf "4x loops ~ 4x time (got %.2f)" ratio) true
+    (ratio > 2.5 && ratio < 6.0)
+
+(* ---------- Fig. 7 / Fig. 8 validation bounds ---------- *)
+
+let test_fig7_error_bounds () =
+  let errors = H.Validation.fig7_errors () in
+  List.iter
+    (fun (label, err) ->
+      Alcotest.(check bool) (Printf.sprintf "%s < 13%% (got %.3f)" label err) true (err < 0.13))
+    errors;
+  let avg = List.fold_left (fun a (_, e) -> a +. e) 0.0 errors /. float_of_int (List.length errors) in
+  Alcotest.(check bool) (Printf.sprintf "average < 8%% (got %.3f)" avg) true (avg < 0.08)
+
+let test_fig8_gap_bounds () =
+  let gaps = H.Validation.fig8_gaps () in
+  List.iter
+    (fun (label, gap) ->
+      Alcotest.(check bool) (Printf.sprintf "%s < 6%% (got %.3f)" label gap) true (gap < 0.06))
+    gaps
+
+(* ---------- Fig. 14 shape ---------- *)
+
+let test_fig14_speedups () =
+  let speedups = H.Redis_experiment.speedups ~requests:500 () in
+  List.iter
+    (fun (op, shm, str) ->
+      Alcotest.(check bool) (op ^ " shm >= 1") true (shm >= 1.0);
+      Alcotest.(check bool) (op ^ " stramash >= shm") true (str >= shm))
+    speedups;
+  let max_str = List.fold_left (fun a (_, _, s) -> Float.max a s) 0.0 speedups in
+  Alcotest.(check bool) (Printf.sprintf "peak stramash speedup ~ 10-15x (got %.1f)" max_str) true
+    (max_str > 8.0 && max_str < 18.0)
+
+(* ---------- memory-access microbenchmark shape (Fig. 11) ---------- *)
+
+let test_fig11_warm_reads () =
+  let spec_warm = W.Micro_memaccess.spec W.Micro_memaccess.Remote_access_origin_warm in
+  let span os =
+    let machine = Machine.create { Machine.default_config with os; hw_model = shared } in
+    let proc, thread = Machine.load machine spec_warm in
+    let r = Runner.run machine proc thread spec_warm in
+    Runner.phase_span r ~start:W.Micro_memaccess.measure_start ~stop:W.Micro_memaccess.measure_stop
+  in
+  (* warmed re-read: SHM reads local replicas, Stramash still reaches back
+     to remote memory on cache misses — the paper's "No Cold" takeaway *)
+  Alcotest.(check bool) "warmed SHM beats warmed Stramash" true
+    (span Machine.Popcorn_shm < span Machine.Stramash_kernel_os)
+
+(* ---------- determinism ---------- *)
+
+let test_runs_are_deterministic () =
+  let snapshot () =
+    let r = run ~os:Machine.Stramash_kernel_os ~hw_model:shared small_is in
+    ( r.Runner.wall_cycles,
+      r.Runner.node_cycles.(0),
+      r.Runner.node_cycles.(1),
+      r.Runner.instructions,
+      r.Runner.messages,
+      r.Runner.replicated_pages )
+  in
+  let a = snapshot () and b = snapshot () in
+  Alcotest.(check bool) "identical runs" true (a = b)
+
+let test_extension_kernels_follow_the_pattern () =
+  (* LU/SP: in-place update kernels, strong fused-kernel cases; EP:
+     compute-bound, OS-insensitive *)
+  let wall ~os spec = (run ~os ~hw_model:shared spec).Runner.wall_cycles in
+  let lu = W.Npb_lu.spec ~params:{ W.Npb_lu.n = 12; iterations = 2 } () in
+  Alcotest.(check bool) "LU: stramash beats popcorn-shm" true
+    (wall ~os:Machine.Stramash_kernel_os lu < wall ~os:Machine.Popcorn_shm lu);
+  let ep = W.Npb_ep.spec ~params:{ W.Npb_ep.samples = 30_000; iterations = 2 } () in
+  let ep_str = wall ~os:Machine.Stramash_kernel_os ep in
+  let ep_shm = wall ~os:Machine.Popcorn_shm ep in
+  let gap = Float.abs (float_of_int ep_str -. float_of_int ep_shm) /. float_of_int ep_shm in
+  Alcotest.(check bool)
+    (Printf.sprintf "EP: OS designs within 10%% (gap %.3f)" gap)
+    true (gap < 0.10)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "fig9",
+        [
+          Alcotest.test_case "OS ordering + IS speedup" `Slow test_fig9_ordering_is;
+          Alcotest.test_case "fully shared near vanilla" `Slow test_fully_shared_closest_to_vanilla;
+        ] );
+      ("table3", [ Alcotest.test_case "reductions" `Slow test_table3_reductions ]);
+      ("fig12", [ Alcotest.test_case "granularity collapse" `Quick test_fig12_monotone_and_extremes ]);
+      ( "fig13",
+        [
+          Alcotest.test_case "futex ordering" `Quick test_fig13_futex_ordering;
+          Alcotest.test_case "linear scaling" `Quick test_fig13_scales_linearly;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "fig7 bounds" `Slow test_fig7_error_bounds;
+          Alcotest.test_case "fig8 bounds" `Slow test_fig8_gap_bounds;
+        ] );
+      ("fig14", [ Alcotest.test_case "redis speedups" `Quick test_fig14_speedups ]);
+      ("fig11", [ Alcotest.test_case "warm reads" `Quick test_fig11_warm_reads ]);
+      ( "robustness",
+        [
+          Alcotest.test_case "determinism" `Slow test_runs_are_deterministic;
+          Alcotest.test_case "extension kernels" `Slow test_extension_kernels_follow_the_pattern;
+        ] );
+    ]

@@ -1,0 +1,293 @@
+(* Tests for the machine facade and runner: loading, execution, migration,
+   fault handling, phase marks, and cross-OS result equality. *)
+
+module Node_id = Stramash_sim.Node_id
+module Cycles = Stramash_sim.Cycles
+module Mir = Stramash_isa.Mir
+module B = Stramash_isa.Builder
+module Machine = Stramash_machine.Machine
+module Runner = Stramash_machine.Runner
+module Spec = Stramash_machine.Spec
+module Thread = Stramash_kernel.Thread
+
+let checki = Alcotest.(check int)
+let check64 = Alcotest.(check int64)
+
+let data_base = Spec.heap_base
+let out_slot elems = data_base + (8 * elems) (* first slot after the data *)
+
+(* sum the data array, with an optional migration round trip in between *)
+let sum_spec ?(migrate = true) ~elems () =
+  let b = B.create () in
+  let base = B.immi b data_base in
+  let acc = B.immi b 0 in
+  B.for_up_const b ~lo:0 ~hi:elems (fun i ->
+      let v = B.load b Mir.W64 (Mir.indexed base i ~scale:8) in
+      B.add_to b acc acc v);
+  if migrate then B.migrate_point b 0;
+  B.for_up_const b ~lo:0 ~hi:elems (fun i ->
+      let v = B.load b Mir.W64 (Mir.indexed base i ~scale:8) in
+      B.add_to b acc acc v);
+  if migrate then B.migrate_point b 1;
+  let out = B.immi b (out_slot elems) in
+  B.store b Mir.W64 acc (Mir.based out);
+  {
+    Spec.name = "sum";
+    description = "test sum";
+    mir = B.finish b;
+    segments =
+      [
+        Spec.segment ~base:data_base ~len:(8 * (elems + 16))
+          ~init:(Spec.I64s (Array.init elems (fun i -> Int64.of_int (i + 1))))
+          ();
+      ];
+    migration_targets = (if migrate then [ (0, Node_id.Arm); (1, Node_id.X86) ] else []);
+  }
+
+let expected elems = Int64.of_int (elems * (elems + 1))
+
+let run_os ?(elems = 512) os =
+  let spec = sum_spec ~elems () in
+  let machine = Machine.create { Machine.default_config with os } in
+  let proc, thread = Machine.load machine spec in
+  let result = Runner.run machine proc thread spec in
+  (machine, proc, thread, result)
+
+let test_all_oses_compute_same_result () =
+  List.iter
+    (fun os ->
+      let machine, proc, _, _ = run_os os in
+      match Machine.read_user machine ~proc ~node:Node_id.X86 ~vaddr:(out_slot 512) ~width:8 with
+      | Some got -> check64 (Machine.os_choice_name os) (expected 512) got
+      | None -> Alcotest.fail "result unmapped")
+    Machine.all_os_choices
+
+let test_migration_happens () =
+  let _, _, thread, result = run_os Machine.Stramash_kernel_os in
+  checki "two migrations" 2 result.Runner.migrations;
+  checki "thread migration count" 2 thread.Thread.migrations;
+  Alcotest.(check bool) "thread back home" true (Node_id.equal thread.Thread.node Node_id.X86);
+  Alcotest.(check bool) "work happened on both nodes" true
+    (result.Runner.node_icounts.(0) > 0 && result.Runner.node_icounts.(1) > 0)
+
+let test_vanilla_ignores_migration_points () =
+  let _, _, thread, result = run_os Machine.Vanilla in
+  checki "no migrations" 0 result.Runner.migrations;
+  Alcotest.(check bool) "stays at origin" true (Node_id.equal thread.Thread.node Node_id.X86);
+  checki "no arm instructions" 0 result.Runner.node_icounts.(1)
+
+let test_phase_marks_recorded () =
+  let _, _, _, result = run_os Machine.Popcorn_shm in
+  Alcotest.(check bool) "marks for both points" true
+    (List.mem_assoc 0 result.Runner.phase_marks && List.mem_assoc 1 result.Runner.phase_marks);
+  Alcotest.(check bool) "span positive" true (Runner.phase_span result ~start:0 ~stop:1 > 0)
+
+let test_clock_sync_on_migration () =
+  let _, _, _, result = run_os Machine.Popcorn_shm in
+  (* after a round trip the wall clock is the max of the node meters *)
+  Alcotest.(check bool) "wall = max node cycles" true
+    (result.Runner.wall_cycles = max result.Runner.node_cycles.(0) result.Runner.node_cycles.(1))
+
+let test_ordering_of_oses () =
+  let wall os =
+    let _, _, _, r = run_os ~elems:4096 os in
+    r.Runner.wall_cycles
+  in
+  let vanilla = wall Machine.Vanilla in
+  let stramash = wall Machine.Stramash_kernel_os in
+  let shm = wall Machine.Popcorn_shm in
+  let tcp = wall Machine.Popcorn_tcp in
+  Alcotest.(check bool) "vanilla fastest" true (vanilla < stramash);
+  Alcotest.(check bool) "stramash beats popcorn-shm" true (stramash < shm);
+  Alcotest.(check bool) "shm beats tcp" true (shm < tcp)
+
+let test_lazy_segments_fault_in () =
+  (* a lazy segment is unmapped until written *)
+  let b = B.create () in
+  let base = B.immi b data_base in
+  let v = B.immi b 123 in
+  B.store b Mir.W64 v (Mir.based base);
+  let spec =
+    {
+      Spec.name = "lazy";
+      description = "";
+      mir = B.finish b;
+      segments = [ Spec.segment ~base:data_base ~len:4096 ~eager:false () ];
+      migration_targets = [];
+    }
+  in
+  let machine = Machine.create { Machine.default_config with os = Machine.Vanilla } in
+  let proc, thread = Machine.load machine spec in
+  Alcotest.(check (option int64)) "unmapped before run" None
+    (Machine.read_user machine ~proc ~node:Node_id.X86 ~vaddr:data_base ~width:8);
+  ignore (Runner.run machine proc thread spec);
+  Alcotest.(check (option int64)) "mapped and written after" (Some 123L)
+    (Machine.read_user machine ~proc ~node:Node_id.X86 ~vaddr:data_base ~width:8)
+
+let test_segfault_detected () =
+  let b = B.create () in
+  let bad = B.immi b 0xDEAD000 in
+  ignore (B.load b Mir.W64 (Mir.based bad));
+  let spec =
+    {
+      Spec.name = "segv";
+      description = "";
+      mir = B.finish b;
+      segments = [];
+      migration_targets = [];
+    }
+  in
+  let machine = Machine.create { Machine.default_config with os = Machine.Vanilla } in
+  let proc, thread = Machine.load machine spec in
+  Alcotest.(check bool) "segfault raises" true
+    (try
+       ignore (Runner.run machine proc thread spec);
+       false
+     with Failure _ -> true)
+
+let test_spawn_thread_entry () =
+  let b = B.create () in
+  (* main: store 1 then halt *)
+  let base = B.immi b data_base in
+  let one = B.immi b 1 in
+  B.store b Mir.W64 one (Mir.based base);
+  B.halt b;
+  (* second thread entry: store 2 at +8 *)
+  B.migrate_point b 50;
+  let base2 = B.immi b data_base in
+  let two = B.immi b 2 in
+  B.store b Mir.W64 two (Mir.based_disp base2 8);
+  let spec =
+    {
+      Spec.name = "spawn";
+      description = "";
+      mir = B.finish b;
+      segments = [ Spec.segment ~base:data_base ~len:4096 () ];
+      migration_targets = [];
+    }
+  in
+  let machine = Machine.create { Machine.default_config with os = Machine.Stramash_kernel_os } in
+  let proc, t1 = Machine.load machine spec in
+  let t2 = Machine.spawn_thread machine proc ~at_point:50 ~node:Node_id.Arm in
+  ignore (Runner.run_threads machine proc [ t1; t2 ] spec);
+  Alcotest.(check (option int64)) "main wrote" (Some 1L)
+    (Machine.read_user machine ~proc ~node:Node_id.X86 ~vaddr:data_base ~width:8);
+  Alcotest.(check (option int64)) "spawned thread wrote" (Some 2L)
+    (Machine.read_user machine ~proc ~node:Node_id.Arm ~vaddr:(data_base + 8) ~width:8)
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_pp_result_renders () =
+  let _, _, _, result = run_os Machine.Stramash_kernel_os in
+  let s = Format.asprintf "%a" Runner.pp_result result in
+  Alcotest.(check bool) "artifact-style dump mentions hit rates" true
+    (contains_substring s "L1 Cache Hit Rate");
+  Alcotest.(check bool) "mentions remote memory hits" true
+    (contains_substring s "Remote Memory Hits")
+
+(* ---------- multiple processes ---------- *)
+
+let test_two_processes_isolated () =
+  List.iter
+    (fun os ->
+      let machine = Machine.create { Machine.default_config with os } in
+      let spec_a = sum_spec ~elems:512 () in
+      let spec_b = sum_spec ~elems:256 () in
+      let proc_a, th_a = Machine.load machine spec_a in
+      let proc_b, th_b = Machine.load machine spec_b in
+      ignore (Runner.run_workloads machine [ (spec_a, proc_a, th_a); (spec_b, proc_b, th_b) ]);
+      (* overlapping virtual layouts, separate address spaces *)
+      (match Machine.read_user machine ~proc:proc_a ~node:Node_id.X86 ~vaddr:(out_slot 512) ~width:8 with
+      | Some got -> check64 (Machine.os_choice_name os ^ " proc A") (expected 512) got
+      | None -> Alcotest.fail "proc A unmapped");
+      match Machine.read_user machine ~proc:proc_b ~node:Node_id.X86 ~vaddr:(out_slot 256) ~width:8 with
+      | Some got -> check64 (Machine.os_choice_name os ^ " proc B") (expected 256) got
+      | None -> Alcotest.fail "proc B unmapped")
+    [ Machine.Vanilla; Machine.Popcorn_shm; Machine.Stramash_kernel_os ]
+
+let test_tids_are_global () =
+  let machine = Machine.create Machine.default_config in
+  let spec = sum_spec ~elems:64 () in
+  let _, th_a = Machine.load machine spec in
+  let _, th_b = Machine.load machine spec in
+  Alcotest.(check bool) "distinct tids across processes" true
+    (th_a.Thread.tid <> th_b.Thread.tid)
+
+(* ---------- process exit & memory recycling (paper §6.4) ---------- *)
+
+let test_exit_recycles_memory () =
+  List.iter
+    (fun os ->
+      let machine = Machine.create { Machine.default_config with os } in
+      let spec = sum_spec ~elems:2048 () in
+      let before = (Machine.used_frames machine Node_id.X86, Machine.used_frames machine Node_id.Arm) in
+      let proc, thread = Machine.load machine spec in
+      ignore (Runner.run machine proc thread spec);
+      let running = (Machine.used_frames machine Node_id.X86, Machine.used_frames machine Node_id.Arm) in
+      Alcotest.(check bool)
+        (Machine.os_choice_name os ^ ": pages were allocated")
+        true
+        (fst running > fst before);
+      Machine.exit_process machine proc;
+      let after_x86 = Machine.used_frames machine Node_id.X86 in
+      let after_arm = Machine.used_frames machine Node_id.Arm in
+      (* user pages are gone; only page-table pages and kernel-heap pages
+         remain (never recycled, as noted in DESIGN.md) *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: x86 frames recycled (%d -> %d)" (Machine.os_choice_name os)
+           (fst running) after_x86)
+        true
+        (after_x86 < fst running);
+      Alcotest.(check bool)
+        (Machine.os_choice_name os ^ ": no unmapped leak on arm")
+        true
+        (after_arm <= snd running))
+    [ Machine.Vanilla; Machine.Popcorn_shm; Machine.Stramash_kernel_os ]
+
+let test_exit_frees_remote_owned_pages_at_remote () =
+  (* Under Stramash, pages the remote kernel allocated must be freed by
+     the remote kernel, not the origin (§6.4). *)
+  let machine = Machine.create { Machine.default_config with os = Machine.Stramash_kernel_os } in
+  let spec = sum_spec ~elems:2048 () in
+  let proc, thread = Machine.load machine spec in
+  ignore (Runner.run machine proc thread spec);
+  let arm_running = Machine.used_frames machine Node_id.Arm in
+  Machine.exit_process machine proc;
+  Alcotest.(check bool) "arm released its allocations" true
+    (Machine.used_frames machine Node_id.Arm <= arm_running)
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "execution",
+        [
+          Alcotest.test_case "cross-OS result equality" `Quick test_all_oses_compute_same_result;
+          Alcotest.test_case "migration happens" `Quick test_migration_happens;
+          Alcotest.test_case "vanilla ignores points" `Quick test_vanilla_ignores_migration_points;
+          Alcotest.test_case "phase marks" `Quick test_phase_marks_recorded;
+          Alcotest.test_case "clock sync" `Quick test_clock_sync_on_migration;
+          Alcotest.test_case "OS cost ordering" `Slow test_ordering_of_oses;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "lazy segments" `Quick test_lazy_segments_fault_in;
+          Alcotest.test_case "segfault" `Quick test_segfault_detected;
+        ] );
+      ( "threads",
+        [ Alcotest.test_case "spawn entry" `Quick test_spawn_thread_entry ] );
+      ( "multiprocess",
+        [
+          Alcotest.test_case "isolation" `Quick test_two_processes_isolated;
+          Alcotest.test_case "global tids" `Quick test_tids_are_global;
+        ] );
+      ( "exit",
+        [
+          Alcotest.test_case "recycles memory" `Quick test_exit_recycles_memory;
+          Alcotest.test_case "remote frees its pages" `Quick
+            test_exit_frees_remote_owned_pages_at_remote;
+        ] );
+      ("report", [ Alcotest.test_case "pp_result" `Quick test_pp_result_renders ]);
+    ]

@@ -1,0 +1,225 @@
+(* Tests for the simulation substrate: RNG, cycles, event engine, metrics,
+   meters. *)
+
+module Rng = Stramash_sim.Rng
+module Cycles = Stramash_sim.Cycles
+module Engine = Stramash_sim.Engine
+module Metrics = Stramash_sim.Metrics
+module Meter = Stramash_sim.Meter
+module Node_id = Stramash_sim.Node_id
+
+let checki = Alcotest.(check int)
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7L and b = Rng.create ~seed:7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_matters () =
+  let a = Rng.create ~seed:7L and b = Rng.create ~seed:8L in
+  Alcotest.(check bool) "different seeds differ" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:3L in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a) (Rng.next_int64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:3L in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 20 (fun _ -> Rng.next_int64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let prop_rng_int_range =
+  QCheck.Test.make ~name:"rng int in range" ~count:500
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_int_in =
+  QCheck.Test.make ~name:"rng int_in inclusive bounds" ~count:500
+    QCheck.(triple small_int (int_range (-500) 500) (int_range 0 500))
+    (fun (seed, lo, span) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) in
+      let v = Rng.int_in rng lo (lo + span) in
+      v >= lo && v <= lo + span)
+
+let prop_rng_float_range =
+  QCheck.Test.make ~name:"rng float in range" ~count:500 QCheck.small_int (fun seed ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) in
+      let v = Rng.float rng 5.0 in
+      v >= 0.0 && v < 5.0)
+
+let test_rng_gaussian_mean () =
+  let rng = Rng.create ~seed:11L in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.gaussian rng ~mean:10.0 ~sigma:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "gaussian mean near 10" true (Float.abs (mean -. 10.0) < 0.1)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:5L in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 50 Fun.id) sorted
+
+(* ---------- Cycles ---------- *)
+
+let test_cycles_roundtrip () =
+  let c = Cycles.of_us 2.0 in
+  Alcotest.(check bool) "2us at 2.1GHz = 4200 cycles" true (c = 4200);
+  Alcotest.(check bool) "to_us inverse" true (Float.abs (Cycles.to_us c -. 2.0) < 0.001)
+
+let test_cycles_of_ns_rounds () =
+  checki "1ns rounds to 2 cycles" 2 (Cycles.of_ns 1.0)
+
+(* ---------- Engine ---------- *)
+
+let test_engine_fires_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:30 (fun () -> log := 30 :: !log);
+  Engine.schedule e ~delay:10 (fun () -> log := 10 :: !log);
+  Engine.schedule e ~delay:20 (fun () -> log := 20 :: !log);
+  Engine.run_until_idle e;
+  Alcotest.(check (list int)) "timestamp order" [ 10; 20; 30 ] (List.rev !log);
+  checki "clock at last event" 30 (Engine.now e)
+
+let test_engine_equal_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~delay:10 (fun () -> log := i :: !log)
+  done;
+  Engine.run_until_idle e;
+  Alcotest.(check (list int)) "insertion order at equal time" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_advance_fires_passed_events () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.schedule e ~delay:5 (fun () -> fired := true);
+  Engine.advance e 3;
+  Alcotest.(check bool) "not yet" false !fired;
+  Engine.advance e 3;
+  Alcotest.(check bool) "fired when passed" true !fired;
+  checki "clock advanced fully" 6 (Engine.now e)
+
+let test_engine_event_schedules_event () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:5 (fun () ->
+      log := `A :: !log;
+      Engine.schedule e ~delay:5 (fun () -> log := `B :: !log));
+  Engine.run_until_idle e;
+  checki "cascaded time" 10 (Engine.now e);
+  checki "both fired" 2 (List.length !log)
+
+let test_engine_pending () =
+  let e = Engine.create () in
+  checki "empty" 0 (Engine.pending e);
+  Engine.schedule e ~delay:1 ignore;
+  Engine.schedule e ~delay:2 ignore;
+  checki "two pending" 2 (Engine.pending e);
+  Alcotest.(check (option int)) "next at 1" (Some 1) (Engine.next_event_at e)
+
+let prop_engine_order =
+  QCheck.Test.make ~name:"engine always fires in timestamp order" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_range 0 1000))
+    (fun delays ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      List.iter (fun d -> Engine.schedule e ~delay:d (fun () -> fired := Engine.now e :: !fired)) delays;
+      Engine.run_until_idle e;
+      let times = List.rev !fired in
+      List.sort compare times = times && List.length times = List.length delays)
+
+(* ---------- Metrics ---------- *)
+
+let test_metrics_counters () =
+  let reg = Metrics.registry () in
+  checki "missing is 0" 0 (Metrics.get reg "x");
+  Metrics.incr reg "x";
+  Metrics.add reg "x" 4;
+  checki "incr+add" 5 (Metrics.get reg "x");
+  Metrics.set reg "y" 7;
+  Alcotest.(check (list string)) "names sorted" [ "x"; "y" ] (Metrics.names reg);
+  let total = Metrics.fold reg ~init:0 ~f:(fun acc _ v -> acc + v) in
+  checki "fold sums" 12 total
+
+let test_histogram () =
+  let h = Metrics.Histogram.create ~buckets:10 ~lo:0.0 ~hi:100.0 in
+  List.iter (Metrics.Histogram.record h) [ 5.0; 15.0; 15.0; 95.0; 150.0 ];
+  checki "count" 5 (Metrics.Histogram.count h);
+  Alcotest.(check bool) "min" true (Metrics.Histogram.min_value h = 5.0);
+  Alcotest.(check bool) "max includes overflow" true (Metrics.Histogram.max_value h = 150.0);
+  let p50 = Metrics.Histogram.percentile h 0.5 in
+  Alcotest.(check bool) "median in low buckets" true (p50 <= 30.0)
+
+(* ---------- Meter ---------- *)
+
+let test_meter () =
+  let m = Meter.create () in
+  Meter.add m 10;
+  let dt = Meter.delta m (fun () -> Meter.add m 32) in
+  checki "delta observes inner cost" 32 dt;
+  checki "total" 42 (Meter.get m);
+  Meter.reset m;
+  checki "reset" 0 (Meter.get m)
+
+(* ---------- Node_id ---------- *)
+
+let test_node_id () =
+  Alcotest.(check bool) "other is involutive" true
+    (List.for_all (fun n -> Node_id.other (Node_id.other n) = n) Node_id.all);
+  checki "x86 index" 0 (Node_id.index Node_id.X86);
+  Alcotest.(check bool) "of_index inverse" true
+    (List.for_all (fun n -> Node_id.of_index (Node_id.index n) = n) Node_id.all)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_rng_int_range; prop_rng_int_in; prop_rng_float_range; prop_engine_order ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed matters" `Quick test_rng_seed_matters;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "gaussian mean" `Quick test_rng_gaussian_mean;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "cycles",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_cycles_roundtrip;
+          Alcotest.test_case "rounding" `Quick test_cycles_of_ns_rounds;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "fires in order" `Quick test_engine_fires_in_order;
+          Alcotest.test_case "equal-time fifo" `Quick test_engine_equal_time_fifo;
+          Alcotest.test_case "advance fires passed" `Quick test_engine_advance_fires_passed_events;
+          Alcotest.test_case "cascading events" `Quick test_engine_event_schedules_event;
+          Alcotest.test_case "pending/next" `Quick test_engine_pending;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "meter" `Quick test_meter;
+        ] );
+      ("node_id", [ Alcotest.test_case "basics" `Quick test_node_id ]);
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,186 @@
+(* Tests for the workload suite: every NPB-like kernel's simulated result
+   matches its host-computed reference (on small classes), microbenchmark
+   specs are well-formed, and the Redis model behaves. *)
+
+module Node_id = Stramash_sim.Node_id
+module Machine = Stramash_machine.Machine
+module Runner = Stramash_machine.Runner
+module Spec = Stramash_machine.Spec
+module W = Stramash_workloads
+
+let check64 = Alcotest.(check int64)
+
+let run_and_read_checksum ?(os = Machine.Vanilla) spec =
+  let machine = Machine.create { Machine.default_config with os } in
+  let proc, thread = Machine.load machine spec in
+  let result = Runner.run machine proc thread spec in
+  match
+    Machine.read_user machine ~proc ~node:Node_id.X86 ~vaddr:W.Npb_common.checksum_vaddr ~width:8
+  with
+  | Some v -> (v, result)
+  | None -> Alcotest.fail "checksum unmapped"
+
+(* small classes so each test stays fast *)
+let is_params = { W.Npb_is.nkeys = 8192; max_key = 512; iterations = 2 }
+let cg_params = { W.Npb_cg.n = 2048; row_nnz = 6; iterations = 2 }
+let mg_params = { W.Npb_mg.n = 16; iterations = 2 }
+let ft_params = { W.Npb_ft.n = 8; iterations = 2 }
+let ep_params = { W.Npb_ep.samples = 20_000; iterations = 2 }
+let lu_params = { W.Npb_lu.n = 12; iterations = 2 }
+let sp_params = { W.Npb_sp.n = 12; iterations = 2 }
+
+let test_is_checksum () =
+  let got, _ = run_and_read_checksum (W.Npb_is.spec ~params:is_params ()) in
+  check64 "IS" (W.Npb_is.expected_checksum is_params) got
+
+let test_cg_checksum () =
+  let got, _ = run_and_read_checksum (W.Npb_cg.spec ~params:cg_params ()) in
+  check64 "CG (bitwise float)" (Int64.bits_of_float (W.Npb_cg.expected_checksum cg_params)) got
+
+let test_mg_checksum () =
+  let got, _ = run_and_read_checksum (W.Npb_mg.spec ~params:mg_params ()) in
+  check64 "MG" (Int64.bits_of_float (W.Npb_mg.expected_checksum mg_params)) got
+
+let test_ft_checksum () =
+  let got, _ = run_and_read_checksum (W.Npb_ft.spec ~params:ft_params ()) in
+  check64 "FT" (Int64.bits_of_float (W.Npb_ft.expected_checksum ft_params)) got
+
+let test_ep_checksum () =
+  let got, _ = run_and_read_checksum (W.Npb_ep.spec ~params:ep_params ()) in
+  check64 "EP" (W.Npb_ep.expected_checksum ep_params) got
+
+let test_lu_checksum () =
+  let got, _ = run_and_read_checksum (W.Npb_lu.spec ~params:lu_params ()) in
+  check64 "LU" (Int64.bits_of_float (W.Npb_lu.expected_checksum lu_params)) got
+
+let test_lu_checksum_migrated () =
+  let got, _ = run_and_read_checksum ~os:Machine.Stramash_kernel_os (W.Npb_lu.spec ~params:lu_params ()) in
+  check64 "LU stramash" (Int64.bits_of_float (W.Npb_lu.expected_checksum lu_params)) got
+
+let test_sp_checksum () =
+  let got, _ = run_and_read_checksum (W.Npb_sp.spec ~params:sp_params ()) in
+  check64 "SP" (Int64.bits_of_float (W.Npb_sp.expected_checksum sp_params)) got
+
+let test_sp_checksum_migrated () =
+  let got, _ = run_and_read_checksum ~os:Machine.Popcorn_shm (W.Npb_sp.spec ~params:sp_params ()) in
+  check64 "SP popcorn" (Int64.bits_of_float (W.Npb_sp.expected_checksum sp_params)) got
+
+(* migration must not change results, under either OS *)
+let test_checksums_stable_across_oses () =
+  List.iter
+    (fun os ->
+      let got, result = run_and_read_checksum ~os (W.Npb_is.spec ~params:is_params ()) in
+      check64 (Machine.os_choice_name os) (W.Npb_is.expected_checksum is_params) got;
+      if Machine.os_choice_name os <> "vanilla" then
+        Alcotest.(check bool) "migrations happened" true (result.Runner.migrations > 0))
+    [ Machine.Vanilla; Machine.Popcorn_shm; Machine.Popcorn_tcp; Machine.Stramash_kernel_os ]
+
+let test_is_write_intensive () =
+  (* IS must store substantially; CG must be load-dominated *)
+  let machine = Machine.create { Machine.default_config with os = Machine.Vanilla } in
+  let spec = W.Npb_cg.spec ~params:cg_params () in
+  let proc, thread = Machine.load machine spec in
+  let r = Runner.run machine proc thread spec in
+  let g name = Stramash_sim.Metrics.get r.Runner.cache ("x86." ^ name) in
+  let loads = g "l1d_accesses" in
+  ignore loads;
+  Alcotest.(check bool) "CG executes" true (r.Runner.instructions > 100_000)
+
+let test_workload_specs_validate () =
+  List.iter
+    (fun (name, spec) ->
+      Alcotest.(check bool) name true (Stramash_isa.Mir.validate spec.Spec.mir = Ok ()))
+    [
+      ("is", W.Npb_is.spec ~params:is_params ());
+      ("cg", W.Npb_cg.spec ~params:cg_params ());
+      ("mg", W.Npb_mg.spec ~params:mg_params ());
+      ("ft", W.Npb_ft.spec ~params:ft_params ());
+      ("ep", W.Npb_ep.spec ~params:ep_params ());
+      ("memaccess", W.Micro_memaccess.spec W.Micro_memaccess.Vanilla);
+      ("granularity", W.Micro_granularity.spec ~lines:4 ());
+      ("futex", W.Micro_futex.spec ~loops:10);
+    ]
+
+let test_memaccess_variants_distinct () =
+  Alcotest.(check int) "six variants" 6 (List.length W.Micro_memaccess.all_variants);
+  let names = List.map W.Micro_memaccess.variant_name W.Micro_memaccess.all_variants in
+  Alcotest.(check int) "distinct names" 6 (List.length (List.sort_uniq compare names))
+
+let test_granularity_measures () =
+  let spec = W.Micro_granularity.spec ~pages:8 ~lines:2 () in
+  let machine = Machine.create { Machine.default_config with os = Machine.Stramash_kernel_os } in
+  let proc, thread = Machine.load machine spec in
+  let r = Runner.run machine proc thread spec in
+  Alcotest.(check bool) "measured span positive" true
+    (Runner.phase_span r ~start:W.Micro_granularity.measure_start
+       ~stop:W.Micro_granularity.measure_stop
+    > 0)
+
+let test_futex_microbench_runs () =
+  let spec = W.Micro_futex.spec ~loops:25 in
+  let machine = Machine.create { Machine.default_config with os = Machine.Stramash_kernel_os } in
+  let proc, locker = Machine.load machine spec in
+  let unlocker =
+    Machine.spawn_thread machine proc ~at_point:W.Micro_futex.unlocker_entry ~node:Node_id.Arm
+  in
+  let r = Runner.run_threads machine proc [ locker; unlocker ] spec in
+  Alcotest.(check bool) "completed" true (r.Runner.wall_cycles > 0);
+  (* the locker stores its loop count as the checksum *)
+  match
+    Machine.read_user machine ~proc ~node:Node_id.X86 ~vaddr:W.Npb_common.checksum_vaddr ~width:8
+  with
+  | Some v -> check64 "loop count" 25L v
+  | None -> Alcotest.fail "checksum unmapped"
+
+let test_redis_ops () =
+  let results = W.Redis.run ~os:Machine.Popcorn_shm ~requests:200 () in
+  Alcotest.(check int) "eight ops" 8 (List.length results);
+  List.iter
+    (fun (r : W.Redis.result) ->
+      Alcotest.(check bool) (W.Redis.op_name r.W.Redis.op) true (r.W.Redis.cycles_per_request > 0.0))
+    results
+
+let test_redis_tcp_slowest () =
+  let mean os =
+    let rs = W.Redis.run ~os ~requests:200 () in
+    List.fold_left (fun a (r : W.Redis.result) -> a +. r.W.Redis.cycles_per_request) 0.0 rs
+  in
+  let tcp = mean Machine.Popcorn_tcp in
+  let shm = mean Machine.Popcorn_shm in
+  let str = mean Machine.Stramash_kernel_os in
+  Alcotest.(check bool) "tcp > shm" true (tcp > shm);
+  Alcotest.(check bool) "shm > stramash" true (shm > str)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "npb checksums",
+        [
+          Alcotest.test_case "is" `Quick test_is_checksum;
+          Alcotest.test_case "cg" `Quick test_cg_checksum;
+          Alcotest.test_case "mg" `Quick test_mg_checksum;
+          Alcotest.test_case "ft" `Quick test_ft_checksum;
+          Alcotest.test_case "ep" `Quick test_ep_checksum;
+          Alcotest.test_case "lu" `Quick test_lu_checksum;
+          Alcotest.test_case "lu migrated" `Quick test_lu_checksum_migrated;
+          Alcotest.test_case "sp" `Quick test_sp_checksum;
+          Alcotest.test_case "sp migrated" `Quick test_sp_checksum_migrated;
+          Alcotest.test_case "stable across OSes" `Slow test_checksums_stable_across_oses;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "specs validate" `Quick test_workload_specs_validate;
+          Alcotest.test_case "cg runs" `Quick test_is_write_intensive;
+          Alcotest.test_case "memaccess variants" `Quick test_memaccess_variants_distinct;
+        ] );
+      ( "micro",
+        [
+          Alcotest.test_case "granularity" `Quick test_granularity_measures;
+          Alcotest.test_case "futex" `Quick test_futex_microbench_runs;
+        ] );
+      ( "redis",
+        [
+          Alcotest.test_case "ops" `Quick test_redis_ops;
+          Alcotest.test_case "transport ordering" `Slow test_redis_tcp_slowest;
+        ] );
+    ]

@@ -6,6 +6,7 @@
      npb <bench>                  run one NPB-like kernel under one config
      redis                        run the network-serving model
      futex <loops>                run the futex microbenchmark
+     faults                       run the fault-injection campaign + audit
      machine                      describe the simulated platform *)
 
 open Cmdliner
@@ -172,6 +173,36 @@ let futex_cmd =
   in
   Cmd.v (Cmd.info "futex" ~doc:"Run the futex microbenchmark") Term.(const run $ loops_arg)
 
+(* ---------- faults ---------- *)
+
+let faults_cmd =
+  let seed_arg =
+    Arg.(value & opt int64 0xC0FFEEL & info [ "s"; "seed" ] ~docv:"SEED"
+         ~doc:"Machine seed; the fault plan derives from it, so the same seed replays the same faults")
+  in
+  let bench_arg =
+    Arg.(value & opt string "is" & info [ "b"; "bench" ] ~docv:"BENCH" ~doc:"is | cg | mg | ft")
+  in
+  let rate name doc default =
+    Arg.(value & opt float default & info [ name ] ~docv:"RATE" ~doc)
+  in
+  let drop_arg = rate "drop-rate" "Message-drop probability per transmission attempt" 0.05 in
+  let ipi_arg = rate "ipi-loss" "IPI loss (and jitter) probability" 0.02 in
+  let walk_arg = rate "walk-fail" "Transient remote PTE read-failure probability" 0.02 in
+  let ptl_arg = rate "ptl-timeout" "Page-table-lock acquisition timeout probability" 0.01 in
+  let alloc_arg = rate "alloc-fail" "Injected frame-allocator exhaustion probability" 0.005 in
+  let run seed bench drop ipi walk ptl alloc =
+    let config =
+      H.Fault_experiments.plan_config ~drop_rate:drop ~ipi_loss:ipi ~walk_fail:walk
+        ~ptl_timeout:ptl ~alloc_fail:alloc ()
+    in
+    if H.Fault_experiments.campaign fmt ~seed ~bench ~config () then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Run a deterministic fault-injection campaign and audit kernel invariants")
+    Term.(const run $ seed_arg $ bench_arg $ drop_arg $ ipi_arg $ walk_arg $ ptl_arg $ alloc_arg)
+
 (* ---------- disasm ---------- *)
 
 let spec_of_bench = function
@@ -248,4 +279,7 @@ let () =
     Cmd.info "stramash_cli" ~version:"1.0.0"
       ~doc:"Fused-kernel OS (Stramash, ASPLOS'25) reproduction toolkit"
   in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; experiment_cmd; npb_cmd; redis_cmd; futex_cmd; machine_cmd; disasm_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; experiment_cmd; npb_cmd; redis_cmd; futex_cmd; faults_cmd; machine_cmd; disasm_cmd ]))

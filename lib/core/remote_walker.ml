@@ -1,8 +1,11 @@
+module Meter = Stramash_sim.Meter
 module Env = Stramash_kernel.Env
 module Page_table = Stramash_kernel.Page_table
 module Process = Stramash_kernel.Process
 module Pte = Stramash_kernel.Pte
 module Vma = Stramash_kernel.Vma
+module Fault = Stramash_fault_inject.Fault
+module Plan = Stramash_fault_inject.Plan
 
 (* The io's allocator must never fire on read-only walks; owner is
    irrelevant there, and install_leaf never allocates by construction. *)
@@ -11,11 +14,38 @@ let io env ~actor =
     Page_table.phys = env.Env.phys;
     charge_read = (fun paddr -> Env.charge_load env actor ~paddr);
     charge_write = (fun paddr -> Env.charge_store env actor ~paddr);
-    alloc_table = (fun () -> assert false);
+    alloc_table = (fun () -> invalid_arg "Remote_walker: remote walks never allocate tables");
   }
 
 let walk env ~actor ~owner_mm ~vaddr =
   Page_table.walk owner_mm.Process.pgtable (io env ~actor) ~vaddr
+
+(* [walk] with injectable transient read failures: a faulted read costs
+   the retry delay and is re-issued up to the plan's cap, after which the
+   caller receives a typed error and degrades to the origin-fallback RPC
+   (§9.2.3) instead of crashing. *)
+let walk_checked env ~actor ~owner_mm ~vaddr ?inject () =
+  match inject with
+  | None -> Ok (walk env ~actor ~owner_mm ~vaddr)
+  | Some plan ->
+      let cfg = Plan.config plan in
+      let rec attempt_walk attempt burned =
+        if Plan.walk_read_faulted plan then begin
+          let pay = cfg.Plan.walk_retry_cycles in
+          Meter.add (Env.meter env actor) pay;
+          if attempt + 1 >= cfg.Plan.walk_max_attempts then
+            Error (Fault.Walk_failed { vaddr; attempts = attempt + 1 })
+          else begin
+            Plan.note_walk_retry plan;
+            attempt_walk (attempt + 1) (burned + pay)
+          end
+        end
+        else begin
+          if burned > 0 then Plan.record_recovery plan ~cycles:burned;
+          Ok (walk env ~actor ~owner_mm ~vaddr)
+        end
+      in
+      attempt_walk 0 0
 
 let upper_levels_present env ~actor ~owner_mm ~vaddr =
   Page_table.upper_levels_present owner_mm.Process.pgtable (io env ~actor) ~vaddr

@@ -15,6 +15,18 @@ val walk :
 (** Decoded leaf (frame number, flags) of the owner's table, with every
     entry read charged to [actor]. *)
 
+val walk_checked :
+  Stramash_kernel.Env.t ->
+  actor:Stramash_sim.Node_id.t ->
+  owner_mm:Stramash_kernel.Process.mm ->
+  vaddr:int ->
+  ?inject:Stramash_fault_inject.Plan.t ->
+  unit ->
+  ((int * Stramash_kernel.Pte.flags) option, Stramash_fault_inject.Fault.error) result
+(** [walk] with injectable transient read failures and bounded retry;
+    [Error (Walk_failed _)] after the plan's attempt cap (the caller then
+    falls back to the origin kernel). Without [inject], always [Ok]. *)
+
 val upper_levels_present :
   Stramash_kernel.Env.t ->
   actor:Stramash_sim.Node_id.t ->

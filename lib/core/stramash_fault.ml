@@ -4,25 +4,40 @@ module Phys_mem = Stramash_mem.Phys_mem
 module Env = Stramash_kernel.Env
 module Kernel = Stramash_kernel.Kernel
 module Kheap = Stramash_kernel.Kheap
+module Frame_alloc = Stramash_kernel.Frame_alloc
 module Vma = Stramash_kernel.Vma
 module Pte = Stramash_kernel.Pte
 module Page_table = Stramash_kernel.Page_table
 module Process = Stramash_kernel.Process
 module Tlb = Stramash_kernel.Tlb
 module Msg_layer = Stramash_popcorn.Msg_layer
+module Fault = Stramash_fault_inject.Fault
+module Plan = Stramash_fault_inject.Plan
 
 type t = {
   env : Env.t;
   msg : Msg_layer.t;
+  inject : Plan.t option;
+  global_alloc : Global_alloc.t option;
   ptls : (int, Stramash_ptl.t) Hashtbl.t; (* pid -> origin-table lock *)
   mutable fallback_pages : int;
   mutable remote_walks : int;
   mutable shared_mappings : int;
 }
 
-let create env msg =
-  { env; msg; ptls = Hashtbl.create 16; fallback_pages = 0; remote_walks = 0; shared_mappings = 0 }
+let create ?inject ?global_alloc env msg =
+  {
+    env;
+    msg;
+    inject;
+    global_alloc;
+    ptls = Hashtbl.create 16;
+    fallback_pages = 0;
+    remote_walks = 0;
+    shared_mappings = 0;
+  }
 
+let inject t = t.inject
 let fallback_pages t = t.fallback_pages
 let remote_walks t = t.remote_walks
 let shared_mappings t = t.shared_mappings
@@ -57,17 +72,51 @@ let ptl_for t ~proc =
       Hashtbl.add t.ptls proc.Process.pid ptl;
       ptl
 
+let ptls_quiescent t =
+  Hashtbl.fold (fun _ ptl acc -> acc && not (Stramash_ptl.is_held ptl)) t.ptls true
+
 let map_local t ~node ~(mm : Process.mm) ~vaddr ~frame ~writable =
   let io = Env.pt_io t.env ~actor:node ~owner:node in
   Page_table.map mm.Process.pgtable io ~vaddr:(Addr.page_base vaddr)
     ~frame:(frame lsr Addr.page_shift) { Pte.default_flags with writable };
   Tlb.flush_page (Env.tlb t.env node) ~vpage:(Addr.page_of vaddr)
 
-let alloc_zeroed t ~node =
+(* Allocate a frame at [node], riding the global-allocator / hotplug path
+   (§6.3) on exhaustion — whether the exhaustion is real or injected by
+   the fault plan. Only when no block can be onlined either is the typed
+   OOM surfaced to the caller. *)
+let alloc_frame t ~node =
   let kernel = Env.kernel t.env node in
-  let frame = Kernel.alloc_frame_exn kernel in
-  Phys_mem.zero_page t.env.Env.phys frame;
-  frame
+  let frames = kernel.Kernel.frames in
+  let denied = match t.inject with Some plan -> Plan.alloc_denied plan | None -> false in
+  let direct = if denied then None else Frame_alloc.alloc frames in
+  match direct with
+  | Some frame -> Ok frame
+  | None -> (
+      let oom () = Error (Fault.Out_of_memory { node = Node_id.to_string node }) in
+      match t.global_alloc with
+      | None -> oom ()
+      | Some ga ->
+          let granted =
+            Global_alloc.check_pressure ga node
+            ||
+            match Global_alloc.request_block ga node with
+            | Ok _ -> true
+            | Error `Exhausted -> false
+          in
+          if granted then begin
+            match t.inject with
+            | Some plan -> Plan.note_hotplug_recovery plan
+            | None -> ()
+          end;
+          (match Frame_alloc.alloc frames with Some f -> Ok f | None -> oom ()))
+
+let alloc_zeroed t ~node =
+  match alloc_frame t ~node with
+  | Ok frame ->
+      Phys_mem.zero_page t.env.Env.phys frame;
+      Ok frame
+  | Error _ as e -> e
 
 (* Find the governing VMA: locally at the origin, or by the remote VMA
    walker on the origin's list (no replication of VMA structs). *)
@@ -106,14 +155,97 @@ let exit_process t ~proc =
                 Tlb.flush_page (Env.tlb t.env node) ~vpage:(Addr.page_of !vaddr);
                 let paddr = frame lsl Addr.page_shift in
                 if
-                  Stramash_kernel.Frame_alloc.owns_address kernel.Kernel.frames paddr
-                  && Stramash_kernel.Frame_alloc.is_allocated kernel.Kernel.frames paddr
-                then Stramash_kernel.Frame_alloc.free kernel.Kernel.frames paddr
+                  Frame_alloc.owns_address kernel.Kernel.frames paddr
+                  && Frame_alloc.is_allocated kernel.Kernel.frames paddr
+                then Frame_alloc.free kernel.Kernel.frames paddr
             | None -> ());
             vaddr := !vaddr + Addr.page_size
           done)
         !ranges)
     proc.Process.mms
+
+(* Upper directory missing in the origin table (or a fault forced us off
+   the fast path): the origin kernel handles the fault over a message
+   round (§9.2.3), allocating and mapping at the origin; the requester
+   then maps the same frame locally. *)
+let origin_fallback t ~proc ~node ~(mm : Process.mm) ~vaddr ~writable =
+  let origin = proc.Process.origin in
+  let omm = Process.mm_exn proc origin in
+  let result = ref (Error (Fault.Out_of_memory { node = Node_id.to_string origin })) in
+  Msg_layer.rpc t.msg ~src:node ~label:"dir_fallback" ~req_bytes:64 ~resp_bytes:64
+    ~handler:(fun () ->
+      match alloc_zeroed t ~node:origin with
+      | Error _ as e -> result := e
+      | Ok frame ->
+          let oio = Env.pt_io t.env ~actor:origin ~owner:origin in
+          Page_table.map omm.Process.pgtable oio ~vaddr:(Addr.page_base vaddr)
+            ~frame:(frame lsr Addr.page_shift)
+            { Pte.default_flags with writable };
+          result := Ok frame);
+  match !result with
+  | Error _ as e -> e
+  | Ok frame ->
+      map_local t ~node ~mm ~vaddr ~frame ~writable;
+      t.fallback_pages <- t.fallback_pages + 1;
+      Ok ()
+
+(* A fault (transient walk failure, PTL timeout) pushed the fast path off
+   the road: degrade to the origin-fallback protocol instead of crashing. *)
+let escalate_to_fallback t ~proc ~node ~mm ~vaddr ~writable =
+  (match t.inject with Some plan -> Plan.note_fallback_escalation plan | None -> ());
+  origin_fallback t ~proc ~node ~mm ~vaddr ~writable
+
+let remote_fault t ~proc ~node ~(mm : Process.mm) ~vaddr ~writable =
+  let origin = proc.Process.origin in
+  let omm = Process.mm_exn proc origin in
+  let ptl = ptl_for t ~proc in
+  let locked =
+    Stramash_ptl.try_with_lock ptl ~actor:node ?inject:t.inject (fun () ->
+        t.remote_walks <- t.remote_walks + 1;
+        match
+          Remote_walker.walk_checked t.env ~actor:node ~owner_mm:omm ~vaddr ?inject:t.inject ()
+        with
+        | Error _ as e -> e
+        | Ok (Some (frame, _flags)) ->
+            (* The page exists at the origin: map the same frame; coherent
+               shared memory does the rest. *)
+            map_local t ~node ~mm ~vaddr ~frame:(frame lsl Addr.page_shift) ~writable;
+            t.shared_mappings <- t.shared_mappings + 1;
+            Ok `Done
+        | Ok None ->
+            if Remote_walker.upper_levels_present t.env ~actor:node ~owner_mm:omm ~vaddr then begin
+              (* Fast path: allocate node-locally, install the PTE in both
+                 tables (origin's in origin format, marked remote-owned so
+                 the origin never frees it). Install into the origin table
+                 first: if it refuses, return the frame and fall back
+                 rather than leaving a half-done mapping. *)
+              match alloc_zeroed t ~node with
+              | Error _ as e -> e
+              | Ok frame ->
+                  let installed =
+                    Remote_walker.install_leaf t.env ~actor:node ~owner_mm:omm
+                      ~vaddr:(Addr.page_base vaddr) ~frame:(frame lsr Addr.page_shift)
+                      ~remote_owned:true
+                  in
+                  if installed then begin
+                    map_local t ~node ~mm ~vaddr ~frame ~writable;
+                    t.shared_mappings <- t.shared_mappings + 1;
+                    Ok `Done
+                  end
+                  else begin
+                    Frame_alloc.free (Env.kernel t.env node).Kernel.frames frame;
+                    Ok `Need_fallback
+                  end
+            end
+            else Ok `Need_fallback)
+  in
+  match locked with
+  | Ok (Ok `Done) -> Ok ()
+  | Ok (Ok `Need_fallback) -> origin_fallback t ~proc ~node ~mm ~vaddr ~writable
+  | Ok (Error (Fault.Walk_failed _)) -> escalate_to_fallback t ~proc ~node ~mm ~vaddr ~writable
+  | Ok (Error _ as e) -> e
+  | Error (Fault.Lock_timeout _) -> escalate_to_fallback t ~proc ~node ~mm ~vaddr ~writable
+  | Error _ as e -> e
 
 let handle_fault t ~proc ~node ~vaddr ~write =
   ignore write;
@@ -121,62 +253,23 @@ let handle_fault t ~proc ~node ~vaddr ~write =
   let mm = ensure_mm t ~proc ~node in
   match vma_for t ~proc ~node ~vaddr with
   | None ->
-      failwith
-        (Printf.sprintf "stramash: segfault pid=%d vaddr=0x%x on %s" proc.Process.pid vaddr
-           (Node_id.to_string node))
+      Error
+        (Fault.Segfault { pid = proc.Process.pid; vaddr; node = Node_id.to_string node })
   | Some vma -> (
       let writable = vma.Vma.writable in
       let local_io = Env.pt_io t.env ~actor:node ~owner:node in
       match Page_table.walk mm.Process.pgtable local_io ~vaddr with
-      | Some _ -> () (* raced/spurious: already mapped *)
+      | Some _ -> Ok () (* raced/spurious: already mapped *)
       | None ->
           if Node_id.equal node origin then begin
-            (* Check whether the remote kernel installed the page in our
-               table's absence — possible only via the fallback path, which
-               fills the origin table; otherwise it's a fresh anon page. *)
-            let frame = alloc_zeroed t ~node in
-            map_local t ~node ~mm ~vaddr ~frame ~writable
+            (* Fresh anon page at the origin. *)
+            match alloc_zeroed t ~node with
+            | Error _ as e -> e
+            | Ok frame ->
+                map_local t ~node ~mm ~vaddr ~frame ~writable;
+                Ok ()
           end
-          else begin
-            let omm = Process.mm_exn proc origin in
-            let ptl = ptl_for t ~proc in
-            Stramash_ptl.with_lock ptl ~actor:node (fun () ->
-                t.remote_walks <- t.remote_walks + 1;
-                match Remote_walker.walk t.env ~actor:node ~owner_mm:omm ~vaddr with
-                | Some (frame, _flags) ->
-                    (* The page exists at the origin: map the same frame;
-                       coherent shared memory does the rest. *)
-                    map_local t ~node ~mm ~vaddr ~frame:(frame lsl Addr.page_shift) ~writable;
-                    t.shared_mappings <- t.shared_mappings + 1
-                | None ->
-                    if Remote_walker.upper_levels_present t.env ~actor:node ~owner_mm:omm ~vaddr
-                    then begin
-                      (* Fast path: allocate node-locally, install the PTE
-                         in both tables (origin's in origin format, marked
-                         remote-owned so the origin never frees it). *)
-                      let frame = alloc_zeroed t ~node in
-                      map_local t ~node ~mm ~vaddr ~frame ~writable;
-                      let ok =
-                        Remote_walker.install_leaf t.env ~actor:node ~owner_mm:omm
-                          ~vaddr:(Addr.page_base vaddr) ~frame:(frame lsr Addr.page_shift)
-                          ~remote_owned:true
-                      in
-                      assert ok;
-                      t.shared_mappings <- t.shared_mappings + 1
-                    end
-                    else begin
-                      (* Upper directory missing in the origin table: the
-                         origin kernel handles the fault (§9.2.3). *)
-                      let oframe = ref 0 in
-                      Msg_layer.rpc t.msg ~src:node ~label:"dir_fallback" ~req_bytes:64
-                        ~resp_bytes:64 ~handler:(fun () ->
-                          let frame = alloc_zeroed t ~node:origin in
-                          let oio = Env.pt_io t.env ~actor:origin ~owner:origin in
-                          Page_table.map omm.Process.pgtable oio ~vaddr:(Addr.page_base vaddr)
-                            ~frame:(frame lsr Addr.page_shift)
-                            { Pte.default_flags with writable };
-                          oframe := frame);
-                      map_local t ~node ~mm ~vaddr ~frame:!oframe ~writable;
-                      t.fallback_pages <- t.fallback_pages + 1
-                    end)
-          end)
+          else remote_fault t ~proc ~node ~mm ~vaddr ~writable)
+
+let handle_fault_exn t ~proc ~node ~vaddr ~write =
+  Fault.get_exn (handle_fault t ~proc ~node ~vaddr ~write)

@@ -7,11 +7,25 @@
     own local memory and installs the PTE in both tables under the
     cross-ISA page-table lock. Only when the origin table lacks upper
     directory levels does it fall back to a message so the origin kernel
-    handles the fault — the residual replication of §9.2.3 / Table 3. *)
+    handles the fault — the residual replication of §9.2.3 / Table 3.
+
+    Anomalies are typed, not fatal: a missing VMA is [Error (Segfault _)],
+    exhaustion that even the global allocator cannot relieve is
+    [Error (Out_of_memory _)], and injected transient walk failures or PTL
+    timeouts degrade to the origin-fallback path instead of crashing. *)
 
 type t
 
-val create : Stramash_kernel.Env.t -> Stramash_popcorn.Msg_layer.t -> t
+val create :
+  ?inject:Stramash_fault_inject.Plan.t ->
+  ?global_alloc:Global_alloc.t ->
+  Stramash_kernel.Env.t ->
+  Stramash_popcorn.Msg_layer.t ->
+  t
+(** [inject] arms fault injection on the walk / PTL / allocation paths;
+    [global_alloc] enables the §6.3 hotplug path on frame exhaustion. *)
+
+val inject : t -> Stramash_fault_inject.Plan.t option
 
 val ensure_mm :
   t -> proc:Stramash_kernel.Process.t -> node:Stramash_sim.Node_id.t -> Stramash_kernel.Process.mm
@@ -22,11 +36,34 @@ val handle_fault :
   node:Stramash_sim.Node_id.t ->
   vaddr:int ->
   write:bool ->
+  (unit, Stramash_fault_inject.Fault.error) result
+(** Resolve a user fault. [Error (Segfault _)] when no VMA governs
+    [vaddr]; [Error (Out_of_memory _)] when allocation fails beyond
+    recovery. Injected walk/lock faults are absorbed by retry and
+    fallback, never surfaced. *)
+
+val handle_fault_exn :
+  t ->
+  proc:Stramash_kernel.Process.t ->
+  node:Stramash_sim.Node_id.t ->
+  vaddr:int ->
+  write:bool ->
   unit
-(** Raises [Failure] on segfault. *)
+(** [handle_fault] for edges that cannot recover; raises
+    {!Stramash_fault_inject.Fault.Error}. *)
+
+val alloc_frame :
+  t -> node:Stramash_sim.Node_id.t -> (int, Stramash_fault_inject.Fault.error) result
+(** Frame allocation with the hotplug/global-allocator recovery path:
+    exhaustion (real or injected) first pulls a pool block online
+    (§6.3) and only then reports [Out_of_memory]. *)
 
 val ptl_for : t -> proc:Stramash_kernel.Process.t -> Stramash_ptl.t
 (** The cross-ISA page-table lock guarding the process's origin table. *)
+
+val ptls_quiescent : t -> bool
+(** No PTL is held — an invariant at every quiescent point, fed to the
+    post-run audit. *)
 
 val fallback_pages : t -> int
 (** Pages that took the origin-fallback path (Table 3's residual

@@ -24,11 +24,15 @@ let word_paddr t ~proc ~node ~uaddr =
   let frame =
     match Page_table.walk mm.Process.pgtable io ~vaddr:uaddr with
     | Some (frame, _) -> frame
-    | None ->
-        Stramash_fault.handle_fault t.faults ~proc ~node ~vaddr:uaddr ~write:true;
-        (match Page_table.walk mm.Process.pgtable io ~vaddr:uaddr with
+    | None -> (
+        (* A futex on an unmapped or unmappable word cannot proceed; the
+           typed error crosses to the CLI edge as an exception. *)
+        Stramash_fault.handle_fault_exn t.faults ~proc ~node ~vaddr:uaddr ~write:true;
+        match Page_table.walk mm.Process.pgtable io ~vaddr:uaddr with
         | Some (frame, _) -> frame
-        | None -> assert false)
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Stramash_futex: fault handler left uaddr=0x%x unmapped" uaddr))
   in
   (frame lsl Addr.page_shift) + Addr.page_offset uaddr
 

@@ -16,14 +16,15 @@ type t = {
   futex_optimized : bool;
 }
 
-let create ?(futex_optimized = true) env () =
-  let msg = Msg_layer.create Msg_layer.Shm env () in
-  let faults = Stramash_fault.create env msg in
-  let futexes = Stramash_futex.create env faults in
+let create ?(futex_optimized = true) ?inject env () =
+  let msg = Msg_layer.create Msg_layer.Shm env ?inject () in
   let global_alloc = Global_alloc.create env ~rng:(Rng.create ~seed:0x57A3A54L) () in
+  let faults = Stramash_fault.create ?inject ~global_alloc env msg in
+  let futexes = Stramash_futex.create env faults in
   { env; msg; faults; futexes; global_alloc; futex_optimized }
 
 let futex_optimized t = t.futex_optimized
+let inject t = Stramash_fault.inject t.faults
 
 let env t = t.env
 let faults t = t.faults
@@ -39,7 +40,7 @@ let handle_fault t ~proc ~node ~vaddr ~write =
    is exchanged), then the destination performs state transformation. *)
 let migrate t ~proc ~thread ~dst ~point =
   let src = thread.Thread.node in
-  assert (not (Node_id.equal src dst));
+  if Node_id.equal src dst then invalid_arg "Stramash_os.migrate: already on destination";
   Msg_layer.rpc t.msg ~src ~label:"migrate" ~req_bytes:256 ~resp_bytes:64 ~handler:(fun () ->
       ignore (Stramash_fault.ensure_mm t.faults ~proc ~node:dst);
       Meter.add (Env.meter t.env dst) Migrate_state.transform_cost_instructions);

@@ -8,12 +8,19 @@
 
 type t
 
-val create : ?futex_optimized:bool -> Stramash_kernel.Env.t -> unit -> t
+val create :
+  ?futex_optimized:bool ->
+  ?inject:Stramash_fault_inject.Plan.t ->
+  Stramash_kernel.Env.t ->
+  unit ->
+  t
 (** [futex_optimized] (default true) selects between direct remote futex
     access (§6.5) and the origin-managed message protocol — the Fig. 13
-    ablation. *)
+    ablation. [inject] arms the fault plan across the message layer, the
+    remote walker, the PTL and the frame allocator. *)
 
 val futex_optimized : t -> bool
+val inject : t -> Stramash_fault_inject.Plan.t option
 
 val env : t -> Stramash_kernel.Env.t
 val faults : t -> Stramash_fault.t
@@ -27,7 +34,7 @@ val handle_fault :
   node:Stramash_sim.Node_id.t ->
   vaddr:int ->
   write:bool ->
-  unit
+  (unit, Stramash_fault_inject.Fault.error) result
 
 val migrate :
   t ->

@@ -1,6 +1,9 @@
 module Node_id = Stramash_sim.Node_id
+module Meter = Stramash_sim.Meter
 module Env = Stramash_kernel.Env
 module Layout = Stramash_mem.Layout
+module Fault = Stramash_fault_inject.Fault
+module Plan = Stramash_fault_inject.Plan
 
 type t = {
   env : Env.t;
@@ -14,9 +17,11 @@ let create env ~lock_addr =
   { env; lock_addr; held_by = None; acquisitions = 0; remote_acquisitions = 0 }
 
 let lock_addr t = t.lock_addr
+let is_held t = t.held_by <> None
 
 let with_lock t ~actor f =
-  assert (t.held_by = None);
+  if t.held_by <> None then
+    invalid_arg "Stramash_ptl.with_lock: lock already held (kernel entry not serialised)";
   Env.charge_atomic t.env actor ~paddr:t.lock_addr;
   t.held_by <- Some actor;
   t.acquisitions <- t.acquisitions + 1;
@@ -34,6 +39,30 @@ let with_lock t ~actor f =
   | exception e ->
       finish ();
       raise e
+
+(* Like [with_lock], but under a fault plan the CAS may time out: the
+   actor pays a backoff and retries up to the plan's cap, after which the
+   caller gets a typed error and degrades (the fault handler then takes
+   the origin-fallback path rather than crashing). *)
+let try_with_lock t ~actor ?inject f =
+  match inject with
+  | None -> Ok (with_lock t ~actor f)
+  | Some plan ->
+      let cfg = Plan.config plan in
+      let rec acquire attempt burned =
+        if Plan.ptl_acquire_timed_out plan then begin
+          let pay = cfg.Plan.ptl_backoff_cycles in
+          Meter.add (Env.meter t.env actor) pay;
+          if attempt + 1 >= cfg.Plan.ptl_max_attempts then
+            Error (Fault.Lock_timeout { lock_addr = t.lock_addr; attempts = attempt + 1 })
+          else acquire (attempt + 1) (burned + pay)
+        end
+        else begin
+          if burned > 0 then Plan.record_recovery plan ~cycles:burned;
+          Ok (with_lock t ~actor f)
+        end
+      in
+      acquire 0 0
 
 let acquisitions t = t.acquisitions
 let remote_acquisitions t = t.remote_acquisitions

@@ -13,9 +13,24 @@ type t
 val create : Stramash_kernel.Env.t -> lock_addr:int -> t
 val lock_addr : t -> int
 
+val is_held : t -> bool
+(** True while some kernel is inside the critical section — must be false
+    at quiescence (audited after every campaign run). *)
+
 val with_lock : t -> actor:Stramash_sim.Node_id.t -> (unit -> 'a) -> 'a
 (** Charges the CAS (acquire) and store (release) at [lock_addr] to
     [actor]'s meter around the critical section. *)
+
+val try_with_lock :
+  t ->
+  actor:Stramash_sim.Node_id.t ->
+  ?inject:Stramash_fault_inject.Plan.t ->
+  (unit -> 'a) ->
+  ('a, Stramash_fault_inject.Fault.error) result
+(** [with_lock] with injectable acquisition timeouts: each timed-out CAS
+    charges the plan's backoff to [actor]; after the plan's attempt cap
+    the result is [Error (Lock_timeout _)] and the critical section never
+    runs. Without [inject] it always succeeds. *)
 
 val acquisitions : t -> int
 val remote_acquisitions : t -> int

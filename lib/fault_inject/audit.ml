@@ -1,0 +1,153 @@
+module Node_id = Stramash_sim.Node_id
+module Addr = Stramash_mem.Addr
+module Env = Stramash_kernel.Env
+module Kernel = Stramash_kernel.Kernel
+module Frame_alloc = Stramash_kernel.Frame_alloc
+module Page_table = Stramash_kernel.Page_table
+module Pte = Stramash_kernel.Pte
+module Process = Stramash_kernel.Process
+module Vma = Stramash_kernel.Vma
+
+type violation = { check : string; detail : string }
+type report = { checks : int; violations : violation list }
+
+let is_clean r = r.violations = []
+
+let pp fmt r =
+  Format.fprintf fmt "audit: %d checks, %d violations@." r.checks (List.length r.violations);
+  List.iter (fun v -> Format.fprintf fmt "  [%s] %s@." v.check v.detail) r.violations
+
+(* Auditing must observe, not perturb: walks are free of cache charges and
+   must never fault in a directory page. *)
+let silent_io env =
+  {
+    Page_table.phys = env.Env.phys;
+    charge_read = ignore;
+    charge_write = ignore;
+    alloc_table = (fun () -> invalid_arg "Audit: walk must not allocate");
+  }
+
+let frame_owner env paddr =
+  List.find_opt
+    (fun node -> Frame_alloc.owns_address (Env.kernel env node).Kernel.frames paddr)
+    Node_id.all
+
+(* VMAs live only at the origin; remote mms borrow the origin's ranges
+   (paper §6.4), so every table is audited against the origin VMA list. *)
+let origin_ranges proc =
+  let omm = Process.mm_exn proc proc.Process.origin in
+  let ranges = ref [] in
+  Vma.iter omm.Process.vmas ~f:(fun vma ->
+      ranges := (vma.Vma.v_start, vma.Vma.v_end) :: !ranges);
+  List.rev !ranges
+
+let iter_leaves env ~proc ~f =
+  let io = silent_io env in
+  let ranges = origin_ranges proc in
+  List.iter
+    (fun (node, mm) ->
+      List.iter
+        (fun (v_start, v_end) ->
+          let vaddr = ref v_start in
+          while !vaddr < v_end do
+            (match Page_table.walk mm.Process.pgtable io ~vaddr:!vaddr with
+            | Some (pfn, flags) -> f ~node ~vaddr:!vaddr ~paddr:(pfn lsl Addr.page_shift) ~flags
+            | None -> ());
+            vaddr := !vaddr + Addr.page_size
+          done)
+        ranges)
+    proc.Process.mms
+
+let run ~env ~procs ?(extra = []) () =
+  let checks = ref 0 in
+  let violations = ref [] in
+  let bad check detail = violations := { check; detail } :: !violations in
+  let global_frames = Hashtbl.create 256 in
+  List.iter
+    (fun proc ->
+      let origin = proc.Process.origin in
+      let proc_frames = Hashtbl.create 64 in
+      iter_leaves env ~proc ~f:(fun ~node ~vaddr ~paddr ~flags ->
+          incr checks;
+          match frame_owner env paddr with
+          | None ->
+              bad "frame-owner"
+                (Printf.sprintf "pid=%d %s vaddr=0x%x maps paddr=0x%x owned by no allocator"
+                   proc.Process.pid (Node_id.to_string node) vaddr paddr)
+          | Some owner ->
+              incr checks;
+              if not (Frame_alloc.is_allocated (Env.kernel env owner).Kernel.frames paddr) then
+                bad "frame-allocated"
+                  (Printf.sprintf "pid=%d %s vaddr=0x%x maps freed frame paddr=0x%x"
+                     proc.Process.pid (Node_id.to_string node) vaddr paddr);
+              (* The remote-owned software bit is meaningful only in the
+                 origin's table: set exactly when the other kernel installed
+                 the PTE out of its own memory (so the origin must not free
+                 the frame at teardown). *)
+              if Node_id.equal node origin then begin
+                incr checks;
+                let expect = not (Node_id.equal owner origin) in
+                if flags.Pte.remote_owned <> expect then
+                  bad "remote-owned-flag"
+                    (Printf.sprintf
+                       "pid=%d origin table vaddr=0x%x: remote_owned=%b but frame owner is %s"
+                       proc.Process.pid vaddr flags.Pte.remote_owned (Node_id.to_string owner))
+              end;
+              (* Shared intent: both kernels may map one frame only at the
+                 same vaddr (the §6.4 shared-frame fast path). *)
+              incr checks;
+              (match Hashtbl.find_opt proc_frames paddr with
+              | Some v when v <> vaddr ->
+                  bad "shared-intent"
+                    (Printf.sprintf "pid=%d frame 0x%x mapped at both 0x%x and 0x%x"
+                       proc.Process.pid paddr v vaddr)
+              | Some _ -> ()
+              | None -> Hashtbl.add proc_frames paddr vaddr);
+              incr checks;
+              (match Hashtbl.find_opt global_frames paddr with
+              | Some pid when pid <> proc.Process.pid ->
+                  bad "cross-process-alias"
+                    (Printf.sprintf "frame 0x%x mapped by both pid=%d and pid=%d" paddr pid
+                       proc.Process.pid)
+              | _ -> Hashtbl.replace global_frames paddr proc.Process.pid)))
+    procs;
+  List.iter
+    (fun (name, ok) ->
+      incr checks;
+      if not ok then bad "extra" name)
+    extra;
+  { checks = !checks; violations = List.rev !violations }
+
+let mapped_frames ~env ~proc =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  iter_leaves env ~proc ~f:(fun ~node:_ ~vaddr:_ ~paddr ~flags:_ ->
+      if not (Hashtbl.mem seen paddr) then begin
+        Hashtbl.add seen paddr ();
+        match frame_owner env paddr with
+        | Some owner -> acc := (owner, paddr) :: !acc
+        | None -> ()
+      end);
+  List.rev !acc
+
+let check_teardown ~env ~procs ~mapped =
+  let checks = ref 0 in
+  let violations = ref [] in
+  let bad check detail = violations := { check; detail } :: !violations in
+  List.iter
+    (fun proc ->
+      iter_leaves env ~proc ~f:(fun ~node ~vaddr ~paddr:_ ~flags:_ ->
+          incr checks;
+          bad "teardown-leaf"
+            (Printf.sprintf "pid=%d %s table still maps vaddr=0x%x after exit" proc.Process.pid
+               (Node_id.to_string node) vaddr)))
+    procs;
+  List.iter
+    (fun (owner, paddr) ->
+      incr checks;
+      if Frame_alloc.is_allocated (Env.kernel env owner).Kernel.frames paddr then
+        bad "frame-leak"
+          (Printf.sprintf "frame 0x%x (owner %s) still allocated after exit" paddr
+             (Node_id.to_string owner)))
+    mapped;
+  { checks = !checks; violations = List.rev !violations }

@@ -1,0 +1,50 @@
+(** Kernel-state invariant checker.
+
+    Run after any simulation — clean or fault-injected — to verify that
+    recovery paths never corrupted shared state:
+
+    - every mapped user frame belongs to exactly one live frame allocator
+      and is still marked allocated there (a planted double-free fails
+      this);
+    - in the origin's page table, the remote-owned PTE bit agrees with
+      allocator ownership (the teardown protocol of §6.4 relies on it);
+    - a frame mapped by both kernels of one process appears at the same
+      vaddr on both sides (shared intent, never accidental aliasing);
+    - no frame is mapped by two different processes;
+    - after [exit_process], no leaf PTEs survive and every previously
+      mapped frame has been returned to its allocator.
+
+    The audit walks page tables with a silent io (no cache charges, no
+    allocation), so it observes without perturbing timing or state. *)
+
+type violation = { check : string; detail : string }
+type report = { checks : int; violations : violation list }
+
+val is_clean : report -> bool
+val pp : Format.formatter -> report -> unit
+
+val run :
+  env:Stramash_kernel.Env.t ->
+  procs:Stramash_kernel.Process.t list ->
+  ?extra:(string * bool) list ->
+  unit ->
+  report
+(** Consistency audit over live processes. [extra] carries caller-side
+    predicates (e.g. "PTL quiescent") folded into the same report; a
+    [false] entry becomes a violation named by its label. *)
+
+val mapped_frames :
+  env:Stramash_kernel.Env.t ->
+  proc:Stramash_kernel.Process.t ->
+  (Stramash_sim.Node_id.t * int) list
+(** Snapshot of [(owning node, frame paddr)] for every distinct user frame
+    currently mapped — taken before [exit_process] so {!check_teardown}
+    can prove each one was freed. *)
+
+val check_teardown :
+  env:Stramash_kernel.Env.t ->
+  procs:Stramash_kernel.Process.t list ->
+  mapped:(Stramash_sim.Node_id.t * int) list ->
+  report
+(** After exit: no leaf mappings remain over the processes' VMA ranges and
+    no snapshot frame is still allocated. *)

@@ -1,0 +1,28 @@
+type error =
+  | Segfault of { pid : int; vaddr : int; node : string }
+  | Out_of_memory of { node : string }
+  | Walk_failed of { vaddr : int; attempts : int }
+  | Lock_timeout of { lock_addr : int; attempts : int }
+  | Msg_timeout of { label : string; attempts : int }
+
+exception Error of error
+
+let to_string = function
+  | Segfault { pid; vaddr; node } ->
+      Printf.sprintf "segfault: pid=%d vaddr=0x%x on %s" pid vaddr node
+  | Out_of_memory { node } -> Printf.sprintf "out of physical frames on %s" node
+  | Walk_failed { vaddr; attempts } ->
+      Printf.sprintf "remote walk failed at 0x%x after %d attempts" vaddr attempts
+  | Lock_timeout { lock_addr; attempts } ->
+      Printf.sprintf "lock acquisition timed out at 0x%x after %d attempts" lock_addr attempts
+  | Msg_timeout { label; attempts } ->
+      Printf.sprintf "message %S timed out after %d attempts" label attempts
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let get_exn = function Ok v -> v | Error e -> raise (Error e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Stramash fault: " ^ to_string e)
+    | _ -> None)

@@ -1,0 +1,25 @@
+(** Typed anomaly descriptions shared by every recovery path.
+
+    Module boundaries that can fail (the fault handler, the remote walker,
+    the PTL, the messaging layer, the frame allocator) return
+    [('a, error) result] rather than raising, so callers choose between
+    degrading to a slower correct path and reporting. The [Error]
+    exception exists only for the CLI edge, where a typed error finally
+    becomes a process exit. *)
+
+type error =
+  | Segfault of { pid : int; vaddr : int; node : string }
+  | Out_of_memory of { node : string }  (** allocator exhausted even after hotplug *)
+  | Walk_failed of { vaddr : int; attempts : int }
+      (** remote PTE reads kept failing transiently *)
+  | Lock_timeout of { lock_addr : int; attempts : int }
+  | Msg_timeout of { label : string; attempts : int }
+
+exception Error of error
+(** CLI-edge escape hatch; library code returns [result]s instead. *)
+
+val to_string : error -> string
+val pp : Format.formatter -> error -> unit
+
+val get_exn : ('a, error) result -> 'a
+(** [get_exn (Error e)] raises {!Error}[ e]; for edges only. *)

@@ -1,0 +1,183 @@
+open Stramash_sim
+
+type config = {
+  (* message layer *)
+  msg_drop_rate : float;
+  msg_delay_rate : float;
+  msg_delay_cycles : int;
+  msg_timeout_cycles : int;
+  msg_backoff_base_cycles : int;
+  msg_max_attempts : int;
+  (* IPI *)
+  ipi_loss_rate : float;
+  ipi_jitter_rate : float;
+  ipi_jitter_cycles : int;
+  ipi_timeout_cycles : int;
+  (* remote page-table walks *)
+  walk_fail_rate : float;
+  walk_retry_cycles : int;
+  walk_max_attempts : int;
+  (* Stramash-PTL *)
+  ptl_timeout_rate : float;
+  ptl_backoff_cycles : int;
+  ptl_max_attempts : int;
+  (* frame allocator *)
+  alloc_fail_rate : float;
+}
+
+let default =
+  {
+    msg_drop_rate = 0.0;
+    msg_delay_rate = 0.0;
+    msg_delay_cycles = Cycles.of_us 5.0;
+    msg_timeout_cycles = Cycles.of_us 20.0;
+    msg_backoff_base_cycles = Cycles.of_us 2.0;
+    msg_max_attempts = 6;
+    ipi_loss_rate = 0.0;
+    ipi_jitter_rate = 0.0;
+    ipi_jitter_cycles = Cycles.of_us 10.0;
+    ipi_timeout_cycles = Cycles.of_us 50.0;
+    walk_fail_rate = 0.0;
+    walk_retry_cycles = Cycles.of_ns 600.0;
+    walk_max_attempts = 3;
+    ptl_timeout_rate = 0.0;
+    ptl_backoff_cycles = Cycles.of_us 1.0;
+    ptl_max_attempts = 4;
+    alloc_fail_rate = 0.0;
+  }
+
+type t = {
+  config : config;
+  msg_rng : Rng.t;
+  ipi_rng : Rng.t;
+  walk_rng : Rng.t;
+  ptl_rng : Rng.t;
+  alloc_rng : Rng.t;
+  metrics : Metrics.registry;
+  recovery : Metrics.Histogram.t;
+}
+
+let create ~seed config =
+  (* One private stream per injection site, split off in a fixed order so
+     adding draws at one site never perturbs decisions at another — and the
+     workload RNG (a different seed entirely) is untouched. *)
+  let root = Rng.create ~seed in
+  let msg_rng = Rng.split root in
+  let ipi_rng = Rng.split root in
+  let walk_rng = Rng.split root in
+  let ptl_rng = Rng.split root in
+  let alloc_rng = Rng.split root in
+  {
+    config;
+    msg_rng;
+    ipi_rng;
+    walk_rng;
+    ptl_rng;
+    alloc_rng;
+    metrics = Metrics.registry ();
+    recovery =
+      Metrics.Histogram.create ~buckets:64 ~lo:0.0
+        ~hi:(float_of_int (Cycles.of_us 200.0));
+  }
+
+let config t = t.config
+let metrics t = t.metrics
+let recovery_histogram t = t.recovery
+
+(* Guard on the rate before drawing: a zero-rate site consumes no RNG
+   state, so enabling faults at one site leaves the others' decision
+   sequences (and therefore metrics) bit-identical. *)
+let hit rng rate = rate > 0.0 && Rng.float rng 1.0 < rate
+
+(* --- message layer ------------------------------------------------------ *)
+
+let msg_attempt t =
+  if hit t.msg_rng t.config.msg_drop_rate then begin
+    Metrics.incr t.metrics "msg.drops";
+    `Drop
+  end
+  else if hit t.msg_rng t.config.msg_delay_rate then begin
+    Metrics.incr t.metrics "msg.delay_spikes";
+    `Deliver t.config.msg_delay_cycles
+  end
+  else `Deliver 0
+
+let msg_backoff t ~attempt =
+  (* Sender burns the full timeout discovering the loss, then backs off
+     exponentially before retransmitting. *)
+  let exp = if attempt >= 16 then 16 else attempt in
+  t.config.msg_timeout_cycles + (t.config.msg_backoff_base_cycles * (1 lsl exp))
+
+let msg_attempts_exhausted t ~attempt = attempt >= t.config.msg_max_attempts
+
+let note_msg_retry t = Metrics.incr t.metrics "msg.retries"
+let note_msg_escalation t = Metrics.incr t.metrics "msg.escalations"
+
+(* --- IPI ---------------------------------------------------------------- *)
+
+let ipi_delivery t =
+  if hit t.ipi_rng t.config.ipi_loss_rate then begin
+    Metrics.incr t.metrics "ipi.lost";
+    `Lost
+  end
+  else if hit t.ipi_rng t.config.ipi_jitter_rate then begin
+    Metrics.incr t.metrics "ipi.jitter_spikes";
+    `Jitter t.config.ipi_jitter_cycles
+  end
+  else `On_time
+
+let ipi_timeout_cycles t = t.config.ipi_timeout_cycles
+
+(* --- remote walker ------------------------------------------------------ *)
+
+let walk_read_faulted t =
+  if hit t.walk_rng t.config.walk_fail_rate then begin
+    Metrics.incr t.metrics "walk.transient_faults";
+    true
+  end
+  else false
+
+let note_walk_retry t = Metrics.incr t.metrics "walk.retries"
+
+(* --- PTL ---------------------------------------------------------------- *)
+
+let ptl_acquire_timed_out t =
+  if hit t.ptl_rng t.config.ptl_timeout_rate then begin
+    Metrics.incr t.metrics "ptl.timeouts";
+    true
+  end
+  else false
+
+(* --- frame allocator ---------------------------------------------------- *)
+
+let alloc_denied t =
+  if hit t.alloc_rng t.config.alloc_fail_rate then begin
+    Metrics.incr t.metrics "alloc.denials";
+    true
+  end
+  else false
+
+let note_hotplug_recovery t = Metrics.incr t.metrics "alloc.hotplug_recoveries"
+let note_fallback_escalation t = Metrics.incr t.metrics "fallback.escalations"
+
+let record_recovery t ~cycles =
+  Metrics.Histogram.record t.recovery (float_of_int cycles)
+
+(* --- reporting ---------------------------------------------------------- *)
+
+let report fmt t =
+  Format.fprintf fmt "fault-injection counters:@.";
+  let any =
+    Metrics.fold t.metrics ~init:false ~f:(fun _ name v ->
+        Format.fprintf fmt "  %-28s %d@." name v;
+        true)
+  in
+  if not any then Format.fprintf fmt "  (no faults injected)@.";
+  let h = t.recovery in
+  let n = Metrics.Histogram.count h in
+  if n > 0 then
+    Format.fprintf fmt
+      "recovery latency (cycles): n=%d mean=%.0f p50=%.0f p95=%.0f p99=%.0f@." n
+      (Metrics.Histogram.mean h) (Metrics.Histogram.p50 h) (Metrics.Histogram.p95 h)
+      (Metrics.Histogram.p99 h)
+  else Format.fprintf fmt "recovery latency (cycles): n=0@."

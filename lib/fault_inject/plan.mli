@@ -1,0 +1,84 @@
+(** Seeded, deterministic fault plan.
+
+    A plan owns one private SplitMix64 stream per injection site (message
+    layer, IPI, remote walker, PTL, frame allocator), all split from a
+    single plan seed in a fixed order. Sites with a zero rate never draw,
+    so enabling faults at one site does not perturb decisions at another,
+    and the plan seed is independent of the workload seed so a no-fault
+    run is bit-identical to a run with no plan at all.
+
+    Decision functions both decide and count: every [`Drop]/[`Lost]/true
+    verdict bumps the matching counter in {!metrics}, so a campaign report
+    needs no extra bookkeeping at the call sites. *)
+
+type config = {
+  msg_drop_rate : float;  (** probability a ring/TCP message attempt is dropped *)
+  msg_delay_rate : float;  (** probability of a delivery delay spike *)
+  msg_delay_cycles : int;
+  msg_timeout_cycles : int;  (** sender-side loss-detection timeout *)
+  msg_backoff_base_cycles : int;
+  msg_max_attempts : int;  (** retries before escalating to the reliable path *)
+  ipi_loss_rate : float;
+  ipi_jitter_rate : float;
+  ipi_jitter_cycles : int;
+  ipi_timeout_cycles : int;  (** receiver falls back to polling after this *)
+  walk_fail_rate : float;  (** transient remote PTE read failure *)
+  walk_retry_cycles : int;
+  walk_max_attempts : int;
+  ptl_timeout_rate : float;
+  ptl_backoff_cycles : int;
+  ptl_max_attempts : int;
+  alloc_fail_rate : float;  (** simulated frame-allocator exhaustion *)
+}
+
+val default : config
+(** All rates zero: a plan built from [default] injects nothing. *)
+
+type t
+
+val create : seed:int64 -> config -> t
+val config : t -> config
+val metrics : t -> Stramash_sim.Metrics.registry
+val recovery_histogram : t -> Stramash_sim.Metrics.Histogram.t
+
+(** {2 Message layer} *)
+
+val msg_attempt : t -> [ `Deliver of int | `Drop ]
+(** Verdict for one transmission attempt; [`Deliver extra] carries the
+    injected delay in cycles (0 when on time). *)
+
+val msg_backoff : t -> attempt:int -> int
+(** Cycles the sender burns on attempt [attempt] (0-based): detection
+    timeout plus exponential backoff. *)
+
+val msg_attempts_exhausted : t -> attempt:int -> bool
+val note_msg_retry : t -> unit
+val note_msg_escalation : t -> unit
+
+(** {2 IPI} *)
+
+val ipi_delivery : t -> [ `On_time | `Jitter of int | `Lost ]
+val ipi_timeout_cycles : t -> int
+
+(** {2 Remote walker} *)
+
+val walk_read_faulted : t -> bool
+val note_walk_retry : t -> unit
+
+(** {2 PTL} *)
+
+val ptl_acquire_timed_out : t -> bool
+
+(** {2 Frame allocator} *)
+
+val alloc_denied : t -> bool
+val note_hotplug_recovery : t -> unit
+val note_fallback_escalation : t -> unit
+
+(** {2 Recovery accounting} *)
+
+val record_recovery : t -> cycles:int -> unit
+
+val report : Format.formatter -> t -> unit
+(** Deterministic dump: sorted counters plus the recovery-latency
+    histogram summary. *)

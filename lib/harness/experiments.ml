@@ -20,6 +20,7 @@ let all =
     { id = "ablation-notify"; title = "ablation: IPI vs polling notification"; run = Ablation.notify_mode };
     { id = "ablation-fallback"; title = "ablation: fused fault-path breakdown"; run = Ablation.fallback_stats };
     { id = "ablation-packing"; title = "ablation: secure data packing"; run = Ablation.data_packing };
+    { id = "faults"; title = "fault-injection campaign & kernel audit"; run = Fault_experiments.faults };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -111,3 +111,20 @@ let matrix_mean_ns mat =
   if !n = 0 then 0.0 else !sum /. float_of_int !n
 
 let cross_isa_ipi_cycles = Cycles.of_us 2.0
+
+module Plan = Stramash_fault_inject.Plan
+
+type delivery = { cycles : int; lost : bool; jittered : bool }
+
+let cross_isa_delivery ?inject () =
+  match inject with
+  | None -> { cycles = cross_isa_ipi_cycles; lost = false; jittered = false }
+  | Some plan -> (
+      match Plan.ipi_delivery plan with
+      | `On_time -> { cycles = cross_isa_ipi_cycles; lost = false; jittered = false }
+      | `Jitter extra ->
+          { cycles = cross_isa_ipi_cycles + extra; lost = false; jittered = true }
+      | `Lost ->
+          (* The interrupt never arrives; the receiver notices by timeout
+             and falls back to polling the ring head. *)
+          { cycles = Plan.ipi_timeout_cycles plan; lost = true; jittered = false })

@@ -37,3 +37,13 @@ val matrix_mean_ns : float array array -> float
 
 val cross_isa_ipi_cycles : int
 (** The simulator's cross-ISA IPI cost: 2 us (the big-pair mean), §8.2. *)
+
+type delivery = { cycles : int; lost : bool; jittered : bool }
+(** One cross-ISA notification: the cycles the receiver waits, and whether
+    the interrupt was lost (receiver fell back to a polling timeout) or
+    arrived late. *)
+
+val cross_isa_delivery : ?inject:Stramash_fault_inject.Plan.t -> unit -> delivery
+(** [cross_isa_delivery ()] is the clean 2 us cost; with a fault plan the
+    draw may add a jitter spike or lose the IPI entirely, in which case
+    [cycles] is the plan's detection timeout. *)

@@ -21,6 +21,7 @@ module Interp = Stramash_isa.Interp
 module Popcorn_os = Stramash_popcorn.Popcorn_os
 module Msg_layer = Stramash_popcorn.Msg_layer
 module Stramash_os = Stramash_core.Stramash_os
+module Plan = Stramash_fault_inject.Plan
 
 type os_choice =
   | Vanilla
@@ -45,6 +46,7 @@ type config = {
   cache_config : Cache_config.t option;
   msg_notify : Msg_layer.notify_mode;
   seed : int64;
+  inject : Plan.config option;
 }
 
 let default_config =
@@ -55,12 +57,14 @@ let default_config =
     cache_config = None;
     msg_notify = Msg_layer.Ipi;
     seed = 0xC0FFEEL;
+    inject = None;
   }
 
 type t = {
   cfg : config;
   env : Env.t;
   os : Os.t;
+  inject_plan : Plan.t option;
   rng : Rng.t;
   mutable next_pid : int;
   mutable next_tid : int; (* machine-global: futex queues and the scheduler key on tids *)
@@ -96,19 +100,39 @@ let create cfg =
       hw_model = cfg.hw_model;
     }
   in
+  (* The plan's streams derive from a seed decorrelated from — but fully
+     determined by — the machine seed, so arming injection never perturbs
+     the workload RNG and the whole run stays replayable from cfg. *)
+  let inject_plan =
+    Option.map (fun pc -> Plan.create ~seed:(Int64.logxor cfg.seed 0x5EEDFA17DEADFA17L) pc)
+      cfg.inject
+  in
+  let inject = inject_plan in
   let os =
     match cfg.os with
     | Vanilla -> Os.Vanilla
-    | Popcorn_shm -> Os.Popcorn (Popcorn_os.create env Msg_layer.Shm ~notify:cfg.msg_notify ())
-    | Popcorn_tcp -> Os.Popcorn (Popcorn_os.create env Msg_layer.Tcp ())
-    | Stramash_kernel_os -> Os.Stramash (Stramash_os.create env ())
-    | Stramash_no_futex_opt -> Os.Stramash (Stramash_os.create ~futex_optimized:false env ())
+    | Popcorn_shm ->
+        Os.Popcorn (Popcorn_os.create env Msg_layer.Shm ~notify:cfg.msg_notify ?inject ())
+    | Popcorn_tcp -> Os.Popcorn (Popcorn_os.create env Msg_layer.Tcp ?inject ())
+    | Stramash_kernel_os -> Os.Stramash (Stramash_os.create ?inject env ())
+    | Stramash_no_futex_opt ->
+        Os.Stramash (Stramash_os.create ~futex_optimized:false ?inject env ())
   in
-  { cfg; env; os; rng = Rng.create ~seed:cfg.seed; next_pid = 1; next_tid = 0; all_threads = [] }
+  {
+    cfg;
+    env;
+    os;
+    inject_plan;
+    rng = Rng.create ~seed:cfg.seed;
+    next_pid = 1;
+    next_tid = 0;
+    all_threads = [];
+  }
 
 let config t = t.cfg
 let env t = t.env
 let os t = t.os
+let inject_plan t = t.inject_plan
 let cache t = t.env.Env.cache
 let rng t = t.rng
 let threads t = t.all_threads
@@ -224,7 +248,7 @@ let read_user t ~proc ~node ~vaddr ~width =
           Page_table.phys = t.env.Env.phys;
           charge_read = ignore;
           charge_write = ignore;
-          alloc_table = (fun () -> assert false);
+          alloc_table = (fun () -> invalid_arg "Machine.read_user: walk must not allocate");
         }
       in
       match Page_table.walk mm.Process.pgtable io ~vaddr with

@@ -29,6 +29,9 @@ type config = {
   msg_notify : Stramash_popcorn.Msg_layer.notify_mode;
       (* SHM messaging notification: IPI (default) or polling (§6.2) *)
   seed : int64;
+  inject : Stramash_fault_inject.Plan.config option;
+      (* arm deterministic fault injection; the plan seed is derived from
+         [seed], so the same config replays the same faults *)
 }
 
 val default_config : config
@@ -39,6 +42,11 @@ val create : config -> t
 val config : t -> config
 val env : t -> Stramash_kernel.Env.t
 val os : t -> Os.t
+
+val inject_plan : t -> Stramash_fault_inject.Plan.t option
+(** The armed fault plan, if [config.inject] was set — source of the
+    injection metrics and recovery-latency histogram. *)
+
 val cache : t -> Stramash_cache.Cache_sim.t
 val rng : t -> Stramash_sim.Rng.t
 val threads : t -> Stramash_kernel.Thread.t list

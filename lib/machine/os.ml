@@ -56,16 +56,21 @@ let vanilla_fault ~env ~proc ~node ~vaddr =
   let charge v = Env.charge_load env node ~paddr:v.Vma.struct_addr in
   match Vma.find ~visit:charge mm.Process.vmas ~vaddr with
   | None ->
-      failwith (Printf.sprintf "vanilla: segfault pid=%d vaddr=0x%x" proc.Process.pid vaddr)
-  | Some vma ->
+      Error
+        (Stramash_fault_inject.Fault.Segfault
+           { pid = proc.Process.pid; vaddr; node = Node_id.to_string node })
+  | Some vma -> (
       let kernel = Env.kernel env node in
-      let frame = Kernel.alloc_frame_exn kernel in
-      Phys_mem.zero_page env.Env.phys frame;
-      let io = Env.pt_io env ~actor:node ~owner:node in
-      Page_table.map mm.Process.pgtable io ~vaddr:(Addr.page_base vaddr)
-        ~frame:(frame lsr Addr.page_shift)
-        { Pte.default_flags with writable = vma.Vma.writable };
-      Tlb.flush_page (Env.tlb env node) ~vpage:(Addr.page_of vaddr)
+      match Stramash_kernel.Frame_alloc.alloc kernel.Kernel.frames with
+      | None -> Error (Stramash_fault_inject.Fault.Out_of_memory { node = Node_id.to_string node })
+      | Some frame ->
+          Phys_mem.zero_page env.Env.phys frame;
+          let io = Env.pt_io env ~actor:node ~owner:node in
+          Page_table.map mm.Process.pgtable io ~vaddr:(Addr.page_base vaddr)
+            ~frame:(frame lsr Addr.page_shift)
+            { Pte.default_flags with writable = vma.Vma.writable };
+          Tlb.flush_page (Env.tlb env node) ~vpage:(Addr.page_of vaddr);
+          Ok ())
 
 let handle_fault t ~env ~proc ~node ~vaddr ~write =
   match t with

@@ -26,7 +26,10 @@ val handle_fault :
   node:Stramash_sim.Node_id.t ->
   vaddr:int ->
   write:bool ->
-  unit
+  (unit, Stramash_fault_inject.Fault.error) result
+(** Typed at every personality: segfault and OOM come back as [Error],
+    recoverable anomalies are absorbed by the personalities' retry and
+    fallback paths. *)
 
 val migrate :
   t ->

@@ -82,7 +82,12 @@ let make_memio machine proc thread ~user_stalls =
               failwith
                 (Printf.sprintf "fault loop at 0x%x (%s, write=%b)" vaddr
                    (Node_id.to_string node) write);
-            Os.handle_fault (Machine.os machine) ~env ~proc ~node ~vaddr ~write;
+            (* The CLI edge of the typed-error API: an unrecoverable fault
+               (segfault, OOM beyond hotplug) terminates the run as an
+               exception with the error's rendering. *)
+            (match Os.handle_fault (Machine.os machine) ~env ~proc ~node ~vaddr ~write with
+            | Ok () -> ()
+            | Error e -> raise (Stramash_fault_inject.Fault.Error e));
             translate vaddr ~write ~retries:(retries + 1))
   in
   let data_paddr vaddr ~write =

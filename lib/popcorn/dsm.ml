@@ -9,6 +9,7 @@ module Pte = Stramash_kernel.Pte
 module Page_table = Stramash_kernel.Page_table
 module Process = Stramash_kernel.Process
 module Tlb = Stramash_kernel.Tlb
+module Fault = Stramash_fault_inject.Fault
 
 (* Per-node view of one user page. *)
 type pstate = Absent | Read_copy of int | Owner of int (* frame paddr *)
@@ -175,10 +176,7 @@ let handle_fault t ~proc ~node ~vaddr ~write =
   let pid = proc.Process.pid in
   let vpage = Addr.page_of vaddr in
   match vma_for t ~proc ~node ~vaddr with
-  | None ->
-      failwith
-        (Printf.sprintf "popcorn: segfault pid=%d vaddr=0x%x on %s" pid vaddr
-           (Node_id.to_string node))
+  | None -> Error (Fault.Segfault { pid; vaddr; node = Node_id.to_string node })
   | Some vma ->
       let mm = Process.mm_exn proc node in
       let p = page t ~pid ~vpage in
@@ -284,7 +282,8 @@ let handle_fault t ~proc ~node ~vaddr ~write =
                   map_into t ~node ~mm ~vaddr ~frame:!frame ~writable:true;
                   set_state p node (Owner !frame)
                 end)
-      end
+      end;
+      Ok ()
 
 let seed_owner t ~pid ~origin ~vaddr ~frame =
   let p = page t ~pid ~vpage:(Addr.page_of vaddr) in

@@ -19,9 +19,9 @@ val handle_fault :
   node:Stramash_sim.Node_id.t ->
   vaddr:int ->
   write:bool ->
-  unit
+  (unit, Stramash_fault_inject.Fault.error) result
 (** Resolve a user page fault at [node]. Charges all protocol costs.
-    Raises [Failure] on a genuine segfault (no VMA). *)
+    [Error (Segfault _)] on a genuine segfault (no VMA). *)
 
 val ensure_mm : t -> proc:Stramash_kernel.Process.t -> node:Stramash_sim.Node_id.t -> Stramash_kernel.Process.mm
 (** Create the per-node memory descriptor on first use (migration). *)

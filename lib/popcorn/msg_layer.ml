@@ -7,6 +7,7 @@ module Env = Stramash_kernel.Env
 module Ring_buffer = Stramash_interconnect.Ring_buffer
 module Tcp_link = Stramash_interconnect.Tcp_link
 module Ipi = Stramash_interconnect.Ipi
+module Plan = Stramash_fault_inject.Plan
 
 type kind = Shm | Tcp
 
@@ -19,6 +20,7 @@ type t = {
   tcp : Tcp_link.t;
   staging : int array; (* per-node staging buffer paddr for TCP serialisation *)
   notify_kind : notify_mode;
+  inject : Plan.t option;
   counts : Metrics.registry;
   mutable total : int;
 }
@@ -28,7 +30,7 @@ type t = {
 let poll_notice_cycles = 400
 let poll_busy_cycles = 300
 
-let create kind env ?(ring_slots = 512) ?(slot_bytes = 256) ?(notify = Ipi) ?tcp () =
+let create kind env ?(ring_slots = 512) ?(slot_bytes = 256) ?(notify = Ipi) ?tcp ?inject () =
   let ring sender_index =
     let sender = Node_id.of_index sender_index in
     (* Each direction gets half of a dedicated slice of the ring area. *)
@@ -47,6 +49,7 @@ let create kind env ?(ring_slots = 512) ?(slot_bytes = 256) ?(notify = Ipi) ?tcp
     tcp = (match tcp with Some l -> l | None -> Tcp_link.create ());
     staging;
     notify_kind = notify;
+    inject;
     counts = Metrics.registry ();
     total = 0;
   }
@@ -56,7 +59,12 @@ let notify_mode t = t.notify_kind
 
 let shm_notify_latency t ~dst =
   match t.notify_kind with
-  | Ipi -> Ipi.cross_isa_ipi_cycles
+  | Ipi ->
+      let d = Ipi.cross_isa_delivery ?inject:t.inject () in
+      (* A lost IPI is noticed by the receiver's backstop poll; it burns
+         spin work while the sender waits out the detection timeout. *)
+      if d.Ipi.lost then Meter.add (Env.meter t.env dst) poll_busy_cycles;
+      d.Ipi.cycles
   | Polling ->
       (* the receiver pays its spin work; the sender only waits for the
          next poll to come around *)
@@ -99,12 +107,42 @@ let convey t ~src ~bytes =
       Env.charge_bytes_load t.env dst ~paddr:dst_buf ~len:chunk;
       Tcp_link.one_way_cycles t.tcp ~payload_bytes:bytes
 
+(* Like [convey], but under a fault plan each attempt may be dropped: the
+   sender burns the detection timeout plus exponential backoff, retries up
+   to the plan's cap, and finally escalates to the reliable (always
+   delivered) slow path so forward progress is guaranteed. Returns the
+   latency the sender observes before the handler can start. *)
+let deliver t ~src ~bytes =
+  match t.inject with
+  | None -> convey t ~src ~bytes
+  | Some plan ->
+      let rec attempt_loop attempt burned =
+        match Plan.msg_attempt plan with
+        | `Deliver extra ->
+            if burned > 0 then Plan.record_recovery plan ~cycles:burned;
+            convey t ~src ~bytes + extra
+        | `Drop ->
+            let pay = Plan.msg_backoff plan ~attempt in
+            Meter.add (Env.meter t.env src) pay;
+            let burned = burned + pay in
+            if Plan.msg_attempts_exhausted plan ~attempt:(attempt + 1) then begin
+              Plan.note_msg_escalation plan;
+              Plan.record_recovery plan ~cycles:burned;
+              convey t ~src ~bytes
+            end
+            else begin
+              Plan.note_msg_retry plan;
+              attempt_loop (attempt + 1) burned
+            end
+      in
+      attempt_loop 0 0
+
 let rpc t ~src ~label ~req_bytes ~resp_bytes ~handler =
   let dst = Node_id.other src in
   let src_meter = Env.meter t.env src in
   let dst_meter = Env.meter t.env dst in
   count t label;
-  let notify_latency = convey t ~src ~bytes:req_bytes in
+  let notify_latency = deliver t ~src ~bytes:req_bytes in
   Meter.add src_meter notify_latency;
   (* Peer handles the request; the requester blocks for that long. *)
   let handler_cycles = Meter.delta dst_meter handler in
@@ -113,7 +151,7 @@ let rpc t ~src ~label ~req_bytes ~resp_bytes ~handler =
   count t (label ^ "_reply");
   let reply_notify = ref 0 in
   let reply_latency =
-    Meter.delta dst_meter (fun () -> reply_notify := convey t ~src:dst ~bytes:resp_bytes)
+    Meter.delta dst_meter (fun () -> reply_notify := deliver t ~src:dst ~bytes:resp_bytes)
   in
   Meter.add src_meter reply_latency;
   Meter.add src_meter !reply_notify
@@ -121,7 +159,7 @@ let rpc t ~src ~label ~req_bytes ~resp_bytes ~handler =
 let notify t ~src ~label ~bytes ~handler =
   let dst = Node_id.other src in
   count t label;
-  let lat = convey t ~src ~bytes in
+  let lat = deliver t ~src ~bytes in
   ignore lat;
   (* The peer processes the message on its own time. *)
   ignore (Meter.delta (Env.meter t.env dst) handler)

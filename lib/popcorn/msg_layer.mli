@@ -30,8 +30,12 @@ val create :
   ?slot_bytes:int ->
   ?notify:notify_mode ->
   ?tcp:Stramash_interconnect.Tcp_link.t ->
+  ?inject:Stramash_fault_inject.Plan.t ->
   unit ->
   t
+(** [inject] arms the fault plan: message attempts may then be dropped or
+    delayed, with sender-side retry, exponential backoff and a final
+    escalation to a reliable slow path (delivery is always eventual). *)
 
 val transport : t -> kind
 val notify_mode : t -> notify_mode

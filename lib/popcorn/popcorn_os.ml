@@ -12,8 +12,8 @@ module Interp = Stramash_isa.Interp
 
 type t = { env : Env.t; dsm : Dsm.t }
 
-let create env kind ?notify ?tcp () =
-  let msg = Msg_layer.create kind env ?notify ?tcp () in
+let create env kind ?notify ?tcp ?inject () =
+  let msg = Msg_layer.create kind env ?notify ?tcp ?inject () in
   { env; dsm = Dsm.create env msg }
 
 let env t = t.env
@@ -27,7 +27,7 @@ let handle_fault t ~proc ~node ~vaddr ~write = Dsm.handle_fault t.dsm ~proc ~nod
    the destination runs the state transformation. *)
 let migrate t ~proc ~thread ~dst ~point =
   let src = thread.Thread.node in
-  assert (not (Node_id.equal src dst));
+  if Node_id.equal src dst then invalid_arg "Popcorn_os.migrate: already on destination";
   Msg_layer.rpc (msg t) ~src ~label:"migrate" ~req_bytes:2048 ~resp_bytes:128
     ~handler:(fun () ->
       ignore (Dsm.ensure_mm t.dsm ~proc ~node:dst);
@@ -42,11 +42,15 @@ let exit_process t ~proc = Dsm.exit_process t.dsm ~proc
 let user_frame t ~proc ~node ~vaddr =
   match Dsm.frame_for_read t.dsm ~proc ~node ~vaddr with
   | Some frame -> frame
-  | None ->
-      Dsm.handle_fault t.dsm ~proc ~node ~vaddr ~write:false;
-      (match Dsm.frame_for_read t.dsm ~proc ~node ~vaddr with
+  | None -> (
+      (match Dsm.handle_fault t.dsm ~proc ~node ~vaddr ~write:false with
+      | Ok () -> ()
+      | Error e -> raise (Stramash_fault_inject.Fault.Error e));
+      match Dsm.frame_for_read t.dsm ~proc ~node ~vaddr with
       | Some frame -> frame
-      | None -> assert false)
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Popcorn_os.user_frame: fault left 0x%x unmapped" vaddr))
 
 (* Check the futex word and queue the caller, at the origin kernel. *)
 let wait_at_origin t ~proc ~tid ~uaddr ~expected =

@@ -13,6 +13,7 @@ val create :
   Msg_layer.kind ->
   ?notify:Msg_layer.notify_mode ->
   ?tcp:Stramash_interconnect.Tcp_link.t ->
+  ?inject:Stramash_fault_inject.Plan.t ->
   unit ->
   t
 
@@ -26,7 +27,7 @@ val handle_fault :
   node:Stramash_sim.Node_id.t ->
   vaddr:int ->
   write:bool ->
-  unit
+  (unit, Stramash_fault_inject.Fault.error) result
 
 val migrate :
   t ->

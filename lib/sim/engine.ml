@@ -52,7 +52,7 @@ let push t ev =
   sift_up t.heap (t.size - 1)
 
 let pop t =
-  assert (t.size > 0);
+  if t.size = 0 then invalid_arg "Engine.pop: empty event queue";
   let top = t.heap.(0) in
   t.size <- t.size - 1;
   t.heap.(0) <- t.heap.(t.size);
@@ -67,12 +67,14 @@ let pending t = t.size
 let next_event_at t = Option.map (fun ev -> ev.at) (peek t)
 
 let schedule_at t ~at fn =
-  assert (at >= t.clock);
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %d is before the clock (%d)" at t.clock);
   push t { at; seq = t.next_seq; fn };
   t.next_seq <- t.next_seq + 1
 
 let schedule t ~delay fn =
-  assert (delay >= 0);
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~at:(t.clock + delay) fn
 
 (* Fire every event with timestamp <= horizon, then settle the clock there. *)
@@ -90,7 +92,7 @@ let drain_until t horizon =
   if t.clock < horizon then t.clock <- horizon
 
 let advance t d =
-  assert (d >= 0);
+  if d < 0 then invalid_arg "Engine.advance: negative delta";
   drain_until t (t.clock + d)
 
 let advance_to t at = if at > t.clock then drain_until t at

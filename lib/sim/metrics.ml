@@ -35,7 +35,7 @@ module Histogram = struct
   }
 
   let create ~buckets ~lo ~hi =
-    assert (buckets > 0 && hi > lo);
+    if buckets <= 0 || hi <= lo then invalid_arg "Histogram.create: bad shape";
     {
       counts = Array.make buckets 0;
       lo;
@@ -69,16 +69,29 @@ module Histogram = struct
   let percentile t p =
     if t.n = 0 then 0.0
     else begin
+      let p = Float.max 0.0 (Float.min 1.0 p) in
       let target = p *. float_of_int t.n in
+      (* Linear interpolation within the bucket that crosses the target
+         rank, rather than snapping to the bucket's upper edge. *)
       let rec scan i acc =
-        if i >= Array.length t.counts then t.hi
+        if i >= Array.length t.counts then t.maxv
         else
-          let acc = acc + t.counts.(i) in
-          if float_of_int acc >= target then t.lo +. (t.width *. float_of_int (i + 1))
-          else scan (i + 1) acc
+          let c = t.counts.(i) in
+          let acc' = acc + c in
+          if c > 0 && float_of_int acc' >= target then begin
+            let lower = t.lo +. (t.width *. float_of_int i) in
+            let within = (target -. float_of_int acc) /. float_of_int c in
+            let v = lower +. (t.width *. within) in
+            Float.max t.minv (Float.min t.maxv v)
+          end
+          else scan (i + 1) acc'
       in
       scan 0 0
     end
+
+  let p50 t = percentile t 0.50
+  let p95 t = percentile t 0.95
+  let p99 t = percentile t 0.99
 
   let bucket_counts t =
     Array.mapi (fun i c -> (t.lo +. (t.width *. float_of_int i), c)) t.counts

@@ -33,7 +33,13 @@ module Histogram : sig
   val max_value : t -> float
 
   val percentile : t -> float -> float
-  (** [percentile t 0.5] approximates the median from bucket boundaries. *)
+  (** [percentile t 0.5] approximates the median by linear interpolation
+      within the bucket containing the target rank, clamped to the
+      observed [min_value, max_value] range. [p] is clamped to [0, 1]. *)
+
+  val p50 : t -> float
+  val p95 : t -> float
+  val p99 : t -> float
 
   val bucket_counts : t -> (float * int) array
   (** [(lower_bound, count)] per bucket, plus overflow in the last one. *)

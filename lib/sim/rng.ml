@@ -21,14 +21,20 @@ let split t =
   { state = mix seed }
 
 let int t bound =
-  assert (bound > 0);
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Keep 62 bits: OCaml's native int is 63-bit, so a 63-bit value would
-     wrap negative through Int64.to_int. *)
-  let raw = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  raw mod bound
+     wrap negative through Int64.to_int. Draws land in [0, max_int] where
+     max_int = 2^62 - 1; rejection-sample so every residue class mod
+     [bound] is equally likely. *)
+  let limit = max_int - (((max_int mod bound) + 1) mod bound) in
+  let rec draw () =
+    let raw = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    if raw > limit then draw () else raw mod bound
+  in
+  draw ()
 
 let int_in t lo hi =
-  assert (lo <= hi);
+  if lo > hi then invalid_arg "Rng.int_in: empty range";
   lo + int t (hi - lo + 1)
 
 let float t bound =

@@ -1,0 +1,317 @@
+(* Tests for the fault-injection subsystem: plan determinism and stream
+   independence, typed errors at the fault-handler boundary, message
+   retry/backoff and IPI-loss recovery, the allocator hotplug path, and
+   the kernel-state audit (including a planted double-free). *)
+
+module Node_id = Stramash_sim.Node_id
+module Rng = Stramash_sim.Rng
+module Meter = Stramash_sim.Meter
+module Metrics = Stramash_sim.Metrics
+module Addr = Stramash_mem.Addr
+module Layout = Stramash_mem.Layout
+module Phys_mem = Stramash_mem.Phys_mem
+module Cache_config = Stramash_cache.Config
+module Cache_sim = Stramash_cache.Cache_sim
+module Env = Stramash_kernel.Env
+module Kernel = Stramash_kernel.Kernel
+module Tlb = Stramash_kernel.Tlb
+module Vma = Stramash_kernel.Vma
+module Process = Stramash_kernel.Process
+module Page_table = Stramash_kernel.Page_table
+module Frame_alloc = Stramash_kernel.Frame_alloc
+module Ipi = Stramash_interconnect.Ipi
+module Msg_layer = Stramash_popcorn.Msg_layer
+module Stramash_fault = Stramash_core.Stramash_fault
+module Global_alloc = Stramash_core.Global_alloc
+module Fault = Stramash_fault_inject.Fault
+module Plan = Stramash_fault_inject.Plan
+module Audit = Stramash_fault_inject.Audit
+module FE = Stramash_harness.Fault_experiments
+module B = Stramash_isa.Builder
+module Codegen = Stramash_isa.Codegen
+
+let checki = Alcotest.(check int)
+let x86 = Node_id.X86
+let arm = Node_id.Arm
+let vaddr0 = 0x10000000
+
+let make_env () =
+  let cache = Cache_sim.create (Cache_config.default Layout.Shared) in
+  let phys = Phys_mem.create () in
+  {
+    Env.cache;
+    phys;
+    kernels = [| Kernel.boot ~node:x86 ~phys; Kernel.boot ~node:arm ~phys |];
+    meters = [| Meter.create (); Meter.create () |];
+    tlbs = [| Tlb.create (); Tlb.create () |];
+    hw_model = Layout.Shared;
+  }
+
+let trivial_mir () =
+  let b = B.create () in
+  ignore (B.immi b 0);
+  B.finish b
+
+let make_setup ?inject ?global_alloc () =
+  let env = make_env () in
+  let msg = Msg_layer.create Msg_layer.Shm env ?inject () in
+  let faults = Stramash_fault.create ?inject ?global_alloc env msg in
+  let mir = trivial_mir () in
+  let images = List.map (fun isa -> (isa, Codegen.lower ~isa mir)) Node_id.all in
+  let proc = Process.create ~pid:1 ~origin:x86 ~mir ~images in
+  let mm = Stramash_fault.ensure_mm faults ~proc ~node:x86 in
+  ignore (Vma.add mm.Process.vmas ~start:0x10000000 ~end_:0x10100000 Vma.Anon ~writable:true);
+  (env, msg, faults, proc)
+
+let silent_walk env proc node vaddr =
+  let mm = Process.mm_exn proc node in
+  let io =
+    {
+      Page_table.phys = env.Env.phys;
+      charge_read = ignore;
+      charge_write = ignore;
+      alloc_table = (fun () -> assert false);
+    }
+  in
+  Page_table.walk mm.Process.pgtable io ~vaddr
+
+(* ---------- Plan ---------- *)
+
+let mixed_config =
+  {
+    Plan.default with
+    Plan.msg_drop_rate = 0.3;
+    msg_delay_rate = 0.2;
+    ipi_loss_rate = 0.25;
+    walk_fail_rate = 0.15;
+    alloc_fail_rate = 0.1;
+  }
+
+let msg_trace plan n =
+  List.init n (fun _ ->
+      match Plan.msg_attempt plan with `Drop -> -1 | `Deliver extra -> extra)
+
+let test_plan_deterministic () =
+  let a = Plan.create ~seed:99L mixed_config and b = Plan.create ~seed:99L mixed_config in
+  Alcotest.(check (list int)) "same seed, same msg verdicts" (msg_trace a 200) (msg_trace b 200);
+  let ipi p =
+    List.init 200 (fun _ ->
+        match Plan.ipi_delivery p with `On_time -> 0 | `Jitter j -> j | `Lost -> -1)
+  in
+  Alcotest.(check (list int)) "same seed, same ipi verdicts" (ipi a) (ipi b)
+
+let test_plan_streams_independent () =
+  (* Turning another site on (or off) must not shift the message stream:
+     each site draws from a private split, and zero-rate sites never draw. *)
+  let a = Plan.create ~seed:42L mixed_config in
+  let b = Plan.create ~seed:42L { mixed_config with Plan.walk_fail_rate = 0.0; alloc_fail_rate = 0.9 } in
+  for _ = 1 to 50 do
+    ignore (Plan.walk_read_faulted a);
+    ignore (Plan.alloc_denied b)
+  done;
+  Alcotest.(check (list int)) "msg stream unaffected by other sites" (msg_trace a 200)
+    (msg_trace b 200)
+
+let test_backoff_grows () =
+  let plan = Plan.create ~seed:1L mixed_config in
+  let b0 = Plan.msg_backoff plan ~attempt:0 in
+  let b3 = Plan.msg_backoff plan ~attempt:3 in
+  Alcotest.(check bool) "backoff positive" true (b0 > 0);
+  Alcotest.(check bool) "backoff grows" true (b3 > b0);
+  (* the exponent saturates: huge attempt numbers must not overflow *)
+  Alcotest.(check bool) "saturated backoff sane" true (Plan.msg_backoff plan ~attempt:1000 > 0)
+
+(* ---------- message retry / escalation ---------- *)
+
+let test_msg_all_drops_escalates_but_completes () =
+  let env = make_env () in
+  let plan = Plan.create ~seed:5L { Plan.default with Plan.msg_drop_rate = 1.0 } in
+  let msg = Msg_layer.create Msg_layer.Shm env ~inject:plan () in
+  let ran = ref false in
+  Msg_layer.rpc msg ~src:x86 ~label:"ping" ~req_bytes:64 ~resp_bytes:64 ~handler:(fun () ->
+      ran := true);
+  Alcotest.(check bool) "handler still ran" true !ran;
+  let m = Plan.metrics plan in
+  Alcotest.(check bool) "drops counted" true (Metrics.get m "msg.drops" > 0);
+  Alcotest.(check bool) "retries counted" true (Metrics.get m "msg.retries" > 0);
+  Alcotest.(check bool) "escalated to the reliable path" true (Metrics.get m "msg.escalations" > 0);
+  (* the sender burned detection timeouts + backoff on every lost attempt *)
+  Alcotest.(check bool) "sender paid for the losses" true
+    (Meter.get (Env.meter env x86) > Plan.default.Plan.msg_timeout_cycles)
+
+let test_ipi_loss_costs_timeout () =
+  let plan = Plan.create ~seed:5L { Plan.default with Plan.ipi_loss_rate = 1.0 } in
+  let d = Ipi.cross_isa_delivery ~inject:plan () in
+  Alcotest.(check bool) "lost" true d.Ipi.lost;
+  checki "receiver discovers it by timeout" (Plan.default.Plan.ipi_timeout_cycles) d.Ipi.cycles;
+  let clean = Ipi.cross_isa_delivery () in
+  Alcotest.(check bool) "uninjected delivery on time" false clean.Ipi.lost
+
+(* ---------- typed errors ---------- *)
+
+let test_segfault_is_typed_error () =
+  let _env, _msg, faults, proc = make_setup () in
+  match Stramash_fault.handle_fault faults ~proc ~node:x86 ~vaddr:0xDEAD000 ~write:false with
+  | Error (Fault.Segfault { pid; vaddr; _ }) ->
+      checki "pid" 1 pid;
+      checki "vaddr" 0xDEAD000 vaddr
+  | Ok () -> Alcotest.fail "expected a segfault"
+  | Error e -> Alcotest.failf "wrong error: %s" (Fault.to_string e)
+
+let test_injected_faults_are_absorbed () =
+  (* Transient walk failures and PTL timeouts degrade to retry/fallback:
+     the caller only ever sees [Ok]. *)
+  let plan =
+    Plan.create ~seed:77L
+      { Plan.default with Plan.walk_fail_rate = 0.8; ptl_timeout_rate = 0.5 }
+  in
+  let env, _msg, faults, proc = make_setup ~inject:plan () in
+  Stramash_fault.handle_fault_exn faults ~proc ~node:x86 ~vaddr:vaddr0 ~write:true;
+  ignore (Stramash_fault.ensure_mm faults ~proc ~node:arm);
+  for page = 0 to 19 do
+    match
+      Stramash_fault.handle_fault faults ~proc ~node:arm
+        ~vaddr:(vaddr0 + (page * Addr.page_size))
+        ~write:(page mod 2 = 0)
+    with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "transient fault surfaced: %s" (Fault.to_string e)
+  done;
+  let m = Plan.metrics plan in
+  Alcotest.(check bool) "walk faults fired" true (Metrics.get m "walk.transient_faults" > 0);
+  Alcotest.(check bool) "every arm page resolved" true
+    (silent_walk env proc arm vaddr0 <> None)
+
+(* ---------- allocator exhaustion -> hotplug ---------- *)
+
+let test_alloc_denial_recovers_via_hotplug () =
+  let plan = Plan.create ~seed:21L { Plan.default with Plan.alloc_fail_rate = 1.0 } in
+  let env = make_env () in
+  let ga = Global_alloc.create env ~rng:(Rng.create ~seed:3L) () in
+  let msg = Msg_layer.create Msg_layer.Shm env ~inject:plan () in
+  let faults = Stramash_fault.create ~inject:plan ~global_alloc:ga env msg in
+  let mir = trivial_mir () in
+  let images = List.map (fun isa -> (isa, Codegen.lower ~isa mir)) Node_id.all in
+  let proc = Process.create ~pid:1 ~origin:x86 ~mir ~images in
+  let mm = Stramash_fault.ensure_mm faults ~proc ~node:x86 in
+  ignore (Vma.add mm.Process.vmas ~start:vaddr0 ~end_:(vaddr0 + 0x100000) Vma.Anon ~writable:true);
+  (match Stramash_fault.handle_fault faults ~proc ~node:x86 ~vaddr:vaddr0 ~write:true with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "denial not recovered: %s" (Fault.to_string e));
+  let m = Plan.metrics plan in
+  Alcotest.(check bool) "denial injected" true (Metrics.get m "alloc.denials" > 0);
+  Alcotest.(check bool) "hotplug grant recovered it" true
+    (Metrics.get m "alloc.hotplug_recoveries" > 0);
+  Alcotest.(check bool) "x86 pulled a pool block online" true (Global_alloc.blocks_owned ga x86 > 0);
+  Alcotest.(check bool) "page mapped" true (silent_walk env proc x86 vaddr0 <> None)
+
+let test_alloc_denial_without_global_alloc_is_oom () =
+  let plan = Plan.create ~seed:21L { Plan.default with Plan.alloc_fail_rate = 1.0 } in
+  let _env, _msg, faults, proc = make_setup ~inject:plan () in
+  match Stramash_fault.handle_fault faults ~proc ~node:x86 ~vaddr:vaddr0 ~write:true with
+  | Error (Fault.Out_of_memory { node }) -> Alcotest.(check string) "node named" "x86" node
+  | Ok () -> Alcotest.fail "expected OOM with no hotplug path"
+  | Error e -> Alcotest.failf "wrong error: %s" (Fault.to_string e)
+
+(* ---------- audit ---------- *)
+
+let test_audit_clean_after_faults () =
+  let env, _msg, faults, proc = make_setup () in
+  Stramash_fault.handle_fault_exn faults ~proc ~node:x86 ~vaddr:vaddr0 ~write:true;
+  ignore (Stramash_fault.ensure_mm faults ~proc ~node:arm);
+  Stramash_fault.handle_fault_exn faults ~proc ~node:arm ~vaddr:vaddr0 ~write:false;
+  Stramash_fault.handle_fault_exn faults ~proc ~node:arm ~vaddr:(vaddr0 + 4096) ~write:true;
+  let report =
+    Audit.run ~env ~procs:[ proc ]
+      ~extra:[ ("ptl-quiescent", Stramash_fault.ptls_quiescent faults) ]
+      ()
+  in
+  Alcotest.(check bool) "clean" true (Audit.is_clean report);
+  Alcotest.(check bool) "checks ran" true (report.Audit.checks > 0)
+
+let test_audit_catches_planted_double_free () =
+  let env, _msg, faults, proc = make_setup () in
+  Stramash_fault.handle_fault_exn faults ~proc ~node:x86 ~vaddr:vaddr0 ~write:true;
+  let paddr =
+    match silent_walk env proc x86 vaddr0 with
+    | Some (pfn, _) -> pfn lsl Addr.page_shift
+    | None -> Alcotest.fail "page not mapped"
+  in
+  (* Plant the bug: free the frame behind the page table's back. *)
+  Frame_alloc.free (Env.kernel env x86).Kernel.frames paddr;
+  let report = Audit.run ~env ~procs:[ proc ] () in
+  Alcotest.(check bool) "audit flags it" false (Audit.is_clean report);
+  Alcotest.(check bool) "as a freed-frame mapping" true
+    (List.exists (fun v -> v.Audit.check = "frame-allocated") report.Audit.violations)
+
+let test_teardown_check_flags_leak () =
+  let env, _msg, faults, proc = make_setup () in
+  Stramash_fault.handle_fault_exn faults ~proc ~node:x86 ~vaddr:vaddr0 ~write:true;
+  let mapped = Audit.mapped_frames ~env ~proc in
+  checki "one frame tracked" 1 (List.length mapped);
+  (* Without running exit_process, both the surviving leaf and the
+     still-allocated frame must be flagged. *)
+  let report = Audit.check_teardown ~env ~procs:[ proc ] ~mapped in
+  Alcotest.(check bool) "leak flagged" false (Audit.is_clean report);
+  Stramash_fault.exit_process faults ~proc;
+  let clean = Audit.check_teardown ~env ~procs:[ proc ] ~mapped in
+  Alcotest.(check bool) "clean after exit" true (Audit.is_clean clean)
+
+(* ---------- campaign determinism ---------- *)
+
+let render_campaign ~seed ~config =
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  let clean = FE.campaign fmt ~seed ~bench:"is" ~config () in
+  Format.pp_print_flush fmt ();
+  (clean, Buffer.contents buf)
+
+let test_campaign_deterministic () =
+  let config = FE.plan_config () in
+  let c1, out1 = render_campaign ~seed:42L ~config in
+  let c2, out2 = render_campaign ~seed:42L ~config in
+  Alcotest.(check bool) "clean" true (c1 && c2);
+  Alcotest.(check string) "byte-identical output" out1 out2
+
+let test_campaign_survives_heavy_drops () =
+  let config = FE.plan_config ~drop_rate:0.5 ~ipi_loss:0.2 ~walk_fail:0.2 () in
+  let clean, out = render_campaign ~seed:7L ~config in
+  Alcotest.(check bool) "completes with zero violations" true clean;
+  let contains sub =
+    let n = String.length out and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub out i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "faults actually injected" true (contains "msg.drops")
+
+let () =
+  Alcotest.run "fault_inject"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "deterministic" `Quick test_plan_deterministic;
+          Alcotest.test_case "streams independent" `Quick test_plan_streams_independent;
+          Alcotest.test_case "backoff grows" `Quick test_backoff_grows;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "msg drops escalate" `Quick test_msg_all_drops_escalates_but_completes;
+          Alcotest.test_case "ipi loss timeout" `Quick test_ipi_loss_costs_timeout;
+          Alcotest.test_case "transients absorbed" `Quick test_injected_faults_are_absorbed;
+          Alcotest.test_case "alloc denial -> hotplug" `Quick test_alloc_denial_recovers_via_hotplug;
+          Alcotest.test_case "alloc denial -> OOM" `Quick test_alloc_denial_without_global_alloc_is_oom;
+        ] );
+      ( "errors",
+        [ Alcotest.test_case "segfault typed" `Quick test_segfault_is_typed_error ] );
+      ( "audit",
+        [
+          Alcotest.test_case "clean state" `Quick test_audit_clean_after_faults;
+          Alcotest.test_case "planted double-free" `Quick test_audit_catches_planted_double_free;
+          Alcotest.test_case "teardown leak" `Quick test_teardown_check_flags_leak;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "byte-identical replay" `Quick test_campaign_deterministic;
+          Alcotest.test_case "heavy drops survive" `Quick test_campaign_survives_heavy_drops;
+        ] );
+    ]

@@ -139,11 +139,11 @@ let test_segfault_detected () =
   in
   let machine = Machine.create { Machine.default_config with os = Machine.Vanilla } in
   let proc, thread = Machine.load machine spec in
-  Alcotest.(check bool) "segfault raises" true
+  Alcotest.(check bool) "segfault raises the typed error" true
     (try
        ignore (Runner.run machine proc thread spec);
        false
-     with Failure _ -> true)
+     with Stramash_fault_inject.Fault.Error (Stramash_fault_inject.Fault.Segfault _) -> true)
 
 let test_spawn_thread_entry () =
   let b = B.create () in

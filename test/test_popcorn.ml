@@ -15,6 +15,7 @@ module Process = Stramash_kernel.Process
 module Page_table = Stramash_kernel.Page_table
 module Msg_layer = Stramash_popcorn.Msg_layer
 module Dsm = Stramash_popcorn.Dsm
+module Fault = Stramash_fault_inject.Fault
 module Mir = Stramash_isa.Mir
 module B = Stramash_isa.Builder
 module Codegen = Stramash_isa.Codegen
@@ -92,6 +93,12 @@ let test_notify_does_not_wait () =
 
 let vaddr0 = 0x10000000
 
+(* All in-VMA faults must resolve; a typed error here is a test failure. *)
+let fault dsm ~proc ~node ~vaddr ~write =
+  match Dsm.handle_fault dsm ~proc ~node ~vaddr ~write with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unexpected fault error: %s" (Fault.to_string e)
+
 let walk_frame env dsm proc node vaddr =
   ignore dsm;
   let mm = Process.mm_exn proc node in
@@ -110,7 +117,7 @@ let test_origin_fault_allocates_locally () =
   let msg = Msg_layer.create Msg_layer.Shm env () in
   let dsm = Dsm.create env msg in
   let proc = make_proc env dsm in
-  Dsm.handle_fault dsm ~proc ~node:x86 ~vaddr:vaddr0 ~write:true;
+  fault dsm ~proc ~node:x86 ~vaddr:vaddr0 ~write:true;
   (match walk_frame env dsm proc x86 vaddr0 with
   | Some (frame, flags) ->
       Alcotest.(check bool) "frame in x86 memory" true
@@ -126,12 +133,12 @@ let test_remote_read_replicates () =
   let dsm = Dsm.create env msg in
   let proc = make_proc env dsm in
   (* origin writes first -> owner at origin with content *)
-  Dsm.handle_fault dsm ~proc ~node:x86 ~vaddr:vaddr0 ~write:true;
+  fault dsm ~proc ~node:x86 ~vaddr:vaddr0 ~write:true;
   (match walk_frame env dsm proc x86 vaddr0 with
   | Some (frame, _) -> Phys_mem.write_u64 env.Env.phys ((frame lsl Addr.page_shift) + 16) 0xABCL
   | None -> assert false);
   ignore (Dsm.ensure_mm dsm ~proc ~node:arm);
-  Dsm.handle_fault dsm ~proc ~node:arm ~vaddr:(vaddr0 + 16) ~write:false;
+  fault dsm ~proc ~node:arm ~vaddr:(vaddr0 + 16) ~write:false;
   checki "one page replicated" 1 (Dsm.replicated_pages dsm);
   (match walk_frame env dsm proc arm vaddr0 with
   | Some (frame, flags) ->
@@ -148,9 +155,9 @@ let test_remote_write_takes_ownership () =
   let msg = Msg_layer.create Msg_layer.Shm env () in
   let dsm = Dsm.create env msg in
   let proc = make_proc env dsm in
-  Dsm.handle_fault dsm ~proc ~node:x86 ~vaddr:vaddr0 ~write:true;
+  fault dsm ~proc ~node:x86 ~vaddr:vaddr0 ~write:true;
   ignore (Dsm.ensure_mm dsm ~proc ~node:arm);
-  Dsm.handle_fault dsm ~proc ~node:arm ~vaddr:vaddr0 ~write:true;
+  fault dsm ~proc ~node:arm ~vaddr:vaddr0 ~write:true;
   (* the origin's PTE must now be gone (single-writer protocol) *)
   Alcotest.(check bool) "origin invalidated" true (walk_frame env dsm proc x86 vaddr0 = None);
   (match walk_frame env dsm proc arm vaddr0 with
@@ -162,11 +169,11 @@ let test_upgrade_from_read_copy () =
   let msg = Msg_layer.create Msg_layer.Shm env () in
   let dsm = Dsm.create env msg in
   let proc = make_proc env dsm in
-  Dsm.handle_fault dsm ~proc ~node:x86 ~vaddr:vaddr0 ~write:true;
+  fault dsm ~proc ~node:x86 ~vaddr:vaddr0 ~write:true;
   ignore (Dsm.ensure_mm dsm ~proc ~node:arm);
-  Dsm.handle_fault dsm ~proc ~node:arm ~vaddr:vaddr0 ~write:false;
+  fault dsm ~proc ~node:arm ~vaddr:vaddr0 ~write:false;
   let replicated_before = Dsm.replicated_pages dsm in
-  Dsm.handle_fault dsm ~proc ~node:arm ~vaddr:vaddr0 ~write:true;
+  fault dsm ~proc ~node:arm ~vaddr:vaddr0 ~write:true;
   checki "upgrade copies nothing" replicated_before (Dsm.replicated_pages dsm);
   Alcotest.(check bool) "other side invalidated" true (walk_frame env dsm proc x86 vaddr0 = None)
 
@@ -178,7 +185,7 @@ let test_remote_anon_alloc_two_rounds () =
   ignore (Dsm.ensure_mm dsm ~proc ~node:arm);
   (* fresh page faulted first on the remote: allocation at origin, then
      replication — at least two request/response rounds (4 messages) *)
-  Dsm.handle_fault dsm ~proc ~node:arm ~vaddr:vaddr0 ~write:false;
+  fault dsm ~proc ~node:arm ~vaddr:vaddr0 ~write:false;
   Alcotest.(check bool) "two rounds minimum" true (Msg_layer.message_count msg >= 4);
   checki "page_alloc counted" 1 (Msg_layer.count_for msg "page_alloc")
 
@@ -187,11 +194,10 @@ let test_segfault_raises () =
   let msg = Msg_layer.create Msg_layer.Shm env () in
   let dsm = Dsm.create env msg in
   let proc = make_proc env dsm in
-  Alcotest.(check bool) "segfault" true
-    (try
-       Dsm.handle_fault dsm ~proc ~node:x86 ~vaddr:0x666 ~write:false;
-       false
-     with Failure _ -> true)
+  (match Dsm.handle_fault dsm ~proc ~node:x86 ~vaddr:0x666 ~write:false with
+  | Error (Fault.Segfault { vaddr; _ }) -> checki "faulting address reported" 0x666 vaddr
+  | Ok () -> Alcotest.fail "expected a segfault"
+  | Error e -> Alcotest.failf "wrong error: %s" (Fault.to_string e))
 
 let test_vma_fetched_remotely () =
   let env = make_env () in
@@ -199,10 +205,10 @@ let test_vma_fetched_remotely () =
   let dsm = Dsm.create env msg in
   let proc = make_proc env dsm in
   ignore (Dsm.ensure_mm dsm ~proc ~node:arm);
-  Dsm.handle_fault dsm ~proc ~node:arm ~vaddr:vaddr0 ~write:false;
+  fault dsm ~proc ~node:arm ~vaddr:vaddr0 ~write:false;
   checki "vma_req issued once" 1 (Msg_layer.count_for msg "vma_req");
   (* second fault in the same VMA does not refetch it *)
-  Dsm.handle_fault dsm ~proc ~node:arm ~vaddr:(vaddr0 + 8192) ~write:false;
+  fault dsm ~proc ~node:arm ~vaddr:(vaddr0 + 8192) ~write:false;
   checki "vma replica cached" 1 (Msg_layer.count_for msg "vma_req")
 
 (* Protocol invariants survive arbitrary fault interleavings. *)
@@ -219,7 +225,7 @@ let prop_dsm_invariants =
         (fun (at_arm, page, write) ->
           let node = if at_arm then arm else x86 in
           let vaddr = 0x10000000 + (page * 4096) + 64 in
-          Dsm.handle_fault dsm ~proc ~node ~vaddr ~write;
+          fault dsm ~proc ~node ~vaddr ~write;
           match Dsm.check_invariants dsm ~proc with
           | Ok () -> true
           | Error msg -> QCheck.Test.fail_report msg)
@@ -235,8 +241,8 @@ let test_exit_releases_everything () =
   let used n = Stramash_kernel.Frame_alloc.used_frames (kernel n).Stramash_kernel.Kernel.frames in
   let base = (used x86, used arm) in
   for page = 0 to 9 do
-    Dsm.handle_fault dsm ~proc ~node:x86 ~vaddr:(0x10000000 + (page * 4096)) ~write:true;
-    Dsm.handle_fault dsm ~proc ~node:arm ~vaddr:(0x10000000 + (page * 4096)) ~write:(page mod 2 = 0)
+    fault dsm ~proc ~node:x86 ~vaddr:(0x10000000 + (page * 4096)) ~write:true;
+    fault dsm ~proc ~node:arm ~vaddr:(0x10000000 + (page * 4096)) ~write:(page mod 2 = 0)
   done;
   Alcotest.(check bool) "pages allocated" true (used x86 > fst base || used arm > snd base);
   Dsm.exit_process dsm ~proc;

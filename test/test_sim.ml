@@ -75,6 +75,38 @@ let test_rng_shuffle_permutation () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 50 Fun.id) sorted
 
+let test_rng_int_rejects_bad_bound () =
+  let rng = Rng.create ~seed:1L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_int_huge_bound_in_range () =
+  (* A bound just under 2^62 exercises the rejection path: naive modulo
+     would fold the tiny tail of the 62-bit draw onto the low residues. *)
+  let rng = Rng.create ~seed:9L in
+  let bound = max_int - (max_int / 3) in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng bound in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < bound)
+  done
+
+let test_rng_int_unbiased_small_bound () =
+  (* With rejection sampling every residue class of a non-power-of-two
+     bound is equally likely; a 3-way split over 30k draws stays well
+     within +-5% of uniform. *)
+  let rng = Rng.create ~seed:13L in
+  let counts = Array.make 3 0 in
+  let n = 30000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 3 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "within 2% of uniform" true
+        (Float.abs ((float_of_int c /. float_of_int n) -. (1.0 /. 3.0)) < 0.02))
+    counts
+
 (* ---------- Cycles ---------- *)
 
 let test_cycles_roundtrip () =
@@ -145,6 +177,25 @@ let prop_engine_order =
       let times = List.rev !fired in
       List.sort compare times = times && List.length times = List.length delays)
 
+let test_engine_rejects_past_and_negative () =
+  let e = Engine.create () in
+  Engine.advance e 10;
+  Alcotest.(check bool) "schedule_at in the past refused" true
+    (try
+       Engine.schedule_at e ~at:5 ignore;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative advance refused" true
+    (try
+       Engine.advance e (-1);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative delay refused" true
+    (try
+       Engine.schedule e ~delay:(-3) ignore;
+       false
+     with Invalid_argument _ -> true)
+
 (* ---------- Metrics ---------- *)
 
 let test_metrics_counters () =
@@ -166,6 +217,25 @@ let test_histogram () =
   Alcotest.(check bool) "max includes overflow" true (Metrics.Histogram.max_value h = 150.0);
   let p50 = Metrics.Histogram.percentile h 0.5 in
   Alcotest.(check bool) "median in low buckets" true (p50 <= 30.0)
+
+let test_histogram_percentile_interpolates () =
+  (* One sample per unit bucket: the interpolated percentile must land on
+     the exact rank, not the bucket's lower edge. *)
+  let h = Metrics.Histogram.create ~buckets:100 ~lo:0.0 ~hi:100.0 in
+  for i = 0 to 99 do
+    Metrics.Histogram.record h (float_of_int i +. 0.5)
+  done;
+  let near expected got = Float.abs (got -. expected) <= 1.0 in
+  Alcotest.(check bool) "p50 ~ 50" true (near 50.0 (Metrics.Histogram.p50 h));
+  Alcotest.(check bool) "p95 ~ 95" true (near 95.0 (Metrics.Histogram.p95 h));
+  Alcotest.(check bool) "p99 ~ 99" true (near 99.0 (Metrics.Histogram.p99 h));
+  Alcotest.(check bool) "p0 clamps to min" true
+    (Metrics.Histogram.percentile h 0.0 >= Metrics.Histogram.min_value h);
+  Alcotest.(check bool) "p1 clamps to max" true
+    (Metrics.Histogram.percentile h 1.0 <= Metrics.Histogram.max_value h);
+  (* out-of-range p is clamped, not an error *)
+  Alcotest.(check bool) "p>1 clamped" true
+    (Metrics.Histogram.percentile h 2.0 <= Metrics.Histogram.max_value h)
 
 (* ---------- Meter ---------- *)
 
@@ -200,6 +270,9 @@ let () =
           Alcotest.test_case "split independent" `Quick test_rng_split_independent;
           Alcotest.test_case "gaussian mean" `Quick test_rng_gaussian_mean;
           Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "bad bound rejected" `Quick test_rng_int_rejects_bad_bound;
+          Alcotest.test_case "huge bound in range" `Quick test_rng_int_huge_bound_in_range;
+          Alcotest.test_case "small bound unbiased" `Quick test_rng_int_unbiased_small_bound;
         ] );
       ( "cycles",
         [
@@ -213,11 +286,13 @@ let () =
           Alcotest.test_case "advance fires passed" `Quick test_engine_advance_fires_passed_events;
           Alcotest.test_case "cascading events" `Quick test_engine_event_schedules_event;
           Alcotest.test_case "pending/next" `Quick test_engine_pending;
+          Alcotest.test_case "rejects past/negative" `Quick test_engine_rejects_past_and_negative;
         ] );
       ( "metrics",
         [
           Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "percentile interpolation" `Quick test_histogram_percentile_interpolates;
           Alcotest.test_case "meter" `Quick test_meter;
         ] );
       ("node_id", [ Alcotest.test_case "basics" `Quick test_node_id ]);

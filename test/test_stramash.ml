@@ -108,7 +108,7 @@ let test_ptl_releases_on_exception () =
 
 let test_remote_walk_decodes_other_format () =
   let env, _msg, faults, proc = make_setup () in
-  Stramash_fault.handle_fault faults ~proc ~node:x86 ~vaddr:vaddr0 ~write:true;
+  Stramash_fault.handle_fault_exn faults ~proc ~node:x86 ~vaddr:vaddr0 ~write:true;
   let omm = Process.mm_exn proc x86 in
   match Remote_walker.walk env ~actor:arm ~owner_mm:omm ~vaddr:vaddr0 with
   | Some (frame, flags) ->
@@ -119,7 +119,7 @@ let test_remote_walk_decodes_other_format () =
 
 let test_remote_walk_charges_actor () =
   let env, _msg, faults, proc = make_setup () in
-  Stramash_fault.handle_fault faults ~proc ~node:x86 ~vaddr:vaddr0 ~write:true;
+  Stramash_fault.handle_fault_exn faults ~proc ~node:x86 ~vaddr:vaddr0 ~write:true;
   let omm = Process.mm_exn proc x86 in
   let before = Meter.get (Env.meter env arm) in
   ignore (Remote_walker.walk env ~actor:arm ~owner_mm:omm ~vaddr:vaddr0);
@@ -131,7 +131,7 @@ let test_install_leaf_requires_uppers () =
   Alcotest.(check bool) "no uppers yet" false
     (Remote_walker.install_leaf env ~actor:arm ~owner_mm:omm ~vaddr:vaddr0 ~frame:7
        ~remote_owned:true);
-  Stramash_fault.handle_fault faults ~proc ~node:x86 ~vaddr:(vaddr0 + 8192) ~write:true;
+  Stramash_fault.handle_fault_exn faults ~proc ~node:x86 ~vaddr:(vaddr0 + 8192) ~write:true;
   Alcotest.(check bool) "uppers created by neighbour fault" true
     (Remote_walker.install_leaf env ~actor:arm ~owner_mm:omm ~vaddr:vaddr0 ~frame:7
        ~remote_owned:true);
@@ -143,10 +143,10 @@ let test_install_leaf_requires_uppers () =
 
 let test_shared_frame_no_replication () =
   let env, msg, faults, proc = make_setup () in
-  Stramash_fault.handle_fault faults ~proc ~node:x86 ~vaddr:vaddr0 ~write:true;
+  Stramash_fault.handle_fault_exn faults ~proc ~node:x86 ~vaddr:vaddr0 ~write:true;
   let x86_frame = match silent_walk env proc x86 vaddr0 with Some (f, _) -> f | None -> -1 in
   ignore (Stramash_fault.ensure_mm faults ~proc ~node:arm);
-  Stramash_fault.handle_fault faults ~proc ~node:arm ~vaddr:vaddr0 ~write:false;
+  Stramash_fault.handle_fault_exn faults ~proc ~node:arm ~vaddr:vaddr0 ~write:false;
   let arm_frame = match silent_walk env proc arm vaddr0 with Some (f, _) -> f | None -> -2 in
   checki "both kernels map the same frame" x86_frame arm_frame;
   checki "no fallback pages" 0 (Stramash_fault.fallback_pages faults);
@@ -156,9 +156,9 @@ let test_shared_frame_no_replication () =
 let test_remote_anon_alloc_is_local_and_installed_in_origin () =
   let env, msg, faults, proc = make_setup () in
   (* Fault a neighbouring page at the origin first so the leaf table exists. *)
-  Stramash_fault.handle_fault faults ~proc ~node:x86 ~vaddr:(vaddr0 + 4096) ~write:true;
+  Stramash_fault.handle_fault_exn faults ~proc ~node:x86 ~vaddr:(vaddr0 + 4096) ~write:true;
   ignore (Stramash_fault.ensure_mm faults ~proc ~node:arm);
-  Stramash_fault.handle_fault faults ~proc ~node:arm ~vaddr:vaddr0 ~write:true;
+  Stramash_fault.handle_fault_exn faults ~proc ~node:arm ~vaddr:vaddr0 ~write:true;
   (match silent_walk env proc arm vaddr0 with
   | Some (frame, _) ->
       Alcotest.(check bool) "frame is arm-local" true
@@ -175,7 +175,7 @@ let test_fallback_when_uppers_missing () =
   (* First remote touch of a fresh region: the origin's table lacks the
      directories, so the origin kernel handles the fault (one message
      round) and the page lands in origin memory. *)
-  Stramash_fault.handle_fault faults ~proc ~node:arm ~vaddr:vaddr0 ~write:true;
+  Stramash_fault.handle_fault_exn faults ~proc ~node:arm ~vaddr:vaddr0 ~write:true;
   checki "fallback counted" 1 (Stramash_fault.fallback_pages faults);
   checki "one message round" 2 (Msg_layer.message_count msg);
   (match silent_walk env proc arm vaddr0 with
@@ -184,13 +184,13 @@ let test_fallback_when_uppers_missing () =
         (Layout.region_contains Layout.x86_private (frame lsl Addr.page_shift))
   | None -> Alcotest.fail "arm mapping missing");
   (* Subsequent faults in the same region take the fast path. *)
-  Stramash_fault.handle_fault faults ~proc ~node:arm ~vaddr:(vaddr0 + 4096) ~write:true;
+  Stramash_fault.handle_fault_exn faults ~proc ~node:arm ~vaddr:(vaddr0 + 4096) ~write:true;
   checki "no further fallback" 1 (Stramash_fault.fallback_pages faults)
 
 let test_remote_vma_walk_no_replica () =
   let env, _msg, faults, proc = make_setup () in
   ignore (Stramash_fault.ensure_mm faults ~proc ~node:arm);
-  Stramash_fault.handle_fault faults ~proc ~node:arm ~vaddr:vaddr0 ~write:true;
+  Stramash_fault.handle_fault_exn faults ~proc ~node:arm ~vaddr:vaddr0 ~write:true;
   let arm_mm = Process.mm_exn proc arm in
   ignore env;
   checki "remote kernel keeps no VMA replicas" 0 (Vma.count arm_mm.Process.vmas)

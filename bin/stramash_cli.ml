@@ -58,6 +58,112 @@ let hw_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the artifact-style per-node dump")
 
+let spec_of_bench = function
+  | "is" -> Some (W.Npb_is.spec ())
+  | "cg" -> Some (W.Npb_cg.spec ())
+  | "mg" -> Some (W.Npb_mg.spec ())
+  | "ft" -> Some (W.Npb_ft.spec ())
+  | "ep" -> Some (W.Npb_ep.spec ())
+  | "lu" -> Some (W.Npb_lu.spec ())
+  | "sp" -> Some (W.Npb_sp.spec ())
+  | _ -> None
+
+(* ---------- observability (--trace / --metrics-json / --trace-filter) ---------- *)
+
+module Obs = Stramash_obs
+module Trace = Stramash_obs.Trace
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a cycle-timestamped trace of the run to $(docv): Chrome trace-event JSON \
+           (open in Perfetto or chrome://tracing), or a JSONL event stream when $(docv) \
+           ends in .jsonl")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:"Write a machine-readable metrics snapshot (cycle attribution + counters) to $(docv)")
+
+let filter_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-filter" ] ~docv:"SUBSYS"
+        ~doc:
+          "Comma-separated subsystems to restrict tracing to (e.g. msg,ipi,futex); \
+           default records every subsystem")
+
+let obs_term = Term.(const (fun t m f -> (t, m, f)) $ trace_arg $ metrics_arg $ filter_arg)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Fail before the (possibly minutes-long) run, not after it. *)
+let check_writable = function
+  | None -> true
+  | Some path -> (
+      match open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path with
+      | oc ->
+          close_out oc;
+          true
+      | exception Sys_error msg ->
+          Format.eprintf "stramash_cli: cannot write output file: %s@." msg;
+          false)
+
+(* Install a tracer for the duration of [f] when either output flag is
+   given, then render the sinks. Tracing stays completely off otherwise. *)
+let run_with_obs (trace_file, metrics_file, filter) ?(extra = fun (_ : Obs.Snapshot.t) -> ()) f =
+  match (trace_file, metrics_file) with
+  | None, None -> f ()
+  | _ when not (check_writable trace_file && check_writable metrics_file) -> 1
+  | _ ->
+      let filter =
+        match filter with
+        | None -> []
+        | Some s ->
+            String.split_on_char ',' s |> List.map String.trim
+            |> List.filter (fun x -> x <> "")
+      in
+      let tracer = Trace.create ~filter () in
+      Trace.install tracer;
+      let finish () =
+        Trace.uninstall ();
+        (match trace_file with
+        | Some path ->
+            let data =
+              if Filename.check_suffix path ".jsonl" then Trace.jsonl_string tracer
+              else Trace.chrome_string tracer
+            in
+            write_file path data;
+            Format.fprintf fmt "trace: %s (%d events recorded, %d dropped)@." path
+              (Trace.recorded tracer) (Trace.dropped tracer)
+        | None -> ());
+        (match metrics_file with
+        | Some path ->
+            let snap = Obs.Snapshot.create () in
+            Obs.Snapshot.add_trace snap tracer;
+            extra snap;
+            write_file path (Obs.Snapshot.to_string snap);
+            Format.fprintf fmt "metrics: %s@." path
+        | None -> ());
+        H.Obs_report.print fmt tracer
+      in
+      (match f () with
+      | code ->
+          finish ();
+          code
+      | exception e ->
+          Trace.uninstall ();
+          raise e)
+
 (* ---------- list ---------- *)
 
 let list_cmd =
@@ -78,24 +184,25 @@ let experiment_cmd =
   let ids_arg =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (see `list`)")
   in
-  let run ids =
-    let rec go = function
-      | [] -> 0
-      | id :: rest -> (
-          match H.Experiments.find id with
-          | Some e ->
-              Format.fprintf fmt "@.=== %s: %s ===@." e.H.Experiments.id e.H.Experiments.title;
-              e.H.Experiments.run fmt;
-              go rest
-          | None ->
-              Format.fprintf fmt "unknown experiment %s (try `stramash_cli list`)@." id;
-              1)
-    in
-    go ids
+  let run ids obs =
+    run_with_obs obs (fun () ->
+        let rec go = function
+          | [] -> 0
+          | id :: rest -> (
+              match H.Experiments.find id with
+              | Some e ->
+                  Format.fprintf fmt "@.=== %s: %s ===@." e.H.Experiments.id e.H.Experiments.title;
+                  e.H.Experiments.run fmt;
+                  go rest
+              | None ->
+                  Format.fprintf fmt "unknown experiment %s (try `stramash_cli list`)@." id;
+                  1)
+        in
+        go ids)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate one or more of the paper's tables/figures")
-    Term.(const run $ ids_arg)
+    Term.(const run $ ids_arg $ obs_term)
 
 (* ---------- npb ---------- *)
 
@@ -105,37 +212,42 @@ let npb_cmd =
       required & pos 0 (some string) None
       & info [] ~docv:"BENCH" ~doc:"is | cg | mg | ft | ep | lu | sp")
   in
-  let run bench os hw_model verbose =
-    let spec =
-      match bench with
-      | "is" -> Some (W.Npb_is.spec ())
-      | "cg" -> Some (W.Npb_cg.spec ())
-      | "mg" -> Some (W.Npb_mg.spec ())
-      | "ft" -> Some (W.Npb_ft.spec ())
-      | "ep" -> Some (W.Npb_ep.spec ())
-      | "lu" -> Some (W.Npb_lu.spec ())
-      | "sp" -> Some (W.Npb_sp.spec ())
-      | _ -> None
-    in
-    match spec with
+  let run bench os hw_model verbose obs =
+    match spec_of_bench bench with
     | None ->
         Format.fprintf fmt "unknown benchmark %s@." bench;
         1
     | Some spec ->
-        let machine = Machine.create { Machine.default_config with os; hw_model } in
-        let proc, thread = Machine.load machine spec in
-        let result = Runner.run machine proc thread spec in
-        Format.fprintf fmt "%s on %s/%s: wall %.3f ms, %d instructions, %d messages, %d replicated pages@."
-          bench (Machine.os_choice_name os)
-          (Layout.hw_model_to_string hw_model)
-          (Cycles.to_ms result.Runner.wall_cycles)
-          result.Runner.instructions result.Runner.messages result.Runner.replicated_pages;
-        if verbose then Runner.pp_result fmt result;
-        0
+        let last_result = ref None in
+        let extra snap =
+          match !last_result with
+          | None -> ()
+          | Some result ->
+              Obs.Snapshot.add_counters snap "node_cycles"
+                (List.map
+                   (fun node ->
+                     ( Node_id.to_string node,
+                       result.Runner.node_cycles.(Node_id.index node) ))
+                   Node_id.all);
+              Obs.Snapshot.add_registry snap "cache" result.Runner.cache
+        in
+        run_with_obs obs ~extra (fun () ->
+            let machine = Machine.create { Machine.default_config with os; hw_model } in
+            let proc, thread = Machine.load machine spec in
+            let result = Runner.run machine proc thread spec in
+            last_result := Some result;
+            Format.fprintf fmt
+              "%s on %s/%s: wall %.3f ms, %d instructions, %d messages, %d replicated pages@."
+              bench (Machine.os_choice_name os)
+              (Layout.hw_model_to_string hw_model)
+              (Cycles.to_ms result.Runner.wall_cycles)
+              result.Runner.instructions result.Runner.messages result.Runner.replicated_pages;
+            if verbose then Runner.pp_result fmt result;
+            0)
   in
   Cmd.v
     (Cmd.info "npb" ~doc:"Run one NPB-like kernel with cross-ISA migration")
-    Term.(const run $ bench_arg $ os_arg $ hw_arg $ verbose_arg)
+    Term.(const run $ bench_arg $ os_arg $ hw_arg $ verbose_arg $ obs_term)
 
 (* ---------- redis ---------- *)
 
@@ -143,35 +255,39 @@ let redis_cmd =
   let requests_arg =
     Arg.(value & opt int 10_000 & info [ "n"; "requests" ] ~docv:"N" ~doc:"Requests per op")
   in
-  let run os requests =
-    match os with
-    | Machine.Vanilla ->
-        Format.fprintf fmt "the redis model needs a migratable OS personality@.";
-        1
-    | _ ->
-        List.iter
-          (fun (r : W.Redis.result) ->
-            Format.fprintf fmt "%-6s %10.0f cycles/request (%.2f us)@." (W.Redis.op_name r.W.Redis.op)
-              r.W.Redis.cycles_per_request
-              (Cycles.to_us (int_of_float r.W.Redis.cycles_per_request)))
-          (W.Redis.run ~os ~requests ());
-        0
+  let run os requests obs =
+    run_with_obs obs (fun () ->
+        match os with
+        | Machine.Vanilla ->
+            Format.fprintf fmt "the redis model needs a migratable OS personality@.";
+            1
+        | _ ->
+            List.iter
+              (fun (r : W.Redis.result) ->
+                Format.fprintf fmt "%-6s %10.0f cycles/request (%.2f us)@."
+                  (W.Redis.op_name r.W.Redis.op) r.W.Redis.cycles_per_request
+                  (Cycles.to_us (int_of_float r.W.Redis.cycles_per_request)))
+              (W.Redis.run ~os ~requests ());
+            0)
   in
   Cmd.v
     (Cmd.info "redis" ~doc:"Run the Redis-like network-serving model")
-    Term.(const run $ os_arg $ requests_arg)
+    Term.(const run $ os_arg $ requests_arg $ obs_term)
 
 (* ---------- futex ---------- *)
 
 let futex_cmd =
   let loops_arg = Arg.(value & pos 0 int 1000 & info [] ~docv:"LOOPS" ~doc:"Lock/unlock loops") in
-  let run loops =
-    List.iter
-      (fun (label, wall) -> Format.fprintf fmt "%-34s %10.3f ms@." label (Cycles.to_ms wall))
-      (H.Micro_experiments.fig13_walls ~loops);
-    0
+  let run loops obs =
+    run_with_obs obs (fun () ->
+        List.iter
+          (fun (label, wall) -> Format.fprintf fmt "%-34s %10.3f ms@." label (Cycles.to_ms wall))
+          (H.Micro_experiments.fig13_walls ~loops);
+        0)
   in
-  Cmd.v (Cmd.info "futex" ~doc:"Run the futex microbenchmark") Term.(const run $ loops_arg)
+  Cmd.v
+    (Cmd.info "futex" ~doc:"Run the futex microbenchmark")
+    Term.(const run $ loops_arg $ obs_term)
 
 (* ---------- faults ---------- *)
 
@@ -191,29 +307,22 @@ let faults_cmd =
   let walk_arg = rate "walk-fail" "Transient remote PTE read-failure probability" 0.02 in
   let ptl_arg = rate "ptl-timeout" "Page-table-lock acquisition timeout probability" 0.01 in
   let alloc_arg = rate "alloc-fail" "Injected frame-allocator exhaustion probability" 0.005 in
-  let run seed bench drop ipi walk ptl alloc =
-    let config =
-      H.Fault_experiments.plan_config ~drop_rate:drop ~ipi_loss:ipi ~walk_fail:walk
-        ~ptl_timeout:ptl ~alloc_fail:alloc ()
-    in
-    if H.Fault_experiments.campaign fmt ~seed ~bench ~config () then 0 else 1
+  let run seed bench drop ipi walk ptl alloc obs =
+    run_with_obs obs (fun () ->
+        let config =
+          H.Fault_experiments.plan_config ~drop_rate:drop ~ipi_loss:ipi ~walk_fail:walk
+            ~ptl_timeout:ptl ~alloc_fail:alloc ()
+        in
+        if H.Fault_experiments.campaign fmt ~seed ~bench ~config () then 0 else 1)
   in
   Cmd.v
     (Cmd.info "faults"
        ~doc:"Run a deterministic fault-injection campaign and audit kernel invariants")
-    Term.(const run $ seed_arg $ bench_arg $ drop_arg $ ipi_arg $ walk_arg $ ptl_arg $ alloc_arg)
+    Term.(
+      const run $ seed_arg $ bench_arg $ drop_arg $ ipi_arg $ walk_arg $ ptl_arg $ alloc_arg
+      $ obs_term)
 
 (* ---------- disasm ---------- *)
-
-let spec_of_bench = function
-  | "is" -> Some (W.Npb_is.spec ())
-  | "cg" -> Some (W.Npb_cg.spec ())
-  | "mg" -> Some (W.Npb_mg.spec ())
-  | "ft" -> Some (W.Npb_ft.spec ())
-  | "ep" -> Some (W.Npb_ep.spec ())
-  | "lu" -> Some (W.Npb_lu.spec ())
-  | "sp" -> Some (W.Npb_sp.spec ())
-  | _ -> None
 
 let disasm_cmd =
   let bench_arg =

@@ -100,8 +100,8 @@ type t = {
   nstats : node_stats array;
   shared_l3 : Level.t option;
   dir : Directory.t;
-  mutable probe : (Node_id.t -> kind -> int -> unit) option;
-  mutable writeback_hook : (Node_id.t -> line:int -> unit) option;
+  mutable probes : (Node_id.t -> kind -> int -> unit) list;
+  mutable writeback_hooks : (Node_id.t -> line:int -> unit) list;
 }
 
 let create cfg =
@@ -119,8 +119,8 @@ let create cfg =
     nstats = [| fresh_stats (); fresh_stats () |];
     shared_l3 = (if cfg.Config.shared_l3 then Some (Level.create cfg.Config.l3) else None);
     dir = Directory.create ();
-    probe = None;
-    writeback_hook = None;
+    probes = [];
+    writeback_hooks = [];
   }
 
 let config t = t.cfg
@@ -143,12 +143,23 @@ let hit_rate t node level =
   let accesses = stat t node (level ^ "_accesses") in
   if accesses = 0 then 0.0 else float_of_int hits /. float_of_int accesses
 
-let set_probe t probe = t.probe <- probe
-let set_writeback_hook t hook = t.writeback_hook <- hook
+(* Observers chain: callers register independently (Cache.Trace, DSM, the
+   obs layer) and all fire in registration order. [set_* None] clears
+   every observer; [set_* (Some f)] resets the chain to just [f] — the
+   historical single-slot behaviour, kept for existing call sites. *)
+let add_probe t f = t.probes <- t.probes @ [ f ]
+
+let set_probe t probe =
+  t.probes <- (match probe with None -> [] | Some f -> [ f ])
+
+let add_writeback_hook t f = t.writeback_hooks <- t.writeback_hooks @ [ f ]
+
+let set_writeback_hook t hook =
+  t.writeback_hooks <- (match hook with None -> [] | Some f -> [ f ])
+
 let reset_stats t = Array.iter zero_stats t.nstats
 
-let fire_writeback t node ~line =
-  match t.writeback_hook with Some f -> f node ~line | None -> ()
+let fire_writeback t node ~line = List.iter (fun f -> f node ~line) t.writeback_hooks
 
 let caches t node = t.nodes.(Node_id.index node)
 let nstat t node = t.nstats.(Node_id.index node)
@@ -237,7 +248,9 @@ let snoop_cost t node = function
       t.cfg.Config.cxl.Cxl.snoop_invalidate
 
 let access t ~node kind ~paddr =
-  (match t.probe with Some f -> f node kind paddr | None -> ());
+  (match t.probes with
+  | [] -> ()
+  | probes -> List.iter (fun f -> f node kind paddr) probes);
   let line = Addr.line_of paddr in
   let c = caches t node in
   let s = nstat t node in

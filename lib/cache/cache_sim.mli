@@ -34,14 +34,24 @@ val stat : t -> Stramash_sim.Node_id.t -> string -> int
 val hit_rate : t -> Stramash_sim.Node_id.t -> string -> float
 (** [hit_rate t node "l1d"] from the hit/access counters; 0 if unused. *)
 
+val add_probe : t -> (Stramash_sim.Node_id.t -> kind -> int -> unit) -> unit
+(** Append an observation hook fired on every {!access}; hooks chain in
+    registration order so the Fig. 8 trace recorder and the obs layer can
+    observe the same run. *)
+
 val set_probe : t -> (Stramash_sim.Node_id.t -> kind -> int -> unit) option -> unit
-(** Observation hook used to record traces for the Fig. 8 validation. *)
+(** [set_probe t None] removes every probe; [set_probe t (Some f)] resets
+    the chain to [f] alone (the historical single-observer behaviour). *)
+
+val add_writeback_hook : t -> (Stramash_sim.Node_id.t -> line:int -> unit) -> unit
+(** Append a hook fired whenever a dirty line is written back from a
+    node's coherence point. Popcorn's DSM registers here: a write-back to
+    a replicated page triggers the software consistency policy (paper
+    §9.2.2). Hooks must not recurse into the cache simulator. *)
 
 val set_writeback_hook : t -> (Stramash_sim.Node_id.t -> line:int -> unit) option -> unit
-(** Fired whenever a dirty line is written back from a node's coherence
-    point. Popcorn's DSM registers here: a write-back to a replicated page
-    triggers the software consistency policy (paper §9.2.2). The hook must
-    not recurse into the cache simulator. *)
+(** Clear ([None]) or reset ([Some f]) the write-back hook chain, as with
+    {!set_probe}. *)
 
 val reset_stats : t -> unit
 

@@ -36,7 +36,7 @@ let iter t ~f =
     f (entry t i)
   done
 
-let attach t cache = Cache_sim.set_probe cache (Some (record t))
+let attach t cache = Cache_sim.add_probe cache (record t)
 
 let replay_into_ruby t ruby =
   iter t ~f:(fun e -> Ruby_ref.access ruby ~node:e.node e.kind ~paddr:e.paddr)

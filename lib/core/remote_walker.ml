@@ -6,6 +6,7 @@ module Pte = Stramash_kernel.Pte
 module Vma = Stramash_kernel.Vma
 module Fault = Stramash_fault_inject.Fault
 module Plan = Stramash_fault_inject.Plan
+module Trace = Stramash_obs.Trace
 
 (* The io's allocator must never fire on read-only walks; owner is
    irrelevant there, and install_leaf never allocates by construction. *)
@@ -18,7 +19,16 @@ let io env ~actor =
   }
 
 let walk env ~actor ~owner_mm ~vaddr =
-  Page_table.walk owner_mm.Process.pgtable (io env ~actor) ~vaddr
+  if not (Trace.enabled ()) then Page_table.walk owner_mm.Process.pgtable (io env ~actor) ~vaddr
+  else begin
+    let meter = Env.meter env actor in
+    let sp = Trace.span ~at:(Meter.get meter) ~node:actor ~subsys:"remote_walker" ~op:"walk" () in
+    let result = Page_table.walk owner_mm.Process.pgtable (io env ~actor) ~vaddr in
+    Trace.close ~at:(Meter.get meter)
+      ~tags:[ ("present", match result with Some _ -> "1" | None -> "0") ]
+      sp;
+    result
+  end
 
 (* [walk] with injectable transient read failures: a faulted read costs
    the retry delay and is re-issued up to the plan's cap, after which the
@@ -28,6 +38,12 @@ let walk_checked env ~actor ~owner_mm ~vaddr ?inject () =
   match inject with
   | None -> Ok (walk env ~actor ~owner_mm ~vaddr)
   | Some plan ->
+      let meter = Env.meter env actor in
+      let sp =
+        if Trace.enabled () then
+          Trace.span ~at:(Meter.get meter) ~node:actor ~subsys:"remote_walker" ~op:"request" ()
+        else Trace.null
+      in
       let cfg = Plan.config plan in
       let rec attempt_walk attempt burned =
         if Plan.walk_read_faulted plan then begin
@@ -45,19 +61,44 @@ let walk_checked env ~actor ~owner_mm ~vaddr ?inject () =
           Ok (walk env ~actor ~owner_mm ~vaddr)
         end
       in
-      attempt_walk 0 0
+      let result = attempt_walk 0 0 in
+      if sp != Trace.null then
+        Trace.close ~at:(Meter.get meter)
+          ~tags:[ ("ok", match result with Ok _ -> "true" | Error _ -> "false") ]
+          sp;
+      result
 
 let upper_levels_present env ~actor ~owner_mm ~vaddr =
   Page_table.upper_levels_present owner_mm.Process.pgtable (io env ~actor) ~vaddr
 
 let install_leaf env ~actor ~owner_mm ~vaddr ~frame ~remote_owned =
   let flags = { Pte.default_flags with remote_owned } in
-  Page_table.set_leaf_if_upper_present owner_mm.Process.pgtable (io env ~actor) ~vaddr ~frame
-    flags
+  if not (Trace.enabled ()) then
+    Page_table.set_leaf_if_upper_present owner_mm.Process.pgtable (io env ~actor) ~vaddr ~frame
+      flags
+  else begin
+    let meter = Env.meter env actor in
+    let sp =
+      Trace.span ~at:(Meter.get meter) ~node:actor ~subsys:"remote_walker" ~op:"install_leaf" ()
+    in
+    let result =
+      Page_table.set_leaf_if_upper_present owner_mm.Process.pgtable (io env ~actor) ~vaddr ~frame
+        flags
+    in
+    Trace.close ~at:(Meter.get meter) sp;
+    result
+  end
 
 let find_vma env ~actor ~owner_mm ~vaddr =
+  let meter = Env.meter env actor in
+  let sp =
+    if Trace.enabled () then
+      Trace.span ~at:(Meter.get meter) ~node:actor ~subsys:"remote_walker" ~op:"find_vma" ()
+    else Trace.null
+  in
   Env.charge_atomic env actor ~paddr:(Vma.lock_addr owner_mm.Process.vmas);
   let charge v = Env.charge_load env actor ~paddr:v.Vma.struct_addr in
   let result = Vma.find ~visit:charge owner_mm.Process.vmas ~vaddr in
   Env.charge_store env actor ~paddr:(Vma.lock_addr owner_mm.Process.vmas);
+  if sp != Trace.null then Trace.close ~at:(Meter.get meter) sp;
   result

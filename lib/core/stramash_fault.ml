@@ -13,6 +13,8 @@ module Tlb = Stramash_kernel.Tlb
 module Msg_layer = Stramash_popcorn.Msg_layer
 module Fault = Stramash_fault_inject.Fault
 module Plan = Stramash_fault_inject.Plan
+module Trace = Stramash_obs.Trace
+module Meter = Stramash_sim.Meter
 
 type t = {
   env : Env.t;
@@ -168,7 +170,7 @@ let exit_process t ~proc =
    the fast path): the origin kernel handles the fault over a message
    round (§9.2.3), allocating and mapping at the origin; the requester
    then maps the same frame locally. *)
-let origin_fallback t ~proc ~node ~(mm : Process.mm) ~vaddr ~writable =
+let origin_fallback_untraced t ~proc ~node ~(mm : Process.mm) ~vaddr ~writable =
   let origin = proc.Process.origin in
   let omm = Process.mm_exn proc origin in
   let result = ref (Error (Fault.Out_of_memory { node = Node_id.to_string origin })) in
@@ -189,13 +191,27 @@ let origin_fallback t ~proc ~node ~(mm : Process.mm) ~vaddr ~writable =
       t.fallback_pages <- t.fallback_pages + 1;
       Ok ()
 
+let origin_fallback t ~proc ~node ~mm ~vaddr ~writable =
+  if not (Trace.enabled ()) then origin_fallback_untraced t ~proc ~node ~mm ~vaddr ~writable
+  else begin
+    let meter = Env.meter t.env node in
+    let sp =
+      Trace.span ~at:(Meter.get meter) ~node ~subsys:"stramash_fault" ~op:"origin_fallback" ()
+    in
+    let result = origin_fallback_untraced t ~proc ~node ~mm ~vaddr ~writable in
+    Trace.close ~at:(Meter.get meter)
+      ~tags:[ ("ok", match result with Ok () -> "true" | Error _ -> "false") ]
+      sp;
+    result
+  end
+
 (* A fault (transient walk failure, PTL timeout) pushed the fast path off
    the road: degrade to the origin-fallback protocol instead of crashing. *)
 let escalate_to_fallback t ~proc ~node ~mm ~vaddr ~writable =
   (match t.inject with Some plan -> Plan.note_fallback_escalation plan | None -> ());
   origin_fallback t ~proc ~node ~mm ~vaddr ~writable
 
-let remote_fault t ~proc ~node ~(mm : Process.mm) ~vaddr ~writable =
+let remote_fault_untraced t ~proc ~node ~(mm : Process.mm) ~vaddr ~writable =
   let origin = proc.Process.origin in
   let omm = Process.mm_exn proc origin in
   let ptl = ptl_for t ~proc in
@@ -247,7 +263,21 @@ let remote_fault t ~proc ~node ~(mm : Process.mm) ~vaddr ~writable =
   | Error (Fault.Lock_timeout _) -> escalate_to_fallback t ~proc ~node ~mm ~vaddr ~writable
   | Error _ as e -> e
 
-let handle_fault t ~proc ~node ~vaddr ~write =
+let remote_fault t ~proc ~node ~mm ~vaddr ~writable =
+  if not (Trace.enabled ()) then remote_fault_untraced t ~proc ~node ~mm ~vaddr ~writable
+  else begin
+    let meter = Env.meter t.env node in
+    let sp =
+      Trace.span ~at:(Meter.get meter) ~node ~subsys:"stramash_fault" ~op:"remote_fault" ()
+    in
+    let result = remote_fault_untraced t ~proc ~node ~mm ~vaddr ~writable in
+    Trace.close ~at:(Meter.get meter)
+      ~tags:[ ("ok", match result with Ok () -> "true" | Error _ -> "false") ]
+      sp;
+    result
+  end
+
+let handle_fault_untraced t ~proc ~node ~vaddr ~write =
   ignore write;
   let origin = proc.Process.origin in
   let mm = ensure_mm t ~proc ~node in
@@ -270,6 +300,22 @@ let handle_fault t ~proc ~node ~vaddr ~write =
                 Ok ()
           end
           else remote_fault t ~proc ~node ~mm ~vaddr ~writable)
+
+let handle_fault t ~proc ~node ~vaddr ~write =
+  if not (Trace.enabled ()) then handle_fault_untraced t ~proc ~node ~vaddr ~write
+  else begin
+    let meter = Env.meter t.env node in
+    let sp =
+      Trace.span ~at:(Meter.get meter)
+        ~tags:[ ("origin", string_of_bool (Node_id.equal node proc.Process.origin)) ]
+        ~node ~subsys:"stramash_fault" ~op:"fault" ()
+    in
+    let result = handle_fault_untraced t ~proc ~node ~vaddr ~write in
+    Trace.close ~at:(Meter.get meter)
+      ~tags:[ ("ok", match result with Ok () -> "true" | Error _ -> "false") ]
+      sp;
+    result
+  end
 
 let handle_fault_exn t ~proc ~node ~vaddr ~write =
   Fault.get_exn (handle_fault t ~proc ~node ~vaddr ~write)

@@ -9,6 +9,7 @@ module Process = Stramash_kernel.Process
 module Thread = Stramash_kernel.Thread
 module Page_table = Stramash_kernel.Page_table
 module Ipi = Stramash_interconnect.Ipi
+module Trace = Stramash_obs.Trace
 
 type t = { env : Env.t; faults : Stramash_fault.t; mutable ipis : int }
 
@@ -37,6 +38,14 @@ let word_paddr t ~proc ~node ~uaddr =
   (frame lsl Addr.page_shift) + Addr.page_offset uaddr
 
 let wait_acting t ~actor ~proc ~thread ~uaddr ~expected =
+  let meter = Env.meter t.env actor in
+  let sp =
+    if Trace.enabled () then
+      Trace.span ~at:(Meter.get meter)
+        ~tags:[ ("cross", string_of_bool (not (Node_id.equal actor proc.Process.origin))) ]
+        ~node:actor ~subsys:"futex" ~op:"wait" ()
+    else Trace.null
+  in
   let origin = proc.Process.origin in
   let kernel = Env.kernel t.env origin in
   (* Direct access to the origin's futex bucket: CAS + queue ops by the
@@ -46,22 +55,35 @@ let wait_acting t ~actor ~proc ~thread ~uaddr ~expected =
   let wp = word_paddr t ~proc ~node:actor ~uaddr in
   Env.charge_load t.env actor ~paddr:wp;
   let value = Phys_mem.read t.env.Env.phys wp ~width:4 in
-  if Int64.logand value 0xFFFFFFFFL = Int64.logand expected 0xFFFFFFFFL then begin
-    Futex.enqueue_waiter kernel.Kernel.futexes ~uaddr ~tid:thread.Thread.tid;
-    Env.charge_store t.env actor ~paddr:bucket;
-    Env.charge_store t.env actor ~paddr:bucket;
-    `Block
-  end
-  else begin
-    Env.charge_store t.env actor ~paddr:bucket;
-    `Proceed
-  end
+  let outcome =
+    if Int64.logand value 0xFFFFFFFFL = Int64.logand expected 0xFFFFFFFFL then begin
+      Futex.enqueue_waiter kernel.Kernel.futexes ~uaddr ~tid:thread.Thread.tid;
+      Env.charge_store t.env actor ~paddr:bucket;
+      Env.charge_store t.env actor ~paddr:bucket;
+      `Block
+    end
+    else begin
+      Env.charge_store t.env actor ~paddr:bucket;
+      `Proceed
+    end
+  in
+  if sp != Trace.null then
+    Trace.close ~at:(Meter.get meter)
+      ~tags:[ ("outcome", match outcome with `Block -> "block" | `Proceed -> "proceed") ]
+      sp;
+  outcome
 
 let wait t ~proc ~thread ~uaddr ~expected =
   wait_acting t ~actor:thread.Thread.node ~proc ~thread ~uaddr ~expected
 
 let wake_acting t ~actor ~proc ~threads ~uaddr ~nwake =
   let node = actor in
+  let meter = Env.meter t.env node in
+  let sp =
+    if Trace.enabled () then
+      Trace.span ~at:(Meter.get meter) ~node ~subsys:"futex" ~op:"wake" ()
+    else Trace.null
+  in
   let origin = proc.Process.origin in
   let kernel = Env.kernel t.env origin in
   let bucket = Futex.bucket_addr kernel.Kernel.futexes ~uaddr in
@@ -83,11 +105,16 @@ let wake_acting t ~actor ~proc ~threads ~uaddr ~nwake =
       match List.find_opt (fun th -> th.Thread.tid = tid) threads with
       | Some th when not (Node_id.equal th.Thread.node node) ->
           t.ipis <- t.ipis + 1;
-          Meter.add (Env.meter t.env node) (Ipi.cross_isa_ipi_cycles / 8)
+          Meter.add (Env.meter t.env node) (Ipi.cross_isa_ipi_cycles / 8);
           (* triggering the IPI is cheap for the sender; delivery latency
              lands on the waiter via the machine's wake logic *)
+          Trace.instant ~node ~subsys:"ipi" ~op:"futex_wake" ()
       | Some _ | None -> ())
     woken;
+  if sp != Trace.null then
+    Trace.close ~at:(Meter.get meter)
+      ~tags:[ ("woken", string_of_int (List.length woken)) ]
+      sp;
   woken
 
 let wake t ~proc ~thread ~threads ~uaddr ~nwake =

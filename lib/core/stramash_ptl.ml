@@ -4,6 +4,7 @@ module Env = Stramash_kernel.Env
 module Layout = Stramash_mem.Layout
 module Fault = Stramash_fault_inject.Fault
 module Plan = Stramash_fault_inject.Plan
+module Trace = Stramash_obs.Trace
 
 type t = {
   env : Env.t;
@@ -22,15 +23,32 @@ let is_held t = t.held_by <> None
 let with_lock t ~actor f =
   if t.held_by <> None then
     invalid_arg "Stramash_ptl.with_lock: lock already held (kernel entry not serialised)";
+  let traced = Trace.enabled () in
+  let meter = Env.meter t.env actor in
+  let acq =
+    if traced then Trace.span ~at:(Meter.get meter) ~node:actor ~subsys:"ptl" ~op:"acquire" ()
+    else Trace.null
+  in
   Env.charge_atomic t.env actor ~paddr:t.lock_addr;
   t.held_by <- Some actor;
   t.acquisitions <- t.acquisitions + 1;
-  (match Layout.locality t.env.Env.hw_model ~node:actor t.lock_addr with
-  | Layout.Remote -> t.remote_acquisitions <- t.remote_acquisitions + 1
-  | Layout.Local -> ());
+  let remote =
+    match Layout.locality t.env.Env.hw_model ~node:actor t.lock_addr with
+    | Layout.Remote ->
+        t.remote_acquisitions <- t.remote_acquisitions + 1;
+        true
+    | Layout.Local -> false
+  in
+  if traced then
+    Trace.close ~at:(Meter.get meter) ~tags:[ ("remote", string_of_bool remote) ] acq;
+  let crit =
+    if traced then Trace.span ~at:(Meter.get meter) ~node:actor ~subsys:"ptl" ~op:"critical" ()
+    else Trace.null
+  in
   let finish () =
     Env.charge_store t.env actor ~paddr:t.lock_addr;
-    t.held_by <- None
+    t.held_by <- None;
+    if traced then Trace.close ~at:(Meter.get meter) crit
   in
   match f () with
   | result ->
@@ -48,6 +66,12 @@ let try_with_lock t ~actor ?inject f =
   match inject with
   | None -> Ok (with_lock t ~actor f)
   | Some plan ->
+      let meter = Env.meter t.env actor in
+      let sp =
+        if Trace.enabled () then
+          Trace.span ~at:(Meter.get meter) ~node:actor ~subsys:"ptl" ~op:"contend" ()
+        else Trace.null
+      in
       let cfg = Plan.config plan in
       let rec acquire attempt burned =
         if Plan.ptl_acquire_timed_out plan then begin
@@ -62,7 +86,12 @@ let try_with_lock t ~actor ?inject f =
           Ok (with_lock t ~actor f)
         end
       in
-      acquire 0 0
+      let result = acquire 0 0 in
+      if sp != Trace.null then
+        Trace.close ~at:(Meter.get meter)
+          ~tags:[ ("ok", match result with Ok _ -> "true" | Error _ -> "false") ]
+          sp;
+      result
 
 let acquisitions t = t.acquisitions
 let remote_acquisitions t = t.remote_acquisitions

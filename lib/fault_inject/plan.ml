@@ -89,15 +89,22 @@ let recovery_histogram t = t.recovery
    sequences (and therefore metrics) bit-identical. *)
 let hit rng rate = rate > 0.0 && Rng.float rng 1.0 < rate
 
+(* Injected faults as point events under the "fault" subsystem. The plan
+   has no notion of a node; the event inherits the node of the innermost
+   open span — i.e. it lands inside the operation it perturbed. *)
+let mark op = Stramash_obs.Trace.instant ~subsys:"fault" ~op ()
+
 (* --- message layer ------------------------------------------------------ *)
 
 let msg_attempt t =
   if hit t.msg_rng t.config.msg_drop_rate then begin
     Metrics.incr t.metrics "msg.drops";
+    mark "msg_drop";
     `Drop
   end
   else if hit t.msg_rng t.config.msg_delay_rate then begin
     Metrics.incr t.metrics "msg.delay_spikes";
+    mark "msg_delay";
     `Deliver t.config.msg_delay_cycles
   end
   else `Deliver 0
@@ -111,17 +118,21 @@ let msg_backoff t ~attempt =
 let msg_attempts_exhausted t ~attempt = attempt >= t.config.msg_max_attempts
 
 let note_msg_retry t = Metrics.incr t.metrics "msg.retries"
-let note_msg_escalation t = Metrics.incr t.metrics "msg.escalations"
+let note_msg_escalation t =
+  Metrics.incr t.metrics "msg.escalations";
+  mark "msg_escalation"
 
 (* --- IPI ---------------------------------------------------------------- *)
 
 let ipi_delivery t =
   if hit t.ipi_rng t.config.ipi_loss_rate then begin
     Metrics.incr t.metrics "ipi.lost";
+    mark "ipi_lost";
     `Lost
   end
   else if hit t.ipi_rng t.config.ipi_jitter_rate then begin
     Metrics.incr t.metrics "ipi.jitter_spikes";
+    mark "ipi_jitter";
     `Jitter t.config.ipi_jitter_cycles
   end
   else `On_time
@@ -133,6 +144,7 @@ let ipi_timeout_cycles t = t.config.ipi_timeout_cycles
 let walk_read_faulted t =
   if hit t.walk_rng t.config.walk_fail_rate then begin
     Metrics.incr t.metrics "walk.transient_faults";
+    mark "walk_transient";
     true
   end
   else false
@@ -144,6 +156,7 @@ let note_walk_retry t = Metrics.incr t.metrics "walk.retries"
 let ptl_acquire_timed_out t =
   if hit t.ptl_rng t.config.ptl_timeout_rate then begin
     Metrics.incr t.metrics "ptl.timeouts";
+    mark "ptl_timeout";
     true
   end
   else false
@@ -153,11 +166,14 @@ let ptl_acquire_timed_out t =
 let alloc_denied t =
   if hit t.alloc_rng t.config.alloc_fail_rate then begin
     Metrics.incr t.metrics "alloc.denials";
+    mark "alloc_denied";
     true
   end
   else false
 
-let note_hotplug_recovery t = Metrics.incr t.metrics "alloc.hotplug_recoveries"
+let note_hotplug_recovery t =
+  Metrics.incr t.metrics "alloc.hotplug_recoveries";
+  mark "hotplug_recovery"
 let note_fallback_escalation t = Metrics.incr t.metrics "fallback.escalations"
 
 let record_recovery t ~cycles =

@@ -1,0 +1,34 @@
+module Trace = Stramash_obs.Trace
+module Node_id = Stramash_sim.Node_id
+
+let attribution_report tracer =
+  let report =
+    Report.create ~title:"Cycle attribution (subsystem x operation)"
+      ~note:"total = inclusive simulated cycles; self = total minus nested spans"
+      ~columns:[ "subsys"; "op"; "count"; "total"; "self"; "max"; "x86"; "arm" ]
+  in
+  List.iter
+    (fun (r : Trace.row) ->
+      Report.add_row report
+        [
+          r.Trace.subsys;
+          r.Trace.op;
+          string_of_int r.Trace.count;
+          string_of_int r.Trace.total_cycles;
+          string_of_int r.Trace.self_cycles;
+          string_of_int r.Trace.max_cycles;
+          string_of_int r.Trace.node_cycles.(0);
+          string_of_int r.Trace.node_cycles.(1);
+        ])
+    (Trace.attribution tracer);
+  report
+
+let print fmt tracer =
+  Report.print fmt (attribution_report tracer);
+  Format.fprintf fmt "events: %d recorded, %d dropped; top-span cycles:%s@."
+    (Trace.recorded tracer) (Trace.dropped tracer)
+    (String.concat ""
+       (List.map
+          (fun node ->
+            Printf.sprintf " %s=%d" (Node_id.to_string node) (Trace.node_span_cycles tracer node))
+          Node_id.all))

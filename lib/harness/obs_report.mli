@@ -1,0 +1,8 @@
+(** Render a tracer's cycle-attribution table through {!Report} — the
+    Fig. 9/10-style "where did the cycles go" breakdown. *)
+
+val attribution_report : Stramash_obs.Trace.t -> Report.t
+
+val print : Format.formatter -> Stramash_obs.Trace.t -> unit
+(** The attribution table plus the recorded/dropped and per-node
+    top-span-cycle summary line. *)

@@ -116,15 +116,30 @@ module Plan = Stramash_fault_inject.Plan
 
 type delivery = { cycles : int; lost : bool; jittered : bool }
 
+module Trace = Stramash_obs.Trace
+
 let cross_isa_delivery ?inject () =
-  match inject with
-  | None -> { cycles = cross_isa_ipi_cycles; lost = false; jittered = false }
-  | Some plan -> (
-      match Plan.ipi_delivery plan with
-      | `On_time -> { cycles = cross_isa_ipi_cycles; lost = false; jittered = false }
-      | `Jitter extra ->
-          { cycles = cross_isa_ipi_cycles + extra; lost = false; jittered = true }
-      | `Lost ->
-          (* The interrupt never arrives; the receiver notices by timeout
-             and falls back to polling the ring head. *)
-          { cycles = Plan.ipi_timeout_cycles plan; lost = true; jittered = false })
+  let d =
+    match inject with
+    | None -> { cycles = cross_isa_ipi_cycles; lost = false; jittered = false }
+    | Some plan -> (
+        match Plan.ipi_delivery plan with
+        | `On_time -> { cycles = cross_isa_ipi_cycles; lost = false; jittered = false }
+        | `Jitter extra ->
+            { cycles = cross_isa_ipi_cycles + extra; lost = false; jittered = true }
+        | `Lost ->
+            (* The interrupt never arrives; the receiver notices by timeout
+               and falls back to polling the ring head. *)
+            { cycles = Plan.ipi_timeout_cycles plan; lost = true; jittered = false })
+  in
+  (* No node in scope here: the event lands on the node of the innermost
+     open span (the message send that triggered the IPI). *)
+  if Trace.enabled () then
+    Trace.instant ~subsys:"ipi" ~op:"deliver"
+      ~tags:
+        [
+          ("outcome", if d.lost then "lost" else if d.jittered then "jitter" else "on_time");
+          ("cycles", string_of_int d.cycles);
+        ]
+      ();
+  d

@@ -1,3 +1,5 @@
+module Trace = Stramash_obs.Trace
+
 type bucket = { addr : int; waiters : int Queue.t }
 
 type t = { table : (int, bucket) Hashtbl.t; alloc_struct : unit -> int }
@@ -14,11 +16,15 @@ let bucket t uaddr =
 
 let bucket_addr t ~uaddr = (bucket t uaddr).addr
 
-let enqueue_waiter t ~uaddr ~tid = Queue.push tid (bucket t uaddr).waiters
+let enqueue_waiter t ~uaddr ~tid =
+  Trace.instant ~subsys:"futex" ~op:"enqueue" ();
+  Queue.push tid (bucket t uaddr).waiters
 
 let dequeue_waiter t ~uaddr =
   let b = bucket t uaddr in
-  Queue.take_opt b.waiters
+  let r = Queue.take_opt b.waiters in
+  if r <> None then Trace.instant ~subsys:"futex" ~op:"dequeue" ();
+  r
 
 let remove_waiter t ~uaddr ~tid =
   let b = bucket t uaddr in

@@ -1,6 +1,7 @@
 module Node_id = Stramash_sim.Node_id
 module Addr = Stramash_mem.Addr
 module Phys_mem = Stramash_mem.Phys_mem
+module Trace = Stramash_obs.Trace
 
 type t = { isa : Node_id.t; root : int; mutable table_pages : int }
 
@@ -50,6 +51,13 @@ let rec descend t io ~level ~table ~vaddr ~alloc =
     | None ->
         if not alloc then None
         else begin
+          (* Directory allocation is rare enough to record every time. No
+             meter in scope: the event inherits the node and clock of the
+             innermost open span (the fault handler driving us). *)
+          if Trace.enabled () then
+            Trace.instant ~subsys:"page_table" ~op:"alloc_table"
+              ~tags:[ ("level", string_of_int level) ]
+              ();
           let fresh = io.alloc_table () in
           t.table_pages <- t.table_pages + 1;
           let entry =
@@ -73,9 +81,17 @@ let walk_raw t io ~vaddr =
       if Pte.decode ~isa:t.isa raw = None then None else Some raw
 
 let walk t io ~vaddr =
-  match leaf_entry_paddr t io ~vaddr with
-  | None -> None
-  | Some slot -> Pte.decode ~isa:t.isa (read_entry io slot)
+  let result =
+    match leaf_entry_paddr t io ~vaddr with
+    | None -> None
+    | Some slot -> Pte.decode ~isa:t.isa (read_entry io slot)
+  in
+  (* Only non-present walks are recorded: hit-path walks run once per
+     memory access and would flood the event ring with noise. The misses
+     are the ones that turn into faults and cross-ISA traffic. *)
+  if result = None && Trace.enabled () then
+    Trace.instant ~subsys:"page_table" ~op:"walk_miss" ();
+  result
 
 let upper_levels_present t io ~vaddr =
   descend t io ~level:(levels - 1) ~table:t.root ~vaddr ~alloc:false <> None

@@ -15,6 +15,7 @@ module Tlb = Stramash_kernel.Tlb
 module Mir = Stramash_isa.Mir
 module Interp = Stramash_isa.Interp
 module Ipi = Stramash_interconnect.Ipi
+module Trace = Stramash_obs.Trace
 
 type result = {
   os_name : string;
@@ -166,6 +167,20 @@ let run_scheduler machine items ~fuel =
     items;
   let spec_of th = fst (Hashtbl.find owner th.Thread.tid) in
   let proc_of th = snd (Hashtbl.find owner th.Thread.tid) in
+  (* Per-node depth-0 spans covering the whole run: their durations equal
+     the meters' advance, which is what lets the attribution table be
+     checked against the Meter cycle counts. *)
+  let traced = Trace.enabled () in
+  let run_spans =
+    if traced then begin
+      Trace.set_clock (fun node -> Meter.get (Env.meter env node));
+      List.map
+        (fun node ->
+          Trace.span ~at:(Meter.get (Env.meter env node)) ~node ~subsys:"runner" ~op:"run" ())
+        Node_id.all
+    end
+    else []
+  in
   let account th =
     let count = Interp.icount th.Thread.cpu in
     let prev = Hashtbl.find seg_start th.Thread.tid in
@@ -212,15 +227,28 @@ let run_scheduler machine items ~fuel =
               th.Thread.state <- Thread.Finished
           | Interp.Migrate point -> (
               account th;
-              if not (List.mem_assoc point !marks) then
+              if not (List.mem_assoc point !marks) then begin
                 marks := (point, Meter.get (Env.meter env th.Thread.node)) :: !marks;
+                if traced then
+                  Trace.instant ~node:th.Thread.node ~subsys:"runner" ~op:"phase"
+                    ~tags:[ ("point", string_of_int point) ]
+                    ()
+              end;
               match Spec.target_for (spec_of th) point with
               | Some dst
                 when Os.supports_migration os && not (Node_id.equal dst th.Thread.node) ->
                   let src_node = th.Thread.node in
+                  let sp =
+                    if traced then
+                      Trace.span ~at:(Meter.get (Env.meter env src_node)) ~node:src_node
+                        ~subsys:"runner" ~op:"migrate" ()
+                    else Trace.null
+                  in
                   Os.migrate os ~proc:(proc_of th) ~thread:th ~dst ~point;
                   incr migrations;
                   sync_clock ~from_node:src_node ~to_node:dst;
+                  if sp != Trace.null then
+                    Trace.close ~at:(Meter.get (Env.meter env src_node)) sp;
                   Hashtbl.replace seg_start th.Thread.tid (Interp.icount th.Thread.cpu)
               | Some _ | None -> ())
           | Interp.Syscall syscall -> (
@@ -260,6 +288,10 @@ let run_scheduler machine items ~fuel =
     end
   in
   loop ();
+  List.iter2
+    (fun node sp -> Trace.close ~at:(Meter.get (Env.meter env node)) sp)
+    (if run_spans = [] then [] else Node_id.all)
+    run_spans;
   let result = collect machine threads ~migrations:!migrations in
   let instructions = Array.fold_left ( + ) 0 node_icounts in
   {

@@ -1,0 +1,26 @@
+(** Minimal dependency-free JSON: enough to emit Chrome trace-event files
+    and metrics snapshots, and to parse them back for round-trip tests.
+    Renders compactly (no whitespace); numbers are [Int] when integral. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, deterministic rendering (object fields keep their order). *)
+
+val parse : string -> (t, string) result
+(** Strict parse of one JSON value; rejects trailing garbage. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on any other constructor. *)
+
+val get_int : t -> int option
+val get_string : t -> string option
+val get_list : t -> t list option
+val get_obj : t -> (string * t) list option

@@ -1,0 +1,54 @@
+module Metrics = Stramash_sim.Metrics
+
+type t = { mutable sections : (string * Json.t) list (* reverse order *) }
+
+let create () = { sections = [] }
+
+let add_json t name json = t.sections <- (name, json) :: t.sections
+
+let add_counters t name pairs =
+  add_json t name (Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) pairs))
+
+let add_registry t name reg = add_counters t name (Metrics.to_assoc reg)
+
+let add_histogram t name h =
+  let buckets =
+    Metrics.Histogram.bucket_counts h |> Array.to_list
+    |> List.map (fun (lower, count) ->
+           Json.Obj [ ("lower", Json.Float lower); ("count", Json.Int count) ])
+  in
+  add_json t name
+    (Json.Obj
+       [
+         ("count", Json.Int (Metrics.Histogram.count h));
+         ("mean", Json.Float (Metrics.Histogram.mean h));
+         ("min", Json.Float (Metrics.Histogram.min_value h));
+         ("max", Json.Float (Metrics.Histogram.max_value h));
+         ("p50", Json.Float (Metrics.Histogram.p50 h));
+         ("p95", Json.Float (Metrics.Histogram.p95 h));
+         ("p99", Json.Float (Metrics.Histogram.p99 h));
+         ("buckets", Json.List buckets);
+       ])
+
+let add_trace t tracer = add_json t "trace" (Trace.attribution_json tracer)
+
+let sections t = List.rev t.sections
+
+let to_json t = Json.Obj (sections t)
+
+let to_string t = Json.to_string (to_json t)
+
+let of_json json =
+  match Json.get_obj json with
+  | Some fields -> Ok { sections = List.rev fields }
+  | None -> Error "snapshot: expected a JSON object"
+
+let section t name = List.assoc_opt name (sections t)
+
+let counters t name =
+  match section t name with
+  | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (k, v) -> match Json.get_int v with Some n -> Some (k, n) | None -> None)
+        fields
+  | _ -> []

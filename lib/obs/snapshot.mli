@@ -1,0 +1,35 @@
+(** Machine-readable metrics snapshot: an ordered set of named JSON
+    sections combining counter registries, latency histograms, and the
+    tracer's cycle-attribution table into one file, written next to the
+    existing [BENCH_*.json] outputs by [--metrics-json]. *)
+
+module Metrics = Stramash_sim.Metrics
+
+type t
+
+val create : unit -> t
+
+val add_json : t -> string -> Json.t -> unit
+val add_counters : t -> string -> (string * int) list -> unit
+val add_registry : t -> string -> Metrics.registry -> unit
+
+val add_histogram : t -> string -> Metrics.Histogram.t -> unit
+(** Serialises count/mean/min/max/p50/p95/p99 plus per-bucket counts. *)
+
+val add_trace : t -> Trace.t -> unit
+(** Adds the tracer's attribution table as a ["trace"] section. *)
+
+val sections : t -> (string * Json.t) list
+(** In insertion order. *)
+
+val to_json : t -> Json.t
+val to_string : t -> string
+
+val of_json : Json.t -> (t, string) result
+(** Rebuild a snapshot from parsed JSON (round-trip inverse of
+    {!to_json}). *)
+
+val section : t -> string -> Json.t option
+
+val counters : t -> string -> (string * int) list
+(** Integer fields of a counters-style section; [[]] when absent. *)

@@ -1,0 +1,151 @@
+(** Cycle-timestamped span tracing with cross-ISA cycle attribution.
+
+    The clock domain is **simulated cycles** (per-node [Meter] values), not
+    wall time. A single global tracer can be installed; when none is
+    installed every entry point reduces to one [ref] dereference and
+    allocates nothing, so instrumented hot paths are free in normal runs.
+
+    Spans nest per node: [span] pushes onto the node's open-span stack and
+    [close] pops it, attributing the duration to the parent's child-time so
+    the aggregator can report both inclusive and self cycles. Closed spans
+    and point events land in a bounded ring buffer (oldest overwritten,
+    drops counted); attribution is folded incrementally at close time, so a
+    ring overflow never corrupts the cycle-attribution table. *)
+
+module Node_id = Stramash_sim.Node_id
+
+type t
+(** A tracer: ring buffer + open-span stacks + attribution table. *)
+
+type span
+(** An open span handle. The handle returned while tracing is disabled (or
+    filtered out) is inert: [close]/[add_tag] on it do nothing. *)
+
+val null : span
+(** The shared inert handle. Call sites that open a span conditionally use
+    it as the disabled arm, and can test [sp != Trace.null] (physical
+    inequality) to skip building close-time tag lists. *)
+
+type event = {
+  ev_ts : int;  (** start cycle *)
+  ev_dur : int;  (** duration in cycles; [-1] for point events *)
+  ev_node : int;  (** node index (see {!Node_id.index}) *)
+  ev_subsys : string;
+  ev_op : string;
+  ev_depth : int;  (** nesting depth at record time; 0 = top level *)
+  ev_tags : (string * string) list;
+}
+
+val create : ?capacity:int -> ?filter:string list -> unit -> t
+(** [create ()] makes a tracer with a 65536-event ring. [filter] restricts
+    recording to the named subsystems ([[]] records everything).
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+(** {1 Global tracer} *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val current_tracer : unit -> t option
+
+val enabled : unit -> bool
+(** The single guard instrumented call sites use before building tag
+    lists: one dereference, no allocation. *)
+
+val set_clock : (Node_id.t -> int) -> unit
+(** Install a cycle-clock (typically [fun n -> Meter.get (Env.meter env n)])
+    on the current tracer, used when a site records without an explicit
+    [?at]. No-op when no tracer is installed. *)
+
+(** {1 Recording} *)
+
+val span :
+  ?at:int ->
+  ?tags:(string * string) list ->
+  node:Node_id.t ->
+  subsys:string ->
+  op:string ->
+  unit ->
+  span
+(** Open a span at cycle [at] (default: the installed clock, else the
+    enclosing span's start). Returns an inert handle when disabled. *)
+
+val close : ?at:int -> ?tags:(string * string) list -> span -> unit
+(** Close a span at cycle [at] (same default as {!span}); records the event
+    and folds it into the attribution table. Extra [tags] are appended. *)
+
+val add_tag : span -> string -> string -> unit
+
+val instant :
+  ?at:int ->
+  ?node:Node_id.t ->
+  ?tags:(string * string) list ->
+  subsys:string ->
+  op:string ->
+  unit ->
+  unit
+(** Record a point event. When [node] is omitted it defaults to the node of
+    the innermost open span (any node), letting layers with no node handle
+    — fault injection, IPI backend, page-table IO — land their events
+    inside the span they perturbed. *)
+
+val with_span :
+  ?at:int ->
+  ?tags:(string * string) list ->
+  node:Node_id.t ->
+  subsys:string ->
+  op:string ->
+  (unit -> 'a) ->
+  'a
+(** [with_span ~node ~subsys ~op f] wraps [f] in a span, closing it on
+    normal return and on exception. *)
+
+(** {1 Inspection} *)
+
+val recorded : t -> int
+(** Total events ever recorded (including any since overwritten). *)
+
+val dropped : t -> int
+(** Events lost to ring overflow: [max 0 (recorded - capacity)]. *)
+
+val capacity : t -> int
+val open_spans : t -> int
+
+val node_span_cycles : t -> Node_id.t -> int
+(** Cycles covered by depth-0 spans on the node — comparable to the node's
+    final [Meter] reading when the runner wraps execution in a top span. *)
+
+val events : t -> event list
+(** Surviving ring contents, oldest first. *)
+
+type row = {
+  subsys : string;
+  op : string;
+  count : int;
+  total_cycles : int;  (** inclusive *)
+  self_cycles : int;  (** inclusive minus child-span cycles *)
+  max_cycles : int;
+  node_cycles : int array;  (** inclusive cycles per node index *)
+}
+
+val attribution : t -> row list
+(** Per-(subsystem x operation) table, sorted by descending total then
+    name. Point events contribute counts only. *)
+
+val subsystems : t -> string list
+(** Distinct subsystems observed, sorted. *)
+
+(** {1 Sinks} *)
+
+val chrome_json : t -> Json.t
+(** Chrome trace-event format (load in Perfetto or chrome://tracing):
+    spans as "X" complete events, point events as "i" instants, one thread
+    per node, [ts]/[dur] in simulated cycles. *)
+
+val chrome_string : t -> string
+
+val jsonl_string : t -> string
+(** One JSON object per line per surviving event, oldest first. *)
+
+val attribution_json : t -> Json.t
+(** The attribution table plus recorded/dropped counters and per-node
+    top-span cycles, as JSON. *)

@@ -10,6 +10,8 @@ module Page_table = Stramash_kernel.Page_table
 module Process = Stramash_kernel.Process
 module Tlb = Stramash_kernel.Tlb
 module Fault = Stramash_fault_inject.Fault
+module Trace = Stramash_obs.Trace
+module Meter = Stramash_sim.Meter
 
 (* Per-node view of one user page. *)
 type pstate = Absent | Read_copy of int | Owner of int (* frame paddr *)
@@ -46,10 +48,11 @@ let create env msg =
     if Hashtbl.mem t.tracked_frames frame_number then begin
       t.wb_updates <- t.wb_updates + 1;
       Stramash_sim.Meter.add (Env.meter t.env node) wb_update_cost;
-      Msg_layer.record_async t.msg ~label:"dsm_wb_update"
+      Msg_layer.record_async t.msg ~label:"dsm_wb_update";
+      Trace.instant ~node ~subsys:"dsm" ~op:"wb_update" ()
     end
   in
-  Stramash_cache.Cache_sim.set_writeback_hook env.Env.cache (Some hook);
+  Stramash_cache.Cache_sim.add_writeback_hook env.Env.cache hook;
   t
 let msg_layer t = t.msg
 let replicated_pages t = t.replicated
@@ -158,6 +161,7 @@ let replicate_page t ~from_node ~from_frame ~to_node =
   t.replicated <- t.replicated + 1;
   Hashtbl.replace t.tracked_frames (from_frame lsr Addr.page_shift) ();
   Hashtbl.replace t.tracked_frames (to_frame lsr Addr.page_shift) ();
+  Trace.instant ~node:to_node ~subsys:"dsm" ~op:"fetch" ();
   to_frame
 
 (* The origin allocates an anonymous page on behalf of a remote requester
@@ -170,7 +174,7 @@ let origin_alloc t ~proc ~vaddr =
   map_into t ~node:origin ~mm:omm ~vaddr ~frame ~writable:true;
   set_state p origin (Owner frame)
 
-let handle_fault t ~proc ~node ~vaddr ~write =
+let handle_fault_untraced t ~proc ~node ~vaddr ~write =
   let origin = proc.Process.origin in
   let other = Node_id.other node in
   let pid = proc.Process.pid in
@@ -240,7 +244,8 @@ let handle_fault t ~proc ~node ~vaddr ~write =
                     let omm = Process.mm_exn proc other in
                     unmap_from t ~node:other ~mm:omm ~vaddr;
                     free_frame t ~node:other oframe;
-                    set_state p other Absent)
+                    set_state p other Absent;
+                    Trace.instant ~node:other ~subsys:"dsm" ~op:"invalidate" ())
             | Absent -> ());
             map_into t ~node ~mm ~vaddr ~frame ~writable:true;
             set_state p node (Owner frame)
@@ -284,6 +289,22 @@ let handle_fault t ~proc ~node ~vaddr ~write =
                 end)
       end;
       Ok ()
+
+let handle_fault t ~proc ~node ~vaddr ~write =
+  if not (Trace.enabled ()) then handle_fault_untraced t ~proc ~node ~vaddr ~write
+  else begin
+    let meter = Env.meter t.env node in
+    let sp =
+      Trace.span ~at:(Meter.get meter)
+        ~tags:[ ("write", string_of_bool write) ]
+        ~node ~subsys:"dsm" ~op:"fault" ()
+    in
+    let result = handle_fault_untraced t ~proc ~node ~vaddr ~write in
+    Trace.close ~at:(Meter.get meter)
+      ~tags:[ ("ok", match result with Ok () -> "true" | Error _ -> "false") ]
+      sp;
+    result
+  end
 
 let seed_owner t ~pid ~origin ~vaddr ~frame =
   let p = page t ~pid ~vpage:(Addr.page_of vaddr) in

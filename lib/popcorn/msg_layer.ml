@@ -8,6 +8,7 @@ module Ring_buffer = Stramash_interconnect.Ring_buffer
 module Tcp_link = Stramash_interconnect.Tcp_link
 module Ipi = Stramash_interconnect.Ipi
 module Plan = Stramash_fault_inject.Plan
+module Trace = Stramash_obs.Trace
 
 type kind = Shm | Tcp
 
@@ -112,7 +113,7 @@ let convey t ~src ~bytes =
    to the plan's cap, and finally escalates to the reliable (always
    delivered) slow path so forward progress is guaranteed. Returns the
    latency the sender observes before the handler can start. *)
-let deliver t ~src ~bytes =
+let deliver_untraced t ~src ~bytes =
   match t.inject with
   | None -> convey t ~src ~bytes
   | Some plan ->
@@ -137,10 +138,32 @@ let deliver t ~src ~bytes =
       in
       attempt_loop 0 0
 
+let deliver t ~src ~bytes =
+  if not (Trace.enabled ()) then deliver_untraced t ~src ~bytes
+  else begin
+    let meter = Env.meter t.env src in
+    let sp =
+      Trace.span ~at:(Meter.get meter)
+        ~tags:[ ("bytes", string_of_int bytes) ]
+        ~node:src ~subsys:"msg" ~op:"send" ()
+    in
+    let latency = deliver_untraced t ~src ~bytes in
+    Trace.close ~at:(Meter.get meter) sp;
+    Trace.instant ~node:(Node_id.other src) ~subsys:"msg" ~op:"deliver" ();
+    latency
+  end
+
 let rpc t ~src ~label ~req_bytes ~resp_bytes ~handler =
   let dst = Node_id.other src in
   let src_meter = Env.meter t.env src in
   let dst_meter = Env.meter t.env dst in
+  let sp =
+    if Trace.enabled () then
+      Trace.span ~at:(Meter.get src_meter)
+        ~tags:[ ("label", label) ]
+        ~node:src ~subsys:"msg" ~op:"rpc" ()
+    else Trace.null
+  in
   count t label;
   let notify_latency = deliver t ~src ~bytes:req_bytes in
   Meter.add src_meter notify_latency;
@@ -154,15 +177,25 @@ let rpc t ~src ~label ~req_bytes ~resp_bytes ~handler =
     Meter.delta dst_meter (fun () -> reply_notify := deliver t ~src:dst ~bytes:resp_bytes)
   in
   Meter.add src_meter reply_latency;
-  Meter.add src_meter !reply_notify
+  Meter.add src_meter !reply_notify;
+  if sp != Trace.null then Trace.close ~at:(Meter.get src_meter) sp
 
 let notify t ~src ~label ~bytes ~handler =
   let dst = Node_id.other src in
+  let src_meter = Env.meter t.env src in
+  let sp =
+    if Trace.enabled () then
+      Trace.span ~at:(Meter.get src_meter)
+        ~tags:[ ("label", label) ]
+        ~node:src ~subsys:"msg" ~op:"notify" ()
+    else Trace.null
+  in
   count t label;
   let lat = deliver t ~src ~bytes in
   ignore lat;
   (* The peer processes the message on its own time. *)
-  ignore (Meter.delta (Env.meter t.env dst) handler)
+  ignore (Meter.delta (Env.meter t.env dst) handler);
+  if sp != Trace.null then Trace.close ~at:(Meter.get src_meter) sp
 
 let record_async t ~label = count t label
 

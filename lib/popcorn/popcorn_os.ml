@@ -28,10 +28,20 @@ let handle_fault t ~proc ~node ~vaddr ~write = Dsm.handle_fault t.dsm ~proc ~nod
 let migrate t ~proc ~thread ~dst ~point =
   let src = thread.Thread.node in
   if Node_id.equal src dst then invalid_arg "Popcorn_os.migrate: already on destination";
+  let module Trace = Stramash_obs.Trace in
+  let src_meter = Env.meter t.env src in
+  let sp =
+    if Trace.enabled () then
+      Trace.span ~at:(Meter.get src_meter)
+        ~tags:[ ("dst", Node_id.to_string dst) ]
+        ~node:src ~subsys:"migrate" ~op:"transfer" ()
+    else Trace.null
+  in
   Msg_layer.rpc (msg t) ~src ~label:"migrate" ~req_bytes:2048 ~resp_bytes:128
     ~handler:(fun () ->
       ignore (Dsm.ensure_mm t.dsm ~proc ~node:dst);
       Meter.add (Env.meter t.env dst) Migrate_state.transform_cost_instructions);
+  if sp != Trace.null then Trace.close ~at:(Meter.get src_meter) sp;
   thread.Thread.cpu <-
     Migrate_state.transform ~src:thread.Thread.cpu ~point ~dst_prog:(Process.image proc dst);
   thread.Thread.node <- dst;

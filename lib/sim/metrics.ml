@@ -22,6 +22,8 @@ let names reg =
 let fold reg ~init ~f =
   List.fold_left (fun acc name -> f acc name (get reg name)) init (names reg)
 
+let to_assoc reg = List.map (fun name -> (name, get reg name)) (names reg)
+
 module Histogram = struct
   type t = {
     counts : int array;
@@ -95,4 +97,18 @@ module Histogram = struct
 
   let bucket_counts t =
     Array.mapi (fun i c -> (t.lo +. (t.width *. float_of_int i), c)) t.counts
+
+  let merge a b =
+    if Array.length a.counts <> Array.length b.counts || a.lo <> b.lo || a.hi <> b.hi
+    then invalid_arg "Histogram.merge: shape mismatch";
+    {
+      counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i));
+      lo = a.lo;
+      hi = a.hi;
+      width = a.width;
+      n = a.n + b.n;
+      sum = a.sum +. b.sum;
+      minv = Float.min a.minv b.minv;
+      maxv = Float.max a.maxv b.maxv;
+    }
 end

@@ -20,6 +20,10 @@ val names : registry -> string list
 
 val fold : registry -> init:'a -> f:('a -> string -> int -> 'a) -> 'a
 
+val to_assoc : registry -> (string * int) list
+(** Sorted [(name, value)] pairs — the machine-readable dump the
+    observability snapshot serialises. *)
+
 (** Fixed-bound histogram with uniform buckets, used for latency
     distributions (e.g. the IPI matrices of Figs. 5-6). *)
 module Histogram : sig
@@ -43,4 +47,10 @@ module Histogram : sig
 
   val bucket_counts : t -> (float * int) array
   (** [(lower_bound, count)] per bucket, plus overflow in the last one. *)
+
+  val merge : t -> t -> t
+  (** Combine two histograms with identical shape (bucket count, [lo],
+      [hi]) into a fresh one — e.g. per-node latency distributions into a
+      machine-wide view.
+      @raise Invalid_argument on shape mismatch. *)
 end

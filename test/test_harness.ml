@@ -151,6 +151,61 @@ let test_data_packing_enforcement () =
     (Data_packing.check_remote_access packer ~actor:Node_id.Arm ~paddr:(Addr.gib 2) = Ok ());
   checki "violation recorded" 1 (Data_packing.violations packer)
 
+(* ---------- metrics snapshot ---------- *)
+
+let test_snapshot_round_trip () =
+  let module Snapshot = Stramash_obs.Snapshot in
+  let module Json = Stramash_obs.Json in
+  let reg = Stramash_sim.Metrics.registry () in
+  Stramash_sim.Metrics.add reg "msg.sends" 7;
+  Stramash_sim.Metrics.incr reg "ipi.delivered";
+  let snap = Snapshot.create () in
+  Snapshot.add_counters snap "node_cycles" [ ("x86", 123); ("arm", 456) ];
+  Snapshot.add_registry snap "faults" reg;
+  let s = Snapshot.to_string snap in
+  match Json.parse s with
+  | Error e -> Alcotest.fail ("snapshot did not render valid JSON: " ^ e)
+  | Ok j -> (
+      match Snapshot.of_json j with
+      | Error e -> Alcotest.fail ("round trip failed: " ^ e)
+      | Ok back ->
+          checki "x86 cycles survive" 123 (List.assoc "x86" (Snapshot.counters back "node_cycles"));
+          checki "arm cycles survive" 456 (List.assoc "arm" (Snapshot.counters back "node_cycles"));
+          checki "registry counters survive" 7
+            (List.assoc "msg.sends" (Snapshot.counters back "faults"));
+          Alcotest.(check bool) "section order preserved" true
+            (List.map fst (Snapshot.sections back) = [ "node_cycles"; "faults" ]);
+          Alcotest.(check string) "re-render identical" s (Snapshot.to_string back))
+
+let test_snapshot_carries_trace_attribution () =
+  let module Trace = Stramash_obs.Trace in
+  let module Snapshot = Stramash_obs.Snapshot in
+  let module Json = Stramash_obs.Json in
+  let t = Trace.create () in
+  Trace.install t;
+  let sp = Trace.span ~at:0 ~node:Node_id.X86 ~subsys:"msg" ~op:"rpc" () in
+  Trace.close ~at:40 sp;
+  Trace.uninstall ();
+  let snap = Snapshot.create () in
+  Snapshot.add_trace snap t;
+  match Json.parse (Snapshot.to_string snap) with
+  | Error e -> Alcotest.fail ("invalid JSON: " ^ e)
+  | Ok j ->
+      let rows =
+        Option.bind (Json.member "trace" j) (Json.member "attribution")
+        |> Fun.flip Option.bind Json.get_list
+      in
+      (match rows with
+      | Some [ row ] ->
+          Alcotest.(check (option string))
+            "subsys" (Some "msg")
+            (Option.bind (Json.member "subsys" row) Json.get_string);
+          Alcotest.(check (option int))
+            "total" (Some 40)
+            (Option.bind (Json.member "total_cycles" row) Json.get_int)
+      | Some rows -> checki "one attribution row" 1 (List.length rows)
+      | None -> Alcotest.fail "trace.attribution missing")
+
 let () =
   Alcotest.run "harness"
     [
@@ -174,5 +229,10 @@ let () =
           Alcotest.test_case "moves content" `Quick test_data_packing_moves_content;
           Alcotest.test_case "window full" `Quick test_data_packing_window_full;
           Alcotest.test_case "enforcement" `Quick test_data_packing_enforcement;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "round trip" `Quick test_snapshot_round_trip;
+          Alcotest.test_case "trace attribution" `Quick test_snapshot_carries_trace_attribution;
         ] );
     ]

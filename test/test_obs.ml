@@ -1,0 +1,250 @@
+(* Tests for the observability subsystem: span nesting and attribution
+   arithmetic, ring overflow, Chrome-export determinism, probe chaining,
+   and the end-to-end meter-agreement property on a traced run. *)
+
+module Node_id = Stramash_sim.Node_id
+module Metrics = Stramash_sim.Metrics
+module Cache_config = Stramash_cache.Config
+module Cache_sim = Stramash_cache.Cache_sim
+module Layout = Stramash_mem.Layout
+module Machine = Stramash_machine.Machine
+module Runner = Stramash_machine.Runner
+module W = Stramash_workloads
+module Obs = Stramash_obs
+module Trace = Stramash_obs.Trace
+module Json = Stramash_obs.Json
+
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let find_row tracer ~subsys ~op =
+  match
+    List.find_opt
+      (fun (r : Trace.row) -> r.Trace.subsys = subsys && r.Trace.op = op)
+      (Trace.attribution tracer)
+  with
+  | Some r -> r
+  | None -> Alcotest.fail (Printf.sprintf "no attribution row for %s/%s" subsys op)
+
+(* ---------- span arithmetic ---------- *)
+
+let test_span_nesting_arithmetic () =
+  let t = Trace.create () in
+  Trace.install t;
+  let a = Trace.span ~at:0 ~node:Node_id.X86 ~subsys:"s" ~op:"a" () in
+  let b = Trace.span ~at:10 ~node:Node_id.X86 ~subsys:"s" ~op:"b" () in
+  Trace.close ~at:30 b;
+  Trace.close ~at:100 a;
+  Trace.uninstall ();
+  let ra = find_row t ~subsys:"s" ~op:"a" in
+  let rb = find_row t ~subsys:"s" ~op:"b" in
+  checki "a inclusive" 100 ra.Trace.total_cycles;
+  checki "a self excludes child" 80 ra.Trace.self_cycles;
+  checki "b inclusive" 20 rb.Trace.total_cycles;
+  checki "b self" 20 rb.Trace.self_cycles;
+  checki "a max" 100 ra.Trace.max_cycles;
+  checki "x86 attribution" 100 ra.Trace.node_cycles.(Node_id.index Node_id.X86);
+  checki "arm untouched" 0 ra.Trace.node_cycles.(Node_id.index Node_id.Arm);
+  checki "top-level coverage" 100 (Trace.node_span_cycles t Node_id.X86);
+  checki "nothing left open" 0 (Trace.open_spans t)
+
+let test_spans_nest_per_node () =
+  (* spans on different nodes must not treat each other as parent/child *)
+  let t = Trace.create () in
+  Trace.install t;
+  let a = Trace.span ~at:0 ~node:Node_id.X86 ~subsys:"s" ~op:"a" () in
+  let b = Trace.span ~at:0 ~node:Node_id.Arm ~subsys:"s" ~op:"b" () in
+  Trace.close ~at:50 b;
+  Trace.close ~at:100 a;
+  Trace.uninstall ();
+  let ra = find_row t ~subsys:"s" ~op:"a" in
+  checki "a self not reduced by arm span" 100 ra.Trace.self_cycles;
+  checki "arm top-level" 50 (Trace.node_span_cycles t Node_id.Arm)
+
+let test_disabled_recording_is_inert () =
+  Trace.uninstall ();
+  Alcotest.(check bool) "disabled" false (Trace.enabled ());
+  let sp = Trace.span ~node:Node_id.X86 ~subsys:"s" ~op:"a" () in
+  Alcotest.(check bool) "inert handle" true (sp == Trace.null);
+  Trace.close sp;
+  Trace.instant ~subsys:"s" ~op:"e" ()
+
+let test_filter_restricts_subsystems () =
+  let t = Trace.create ~filter:[ "keep" ] () in
+  Trace.install t;
+  Trace.instant ~at:1 ~node:Node_id.X86 ~subsys:"keep" ~op:"x" ();
+  Trace.instant ~at:2 ~node:Node_id.X86 ~subsys:"drop" ~op:"y" ();
+  let sp = Trace.span ~at:0 ~node:Node_id.X86 ~subsys:"drop" ~op:"z" () in
+  Alcotest.(check bool) "filtered span is inert" true (sp == Trace.null);
+  Trace.close ~at:9 sp;
+  Trace.uninstall ();
+  checki "one event" 1 (Trace.recorded t);
+  Alcotest.(check (list string)) "subsystems" [ "keep" ] (Trace.subsystems t)
+
+(* ---------- ring overflow ---------- *)
+
+let test_ring_overflow () =
+  let t = Trace.create ~capacity:4 () in
+  Trace.install t;
+  for i = 1 to 10 do
+    Trace.instant ~at:i ~node:Node_id.X86 ~subsys:"s" ~op:"tick" ()
+  done;
+  Trace.uninstall ();
+  checki "all recorded" 10 (Trace.recorded t);
+  checki "overflow counted" 6 (Trace.dropped t);
+  let evs = Trace.events t in
+  checki "ring keeps newest" 4 (List.length evs);
+  Alcotest.(check (list int)) "oldest first" [ 7; 8; 9; 10 ]
+    (List.map (fun e -> e.Trace.ev_ts) evs);
+  (* attribution is folded at record time, so overflow never loses counts *)
+  checki "attribution survives overflow" 10 (find_row t ~subsys:"s" ~op:"tick").Trace.count
+
+(* ---------- Chrome export ---------- *)
+
+let trace_npb_is () =
+  let t = Trace.create () in
+  Trace.install t;
+  Fun.protect ~finally:Trace.uninstall (fun () ->
+      let spec =
+        W.Npb_is.spec ~params:{ W.Npb_is.nkeys = 16384; max_key = 1024; iterations = 2 } ()
+      in
+      let machine = Machine.create { Machine.default_config with os = Machine.Stramash_kernel_os } in
+      let proc, thread = Machine.load machine spec in
+      let result = Runner.run machine proc thread spec in
+      (t, result))
+
+let test_chrome_export_deterministic () =
+  let t1, _ = trace_npb_is () in
+  let t2, _ = trace_npb_is () in
+  let s1 = Trace.chrome_string t1 and s2 = Trace.chrome_string t2 in
+  Alcotest.(check bool) "nonempty" true (String.length s1 > 2);
+  checks "identical runs export identical traces" s1 s2;
+  (match Json.parse s1 with
+  | Error e -> Alcotest.fail ("chrome export is not valid JSON: " ^ e)
+  | Ok j -> (
+      match Option.bind (Json.member "traceEvents" j) Json.get_list with
+      | Some evs -> Alcotest.(check bool) "has events" true (List.length evs > 0)
+      | None -> Alcotest.fail "traceEvents missing"));
+  match Json.parse (Trace.jsonl_string t1) with
+  | Ok _ -> () (* first line parses as an object; good enough *)
+  | Error _ ->
+      (* jsonl is line-delimited; validate each line instead *)
+      String.split_on_char '\n' (Trace.jsonl_string t1)
+      |> List.iter (fun line ->
+             if line <> "" then
+               match Json.parse line with
+               | Ok _ -> ()
+               | Error e -> Alcotest.fail ("bad jsonl line: " ^ e))
+
+let test_traced_run_covers_subsystems_and_agrees_with_meters () =
+  let t, result = trace_npb_is () in
+  let subs = Trace.subsystems t in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 8 subsystems (got %s)" (String.concat "," subs))
+    true
+    (List.length subs >= 8);
+  List.iter
+    (fun node ->
+      let meter = result.Runner.node_cycles.(Node_id.index node) in
+      let spans = Trace.node_span_cycles t node in
+      let drift = abs (meter - spans) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s span coverage within 1%% of meter (meter=%d spans=%d)"
+           (Node_id.to_string node) meter spans)
+        true
+        (float_of_int drift <= 0.01 *. float_of_int meter))
+    Node_id.all;
+  (* the runner's top spans also appear in the attribution table *)
+  let run_row = find_row t ~subsys:"runner" ~op:"run" in
+  checki "one top span per node" 2 run_row.Trace.count
+
+(* ---------- probe chaining ---------- *)
+
+let test_probe_chaining () =
+  let cache = Cache_sim.create (Cache_config.default Layout.Shared) in
+  let hits_a = ref 0 and hits_b = ref 0 and order = ref [] in
+  Cache_sim.add_probe cache (fun _ _ _ ->
+      incr hits_a;
+      order := "a" :: !order);
+  Cache_sim.add_probe cache (fun _ _ _ ->
+      incr hits_b;
+      order := "b" :: !order);
+  ignore (Cache_sim.access cache ~node:Node_id.X86 Cache_sim.Load ~paddr:0x1000);
+  checki "first probe fired" 1 !hits_a;
+  checki "second probe fired" 1 !hits_b;
+  Alcotest.(check (list string)) "registration order" [ "a"; "b" ] (List.rev !order);
+  (* historical semantics: Some resets to exactly one, None clears all *)
+  Cache_sim.set_probe cache (Some (fun _ _ _ -> incr hits_a));
+  ignore (Cache_sim.access cache ~node:Node_id.X86 Cache_sim.Load ~paddr:0x2000);
+  checki "set_probe replaced the chain" 2 !hits_a;
+  checki "old second probe gone" 1 !hits_b;
+  Cache_sim.set_probe cache None;
+  ignore (Cache_sim.access cache ~node:Node_id.X86 Cache_sim.Load ~paddr:0x3000);
+  checki "cleared" 2 !hits_a
+
+let test_writeback_hook_chaining () =
+  let cache = Cache_sim.create (Cache_config.default Layout.Shared) in
+  let a = ref 0 and b = ref 0 in
+  Cache_sim.add_writeback_hook cache (fun _ ~line:_ -> incr a);
+  Cache_sim.add_writeback_hook cache (fun _ ~line:_ -> incr b);
+  (* force evictions of dirty lines by writing far more lines than the
+     hierarchy can hold *)
+  for i = 0 to 2_000_000 do
+    ignore (Cache_sim.access cache ~node:Node_id.X86 Cache_sim.Store ~paddr:(i * 64))
+  done;
+  Alcotest.(check bool) "writebacks happened" true (!a > 0);
+  checki "both hooks saw every writeback" !a !b
+
+(* ---------- metrics satellite ---------- *)
+
+let test_histogram_merge () =
+  let mk () = Metrics.Histogram.create ~buckets:8 ~lo:0.0 ~hi:80.0 in
+  let a = mk () and b = mk () in
+  List.iter (Metrics.Histogram.record a) [ 5.0; 15.0; 75.0 ];
+  List.iter (Metrics.Histogram.record b) [ 15.0; 35.0 ];
+  let m = Metrics.Histogram.merge a b in
+  checki "count" 5 (Metrics.Histogram.count m);
+  Alcotest.(check (float 1e-9)) "mean" 29.0 (Metrics.Histogram.mean m);
+  Alcotest.(check bool) "merge rejects shape mismatch" true
+    (try
+       ignore (Metrics.Histogram.merge a (Metrics.Histogram.create ~buckets:4 ~lo:0.0 ~hi:80.0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_to_assoc () =
+  let reg = Metrics.registry () in
+  Metrics.incr reg "b";
+  Metrics.incr reg "a";
+  Metrics.incr reg "a";
+  let assoc = Metrics.to_assoc reg in
+  checki "a" 2 (List.assoc "a" assoc);
+  checki "b" 1 (List.assoc "b" assoc)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting arithmetic" `Quick test_span_nesting_arithmetic;
+          Alcotest.test_case "per-node stacks" `Quick test_spans_nest_per_node;
+          Alcotest.test_case "disabled is inert" `Quick test_disabled_recording_is_inert;
+          Alcotest.test_case "subsystem filter" `Quick test_filter_restricts_subsystems;
+        ] );
+      ("ring", [ Alcotest.test_case "overflow" `Quick test_ring_overflow ]);
+      ( "export",
+        [
+          Alcotest.test_case "chrome deterministic" `Quick test_chrome_export_deterministic;
+          Alcotest.test_case "coverage and meter agreement" `Quick
+            test_traced_run_covers_subsystems_and_agrees_with_meters;
+        ] );
+      ( "cache probes",
+        [
+          Alcotest.test_case "probe chaining" `Quick test_probe_chaining;
+          Alcotest.test_case "writeback hook chaining" `Quick test_writeback_hook_chaining;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+          Alcotest.test_case "to_assoc" `Quick test_metrics_to_assoc;
+        ] );
+    ]

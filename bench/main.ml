@@ -1,12 +1,14 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (run with no arguments for the full sweep, or name experiment
    ids; `--list` shows them). `--bechamel` additionally runs wall-clock
-   microbenchmarks of the simulator's core primitives. *)
+   microbenchmarks of the simulator's core primitives. `--perf` measures
+   host instructions/sec of the fast-path engine against the reference
+   engine on the NPB set and writes BENCH_3.json. *)
 
 module H = Stramash_harness
 
 let usage () =
-  Format.printf "usage: main.exe [--list] [--bechamel] [EXPERIMENT-ID]...@.";
+  Format.printf "usage: main.exe [--list] [--bechamel] [--perf] [EXPERIMENT-ID]...@.";
   Format.printf "experiments:@.";
   List.iter
     (fun e -> Format.printf "  %-10s %s@." e.H.Experiments.id e.H.Experiments.title)
@@ -58,12 +60,23 @@ let bechamel_tests () =
   let null_memio =
     { Stramash_isa.Interp.load = (fun _ _ -> 0L); store = (fun _ _ _ -> ()); fetch = ignore }
   in
+  (* fast-path primitives vs the reference engine *)
+  let cache_ref = Cache_sim.create (Cache_config.default Layout.Shared) in
+  Cache_sim.set_mode cache_ref Cache_sim.Reference;
+  let module Tlb = Stramash_kernel.Tlb in
+  let tlb = Tlb.create () in
+  Tlb.insert tlb ~asid:1 ~vpage:42 { Tlb.frame = 7; writable = true };
   let counter = ref 0 in
   [
     Test.make ~name:"rng-next_int64" (Staged.stage (fun () -> ignore (Rng.next_int64 rng)));
     Test.make ~name:"cache-l1-hit"
       (Staged.stage (fun () ->
            ignore (Cache_sim.access cache ~node:Node_id.X86 Cache_sim.Load ~paddr:4096)));
+    Test.make ~name:"cache-l1-hit-reference"
+      (Staged.stage (fun () ->
+           ignore (Cache_sim.access cache_ref ~node:Node_id.X86 Cache_sim.Load ~paddr:4096)));
+    Test.make ~name:"tlb-translate-hit"
+      (Staged.stage (fun () -> ignore (Tlb.translate tlb ~asid:1 ~vpage:42 ~write:true)));
     Test.make ~name:"cache-stream"
       (Staged.stage (fun () ->
            incr counter;
@@ -88,6 +101,120 @@ let bechamel_tests () =
            ignore (Stramash_isa.Interp.run cpu null_memio ~fuel:1000)));
   ]
 
+(* ---------- `--perf`: fast-path vs reference instructions/sec ---------- *)
+
+module Machine = Stramash_machine.Machine
+module Runner = Stramash_machine.Runner
+module Cache_sim = Stramash_cache.Cache_sim
+module Json = Stramash_obs.Json
+module W = Stramash_workloads
+
+let perf_benches () =
+  H.Npb_experiments.benchmarks ~small:false @ [ ("ep", W.Npb_ep.spec ()) ]
+
+(* Pre-fast-path baseline: simulated instructions per host CPU second of
+   the tree as of commit cdf6cbd (before the fast-path engine existed),
+   measured with this same harness on the reference hardware used for
+   BENCH_3.json. The speedup_vs_baseline column compares against these
+   fixed numbers; the in-run reference column tracks engine-vs-engine on
+   whatever host runs the bench. *)
+let baseline_ips =
+  [
+    ("is", 6_388_848.); ("cg", 9_088_819.); ("mg", 12_519_002.); ("ft", 10_100_272.);
+    ("ep", 4_913_968.);
+  ]
+
+(* Best-of-N host-CPU-seconds for one full simulated run (the simulator is
+   single-threaded, so CPU time is the stable measure). *)
+let time_run ~cache_mode spec =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to 3 do
+    let machine = Machine.create { Machine.default_config with cache_mode } in
+    let proc, thread = Machine.load machine spec in
+    let t0 = Sys.time () in
+    let r = Runner.run machine proc thread spec in
+    let dt = Sys.time () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let run_perf () =
+  Format.printf "@.=== Fast-path perf: host instructions/sec, fast vs reference engine ===@.";
+  Format.printf "  %-6s %12s %14s %14s %8s %12s@." "bench" "instructions" "reference ips"
+    "fast ips" "speedup" "vs baseline";
+  let rows =
+    List.map
+      (fun (name, spec) ->
+        let ref_r, ref_t = time_run ~cache_mode:Cache_sim.Reference spec in
+        let fast_r, fast_t = time_run ~cache_mode:Cache_sim.Fast spec in
+        (* the perf harness doubles as an exactness check: both engines
+           must simulate the identical run *)
+        if
+          fast_r.Runner.wall_cycles <> ref_r.Runner.wall_cycles
+          || fast_r.Runner.instructions <> ref_r.Runner.instructions
+        then
+          failwith
+            (Printf.sprintf "%s: fast and reference runs diverged (wall %d vs %d, instr %d vs %d)"
+               name fast_r.Runner.wall_cycles ref_r.Runner.wall_cycles fast_r.Runner.instructions
+               ref_r.Runner.instructions);
+        let instr = fast_r.Runner.instructions in
+        let ips t = float_of_int instr /. t in
+        let speedup = ref_t /. fast_t in
+        let vs_baseline =
+          match List.assoc_opt name baseline_ips with
+          | Some b -> ips fast_t /. b
+          | None -> nan
+        in
+        Format.printf "  %-6s %12d %14.0f %14.0f %7.2fx %11.2fx@." name instr (ips ref_t)
+          (ips fast_t) speedup vs_baseline;
+        (name, instr, ref_t, fast_t, speedup, vs_baseline))
+      (perf_benches ())
+  in
+  let geomean =
+    exp
+      (List.fold_left (fun acc (_, _, _, _, s, _) -> acc +. log s) 0.0 rows
+      /. float_of_int (List.length rows))
+  in
+  Format.printf "  geomean speedup (vs in-run reference engine): %.2fx@." geomean;
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "stramash-bench/3");
+        ("metric", Json.String "simulated instructions per host cpu second");
+        ( "baseline",
+          Json.String
+            "pre-fast-path tree (commit cdf6cbd) measured with this harness; see baseline_ips" );
+        ( "benchmarks",
+          Json.List
+            (List.map
+               (fun (name, instr, ref_t, fast_t, speedup, vs_baseline) ->
+                 Json.Obj
+                   [
+                     ("bench", Json.String name);
+                     ("instructions", Json.Int instr);
+                     ("reference_seconds", Json.Float ref_t);
+                     ("fast_seconds", Json.Float fast_t);
+                     ("reference_ips", Json.Float (float_of_int instr /. ref_t));
+                     ("fast_ips", Json.Float (float_of_int instr /. fast_t));
+                     ( "baseline_ips",
+                       match List.assoc_opt name baseline_ips with
+                       | Some b -> Json.Float b
+                       | None -> Json.Null );
+                     ("speedup", Json.Float speedup);
+                     ("speedup_vs_baseline", Json.Float vs_baseline);
+                   ])
+               rows) );
+        ("geomean_speedup", Json.Float geomean);
+      ]
+  in
+  let oc = open_out "BENCH_3.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "  wrote BENCH_3.json@."
+
 let run_bechamel () =
   let open Bechamel in
   let open Toolkit in
@@ -108,6 +235,9 @@ let run_bechamel () =
     (bechamel_tests ())
 
 let () =
+  (* The interpreter's Int64 register file allocates on every write; a
+     larger minor heap keeps that churn out of the collector's way. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 20 };
   let args = List.tl (Array.to_list Sys.argv) in
   let is_flag a = String.length a > 2 && String.sub a 0 2 = "--" in
   let flags, ids = List.partition is_flag args in
@@ -115,6 +245,7 @@ let () =
   else begin
     let fmt = Format.std_formatter in
     (match ids with
+    | [] when List.mem "--perf" flags || List.mem "--bechamel" flags -> ()
     | [] -> H.Experiments.run_all fmt
     | ids ->
         List.iter
@@ -128,5 +259,6 @@ let () =
                 Format.fprintf fmt "unknown experiment %s@." id;
                 usage ())
           ids);
+    if List.mem "--perf" flags then run_perf ();
     if List.mem "--bechamel" flags then run_bechamel ()
   end

@@ -17,6 +17,7 @@ module Runner = Stramash_machine.Runner
 module Layout = Stramash_mem.Layout
 module Node_id = Stramash_sim.Node_id
 module Cycles = Stramash_sim.Cycles
+module Cache_sim = Stramash_cache.Cache_sim
 
 let fmt = Format.std_formatter
 
@@ -57,6 +58,32 @@ let hw_arg =
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the artifact-style per-node dump")
+
+(* Fast-path engine selection: the default Fast mode and the Reference
+   engine are cycle-identical by construction; --paranoid proves it on the
+   actual run. *)
+let paranoid_arg =
+  Arg.(
+    value & flag
+    & info [ "paranoid" ]
+        ~doc:
+          "Cross-check every fast-path answer against the reference engine and audit cache/memory \
+           invariants at scheduling-quantum boundaries; the run fails on the first divergence in \
+           value, latency, or coherence state")
+
+let reference_arg =
+  Arg.(
+    value & flag
+    & info [ "reference" ]
+        ~doc:"Disable the fast-path layers and run the pre-fast-path reference engine (baselines)")
+
+let cache_mode_term =
+  Term.(
+    const (fun paranoid reference ->
+        if paranoid then Cache_sim.Paranoid
+        else if reference then Cache_sim.Reference
+        else Cache_sim.Fast)
+    $ paranoid_arg $ reference_arg)
 
 let spec_of_bench = function
   | "is" -> Some (W.Npb_is.spec ())
@@ -120,7 +147,8 @@ let check_writable = function
 
 (* Install a tracer for the duration of [f] when either output flag is
    given, then render the sinks. Tracing stays completely off otherwise. *)
-let run_with_obs (trace_file, metrics_file, filter) ?(extra = fun (_ : Obs.Snapshot.t) -> ()) f =
+let run_with_obs (trace_file, metrics_file, filter) ?(extra = fun (_ : Obs.Snapshot.t) -> ())
+    ?(fastpath = fun () -> []) f =
   match (trace_file, metrics_file) with
   | None, None -> f ()
   | _ when not (check_writable trace_file && check_writable metrics_file) -> 1
@@ -154,7 +182,7 @@ let run_with_obs (trace_file, metrics_file, filter) ?(extra = fun (_ : Obs.Snaps
             write_file path (Obs.Snapshot.to_string snap);
             Format.fprintf fmt "metrics: %s@." path
         | None -> ());
-        H.Obs_report.print fmt tracer
+        H.Obs_report.print ~fastpath:(fastpath ()) fmt tracer
       in
       (match f () with
       | code ->
@@ -212,7 +240,7 @@ let npb_cmd =
       required & pos 0 (some string) None
       & info [] ~docv:"BENCH" ~doc:"is | cg | mg | ft | ep | lu | sp")
   in
-  let run bench os hw_model verbose obs =
+  let run bench os hw_model verbose cache_mode obs =
     match spec_of_bench bench with
     | None ->
         Format.fprintf fmt "unknown benchmark %s@." bench;
@@ -229,10 +257,16 @@ let npb_cmd =
                      ( Node_id.to_string node,
                        result.Runner.node_cycles.(Node_id.index node) ))
                    Node_id.all);
-              Obs.Snapshot.add_registry snap "cache" result.Runner.cache
+              Obs.Snapshot.add_registry snap "cache" result.Runner.cache;
+              Obs.Snapshot.add_counters snap "fastpath" (Runner.fastpath_counters result)
         in
-        run_with_obs obs ~extra (fun () ->
-            let machine = Machine.create { Machine.default_config with os; hw_model } in
+        let fastpath () =
+          match !last_result with None -> [] | Some r -> Runner.fastpath_counters r
+        in
+        run_with_obs obs ~extra ~fastpath (fun () ->
+            let machine =
+              Machine.create { Machine.default_config with os; hw_model; cache_mode }
+            in
             let proc, thread = Machine.load machine spec in
             let result = Runner.run machine proc thread spec in
             last_result := Some result;
@@ -242,12 +276,19 @@ let npb_cmd =
               (Layout.hw_model_to_string hw_model)
               (Cycles.to_ms result.Runner.wall_cycles)
               result.Runner.instructions result.Runner.messages result.Runner.replicated_pages;
+            (if cache_mode <> Cache_sim.Reference then
+               let hits = Array.fold_left ( + ) 0 result.Runner.l0_hits in
+               let total = hits + Array.fold_left ( + ) 0 result.Runner.l0_misses in
+               if total > 0 then
+                 Format.fprintf fmt "fast-path L0: %d of %d accesses (%.1f%%)%s@." hits total
+                   (100.0 *. float_of_int hits /. float_of_int total)
+                   (if cache_mode = Cache_sim.Paranoid then "; paranoid cross-check passed" else ""));
             if verbose then Runner.pp_result fmt result;
             0)
   in
   Cmd.v
     (Cmd.info "npb" ~doc:"Run one NPB-like kernel with cross-ISA migration")
-    Term.(const run $ bench_arg $ os_arg $ hw_arg $ verbose_arg $ obs_term)
+    Term.(const run $ bench_arg $ os_arg $ hw_arg $ verbose_arg $ cache_mode_term $ obs_term)
 
 (* ---------- redis ---------- *)
 
@@ -384,6 +425,9 @@ let machine_cmd =
   Cmd.v (Cmd.info "machine" ~doc:"Describe the simulated platform") Term.(const run $ const ())
 
 let () =
+  (* The interpreter's Int64 register file allocates on every write; a
+     larger minor heap keeps that churn out of the collector's way. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 20 };
   let info =
     Cmd.info "stramash_cli" ~version:"1.0.0"
       ~doc:"Fused-kernel OS (Stramash, ASPLOS'25) reproduction toolkit"

@@ -6,6 +6,10 @@ module Latency = Stramash_mem.Latency
 
 type kind = Ifetch | Load | Store
 
+type mode = Fast | Reference | Paranoid
+
+exception Divergence of string
+
 (* Mutable per-node counters: this module sits on the simulator's hottest
    path (one call per simulated instruction), so counters are plain record
    fields rather than string-keyed metrics. *)
@@ -26,6 +30,11 @@ type node_stats = {
   mutable snoop_data : int;
   mutable snoop_invalidates : int;
   mutable mem_accesses : int;
+  (* Host-side fast-path observability; deliberately NOT part of the model
+     counters in [stat_names], so [stats] registries stay bit-identical
+     between Fast and Reference runs. *)
+  mutable l0_hits : int;
+  mutable l0_misses : int;
 }
 
 let fresh_stats () =
@@ -46,6 +55,8 @@ let fresh_stats () =
     snoop_data = 0;
     snoop_invalidates = 0;
     mem_accesses = 0;
+    l0_hits = 0;
+    l0_misses = 0;
   }
 
 let zero_stats s =
@@ -64,7 +75,9 @@ let zero_stats s =
   s.back_invalidations <- 0;
   s.snoop_data <- 0;
   s.snoop_invalidates <- 0;
-  s.mem_accesses <- 0
+  s.mem_accesses <- 0;
+  s.l0_hits <- 0;
+  s.l0_misses <- 0
 
 let stat_value s = function
   | "l1i_hits" -> s.l1i_hits
@@ -83,6 +96,8 @@ let stat_value s = function
   | "snoop_data" -> s.snoop_data
   | "snoop_invalidates" -> s.snoop_invalidates
   | "mem_accesses" -> s.mem_accesses
+  | "l0_hits" -> s.l0_hits
+  | "l0_misses" -> s.l0_misses
   | name -> invalid_arg ("Cache_sim.stat: unknown counter " ^ name)
 
 let stat_names =
@@ -92,12 +107,61 @@ let stat_names =
     "writebacks"; "back_invalidations"; "snoop_data"; "snoop_invalidates"; "mem_accesses";
   ]
 
-type node_caches = { l1i : Level.t; l1d : Level.t; l2 : Level.t; l3 : Level.t option }
+type node_caches = {
+  l1i : Level.t;
+  l1d : Level.t;
+  l2 : Level.t;
+  l3 : Level.t option;
+  (* Aliased windows onto the L1 tag/LRU arrays, so the Fast engine's hit
+     path runs call-free (see [access]). *)
+  l1i_v : Level.view;
+  l1d_v : Level.view;
+}
+
+(* L0 line filter: a direct-mapped array of recently L1-hit lines, one per
+   port (instruction / data). A slot answers a repeat access without
+   re-entering the MESI machinery when it can prove the answer is the one
+   the reference path would produce:
+
+     - presence is revalidated against the L1 tag store itself
+       ([Level.tag_at] at the cached way), so an eviction or snoop
+       invalidation can never leave a stale load/ifetch entry — no hook
+       traffic is needed for the load side;
+     - [store_m] additionally records that this node's directory state for
+       the line is M (a store therefore pays no upgrade and mutates no
+       coherence state); it is cleared by [dir_set] the moment any
+       coherence transition moves the line out of M, which is the
+       invalidation contract the rest of this module upholds.
+
+   An L0 hit replicates the reference path's observable effects exactly:
+   the same stat increments and the same LRU touch (same way, same tick
+   advance), and returns the same L1 latency. *)
+let l0_slots = 1024
+
+type l0_filter = {
+  l0_lines : int array; (* -1 empty *)
+  l0_ways : int array; (* index into the backing Level's tag store *)
+  l0_store_m : bool array; (* directory state for this node known to be M *)
+}
+
+type node_l0 = { l0i : l0_filter; l0d : l0_filter }
+
+let fresh_filter () =
+  {
+    l0_lines = Array.make l0_slots (-1);
+    l0_ways = Array.make l0_slots 0;
+    l0_store_m = Array.make l0_slots false;
+  }
+
+let fresh_l0 () = { l0i = fresh_filter (); l0d = fresh_filter () }
 
 type t = {
   cfg : Config.t;
   nodes : node_caches array;
   nstats : node_stats array;
+  l0s : node_l0 array;
+  mutable mode : mode;
+  lat_l1 : int array; (* per node index; avoids a Config lookup per hit *)
   shared_l3 : Level.t option;
   dir : Directory.t;
   mutable probes : (Node_id.t -> kind -> int -> unit) list;
@@ -106,22 +170,36 @@ type t = {
 
 let create cfg =
   let make_node () =
+    let l1i = Level.create cfg.Config.l1i in
+    let l1d = Level.create cfg.Config.l1d in
     {
-      l1i = Level.create cfg.Config.l1i;
-      l1d = Level.create cfg.Config.l1d;
+      l1i;
+      l1d;
       l2 = Level.create cfg.Config.l2;
       l3 = (if cfg.Config.shared_l3 then None else Some (Level.create cfg.Config.l3));
+      l1i_v = Level.view l1i;
+      l1d_v = Level.view l1d;
     }
   in
+  let lat_l1 = Array.make (List.length Node_id.all) 0 in
+  List.iter
+    (fun node -> lat_l1.(Node_id.index node) <- (Config.latencies cfg node).Latency.l1)
+    Node_id.all;
   {
     cfg;
     nodes = [| make_node (); make_node () |];
     nstats = [| fresh_stats (); fresh_stats () |];
+    l0s = [| fresh_l0 (); fresh_l0 () |];
+    mode = Fast;
+    lat_l1;
     shared_l3 = (if cfg.Config.shared_l3 then Some (Level.create cfg.Config.l3) else None);
     dir = Directory.create ();
     probes = [];
     writeback_hooks = [];
   }
+
+let set_mode t mode = t.mode <- mode
+let mode t = t.mode
 
 let config t = t.cfg
 
@@ -163,6 +241,20 @@ let fire_writeback t node ~line = List.iter (fun f -> f node ~line) t.writeback_
 
 let caches t node = t.nodes.(Node_id.index node)
 let nstat t node = t.nstats.(Node_id.index node)
+let l0_of t node = t.l0s.(Node_id.index node)
+
+(* The one choke point for store-side L0 invalidation: every directory
+   write in this module goes through here, so a transition out of M can
+   never leave a stale [l0_store_m] bit. Runs in every mode — keeping the
+   filters coherent even while the fast path is disabled means the mode
+   can be flipped mid-run without a flush protocol. *)
+let dir_set t node ~line state =
+  if not (Mesi.equal state Mesi.M) then begin
+    let f = (l0_of t node).l0d in
+    let s = line land (l0_slots - 1) in
+    if f.l0_lines.(s) = line then f.l0_store_m.(s) <- false
+  end;
+  Directory.set t.dir node ~line state
 
 (* Drop a line from every private level of [node], maintaining the
    directory; returns whether the line was dirty (M). *)
@@ -173,7 +265,7 @@ let invalidate_private t node ~line =
   ignore (Level.invalidate c.l2 ~line);
   (match c.l3 with Some l3 -> ignore (Level.invalidate l3 ~line) | None -> ());
   let was_m = Mesi.equal (Directory.get t.dir node ~line) Mesi.M in
-  Directory.set t.dir node ~line Mesi.I;
+  dir_set t node ~line Mesi.I;
   was_m
 
 (* Eviction from a node's coherence point (private L3, or L2 when the L3 is
@@ -188,7 +280,7 @@ let evict_from_coherence_point t node ~line =
     s.writebacks <- s.writebacks + 1;
     fire_writeback t node ~line
   end;
-  Directory.set t.dir node ~line Mesi.I
+  dir_set t node ~line Mesi.I
 
 (* Eviction from the shared L3 invalidates both nodes' private copies
    (Back-Invalidate Snoop in CXL terms). *)
@@ -247,11 +339,65 @@ let snoop_cost t node = function
       s.snoop_invalidates <- s.snoop_invalidates + 1;
       t.cfg.Config.cxl.Cxl.snoop_invalidate
 
-let access t ~node kind ~paddr =
-  (match t.probes with
-  | [] -> ()
-  | probes -> List.iter (fun f -> f node kind paddr) probes);
-  let line = Addr.line_of paddr in
+(* A store that hits a line this node already holds: M pays nothing, E
+   upgrades silently, S runs the invalidating-upgrade transaction. A
+   top-level function (not a closure) so the hot path allocates nothing. *)
+let store_upgrade_cost t ~node ~other ~line =
+  match Directory.get t.dir node ~line with
+  | Mesi.M -> 0
+  | Mesi.E ->
+      dir_set t node ~line Mesi.M;
+      0
+  | Mesi.S ->
+      let mine, theirs, snoop = Mesi.on_upgrade ~other:(Directory.get t.dir other ~line) in
+      let cost = snoop_cost t node snoop in
+      if Directory.holds t.dir other ~line then ignore (invalidate_private t other ~line);
+      dir_set t node ~line mine;
+      dir_set t other ~line theirs;
+      cost
+  | Mesi.I ->
+      (* Hierarchy says present but directory says absent: impossible by
+         construction (inclusive hierarchy + directory updated on every
+         fill/eviction). *)
+      assert false
+
+let upgrade_cost t ~node ~other ~line kind =
+  match kind with Ifetch | Load -> 0 | Store -> store_upgrade_cost t ~node ~other ~line
+
+(* L0 lookup: the slot index when the filter can prove the reference
+   answer (line L1-resident at the cached way; for stores, state still M),
+   else -1. Pure — commits nothing, so Paranoid mode can use it as a
+   prediction to check against the reference path. *)
+let l0_probe t ~node kind ~line =
+  let n = l0_of t node in
+  let c = caches t node in
+  let f, lvl = match kind with Ifetch -> (n.l0i, c.l1i) | Load | Store -> (n.l0d, c.l1d) in
+  let s = line land (l0_slots - 1) in
+  if
+    f.l0_lines.(s) = line
+    && Level.tag_at lvl f.l0_ways.(s) = line
+    && match kind with Store -> f.l0_store_m.(s) | Ifetch | Load -> true
+  then s
+  else -1
+
+(* Record an L1 hit in the filter. A store hit always leaves this node's
+   state at M (M stays, E and S upgrade), so later stores to the line may
+   skip the directory probe until [dir_set] sees the line leave M. *)
+let l0_fill t ~node kind ~line ~way =
+  let n = l0_of t node in
+  let f = match kind with Ifetch -> n.l0i | Load | Store -> n.l0d in
+  let s = line land (l0_slots - 1) in
+  if f.l0_lines.(s) <> line then begin
+    f.l0_lines.(s) <- line;
+    f.l0_store_m.(s) <- false
+  end;
+  f.l0_ways.(s) <- way;
+  match kind with Store -> f.l0_store_m.(s) <- true | Ifetch | Load -> ()
+
+(* The reference path: the full 3-level MESI walk. [populate] feeds L1
+   hits back into the L0 filter (disabled in Reference mode so that mode
+   is exactly the pre-fast-path simulator). *)
+let access_slow t ~node kind ~line ~paddr ~populate =
   let c = caches t node in
   let s = nstat t node in
   let other = Node_id.other node in
@@ -264,43 +410,21 @@ let access t ~node kind ~paddr =
   | Load | Store ->
       s.l1d_accesses <- s.l1d_accesses + 1;
       s.mem_accesses <- s.mem_accesses + 1);
-  (* A store that hits a Shared line needs an invalidating upgrade. *)
-  let upgrade_cost () =
-    match kind with
-    | Ifetch | Load -> 0
-    | Store -> (
-        match Directory.get t.dir node ~line with
-        | Mesi.M -> 0
-        | Mesi.E ->
-            Directory.set t.dir node ~line Mesi.M;
-            0
-        | Mesi.S ->
-            let mine, theirs, snoop =
-              Mesi.on_upgrade ~other:(Directory.get t.dir other ~line)
-            in
-            let cost = snoop_cost t node snoop in
-            if Directory.holds t.dir other ~line then ignore (invalidate_private t other ~line);
-            Directory.set t.dir node ~line mine;
-            Directory.set t.dir other ~line theirs;
-            cost
-        | Mesi.I ->
-            (* Hierarchy says present but directory says absent: impossible
-               by construction (inclusive hierarchy + directory updated on
-               every fill/eviction). *)
-            assert false)
-  in
-  if Level.probe l1 ~line then begin
+  let l1_way = Level.probe_way l1 ~line in
+  if l1_way >= 0 then begin
     (match kind with
-    | Ifetch -> s.l1i_hits <- s.l1i_hits + 1
+    | Ifetch -> s.l1i_hits <- s.l1i_hits + 1;
     | Load | Store -> s.l1d_hits <- s.l1d_hits + 1);
-    lat.Latency.l1 + upgrade_cost ()
+    let cost = lat.Latency.l1 + upgrade_cost t ~node ~other ~line kind in
+    if populate then l0_fill t ~node kind ~line ~way:l1_way;
+    cost
   end
   else begin
     s.l2_accesses <- s.l2_accesses + 1;
     if Level.probe c.l2 ~line then begin
       s.l2_hits <- s.l2_hits + 1;
       insert_with_eviction t node l1 ~line ~coherence_point:false;
-      lat.Latency.l2 + upgrade_cost ()
+      lat.Latency.l2 + upgrade_cost t ~node ~other ~line kind
     end
     else begin
       let l3_latency = match lat.Latency.l3 with Some v -> v | None -> lat.Latency.l2 in
@@ -330,8 +454,8 @@ let access t ~node kind ~paddr =
               if Directory.holds t.dir other ~line then
                 ignore (invalidate_private t other ~line)
           | Mesi.Snoop_data | Mesi.No_snoop -> ());
-          Directory.set t.dir other ~line theirs;
-          Directory.set t.dir node ~line mine;
+          dir_set t other ~line theirs;
+          dir_set t node ~line mine;
           insert_with_eviction t node c.l2 ~line ~coherence_point:true;
           insert_with_eviction t node l1 ~line ~coherence_point:false;
           l3_latency + snoop_c
@@ -340,7 +464,7 @@ let access t ~node kind ~paddr =
           let l2_is_coherence_point = c.l3 = None in
           insert_with_eviction t node c.l2 ~line ~coherence_point:l2_is_coherence_point;
           insert_with_eviction t node l1 ~line ~coherence_point:false;
-          l3_latency + upgrade_cost ()
+          l3_latency + upgrade_cost t ~node ~other ~line kind
         end
       end
       else begin
@@ -357,7 +481,7 @@ let access t ~node kind ~paddr =
             if Directory.holds t.dir other ~line then
               ignore (invalidate_private t other ~line)
         | Mesi.Snoop_data | Mesi.No_snoop -> ());
-        Directory.set t.dir other ~line theirs;
+        dir_set t other ~line theirs;
         let mem_lat = memory_fill_latency t node paddr in
         (match (c.l3, t.shared_l3) with
         | Some l3, _ -> insert_with_eviction t node l3 ~line ~coherence_point:true
@@ -366,11 +490,131 @@ let access t ~node kind ~paddr =
         let l2_is_coherence_point = c.l3 = None in
         insert_with_eviction t node c.l2 ~line ~coherence_point:l2_is_coherence_point;
         insert_with_eviction t node l1 ~line ~coherence_point:false;
-        Directory.set t.dir node ~line mine;
+        dir_set t node ~line mine;
         mem_lat + snoop_c
       end
     end
   end
+
+let kind_name = function Ifetch -> "ifetch" | Load -> "load" | Store -> "store"
+
+let access t ~node kind ~paddr =
+  (match t.probes with
+  | [] -> ()
+  | probes -> List.iter (fun f -> f node kind paddr) probes);
+  let line = Addr.line_of paddr in
+  match t.mode with
+  | Reference -> access_slow t ~node kind ~line ~paddr ~populate:false
+  | Fast ->
+      (* The flattened form of [l0_probe] + a commit: an L0 hit applies the
+         observable effects the reference path would have had for this L1
+         hit — the same counter increments and the same LRU touch (same
+         way, same tick advance) — and returns the same L1 latency. The
+         unsafe array operations are in bounds by construction: [slot] is
+         masked to the filter size, and every stored way index was a valid
+         index into the (fixed-size) L1 tag store when recorded. *)
+      let idx = Node_id.index node in
+      let n = Array.unsafe_get t.l0s idx in
+      let s = Array.unsafe_get t.nstats idx in
+      let slot = line land (l0_slots - 1) in
+      (match kind with
+      | Ifetch ->
+          let f = n.l0i in
+          let way = Array.unsafe_get f.l0_ways slot in
+          let v = (Array.unsafe_get t.nodes idx).l1i_v in
+          if
+            Array.unsafe_get f.l0_lines slot = line
+            && Array.unsafe_get v.Level.v_tags way = line
+          then begin
+            s.l0_hits <- s.l0_hits + 1;
+            s.l1i_accesses <- s.l1i_accesses + 1;
+            s.mem_accesses <- s.mem_accesses + 1;
+            s.l1i_hits <- s.l1i_hits + 1;
+            let tk = v.Level.v_tick in
+            tk := !tk + 1;
+            Array.unsafe_set v.Level.v_stamp way !tk;
+            Array.unsafe_get t.lat_l1 idx
+          end
+          else begin
+            s.l0_misses <- s.l0_misses + 1;
+            access_slow t ~node kind ~line ~paddr ~populate:true
+          end
+      | Load ->
+          let f = n.l0d in
+          let way = Array.unsafe_get f.l0_ways slot in
+          let v = (Array.unsafe_get t.nodes idx).l1d_v in
+          if
+            Array.unsafe_get f.l0_lines slot = line
+            && Array.unsafe_get v.Level.v_tags way = line
+          then begin
+            s.l0_hits <- s.l0_hits + 1;
+            s.l1d_accesses <- s.l1d_accesses + 1;
+            s.mem_accesses <- s.mem_accesses + 1;
+            s.l1d_hits <- s.l1d_hits + 1;
+            let tk = v.Level.v_tick in
+            tk := !tk + 1;
+            Array.unsafe_set v.Level.v_stamp way !tk;
+            Array.unsafe_get t.lat_l1 idx
+          end
+          else begin
+            s.l0_misses <- s.l0_misses + 1;
+            access_slow t ~node kind ~line ~paddr ~populate:true
+          end
+      | Store ->
+          (* As [Load], plus the store-M bit: state M means a store pays no
+             upgrade and mutates no coherence state. *)
+          let f = n.l0d in
+          let way = Array.unsafe_get f.l0_ways slot in
+          let v = (Array.unsafe_get t.nodes idx).l1d_v in
+          if
+            Array.unsafe_get f.l0_lines slot = line
+            && Array.unsafe_get f.l0_store_m slot
+            && Array.unsafe_get v.Level.v_tags way = line
+          then begin
+            s.l0_hits <- s.l0_hits + 1;
+            s.l1d_accesses <- s.l1d_accesses + 1;
+            s.mem_accesses <- s.mem_accesses + 1;
+            s.l1d_hits <- s.l1d_hits + 1;
+            let tk = v.Level.v_tick in
+            tk := !tk + 1;
+            Array.unsafe_set v.Level.v_stamp way !tk;
+            Array.unsafe_get t.lat_l1 idx
+          end
+          else begin
+            s.l0_misses <- s.l0_misses + 1;
+            access_slow t ~node kind ~line ~paddr ~populate:true
+          end)
+  | Paranoid ->
+      (* Cross-check: the L0 filter predicts, the reference path executes
+         (so all model state evolves exactly as Reference mode), and any
+         disagreement aborts the run at the first divergent access. *)
+      let slot = l0_probe t ~node kind ~line in
+      let s = nstat t node in
+      if slot >= 0 then s.l0_hits <- s.l0_hits + 1 else s.l0_misses <- s.l0_misses + 1;
+      let predicted =
+        if slot < 0 then -1 else (Config.latencies t.cfg node).Latency.l1
+      in
+      let actual = access_slow t ~node kind ~line ~paddr ~populate:true in
+      if predicted >= 0 && predicted <> actual then
+        raise
+          (Divergence
+             (Printf.sprintf
+                "L0 fast path diverges at paddr 0x%x (%s %s): predicted %d cycles, reference %d"
+                paddr (Node_id.to_string node) (kind_name kind) predicted actual));
+      actual
+
+let fastpath_stats t =
+  List.concat_map
+    (fun node ->
+      let s = nstat t node in
+      let name c = Node_id.to_string node ^ "." ^ c in
+      [ (name "l0_hits", s.l0_hits); (name "l0_misses", s.l0_misses) ])
+    Node_id.all
+
+let l0_hit_rate t node =
+  let s = nstat t node in
+  let total = s.l0_hits + s.l0_misses in
+  if total = 0 then 0.0 else float_of_int s.l0_hits /. float_of_int total
 
 (* Structural invariants; see the .mli. Iterates every resident line, so
    intended for tests, not hot paths. *)

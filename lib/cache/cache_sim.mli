@@ -12,8 +12,26 @@ type t
 
 type kind = Ifetch | Load | Store
 
+type mode =
+  | Fast  (** L0 line filter answers repeat L1 hits; bit- and cycle-identical to [Reference]. *)
+  | Reference  (** The pre-fast-path simulator, for baselines and cross-checks. *)
+  | Paranoid
+      (** The L0 filter predicts, the reference path executes; any
+          disagreement raises {!Divergence} at the first divergent access. *)
+
+exception Divergence of string
+(** Raised in [Paranoid] mode when the fast path would have produced a
+    different latency than the reference path. *)
+
 val create : Config.t -> t
 val config : t -> Config.t
+
+val set_mode : t -> mode -> unit
+(** Default is [Fast]. Safe to flip mid-run: the L0 filter revalidates
+    presence against the L1 tag store on every hit and its store-M bits
+    are maintained in every mode, so no flush protocol is needed. *)
+
+val mode : t -> mode
 
 val access : t -> node:Stramash_sim.Node_id.t -> kind -> paddr:int -> int
 (** Simulate one access to the line holding [paddr]; returns its latency
@@ -33,6 +51,14 @@ val stat : t -> Stramash_sim.Node_id.t -> string -> int
 
 val hit_rate : t -> Stramash_sim.Node_id.t -> string -> float
 (** [hit_rate t node "l1d"] from the hit/access counters; 0 if unused. *)
+
+val fastpath_stats : t -> (string * int) list
+(** Per-node L0 fast-path hit/miss counters (["x86.l0_hits"], ...). Kept
+    out of {!stats} so model-metric registries stay bit-identical between
+    [Fast] and [Reference] runs. *)
+
+val l0_hit_rate : t -> Stramash_sim.Node_id.t -> float
+(** Fraction of accesses answered by the L0 line filter; 0 if unused. *)
 
 val add_probe : t -> (Stramash_sim.Node_id.t -> kind -> int -> unit) -> unit
 (** Append an observation hook fired on every {!access}; hooks chain in

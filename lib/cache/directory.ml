@@ -1,26 +1,95 @@
 module Node_id = Stramash_sim.Node_id
 
-(* Two 2-bit states packed per line: bits [1:0] = node 0, bits [3:2] = node 1. *)
-type t = (int, int) Hashtbl.t
+(* Two 2-bit states packed per line: bits [1:0] = node 0, bits [3:2] = node 1.
+   Stored in an open-addressing table (linear probing, power-of-two
+   capacity) rather than a [Hashtbl]: the directory is probed on every
+   store upgrade and every fill, and the flat table answers without
+   hashing calls or option allocation. A packed value of 0 (= I on both
+   nodes) means "absent"; such entries keep their key as a tombstone and
+   are dropped at the next resize. *)
+type t = {
+  mutable keys : int array; (* -1 = slot never used; line numbers are >= 0 *)
+  mutable vals : int array; (* packed states; 0 = absent *)
+  mutable mask : int;
+  mutable live : int; (* slots with vals <> 0 *)
+  mutable used : int; (* slots with keys <> -1, including tombstones *)
+}
 
-let create () : t = Hashtbl.create 4096
+let initial_capacity = 4096
+
+let create () : t =
+  {
+    keys = Array.make initial_capacity (-1);
+    vals = Array.make initial_capacity 0;
+    mask = initial_capacity - 1;
+    live = 0;
+    used = 0;
+  }
+
+(* Line numbers come in dense sequential runs, which linear probing
+   tolerates only under a mixing hash — masking the line directly turns
+   two aliasing runs into one long probe chain. Fibonacci-style
+   multiplicative mixing spreads runs uniformly. The scan terminates
+   because the load factor is kept below 3/4. *)
+let hash line mask =
+  let h = line * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 31)) land mask
+
+let slot_of t line =
+  let mask = t.mask in
+  let keys = t.keys in
+  let rec probe i =
+    let s = i land mask in
+    let k = Array.unsafe_get keys s in
+    if k = line || k = -1 then s else probe (i + 1)
+  in
+  probe (hash line mask)
+
+let rec grow t =
+  let cap = (t.mask + 1) * 2 in
+  let keys = t.keys and vals = t.vals in
+  t.keys <- Array.make cap (-1);
+  t.vals <- Array.make cap 0;
+  t.mask <- cap - 1;
+  t.used <- 0;
+  t.live <- 0;
+  Array.iteri
+    (fun i line -> if line >= 0 && vals.(i) <> 0 then set_packed t line vals.(i))
+    keys
+
+and set_packed t line packed =
+  let s = slot_of t line in
+  if t.keys.(s) = -1 then begin
+    t.keys.(s) <- line;
+    t.used <- t.used + 1
+  end;
+  if t.vals.(s) = 0 && packed <> 0 then t.live <- t.live + 1
+  else if t.vals.(s) <> 0 && packed = 0 then t.live <- t.live - 1;
+  t.vals.(s) <- packed;
+  if t.used * 4 > (t.mask + 1) * 3 then grow t
 
 let encode = function Mesi.I -> 0 | Mesi.S -> 1 | Mesi.E -> 2 | Mesi.M -> 3
 let decode = function 0 -> Mesi.I | 1 -> Mesi.S | 2 -> Mesi.E | _ -> Mesi.M
 
 let get t node ~line =
-  match Hashtbl.find_opt t line with
-  | None -> Mesi.I
-  | Some packed -> decode ((packed lsr (2 * Node_id.index node)) land 3)
+  let s = slot_of t line in
+  if Array.unsafe_get t.keys s = line then
+    decode (Array.unsafe_get t.vals s lsr (2 * Node_id.index node) land 3)
+  else Mesi.I
 
 let set t node ~line state =
   let shift = 2 * Node_id.index node in
-  let packed = match Hashtbl.find_opt t line with None -> 0 | Some p -> p in
+  let s = slot_of t line in
+  let packed = if t.keys.(s) = line then t.vals.(s) else 0 in
   let packed = packed land lnot (3 lsl shift) lor (encode state lsl shift) in
-  if packed = 0 then Hashtbl.remove t line else Hashtbl.replace t line packed
+  set_packed t line packed
 
-let holds t node ~line = not (Mesi.equal (get t node ~line) Mesi.I)
+let holds t node ~line =
+  let s = slot_of t line in
+  Array.unsafe_get t.keys s = line
+  && Array.unsafe_get t.vals s lsr (2 * Node_id.index node) land 3 <> 0
 
-let tracked_lines t = Hashtbl.length t
+let tracked_lines t = t.live
 
-let iter_lines (t : t) ~f = Hashtbl.iter (fun line _ -> f line) t
+let iter_lines t ~f =
+  Array.iteri (fun i line -> if line >= 0 && t.vals.(i) <> 0 then f line) t.keys

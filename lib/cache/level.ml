@@ -3,9 +3,15 @@ type t = {
   ways : int;
   tags : int array; (* -1 = invalid; indexed set*ways + way *)
   stamp : int array; (* LRU timestamps *)
-  mutable tick : int;
+  tick : int ref;
   mutable occupied : int;
 }
+
+(* A raw window onto the tag/LRU state, so the Fast engine can replicate a
+   hit's exact observable effects (tag compare + tick advance + stamp
+   write) without a function call per access. Mutations other than
+   [stamp.(i) <- incr tick] are reserved to this module. *)
+type view = { v_tags : int array; v_stamp : int array; v_tick : int ref }
 
 let create (g : Config.geometry) =
   let sets = Config.sets g in
@@ -14,24 +20,30 @@ let create (g : Config.geometry) =
     ways = g.ways;
     tags = Array.make (sets * g.ways) (-1);
     stamp = Array.make (sets * g.ways) 0;
-    tick = 0;
+    tick = ref 0;
     occupied = 0;
   }
 
+let view t = { v_tags = t.tags; v_stamp = t.stamp; v_tick = t.tick }
+
 let set_of t line = line land (t.sets - 1)
 
+(* [base + w < sets * ways] for every scanned way, so the unsafe reads are
+   in bounds by construction. *)
 let find t line =
   let base = set_of t line * t.ways in
+  let tags = t.tags in
+  let ways = t.ways in
   let rec scan w =
-    if w >= t.ways then -1
-    else if t.tags.(base + w) = line then base + w
+    if w >= ways then -1
+    else if Array.unsafe_get tags (base + w) = line then base + w
     else scan (w + 1)
   in
   scan 0
 
 let touch t idx =
-  t.tick <- t.tick + 1;
-  t.stamp.(idx) <- t.tick
+  t.tick := !(t.tick) + 1;
+  t.stamp.(idx) <- !(t.tick)
 
 let probe t ~line =
   let idx = find t line in
@@ -40,6 +52,19 @@ let probe t ~line =
     true
   end
   else false
+
+(* Fast-path support: [probe_way] is [probe] that also reports where the
+   line sits, so the L0 filter can re-touch the same way later without a
+   scan. Tags are unique within a set (insert asserts absence), so the
+   reported index is the one [find] would return. *)
+let probe_way t ~line =
+  let idx = find t line in
+  if idx >= 0 then touch t idx;
+  idx
+
+let tag_at t idx = t.tags.(idx)
+
+let touch_way t idx = touch t idx
 
 let contains t ~line = find t line >= 0
 

@@ -6,10 +6,35 @@
 
 type t
 
+type view = private { v_tags : int array; v_stamp : int array; v_tick : int ref }
+(** Raw window onto the live tag store and LRU clock, for the Fast engine's
+    flattened hit path. Readers may compare [v_tags.(i)]; the only
+    permitted mutation is the exact LRU touch
+    [incr v_tick; v_stamp.(i) <- !v_tick] on a verified hit — anything
+    else belongs in this module. *)
+
 val create : Config.geometry -> t
+
+val view : t -> view
+(** The level's live arrays; aliases, never copies. *)
 
 val probe : t -> line:int -> bool
 (** Lookup; on hit, refreshes the line's LRU position. *)
+
+val probe_way : t -> line:int -> int
+(** [probe] that returns the hit's index into the tag store (for later
+    {!touch_way} / {!tag_at} revalidation by the L0 line filter), or -1 on
+    a miss. Touches LRU exactly as {!probe} does on a hit. *)
+
+val tag_at : t -> int -> int
+(** Tag currently stored at an index returned by {!probe_way}; -1 when
+    the way is invalid. The L0 filter compares this against its cached
+    line to detect eviction/invalidation without any hook traffic. *)
+
+val touch_way : t -> int -> unit
+(** Refresh LRU at a known index — must only be used when [tag_at] equals
+    the line being accessed, in which case it is exactly the touch that
+    {!probe} would have performed. *)
 
 val contains : t -> line:int -> bool
 (** Lookup without touching replacement state. *)

@@ -23,7 +23,7 @@ let attribution_report tracer =
     (Trace.attribution tracer);
   report
 
-let print fmt tracer =
+let print ?(fastpath = []) fmt tracer =
   Report.print fmt (attribution_report tracer);
   Format.fprintf fmt "events: %d recorded, %d dropped; top-span cycles:%s@."
     (Trace.recorded tracer) (Trace.dropped tracer)
@@ -31,4 +31,28 @@ let print fmt tracer =
        (List.map
           (fun node ->
             Printf.sprintf " %s=%d" (Node_id.to_string node) (Trace.node_span_cycles tracer node))
-          Node_id.all))
+          Node_id.all));
+  if fastpath <> [] then begin
+    let value name = try List.assoc name fastpath with Not_found -> 0 in
+    let hits =
+      List.fold_left (fun acc (n, v) -> if Filename.check_suffix n "l0_hits" then acc + v else acc)
+        0 fastpath
+    in
+    let total =
+      List.fold_left
+        (fun acc (n, v) ->
+          if Filename.check_suffix n "l0_hits" || Filename.check_suffix n "l0_misses" then acc + v
+          else acc)
+        0 fastpath
+    in
+    Format.fprintf fmt "fast-path L0:%s; %.1f%% of user accesses answered without the MESI machine@."
+      (String.concat ""
+         (List.map
+            (fun node ->
+              let n = Node_id.to_string node in
+              Printf.sprintf " %s=%d/%d" n
+                (value (n ^ ".l0_hits"))
+                (value (n ^ ".l0_hits") + value (n ^ ".l0_misses")))
+            Node_id.all))
+      (if total = 0 then 0.0 else 100.0 *. float_of_int hits /. float_of_int total)
+  end

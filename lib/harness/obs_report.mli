@@ -3,6 +3,8 @@
 
 val attribution_report : Stramash_obs.Trace.t -> Report.t
 
-val print : Format.formatter -> Stramash_obs.Trace.t -> unit
+val print : ?fastpath:(string * int) list -> Format.formatter -> Stramash_obs.Trace.t -> unit
 (** The attribution table plus the recorded/dropped and per-node
-    top-span-cycle summary line. *)
+    top-span-cycle summary line. [fastpath] (labelled L0 counters, e.g.
+    from {!Stramash_machine.Runner.fastpath_counters}) appends a fast-path
+    hit-rate summary when non-empty. *)

@@ -16,7 +16,40 @@ type outcome = Out_of_fuel | Halted | Migrate of int | Syscall of Mir.syscall
 
 exception Trap of string
 
+(* Every register index is validated here, once, so the dispatch loop can
+   use unsafe array accesses on the register file. *)
+let validate_registers (prog : Machine.program) =
+  let n = prog.Machine.nregs in
+  let ok r = r >= 0 && r < n in
+  let okm (m : Machine.mem) =
+    ok m.Machine.mbase
+    && match m.Machine.mindex with None -> true | Some i -> ok i
+  in
+  let valid = function
+    | Machine.MImm (r, _) -> ok r
+    | Machine.MMovR (d, s)
+    | Machine.MAlu2 (_, d, s)
+    | Machine.MFAlu2 (_, d, s)
+    | Machine.MCvtIF (d, s)
+    | Machine.MCvtFI (d, s) -> ok d && ok s
+    | Machine.MAlu3 (_, d, a, b) | Machine.MFAlu3 (_, d, a, b) -> ok d && ok a && ok b
+    | Machine.MAluI (_, d, _) -> ok d
+    | Machine.MAlu3I (_, d, a, _) -> ok d && ok a
+    | Machine.MLoad (_, d, m) | Machine.MAluMem (_, d, m) | Machine.MFAluMem (_, d, m) ->
+        ok d && okm m
+    | Machine.MStore (_, s, m) -> ok s && okm m
+    | Machine.MBr (_, a, b, _) -> ok a && ok b
+    | Machine.MJmp _ | Machine.MSyscall _ | Machine.MMigrate _ | Machine.MHalt -> true
+  in
+  Array.iteri
+    (fun i op ->
+      if not (valid op) then
+        invalid_arg
+          (Printf.sprintf "Interp.create: op %d references a register outside nregs=%d" i n))
+    prog.Machine.ops
+
 let create prog =
+  validate_registers prog;
   {
     prog;
     register_file = Array.make prog.Machine.nregs 0L;
@@ -58,12 +91,14 @@ let eval_fbinop op a b =
   in
   Int64.bits_of_float r
 
+(* Register indices were validated at [create]; unsafe accesses here are in
+   bounds by construction. *)
 let effective_address regs (m : Machine.mem) =
-  let base = Int64.to_int regs.(m.Machine.mbase) in
+  let base = Int64.to_int (Array.unsafe_get regs m.Machine.mbase) in
   let idx =
     match m.Machine.mindex with
     | None -> 0
-    | Some i -> Int64.to_int regs.(i) * m.Machine.mscale
+    | Some i -> Int64.to_int (Array.unsafe_get regs i) * m.Machine.mscale
   in
   base + idx + m.Machine.mdisp
 
@@ -74,52 +109,80 @@ let run t memio ~fuel =
     let code_off = t.prog.Machine.code_off in
     let regs = t.register_file in
     let nops = Array.length ops in
+    let code_base = Codegen.code_base in
     let remaining = ref fuel in
     let result = ref Out_of_fuel in
     let running = ref true in
-    while !running && !remaining > 0 do
-      if t.pc < 0 || t.pc >= nops then raise (Trap "pc out of text segment");
-      let pc = t.pc in
-      memio.fetch (Codegen.code_base + code_off.(pc));
-      t.icount <- t.icount + 1;
-      decr remaining;
-      t.pc <- pc + 1;
-      (match ops.(pc) with
-      | Machine.MImm (r, v) -> regs.(r) <- v
-      | Machine.MMovR (d, s) -> regs.(d) <- regs.(s)
-      | Machine.MAlu3 (op, d, a, b) -> regs.(d) <- eval_binop op regs.(a) regs.(b)
-      | Machine.MAlu2 (op, d, s) -> regs.(d) <- eval_binop op regs.(d) regs.(s)
-      | Machine.MAluI (op, d, v) -> regs.(d) <- eval_binop op regs.(d) v
-      | Machine.MAlu3I (op, d, a, v) -> regs.(d) <- eval_binop op regs.(a) v
-      | Machine.MLoad (w, d, m) ->
-          let va = effective_address regs m in
-          regs.(d) <- memio.load (Mir.bytes_of_width w) va
-      | Machine.MStore (w, s, m) ->
-          let va = effective_address regs m in
-          memio.store (Mir.bytes_of_width w) va regs.(s)
-      | Machine.MAluMem (op, d, m) ->
-          let va = effective_address regs m in
-          regs.(d) <- eval_binop op regs.(d) (memio.load 8 va)
-      | Machine.MFAluMem (op, d, m) ->
-          let va = effective_address regs m in
-          regs.(d) <- eval_fbinop op regs.(d) (memio.load 8 va)
-      | Machine.MFAlu3 (op, d, a, b) -> regs.(d) <- eval_fbinop op regs.(a) regs.(b)
-      | Machine.MFAlu2 (op, d, s) -> regs.(d) <- eval_fbinop op regs.(d) regs.(s)
-      | Machine.MCvtIF (d, s) -> regs.(d) <- Int64.bits_of_float (Int64.to_float regs.(s))
-      | Machine.MCvtFI (d, s) -> regs.(d) <- Int64.of_float (Int64.float_of_bits regs.(s))
-      | Machine.MJmp target -> t.pc <- target
-      | Machine.MBr (c, a, b, target) ->
-          if Mir.eval_cond c regs.(a) regs.(b) then t.pc <- target
-      | Machine.MSyscall s ->
-          result := Syscall s;
-          running := false
-      | Machine.MMigrate id ->
-          result := Migrate id;
-          running := false
-      | Machine.MHalt ->
-          t.halted <- true;
-          result := Halted;
-          running := false)
-    done;
+    (* [pc] and [icount] live in locals for the duration of the loop and are
+       flushed on every exit path. Nothing observes them mid-run: the memio
+       closures never read interpreter state, and external readers
+       ([Runner.account], the schedulers) only run between [run] calls. *)
+    let pcr = ref t.pc in
+    let ic = ref t.icount in
+    let flush () =
+      t.pc <- !pcr;
+      t.icount <- !ic
+    in
+    (try
+       while !running && !remaining > 0 do
+         let pc = !pcr in
+         if pc < 0 || pc >= nops then raise (Trap "pc out of text segment");
+         memio.fetch (code_base + Array.unsafe_get code_off pc);
+         ic := !ic + 1;
+         decr remaining;
+         pcr := pc + 1;
+         (* [pc < nops] was just checked, so ops/code_off reads are in
+            bounds; register indices were validated at [create]. *)
+         match Array.unsafe_get ops pc with
+         | Machine.MImm (r, v) -> Array.unsafe_set regs r v
+         | Machine.MMovR (d, s) -> Array.unsafe_set regs d (Array.unsafe_get regs s)
+         | Machine.MAlu3 (op, d, a, b) ->
+             Array.unsafe_set regs d (eval_binop op (Array.unsafe_get regs a) (Array.unsafe_get regs b))
+         | Machine.MAlu2 (op, d, s) ->
+             Array.unsafe_set regs d (eval_binop op (Array.unsafe_get regs d) (Array.unsafe_get regs s))
+         | Machine.MAluI (op, d, v) ->
+             Array.unsafe_set regs d (eval_binop op (Array.unsafe_get regs d) v)
+         | Machine.MAlu3I (op, d, a, v) ->
+             Array.unsafe_set regs d (eval_binop op (Array.unsafe_get regs a) v)
+         | Machine.MLoad (w, d, m) ->
+             let va = effective_address regs m in
+             Array.unsafe_set regs d (memio.load (Mir.bytes_of_width w) va)
+         | Machine.MStore (w, s, m) ->
+             let va = effective_address regs m in
+             memio.store (Mir.bytes_of_width w) va (Array.unsafe_get regs s)
+         | Machine.MAluMem (op, d, m) ->
+             let va = effective_address regs m in
+             Array.unsafe_set regs d (eval_binop op (Array.unsafe_get regs d) (memio.load 8 va))
+         | Machine.MFAluMem (op, d, m) ->
+             let va = effective_address regs m in
+             Array.unsafe_set regs d (eval_fbinop op (Array.unsafe_get regs d) (memio.load 8 va))
+         | Machine.MFAlu3 (op, d, a, b) ->
+             Array.unsafe_set regs d
+               (eval_fbinop op (Array.unsafe_get regs a) (Array.unsafe_get regs b))
+         | Machine.MFAlu2 (op, d, s) ->
+             Array.unsafe_set regs d (eval_fbinop op (Array.unsafe_get regs d) (Array.unsafe_get regs s))
+         | Machine.MCvtIF (d, s) ->
+             Array.unsafe_set regs d (Int64.bits_of_float (Int64.to_float (Array.unsafe_get regs s)))
+         | Machine.MCvtFI (d, s) ->
+             Array.unsafe_set regs d (Int64.of_float (Int64.float_of_bits (Array.unsafe_get regs s)))
+         | Machine.MJmp target -> pcr := target
+         | Machine.MBr (c, a, b, target) ->
+             if Mir.eval_cond c (Array.unsafe_get regs a) (Array.unsafe_get regs b) then
+               pcr := target
+         | Machine.MSyscall s ->
+             result := Syscall s;
+             running := false
+         | Machine.MMigrate id ->
+             result := Migrate id;
+             running := false
+         | Machine.MHalt ->
+             t.halted <- true;
+             result := Halted;
+             running := false
+       done
+     with e ->
+       flush ();
+       raise e);
+    flush ();
     !result
   end

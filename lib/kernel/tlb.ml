@@ -35,6 +35,39 @@ let lookup t ~asid ~vpage =
     None
   end
 
+(* Fused translation fast path. The fused cache collapses onto the TLB's
+   own flat arrays: an entry is only usable when the TLB itself would hit
+   (otherwise hit/miss counts and charged walks would diverge from the
+   reference path), and a direct-mapped TLB holds at most one live entry
+   per slot — so a separate memo array can never hold more live state than
+   the TLB storage itself. [translate] is that collapse: one slot probe,
+   the permission check fused in, no [option] allocation, and hit/miss
+   accounting identical to composing {!lookup} with the caller's
+   writability match.
+
+   Returns the frame (>= 0) on a usable hit; [miss] (-1) when the slot
+   does not hold (asid, vpage) — a miss is counted and the caller walks
+   and {!insert}s; [not_writable] (-2) when the entry is present but
+   read-only and [write] is set — a HIT is counted (the reference path's
+   {!lookup} counted one before rejecting the entry) and the caller must
+   proceed straight to the walk without re-probing. *)
+let miss = -1
+let not_writable = -2
+
+let translate t ~asid ~vpage ~write =
+  (* [s] is masked to the (power-of-two) table size, so the unsafe reads
+     are in bounds by construction. *)
+  let s = vpage land (t.size - 1) in
+  if Array.unsafe_get t.vpages s = vpage && Array.unsafe_get t.asids s = asid then begin
+    t.hits <- t.hits + 1;
+    let e = Array.unsafe_get t.entries s in
+    if write && not e.writable then not_writable else e.frame
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    miss
+  end
+
 let insert t ~asid ~vpage entry =
   let s = slot t vpage in
   t.vpages.(s) <- vpage;

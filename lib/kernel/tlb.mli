@@ -14,6 +14,21 @@ val create : ?entries:int -> unit -> t
 val lookup : t -> asid:int -> vpage:int -> entry option
 val insert : t -> asid:int -> vpage:int -> entry -> unit
 
+val miss : int
+(** -1: slot does not hold (asid, vpage); the miss was counted. *)
+
+val not_writable : int
+(** -2: entry present but read-only while [write] was requested; a hit was
+    counted, exactly as {!lookup} followed by a writability check would. *)
+
+val translate : t -> asid:int -> vpage:int -> write:bool -> int
+(** Allocation-free fused fast path for the per-instruction translation:
+    one direct-mapped probe with the permission check folded in. Returns
+    the frame ([>= 0]), {!miss}, or {!not_writable}. Hit/miss counters
+    advance identically to {!lookup} composed with the caller's
+    writability match, which is what keeps fast-path runs bit-identical
+    to the reference path. *)
+
 val flush_page : t -> vpage:int -> unit
 (** Drop any entry for this virtual page, regardless of ASID (a
     conservative shootdown). *)

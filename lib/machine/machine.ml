@@ -47,6 +47,7 @@ type config = {
   msg_notify : Msg_layer.notify_mode;
   seed : int64;
   inject : Plan.config option;
+  cache_mode : Cache_sim.mode;
 }
 
 let default_config =
@@ -58,6 +59,7 @@ let default_config =
     msg_notify = Msg_layer.Ipi;
     seed = 0xC0FFEEL;
     inject = None;
+    cache_mode = Cache_sim.Fast;
   }
 
 type t = {
@@ -86,6 +88,7 @@ let create cfg =
     match cfg.l3_size with None -> base | Some size -> Cache_config.with_l3_size base size
   in
   let cache = Cache_sim.create cache_cfg in
+  Cache_sim.set_mode cache cfg.cache_mode;
   let phys = Phys_mem.create () in
   let kernels =
     [| Kernel.boot ~node:Node_id.X86 ~phys; Kernel.boot ~node:Node_id.Arm ~phys |]

@@ -32,6 +32,11 @@ type config = {
   inject : Stramash_fault_inject.Plan.config option;
       (* arm deterministic fault injection; the plan seed is derived from
          [seed], so the same config replays the same faults *)
+  cache_mode : Stramash_cache.Cache_sim.mode;
+      (* Fast (default) uses the L0/fused fast paths; Reference is the
+         pre-fast-path simulator for baselines; Paranoid cross-checks
+         every access and makes the runner audit invariants at each
+         scheduling quantum *)
 }
 
 val default_config : config

@@ -32,7 +32,17 @@ type result = {
   phase_marks : (int * int) list;
   node_user_stalls : int array;
   node_idle : int array;
+  l0_hits : int array;
+  l0_misses : int array;
 }
+
+let fastpath_counters r =
+  List.concat_map
+    (fun node ->
+      let i = Node_id.index node in
+      let name c = Node_id.to_string node ^ "." ^ c in
+      [ (name "l0_hits", r.l0_hits.(i)); (name "l0_misses", r.l0_misses.(i)) ])
+    Node_id.all
 
 let node_busy r node =
   let i = Node_id.index node in
@@ -68,44 +78,56 @@ let make_memio machine proc thread ~user_stalls =
     else 0
   in
   let asid = proc.Process.pid in
-  let rec translate vaddr ~write ~retries =
-    let vpage = Addr.page_of vaddr in
-    match Tlb.lookup tlb ~asid ~vpage with
-    | Some e when (not write) || e.Tlb.writable -> e.Tlb.frame
-    | _ -> (
-        match Page_table.walk mm.Process.pgtable io ~vaddr with
-        | Some (frame, flags) when (not write) || flags.Stramash_kernel.Pte.writable ->
-            Tlb.insert tlb ~asid ~vpage
-              { Tlb.frame; writable = flags.Stramash_kernel.Pte.writable };
-            frame
-        | _ ->
-            if retries >= max_fault_retries then
-              failwith
-                (Printf.sprintf "fault loop at 0x%x (%s, write=%b)" vaddr
-                   (Node_id.to_string node) write);
-            (* The CLI edge of the typed-error API: an unrecoverable fault
-               (segfault, OOM beyond hotplug) terminates the run as an
-               exception with the error's rendering. *)
-            (match Os.handle_fault (Machine.os machine) ~env ~proc ~node ~vaddr ~write with
-            | Ok () -> ()
-            | Error e -> raise (Stramash_fault_inject.Fault.Error e));
-            translate vaddr ~write ~retries:(retries + 1))
+  (* Bound once so the per-access address math below compiles to shifts and
+     masks with no cross-module calls. *)
+  let page_shift = Addr.page_shift in
+  let page_mask = Addr.page_size - 1 in
+  (* Slow translation path: charged page-table walk, then the OS fault
+     handler, then retry. Each retry re-enters [Tlb.translate] so the TLB
+     hit/miss accounting is identical to the pre-fast-path runner (which
+     re-probed via [Tlb.lookup] on every pass of its recursion). *)
+  let rec translate_slow vaddr ~write ~retries =
+    match Page_table.walk mm.Process.pgtable io ~vaddr with
+    | Some (frame, flags) when (not write) || flags.Stramash_kernel.Pte.writable ->
+        Tlb.insert tlb ~asid ~vpage:(Addr.page_of vaddr)
+          { Tlb.frame; writable = flags.Stramash_kernel.Pte.writable };
+        frame
+    | _ ->
+        if retries >= max_fault_retries then
+          failwith
+            (Printf.sprintf "fault loop at 0x%x (%s, write=%b)" vaddr
+               (Node_id.to_string node) write);
+        (* The CLI edge of the typed-error API: an unrecoverable fault
+           (segfault, OOM beyond hotplug) terminates the run as an
+           exception with the error's rendering. *)
+        (match Os.handle_fault (Machine.os machine) ~env ~proc ~node ~vaddr ~write with
+        | Ok () -> ()
+        | Error e -> raise (Stramash_fault_inject.Fault.Error e));
+        let frame = Tlb.translate tlb ~asid ~vpage:(Addr.page_of vaddr) ~write in
+        if frame >= 0 then frame else translate_slow vaddr ~write ~retries:(retries + 1)
   in
+  (* Fused TLB probe + permission check + paddr assembly, allocation-free
+     on a hit. [Tlb.translate] returns the frame, or [miss]/[not_writable];
+     both negatives fall to the charged walk (a write hit on a read-only
+     entry was a counted TLB hit in the reference model too — the walk is
+     how the reference discovered the permission fault). *)
   let data_paddr vaddr ~write =
-    let frame = translate vaddr ~write ~retries:0 in
-    (frame lsl Addr.page_shift) + Addr.page_offset vaddr
+    let frame = Tlb.translate tlb ~asid ~vpage:(vaddr lsr page_shift) ~write in
+    let frame = if frame >= 0 then frame else translate_slow vaddr ~write ~retries:0 in
+    (frame lsl page_shift) + (vaddr land page_mask)
   in
   {
     Interp.load =
       (fun width vaddr ->
         let paddr = data_paddr vaddr ~write:false in
         Meter.add meter (stall (Cache_sim.access cache ~node Cache_sim.Load ~paddr));
-        Phys_mem.read phys paddr ~width);
+        if width = 8 then Phys_mem.read_u64 phys paddr else Phys_mem.read phys paddr ~width);
     store =
       (fun width vaddr value ->
         let paddr = data_paddr vaddr ~write:true in
         Meter.add meter (stall (Cache_sim.access cache ~node Cache_sim.Store ~paddr));
-        Phys_mem.write phys paddr ~width value);
+        if width = 8 then Phys_mem.write_u64 phys paddr value
+        else Phys_mem.write phys paddr ~width value);
     fetch =
       (fun vaddr ->
         let paddr = data_paddr vaddr ~write:false in
@@ -120,28 +142,36 @@ let resolve_futex_args thread (syscall : Mir.syscall) =
       `Wait (Int64.to_int regs.(uaddr), regs.(expected))
   | Mir.Futex_wake { uaddr; nwake } -> `Wake (Int64.to_int regs.(uaddr), nwake)
 
-let collect machine threads ~migrations =
+(* Assemble the result from the machine's counters plus the scheduler's
+   accumulators. (This replaces an earlier [collect] helper that
+   hard-zeroed icounts/stalls and made [run_scheduler] patch the record
+   afterwards; everything is now collected in one place.) *)
+let collect machine ~node_icounts ~migrations ~user_stalls ~idle ~marks =
   let env = Machine.env machine in
   let os = Machine.os machine in
+  let cache = env.Env.cache in
   let node_cycles = Array.map Meter.get env.Env.meters in
   let wall = Array.fold_left max 0 node_cycles in
-  let icounts = [| 0; 0 |] in
-  List.iter (fun _ -> ()) threads;
+  let per_node stat =
+    Array.of_list (List.map (fun node -> Cache_sim.stat cache node stat) Node_id.all)
+  in
   {
     os_name = Os.name os;
     hw_model = env.Env.hw_model;
     wall_cycles = wall;
     node_cycles;
-    node_icounts = icounts;
-    instructions = 0;
+    node_icounts;
+    instructions = Array.fold_left ( + ) 0 node_icounts;
     migrations;
     messages = Os.message_count os;
     replicated_pages = Os.replicated_pages os;
     tlb_misses = Array.map Tlb.misses env.Env.tlbs;
-    cache = Cache_sim.stats env.Env.cache;
-    phase_marks = [];
-    node_user_stalls = [| 0; 0 |];
-    node_idle = [| 0; 0 |];
+    cache = Cache_sim.stats cache;
+    phase_marks = marks;
+    node_user_stalls = user_stalls;
+    node_idle = idle;
+    l0_hits = per_node "l0_hits";
+    l0_misses = per_node "l0_misses";
   }
 
 (* The scheduler: run the runnable thread whose node clock is lowest,
@@ -196,6 +226,26 @@ let run_scheduler machine items ~fuel =
       Meter.set dst (Meter.get src)
     end
   in
+  (* Paranoid mode: beyond the per-access cross-check inside Cache_sim,
+     audit the structural invariants (cache inclusion/directory agreement,
+     phys page-pointer cache) at scheduling-quantum boundaries. The audit
+     walks every tracked line, so it runs on a deterministic stride rather
+     than every quantum. *)
+  let paranoid = Cache_sim.mode env.Env.cache = Cache_sim.Paranoid in
+  let quanta = ref 0 in
+  let audit () =
+    if paranoid then begin
+      incr quanta;
+      if !quanta land 63 = 0 then begin
+        (match Cache_sim.check_consistency env.Env.cache with
+        | Ok () -> ()
+        | Error msg -> raise (Cache_sim.Divergence ("paranoid audit: " ^ msg)));
+        match Phys_mem.self_check env.Env.phys with
+        | Ok () -> ()
+        | Error msg -> raise (Cache_sim.Divergence ("paranoid audit: " ^ msg))
+      end
+    end
+  in
   let finished th = th.Thread.state = Thread.Finished in
   let rec loop () =
     let live = List.filter (fun th -> not (finished th)) threads in
@@ -220,7 +270,9 @@ let run_scheduler machine items ~fuel =
               (List.hd runnable) (List.tl runnable)
           in
           let memio = make_memio machine (proc_of th) th ~user_stalls in
-          (match Interp.run th.Thread.cpu memio ~fuel with
+          let outcome = Interp.run th.Thread.cpu memio ~fuel in
+          audit ();
+          (match outcome with
           | Interp.Out_of_fuel -> account th
           | Interp.Halted ->
               account th;
@@ -292,16 +344,16 @@ let run_scheduler machine items ~fuel =
     (fun node sp -> Trace.close ~at:(Meter.get (Env.meter env node)) sp)
     (if run_spans = [] then [] else Node_id.all)
     run_spans;
-  let result = collect machine threads ~migrations:!migrations in
-  let instructions = Array.fold_left ( + ) 0 node_icounts in
-  {
-    result with
-    node_icounts;
-    instructions;
-    phase_marks = List.rev !marks;
-    node_user_stalls = user_stalls;
-    node_idle = idle;
-  }
+  if paranoid then begin
+    (match Cache_sim.check_consistency env.Env.cache with
+    | Ok () -> ()
+    | Error msg -> raise (Cache_sim.Divergence ("paranoid final audit: " ^ msg)));
+    match Phys_mem.self_check env.Env.phys with
+    | Ok () -> ()
+    | Error msg -> raise (Cache_sim.Divergence ("paranoid final audit: " ^ msg))
+  end;
+  collect machine ~node_icounts ~migrations:!migrations ~user_stalls ~idle
+    ~marks:(List.rev !marks)
 
 let run machine proc thread spec = run_scheduler machine [ (spec, proc, thread) ] ~fuel:50_000
 
@@ -324,6 +376,11 @@ let pp_result fmt r =
            (rate
               (g "l1d_hits" + g "l1i_hits")
               (g "l1d_accesses" + g "l1i_accesses")));
+      (let l0_total = r.l0_hits.(idx) + r.l0_misses.(idx) in
+       if l0_total > 0 then
+         Format.fprintf fmt "  L0 Fast-Path Hit Rate: %.2f%% (%d of %d accesses)@."
+           (pct (rate r.l0_hits.(idx) l0_total))
+           r.l0_hits.(idx) l0_total);
       Format.fprintf fmt "  L2 Cache Hit Rate: %.2f%%@." (pct (rate (g "l2_hits") (g "l2_accesses")));
       Format.fprintf fmt "  L3 Cache Hit Rate: %.2f%%@." (pct (rate (g "l3_hits") (g "l3_accesses")));
       Format.fprintf fmt "  Local Memory Hits: %d@." (g "local_mem_hits");

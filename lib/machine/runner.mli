@@ -28,7 +28,17 @@ type result = {
   node_idle : int array;
       (* clock-synchronisation jumps (waiting for a migration arrival or a
          futex wake): simulated time during which the node did no work *)
+  l0_hits : int array;
+  l0_misses : int array;
+      (* per-node L0 line-filter outcomes (host-performance telemetry, not
+         part of the simulated model: both arrays are all-zero in Reference
+         mode and excluded from the [cache] registry so registries compare
+         equal across modes) *)
 }
+
+val fastpath_counters : result -> (string * int) list
+(** The L0 counters as labelled pairs ("x86.l0_hits", ...) for metrics
+    snapshots and reports. *)
 
 val node_busy : result -> Stramash_sim.Node_id.t -> int
 (** Cycles of actual work on a node: its clock minus its idle jumps. *)

@@ -23,8 +23,12 @@ val write : t -> Addr.paddr -> width:int -> int64 -> unit
 
 val read_u8 : t -> Addr.paddr -> int
 val write_u8 : t -> Addr.paddr -> int -> unit
+
 val read_u64 : t -> Addr.paddr -> int64
 val write_u64 : t -> Addr.paddr -> int64 -> unit
+(** Width-specialised fast paths: one direct-mapped page-pointer probe and
+    a bounds-checked [Bytes] access, no width dispatch. Semantically
+    identical to [read]/[write] at the same width. *)
 
 val read_f64 : t -> Addr.paddr -> float
 val write_f64 : t -> Addr.paddr -> float -> unit
@@ -41,3 +45,9 @@ val host_write_f64 : t -> Addr.paddr -> float -> unit
 
 val touched_pages : t -> int
 (** Number of materialised backing pages (footprint diagnostics). *)
+
+val self_check : t -> (unit, string) result
+(** Validate the page-pointer cache against the backing store: every
+    cached slot must alias the stored page ([==]). Pages are never removed
+    once materialised, so this can only fail if that invariant is broken;
+    run by the [--paranoid] harness at quantum boundaries. *)

@@ -7,6 +7,7 @@
      redis                        run the network-serving model
      futex <loops>                run the futex microbenchmark
      faults                       run the fault-injection campaign + audit
+     chaos                        run the node-failure chaos campaign
      machine                      describe the simulated platform *)
 
 open Cmdliner
@@ -348,13 +349,22 @@ let faults_cmd =
   let walk_arg = rate "walk-fail" "Transient remote PTE read-failure probability" 0.02 in
   let ptl_arg = rate "ptl-timeout" "Page-table-lock acquisition timeout probability" 0.01 in
   let alloc_arg = rate "alloc-fail" "Injected frame-allocator exhaustion probability" 0.005 in
+  (* Exit-code contract (shared with `chaos`): 0 = campaign ran and every
+     fault recovered; 1 = invariant violation or unrecovered failure;
+     2 = unusable arguments. *)
   let run seed bench drop ipi walk ptl alloc obs =
-    run_with_obs obs (fun () ->
-        let config =
-          H.Fault_experiments.plan_config ~drop_rate:drop ~ipi_loss:ipi ~walk_fail:walk
-            ~ptl_timeout:ptl ~alloc_fail:alloc ()
-        in
-        if H.Fault_experiments.campaign fmt ~seed ~bench ~config () then 0 else 1)
+    if not (List.mem bench H.Fault_experiments.benches) then begin
+      Format.eprintf "unknown benchmark %s (faults campaign runs %s)@." bench
+        (String.concat " | " H.Fault_experiments.benches);
+      2
+    end
+    else
+      run_with_obs obs (fun () ->
+          let config =
+            H.Fault_experiments.plan_config ~drop_rate:drop ~ipi_loss:ipi ~walk_fail:walk
+              ~ptl_timeout:ptl ~alloc_fail:alloc ()
+          in
+          if H.Fault_experiments.campaign fmt ~seed ~bench ~config () then 0 else 1)
   in
   Cmd.v
     (Cmd.info "faults"
@@ -362,6 +372,52 @@ let faults_cmd =
     Term.(
       const run $ seed_arg $ bench_arg $ drop_arg $ ipi_arg $ walk_arg $ ptl_arg $ alloc_arg
       $ obs_term)
+
+(* ---------- chaos ---------- *)
+
+let chaos_cmd =
+  let seed_arg =
+    Arg.(value & opt int64 0xC4A05L & info [ "s"; "seed" ] ~docv:"SEED"
+         ~doc:"Campaign seed; schedule jitter and the machine both derive from it, so the same \
+               seed replays the same kills, restarts, and recoveries byte-for-byte")
+  in
+  let bench_arg =
+    Arg.(value & opt string "is" & info [ "b"; "bench" ] ~docv:"BENCH" ~doc:"is | cg | mg | ft")
+  in
+  let kills_arg =
+    Arg.(value & opt int 3 & info [ "k"; "kills" ] ~docv:"N"
+         ~doc:"Kill/restart cycles to inject, alternating between the two kernel instances")
+  in
+  let downtime_arg =
+    Arg.(value & opt int H.Chaos_experiments.default_downtime
+         & info [ "d"; "downtime" ] ~docv:"CYCLES"
+             ~doc:"Cycles a killed node stays down before restarting (clamped to half the kill gap)")
+  in
+  let run seed bench kills downtime cache_mode obs =
+    if not (List.mem bench H.Fault_experiments.benches) then begin
+      Format.eprintf "unknown benchmark %s (chaos campaign runs %s)@." bench
+        (String.concat " | " H.Fault_experiments.benches);
+      2
+    end
+    else
+      let plan_metrics = ref None in
+      let extra snap =
+        match !plan_metrics with
+        | Some reg -> Obs.Snapshot.add_registry snap "fault_plan" reg
+        | None -> ()
+      in
+      run_with_obs obs ~extra (fun () ->
+          H.Chaos_experiments.exit_code
+            (H.Chaos_experiments.campaign fmt ~seed ~bench ~kills ~downtime ~cache_mode
+               ~on_metrics:(fun reg -> plan_metrics := Some reg)
+               ()))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a deterministic node-failure chaos campaign: crash-stop kernel kills, \
+          degraded-mode fallback, checkpoint/restore recovery, and invariant audits")
+    Term.(const run $ seed_arg $ bench_arg $ kills_arg $ downtime_arg $ cache_mode_term $ obs_term)
 
 (* ---------- disasm ---------- *)
 
@@ -435,4 +491,14 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; experiment_cmd; npb_cmd; redis_cmd; futex_cmd; faults_cmd; machine_cmd; disasm_cmd ]))
+          [
+            list_cmd;
+            experiment_cmd;
+            npb_cmd;
+            redis_cmd;
+            futex_cmd;
+            faults_cmd;
+            chaos_cmd;
+            machine_cmd;
+            disasm_cmd;
+          ]))

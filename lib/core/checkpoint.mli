@@ -1,0 +1,72 @@
+(** Per-node kernel checkpoint/restore for the crash-stop failure model.
+
+    At a kill, the dying node's derived kernel structures — per-process
+    page tables, VMA trees, and its futex waiter queues — are serialised
+    out of simulated physical memory into a flat text blob; the in-memory
+    originals are then discarded (the table root is zeroed, so the old
+    tree is unreachable and a restore cannot cheat by re-reading it). On
+    restart the blob is decoded and the structures re-materialised from
+    scratch: fresh table pages, fresh VMA structs, fresh lock word. What
+    survives a crash is only the memory *inventory* (frame-allocator
+    bitmaps and heap bump pointers, which live in coherent shared memory)
+    — everything a kernel derives is rebuilt, which is what makes the
+    round-trip equality test meaningful.
+
+    Capture is silent (the dead node can be charged nothing); restore is
+    billed to the restarting node through the normal cache-simulated
+    page-table io, so recovery has an honest cost. *)
+
+type pte_image = { p_vaddr : int; p_frame : int; p_writable : bool; p_remote_owned : bool }
+
+type vma_image = {
+  v_start : int;
+  v_end : int;
+  v_kind : Stramash_kernel.Vma.kind;
+  v_writable : bool;
+}
+
+type proc_image = { pid : int; vmas : vma_image list; ptes : pte_image list }
+
+type futex_image = { f_home : Stramash_sim.Node_id.t; f_uaddr : int; f_tid : int }
+(** A parked waiter: which kernel's bucket it sat in, the futex word, and
+    the waiting thread. *)
+
+type image = {
+  node : Stramash_sim.Node_id.t;
+  procs : proc_image list;
+  futexes : futex_image list;
+}
+
+val capture :
+  Stramash_kernel.Env.t ->
+  node:Stramash_sim.Node_id.t ->
+  procs:Stramash_kernel.Process.t list ->
+  futexes:futex_image list ->
+  image
+(** Deterministic snapshot of [node]'s kernel structures: processes sorted
+    by pid, leaves in ascending vaddr order. [futexes] is supplied by the
+    caller, which knows which drained waiters belong to the dead node. *)
+
+val encode : image -> string
+(** Flat line-oriented text blob, stable across runs. *)
+
+val decode : string -> (image, string) result
+
+val discard :
+  Stramash_kernel.Env.t ->
+  node:Stramash_sim.Node_id.t ->
+  procs:Stramash_kernel.Process.t list ->
+  unit
+(** Crash teardown: unlink every process mm on [node] and zero each page
+    table root. Frames and kernel-heap lines are not freed — the
+    allocators are the surviving memory inventory. *)
+
+type restore_stats = { restored_procs : int; restored_vmas : int; restored_pages : int }
+
+val restore :
+  Stramash_kernel.Env.t -> procs:Stramash_kernel.Process.t list -> image -> restore_stats
+(** Re-materialise the image on its node: fresh page tables and VMA sets,
+    installed via {!Stramash_kernel.Process.set_mm}. Processes no longer
+    in [procs] (exited during the downtime) are skipped. Futex re-queueing
+    is the caller's job: it must filter waiters woken while the node was
+    down. *)

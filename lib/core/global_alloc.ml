@@ -8,12 +8,19 @@ module Kernel = Stramash_kernel.Kernel
 module Frame_alloc = Stramash_kernel.Frame_alloc
 module Hotplug = Stramash_kernel.Hotplug
 
+(* A donated block is [orphaned] while its owner is crash-stopped with
+   pages still in use: nobody can free those pages until the owner
+   restarts (or the process exits via the survivors), so the block can be
+   neither reclaimed nor evicted. The audit checks that every entry is
+   either live-owned or orphaned-with-dead-owner. *)
+type entry = { owner : Node_id.t; region : Layout.region; mutable orphaned : bool }
+
 type t = {
   env : Env.t;
   block_size : int;
   rng : Rng.t;
   mutable free : Layout.region list;
-  mutable owned : (Node_id.t * Layout.region) list;
+  mutable owned : entry list;
 }
 
 let pressure_threshold = 0.70
@@ -29,26 +36,34 @@ let create env ?(block_size = Addr.mib 16) ~rng () =
 
 let block_size t = t.block_size
 let free_blocks t = List.length t.free
-let blocks_owned t node = List.length (List.filter (fun (n, _) -> Node_id.equal n node) t.owned)
+let blocks_owned t node =
+  List.length (List.filter (fun e -> Node_id.equal e.owner node) t.owned)
+
+let ledger t =
+  List.map (fun e -> (e.owner, e.region, e.orphaned)) t.owned
+  |> List.sort (fun (_, (a : Layout.region), _) (_, b, _) -> compare a.Layout.lo b.Layout.lo)
 
 let online_to t node region =
   let kernel = Env.kernel t.env node in
   let r = Hotplug.online kernel.Kernel.frames region ~isa:node ~rng:t.rng in
   Meter.add (Env.meter t.env node) r.Hotplug.cycles;
-  t.owned <- (node, region) :: t.owned
+  t.owned <- { owner = node; region; orphaned = false } :: t.owned
 
-(* Try to reclaim a fully-free block from the other kernel. *)
+(* Try to reclaim a fully-free block from the other kernel. Orphaned
+   blocks are off-limits: their pages are pinned by a dead owner. *)
 let evict_from_other t node =
   let other = Node_id.other node in
-  let candidates = List.filter (fun (n, _) -> Node_id.equal n other) t.owned in
+  let candidates =
+    List.filter (fun e -> Node_id.equal e.owner other && not e.orphaned) t.owned
+  in
   let kernel = Env.kernel t.env other in
   let rec try_blocks = function
     | [] -> None
-    | (_, region) :: rest -> (
+    | { region; _ } :: rest -> (
         match Hotplug.offline kernel.Kernel.frames region ~isa:other ~rng:t.rng with
         | Ok r ->
             Meter.add (Env.meter t.env other) r.Hotplug.cycles;
-            t.owned <- List.filter (fun (_, reg) -> reg <> region) t.owned;
+            t.owned <- List.filter (fun e -> e.region <> region) t.owned;
             Some region
         | Error (`Pages_in_use _) -> try_blocks rest)
   in
@@ -72,10 +87,49 @@ let release_block t node region =
   match Hotplug.offline kernel.Kernel.frames region ~isa:node ~rng:t.rng with
   | Ok r ->
       Meter.add (Env.meter t.env node) r.Hotplug.cycles;
-      t.owned <- List.filter (fun (n, reg) -> not (Node_id.equal n node && reg = region)) t.owned;
+      t.owned <-
+        List.filter (fun e -> not (Node_id.equal e.owner node && e.region = region)) t.owned;
       t.free <- region :: t.free;
       Ok ()
   | Error _ as e -> e
+
+(* Crash-stop: the survivor [actor] sweeps the dead node's donations.
+   Blocks with no pages in use are offlined back to the pool (reclaimed);
+   blocks pinned by live allocations are marked orphaned. The sweep work
+   is billed to the survivor doing it. *)
+let on_node_death t ~node ~actor =
+  let kernel = Env.kernel t.env node in
+  let reclaimed = ref 0 and orphaned = ref 0 in
+  let mine, others = List.partition (fun e -> Node_id.equal e.owner node) t.owned in
+  let kept =
+    List.filter
+      (fun e ->
+        match Hotplug.offline kernel.Kernel.frames e.region ~isa:node ~rng:t.rng with
+        | Ok r ->
+            Meter.add (Env.meter t.env actor) r.Hotplug.cycles;
+            t.free <- e.region :: t.free;
+            incr reclaimed;
+            false
+        | Error (`Pages_in_use _) ->
+            e.orphaned <- true;
+            incr orphaned;
+            true)
+      mine
+  in
+  t.owned <- kept @ others;
+  (!reclaimed, !orphaned)
+
+(* Restart: the node re-adopts its orphaned blocks (the pages never moved;
+   only ownership was in limbo). *)
+let on_node_restart t ~node =
+  List.fold_left
+    (fun n e ->
+      if Node_id.equal e.owner node && e.orphaned then begin
+        e.orphaned <- false;
+        n + 1
+      end
+      else n)
+    0 t.owned
 
 let check_pressure t node =
   let kernel = Env.kernel t.env node in

@@ -33,3 +33,19 @@ val check_pressure : t -> Stramash_sim.Node_id.t -> bool
     exceeds the threshold. Returns whether a block was granted. *)
 
 val pressure_threshold : float
+
+(** {2 Crash-stop handling} *)
+
+val on_node_death :
+  t -> node:Stramash_sim.Node_id.t -> actor:Stramash_sim.Node_id.t -> int * int
+(** Sweep the dead [node]'s donated blocks: fully-free blocks go back to
+    the pool, blocks with pages still in use are marked orphaned (pinned
+    until the owner restarts). The hotplug sweep cost is billed to the
+    surviving [actor]. Returns [(reclaimed, orphaned)]. *)
+
+val on_node_restart : t -> node:Stramash_sim.Node_id.t -> int
+(** Re-adopt [node]'s orphaned blocks; returns how many. *)
+
+val ledger : t -> (Stramash_sim.Node_id.t * Stramash_mem.Layout.region * bool) list
+(** Deterministic [(owner, region, orphaned)] dump, sorted by region base
+    — the view the audit's hotplug-consistency check consumes. *)

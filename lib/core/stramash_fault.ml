@@ -13,8 +13,30 @@ module Tlb = Stramash_kernel.Tlb
 module Msg_layer = Stramash_popcorn.Msg_layer
 module Fault = Stramash_fault_inject.Fault
 module Plan = Stramash_fault_inject.Plan
+module Futex = Stramash_kernel.Futex
+module Thread = Stramash_kernel.Thread
 module Trace = Stramash_obs.Trace
 module Meter = Stramash_sim.Meter
+
+(* Everything a survivor needs while a peer is down. The VMA shadow is
+   decoded out of the checkpoint at death so degraded faults can resolve
+   permissions without the (gone) origin VMA tree; pending mappings are
+   survivor-local installs replayed into the restored origin table. *)
+type downtime = {
+  dt_node : Node_id.t;
+  dt_died_at : int;
+  dt_detect_at : int;
+  dt_blob : string;
+  dt_vmas : (int * (int * int * bool) list) list; (* pid -> (start, end, writable) *)
+  dt_ptes : (int * int, int * bool) Hashtbl.t;
+      (* (pid, page vaddr) -> (frame, writable): the dead table's leaves.
+         A degraded fault on one of these re-maps the surviving frame —
+         the data outlived the crash; only the mapping died. *)
+  mutable dt_detected : bool;
+  mutable dt_holding : Checkpoint.futex_image list; (* drained dead-node waiters *)
+  mutable dt_woken : int list; (* tids woken out of holding during the downtime *)
+  mutable dt_pending : (int * int * int * bool) list; (* pid, vaddr, frame, writable *)
+}
 
 type t = {
   env : Env.t;
@@ -22,9 +44,11 @@ type t = {
   inject : Plan.t option;
   global_alloc : Global_alloc.t option;
   ptls : (int, Stramash_ptl.t) Hashtbl.t; (* pid -> origin-table lock *)
+  downs : downtime option array; (* indexed by Node_id.index *)
   mutable fallback_pages : int;
   mutable remote_walks : int;
   mutable shared_mappings : int;
+  mutable degraded_walks : int;
 }
 
 let create ?inject ?global_alloc env msg =
@@ -34,15 +58,21 @@ let create ?inject ?global_alloc env msg =
     inject;
     global_alloc;
     ptls = Hashtbl.create 16;
+    downs = Array.make (List.length Node_id.all) None;
     fallback_pages = 0;
     remote_walks = 0;
     shared_mappings = 0;
+    degraded_walks = 0;
   }
 
 let inject t = t.inject
 let fallback_pages t = t.fallback_pages
 let remote_walks t = t.remote_walks
 let shared_mappings t = t.shared_mappings
+let degraded_walks t = t.degraded_walks
+let chaos_armed t = match t.inject with Some p -> Plan.chaos_armed p | None -> false
+let downtime_of t node = t.downs.(Node_id.index node)
+let node_down t node = downtime_of t node <> None
 
 let reset_counters t =
   t.fallback_pages <- 0;
@@ -277,8 +307,62 @@ let remote_fault t ~proc ~node ~mm ~vaddr ~writable =
     result
   end
 
-let handle_fault_untraced t ~proc ~node ~vaddr ~write =
-  ignore write;
+let plan_note t f = match t.inject with Some p -> f p | None -> ()
+
+(* Popcorn-style degraded mode (the fused fast path's fallback while a
+   peer is crash-stopped): the origin kernel is gone, so the survivor can
+   touch neither its VMA tree nor its page table. Permissions come from
+   the checkpoint's VMA shadow; the walk itself is modelled as the message
+   round the origin would have served, at a fixed penalty. The page is
+   mapped survivor-locally only — the origin-table install is deferred to
+   [on_node_restart]'s reconcile pass. *)
+let degraded_fault t dt ~proc ~node ~vaddr =
+  let meter = Env.meter t.env node in
+  (* The survivor only learns of the death when the watchdog fires: a
+     fault landing inside the detection window stalls until then. *)
+  if Meter.get meter < dt.dt_detect_at then begin
+    let stall = dt.dt_detect_at - Meter.get meter in
+    Meter.add meter stall;
+    plan_note t (fun p -> Plan.add_degraded_cycles p ~cycles:stall)
+  end;
+  let ranges = Option.value ~default:[] (List.assoc_opt proc.Process.pid dt.dt_vmas) in
+  match List.find_opt (fun (s, e, _) -> s <= vaddr && vaddr < e) ranges with
+  | None ->
+      Error
+        (Fault.Segfault { pid = proc.Process.pid; vaddr; node = Node_id.to_string node })
+  | Some (_, _, writable) -> (
+      let mm = ensure_mm t ~proc ~node in
+      let local_io = Env.pt_io t.env ~actor:node ~owner:node in
+      match Page_table.walk mm.Process.pgtable local_io ~vaddr with
+      | Some _ -> Ok ()
+      | None -> (
+          let penalty =
+            match t.inject with
+            | Some p -> Plan.degraded_walk_penalty_cycles p
+            | None -> 0
+          in
+          Meter.add meter penalty;
+          Msg_layer.record_async t.msg ~label:"degraded_walk";
+          t.degraded_walks <- t.degraded_walks + 1;
+          plan_note t Plan.note_degraded_walk;
+          plan_note t (fun p -> Plan.add_degraded_cycles p ~cycles:penalty);
+          match Hashtbl.find_opt dt.dt_ptes (proc.Process.pid, Addr.page_base vaddr) with
+          | Some (frame, _) ->
+              (* The page existed in the dead table: its frame survived the
+                 crash (memory inventory), only the mapping was lost. *)
+              map_local t ~node ~mm ~vaddr ~frame:(frame lsl Addr.page_shift) ~writable;
+              Ok ()
+          | None -> (
+              match alloc_zeroed t ~node with
+              | Error _ as e -> e
+              | Ok frame ->
+                  map_local t ~node ~mm ~vaddr ~frame ~writable;
+                  dt.dt_pending <-
+                    (proc.Process.pid, Addr.page_base vaddr, frame lsr Addr.page_shift, writable)
+                    :: dt.dt_pending;
+                  Ok ())))
+
+let handle_fault_fused t ~proc ~node ~vaddr =
   let origin = proc.Process.origin in
   let mm = ensure_mm t ~proc ~node in
   match vma_for t ~proc ~node ~vaddr with
@@ -301,6 +385,13 @@ let handle_fault_untraced t ~proc ~node ~vaddr ~write =
           end
           else remote_fault t ~proc ~node ~mm ~vaddr ~writable)
 
+let handle_fault_untraced t ~proc ~node ~vaddr ~write =
+  ignore write;
+  let origin = proc.Process.origin in
+  match downtime_of t origin with
+  | Some dt when not (Node_id.equal node origin) -> degraded_fault t dt ~proc ~node ~vaddr
+  | _ -> handle_fault_fused t ~proc ~node ~vaddr
+
 let handle_fault t ~proc ~node ~vaddr ~write =
   if not (Trace.enabled ()) then handle_fault_untraced t ~proc ~node ~vaddr ~write
   else begin
@@ -319,3 +410,218 @@ let handle_fault t ~proc ~node ~vaddr ~write =
 
 let handle_fault_exn t ~proc ~node ~vaddr ~write =
   Fault.get_exn (handle_fault t ~proc ~node ~vaddr ~write)
+
+(* --- crash-stop: death, detection, restart ------------------------------ *)
+
+let detection_latency t =
+  match t.inject with
+  | Some p -> Plan.heartbeat_interval_cycles p * Plan.heartbeat_miss_threshold p
+  | None -> 0
+
+(* Crash a node at a quantum boundary (kernel entries are serialised, so
+   every structure is quiescent). Order matters: break the dead node's
+   PTLs (bumped liveness epoch fences its tokens), sweep both kernels'
+   futex buckets (dead-thread waiters park in the holding area, live
+   waiters queued in the dead kernel requeue into the survivor), capture
+   and encode the checkpoint, then discard the derived state and sweep the
+   hotplug ledger. [Env.liveness] must already record the node as dead. *)
+let on_node_death t ~procs ~threads ~node ~now =
+  if Env.node_alive t.env node then invalid_arg "on_node_death: node is still alive";
+  let survivor = Node_id.other node in
+  Hashtbl.fold (fun pid ptl acc -> (pid, ptl) :: acc) t.ptls []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+  |> List.iter (fun (_, ptl) ->
+         if Stramash_ptl.break_dead ptl ~actor:survivor then plan_note t Plan.note_lock_break);
+  let node_of tid =
+    match List.find_opt (fun (th : Thread.t) -> th.Thread.tid = tid) threads with
+    | Some th -> th.Thread.node
+    | None -> invalid_arg (Printf.sprintf "on_node_death: unknown waiter tid %d" tid)
+  in
+  let holding = ref [] in
+  List.iter
+    (fun knode ->
+      let futexes = (Env.kernel t.env knode).Kernel.futexes in
+      List.iter
+        (fun (uaddr, _) ->
+          List.iter
+            (fun tid ->
+              if Node_id.equal (node_of tid) node then begin
+                holding :=
+                  { Checkpoint.f_home = knode; f_uaddr = uaddr; f_tid = tid } :: !holding;
+                plan_note t Plan.note_waiter_parked
+              end
+              else if Node_id.equal knode node then begin
+                let sfutexes = (Env.kernel t.env survivor).Kernel.futexes in
+                Env.charge_atomic t.env survivor
+                  ~paddr:(Futex.bucket_addr sfutexes ~uaddr);
+                Futex.enqueue_waiter sfutexes ~uaddr ~tid;
+                plan_note t Plan.note_waiter_requeued
+              end
+              else Futex.enqueue_waiter futexes ~uaddr ~tid)
+            (Futex.drain futexes ~uaddr))
+        (Futex.snapshot futexes))
+    Node_id.all;
+  let holding = List.rev !holding in
+  let image = Checkpoint.capture t.env ~node ~procs ~futexes:holding in
+  let blob = Checkpoint.encode image in
+  plan_note t (fun p -> Plan.note_checkpoint p ~bytes:(String.length blob));
+  let shadow =
+    List.filter_map
+      (fun (p : Checkpoint.proc_image) ->
+        let is_origin pr =
+          pr.Process.pid = p.Checkpoint.pid && Node_id.equal pr.Process.origin node
+        in
+        if List.exists is_origin procs then
+          Some
+            ( p.Checkpoint.pid,
+              List.map
+                (fun (v : Checkpoint.vma_image) ->
+                  (v.Checkpoint.v_start, v.Checkpoint.v_end, v.Checkpoint.v_writable))
+                p.Checkpoint.vmas )
+        else None)
+      image.Checkpoint.procs
+  in
+  let pte_shadow = Hashtbl.create 256 in
+  List.iter
+    (fun (p : Checkpoint.proc_image) ->
+      List.iter
+        (fun (pte : Checkpoint.pte_image) ->
+          Hashtbl.replace pte_shadow
+            (p.Checkpoint.pid, pte.Checkpoint.p_vaddr)
+            (pte.Checkpoint.p_frame, pte.Checkpoint.p_writable))
+        p.Checkpoint.ptes)
+    image.Checkpoint.procs;
+  Checkpoint.discard t.env ~node ~procs;
+  List.iter
+    (fun pr ->
+      if Node_id.equal pr.Process.origin node then Hashtbl.remove t.ptls pr.Process.pid)
+    procs;
+  (match t.global_alloc with
+  | None -> ()
+  | Some ga ->
+      let reclaimed, orphaned = Global_alloc.on_node_death ga ~node ~actor:survivor in
+      plan_note t (fun p -> Plan.note_blocks_reclaimed p reclaimed);
+      plan_note t (fun p -> Plan.note_blocks_orphaned p orphaned));
+  t.downs.(Node_id.index node) <-
+    Some
+      {
+        dt_node = node;
+        dt_died_at = now;
+        dt_detect_at = now + detection_latency t;
+        dt_blob = blob;
+        dt_vmas = shadow;
+        dt_ptes = pte_shadow;
+        dt_detected = false;
+        dt_holding = holding;
+        dt_woken = [];
+        dt_pending = [];
+      };
+  plan_note t (fun p -> Plan.note_node_death p node);
+  if Trace.enabled () then
+    Trace.instant ~node ~subsys:"chaos" ~op:"node_death"
+      ~tags:
+        [
+          ("at", string_of_int now);
+          ("checkpoint_bytes", string_of_int (String.length blob));
+          ("parked_waiters", string_of_int (List.length holding));
+        ]
+      ()
+
+let on_peer_detected t ~node ~now =
+  match downtime_of t node with
+  | None -> ()
+  | Some dt ->
+      if not dt.dt_detected then begin
+        dt.dt_detected <- true;
+        plan_note t (fun p -> Plan.note_watchdog_detection p node);
+        if Trace.enabled () then
+          Trace.instant ~node ~subsys:"chaos" ~op:"watchdog_detect"
+            ~tags:[ ("at", string_of_int now) ]
+            ()
+      end
+
+(* Restart: decode the blob, re-materialise page tables and VMA trees,
+   replay the survivor's deferred installs into the restored origin table
+   (remote-owned iff the frame came from the survivor's allocator), and
+   re-park checkpointed waiters minus any woken during the downtime.
+   [Env.liveness] must already record the node as alive again — its epoch
+   bump is what keeps pre-crash lock tokens fenced out. *)
+let on_node_restart t ~procs ~node ~now =
+  if not (Env.node_alive t.env node) then invalid_arg "on_node_restart: node is still dead";
+  match downtime_of t node with
+  | None -> invalid_arg "on_node_restart: node is not down"
+  | Some dt ->
+      t.downs.(Node_id.index node) <- None;
+      let image =
+        match Checkpoint.decode dt.dt_blob with
+        | Ok image -> image
+        | Error msg -> invalid_arg ("on_node_restart: corrupt checkpoint: " ^ msg)
+      in
+      let stats = Checkpoint.restore t.env ~procs image in
+      plan_note t (fun p -> Plan.note_restore p ~pages:stats.Checkpoint.restored_pages);
+      let io = Env.pt_io t.env ~actor:node ~owner:node in
+      let kernel = Env.kernel t.env node in
+      List.iter
+        (fun (pid, vaddr, frame, writable) ->
+          match List.find_opt (fun pr -> pr.Process.pid = pid) procs with
+          | None -> () (* exited during the downtime *)
+          | Some proc -> (
+              match Process.mm proc node with
+              | None -> ()
+              | Some omm ->
+                  let remote_owned =
+                    not
+                      (Frame_alloc.owns_address kernel.Kernel.frames
+                         (frame lsl Addr.page_shift))
+                  in
+                  if Page_table.walk omm.Process.pgtable io ~vaddr = None then
+                    Page_table.map omm.Process.pgtable io ~vaddr ~frame
+                      { Pte.default_flags with writable; remote_owned }))
+        (List.rev dt.dt_pending);
+      List.iter
+        (fun (f : Checkpoint.futex_image) ->
+          if not (List.mem f.Checkpoint.f_tid dt.dt_woken) then begin
+            let futexes = (Env.kernel t.env f.Checkpoint.f_home).Kernel.futexes in
+            Env.charge_atomic t.env node
+              ~paddr:(Futex.bucket_addr futexes ~uaddr:f.Checkpoint.f_uaddr);
+            Futex.enqueue_waiter futexes ~uaddr:f.Checkpoint.f_uaddr ~tid:f.Checkpoint.f_tid
+          end)
+        image.Checkpoint.futexes;
+      plan_note t (fun p -> Plan.note_node_restart p node);
+      plan_note t (fun p -> Plan.add_downtime_cycles p ~cycles:(now - dt.dt_died_at));
+      if Trace.enabled () then
+        Trace.instant ~node ~subsys:"chaos" ~op:"node_restart"
+          ~tags:
+            [
+              ("at", string_of_int now);
+              ("downtime", string_of_int (now - dt.dt_died_at));
+              ("restored_pages", string_of_int stats.Checkpoint.restored_pages);
+            ]
+          ()
+
+(* Waiters parked in a downtime holding area are logically wakeable: a
+   survivor's FUTEX_WAKE pops them (FIFO) and the woken tid is recorded so
+   the restart does not re-park it. *)
+let wake_held t ~uaddr ~limit =
+  let woken = ref [] in
+  Array.iter
+    (function
+      | None -> ()
+      | Some dt ->
+          let rec go acc = function
+            | [] -> List.rev acc
+            | (f : Checkpoint.futex_image) :: rest ->
+                if f.Checkpoint.f_uaddr = uaddr && List.length !woken < limit then begin
+                  woken := f.Checkpoint.f_tid :: !woken;
+                  dt.dt_woken <- f.Checkpoint.f_tid :: dt.dt_woken;
+                  go acc rest
+                end
+                else go (f :: acc) rest
+          in
+          dt.dt_holding <- go [] dt.dt_holding)
+    t.downs;
+  List.rev !woken
+
+let held_waiters t =
+  Array.to_list t.downs
+  |> List.concat_map (function None -> [] | Some dt -> dt.dt_holding)

@@ -80,3 +80,49 @@ val exit_process : t -> proc:Stramash_kernel.Process.t -> unit
     frees remote-owned pages, the remote kernel finalises its own. *)
 
 val reset_counters : t -> unit
+
+(** {2 Crash-stop node failures}
+
+    A node dies crash-stop at a quantum boundary: its PTLs are broken
+    (fenced by the liveness epoch), waiters owned by its threads park in a
+    holding area, its derived kernel state is checkpointed and discarded,
+    and its hotplug donations are swept. While it is down, faults on
+    processes it originated degrade to message-walk cost against the
+    checkpoint's VMA shadow; restart re-materialises everything and
+    reconciles the survivor's deferred installs. *)
+
+val chaos_armed : t -> bool
+(** The fault plan schedules at least one node death. *)
+
+val node_down : t -> Stramash_sim.Node_id.t -> bool
+(** A downtime record exists for [node] (death processed, restart not). *)
+
+val degraded_walks : t -> int
+(** Faults served in degraded (message-walk) mode. *)
+
+val on_node_death :
+  t ->
+  procs:Stramash_kernel.Process.t list ->
+  threads:Stramash_kernel.Thread.t list ->
+  node:Stramash_sim.Node_id.t ->
+  now:int ->
+  unit
+(** Process a crash-stop at wall-cycle [now]. [Env.liveness] must already
+    record the node as dead (the epoch bump fences its lock tokens). *)
+
+val on_peer_detected : t -> node:Stramash_sim.Node_id.t -> now:int -> unit
+(** The heartbeat watchdog declared [node] dead: record the detection
+    (idempotent). *)
+
+val on_node_restart :
+  t -> procs:Stramash_kernel.Process.t list -> node:Stramash_sim.Node_id.t -> now:int -> unit
+(** Restore [node] from its checkpoint at wall-cycle [now]. [Env.liveness]
+    must already record it alive again. Raises [Invalid_argument] if the
+    node is not down or the blob fails to decode. *)
+
+val wake_held : t -> uaddr:int -> limit:int -> int list
+(** Pop up to [limit] parked waiters on [uaddr] from downtime holding
+    areas (FIFO); the popped tids are excluded from restart re-parking. *)
+
+val held_waiters : t -> Checkpoint.futex_image list
+(** All currently-parked waiters, for audits. *)

@@ -16,6 +16,13 @@ type t = { env : Env.t; faults : Stramash_fault.t; mutable ipis : int }
 let create env faults = { env; faults; ipis = 0 }
 let ipis_sent t = t.ipis
 
+(* Waiters normally queue in the origin kernel's bucket. While the origin
+   is crash-stopped its buckets are unreachable, so futex traffic homes on
+   the survivor; after the restart, wakes drain both homes (see
+   [wake_acting]) so nothing queued during the downtime is stranded. *)
+let home_node t ~origin =
+  if Env.node_alive t.env origin then origin else Node_id.other origin
+
 (* Resolve the futex word's physical address through the caller's own page
    table, faulting the page in if necessary (shared frame — the word is the
    same memory on both kernels). *)
@@ -46,10 +53,11 @@ let wait_acting t ~actor ~proc ~thread ~uaddr ~expected =
         ~node:actor ~subsys:"futex" ~op:"wait" ()
     else Trace.null
   in
-  let origin = proc.Process.origin in
-  let kernel = Env.kernel t.env origin in
-  (* Direct access to the origin's futex bucket: CAS + queue ops by the
-     acting node (remote latency when the actor is not the origin). *)
+  let home = home_node t ~origin:proc.Process.origin in
+  let kernel = Env.kernel t.env home in
+  (* Direct access to the home (normally origin) kernel's futex bucket:
+     CAS + queue ops by the acting node (remote latency when the actor is
+     not the bucket's home). *)
   let bucket = Futex.bucket_addr kernel.Kernel.futexes ~uaddr in
   Env.charge_atomic t.env actor ~paddr:bucket;
   let wp = word_paddr t ~proc ~node:actor ~uaddr in
@@ -84,26 +92,52 @@ let wake_acting t ~actor ~proc ~threads ~uaddr ~nwake =
       Trace.span ~at:(Meter.get meter) ~node ~subsys:"futex" ~op:"wake" ()
     else Trace.null
   in
-  let origin = proc.Process.origin in
-  let kernel = Env.kernel t.env origin in
-  let bucket = Futex.bucket_addr kernel.Kernel.futexes ~uaddr in
-  Env.charge_atomic t.env node ~paddr:bucket;
-  let rec collect n acc =
-    if n = 0 then List.rev acc
-    else
-      match Futex.dequeue_waiter kernel.Kernel.futexes ~uaddr with
-      | None -> List.rev acc
-      | Some tid ->
-          Env.charge_load t.env node ~paddr:bucket;
-          collect (n - 1) (tid :: acc)
+  let home = home_node t ~origin:proc.Process.origin in
+  let drain_bucket knode n =
+    if n <= 0 then []
+    else begin
+      let futexes = (Env.kernel t.env knode).Kernel.futexes in
+      let bucket = Futex.bucket_addr futexes ~uaddr in
+      Env.charge_atomic t.env node ~paddr:bucket;
+      let rec collect n acc =
+        if n = 0 then List.rev acc
+        else
+          match Futex.dequeue_waiter futexes ~uaddr with
+          | None -> List.rev acc
+          | Some tid ->
+              Env.charge_load t.env node ~paddr:bucket;
+              collect (n - 1) (tid :: acc)
+      in
+      let woken = collect n [] in
+      Env.charge_store t.env node ~paddr:bucket;
+      woken
+    end
   in
-  let woken = collect nwake [] in
-  Env.charge_store t.env node ~paddr:bucket;
-  (* One cross-ISA IPI per waiter parked on the other kernel instance. *)
+  let woken = drain_bucket home nwake in
+  (* Under a chaos schedule waiters can sit in three more places: the
+     other live kernel's bucket (queued there while this one was down),
+     and the downtime holding area (their own node died mid-wait). Plain
+     runs never probe these — the paths stay bit-identical. *)
+  let woken =
+    if not (Stramash_fault.chaos_armed t.faults) then woken
+    else begin
+      let alt = Node_id.other home in
+      let woken =
+        if Env.node_alive t.env alt then
+          woken @ drain_bucket alt (nwake - List.length woken)
+        else woken
+      in
+      woken @ Stramash_fault.wake_held t.faults ~uaddr ~limit:(nwake - List.length woken)
+    end
+  in
+  (* One cross-ISA IPI per waiter parked on the other kernel instance —
+     unless that instance is dead (the wake takes effect at restart). *)
   List.iter
     (fun tid ->
       match List.find_opt (fun th -> th.Thread.tid = tid) threads with
-      | Some th when not (Node_id.equal th.Thread.node node) ->
+      | Some th
+        when (not (Node_id.equal th.Thread.node node))
+             && Env.node_alive t.env th.Thread.node ->
           t.ipis <- t.ipis + 1;
           Meter.add (Env.meter t.env node) (Ipi.cross_isa_ipi_cycles / 8);
           (* triggering the IPI is cheap for the sender; delivery latency

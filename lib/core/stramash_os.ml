@@ -17,7 +17,19 @@ type t = {
 }
 
 let create ?(futex_optimized = true) ?inject env () =
-  let msg = Msg_layer.create Msg_layer.Shm env ?inject () in
+  let module Plan = Stramash_fault_inject.Plan in
+  let heartbeat =
+    (* Only chaos schedules attach the watchdog: plain runs carry no
+       heartbeat traffic and stay bit-identical to pre-chaos builds. *)
+    match inject with
+    | Some plan when Plan.chaos_armed plan ->
+        Some
+          (Stramash_interconnect.Heartbeat.create
+             ~interval:(Plan.heartbeat_interval_cycles plan)
+             ~miss_threshold:(Plan.heartbeat_miss_threshold plan))
+    | _ -> None
+  in
+  let msg = Msg_layer.create Msg_layer.Shm env ?inject ?heartbeat () in
   let global_alloc = Global_alloc.create env ~rng:(Rng.create ~seed:0x57A3A54L) () in
   let faults = Stramash_fault.create ?inject ~global_alloc env msg in
   let futexes = Stramash_futex.create env faults in
@@ -90,3 +102,17 @@ let futex_wake t ~proc ~thread ~threads ~uaddr ~nwake =
         woken := Stramash_futex.wake_acting t.futexes ~actor:origin ~proc ~threads ~uaddr ~nwake);
     !woken
   end
+
+(* --- crash-stop plumbing (driven by the machine runner) ----------------- *)
+
+let heartbeat t = Msg_layer.heartbeat t.msg
+let heartbeat_tick t ~src ~now = Msg_layer.heartbeat_tick t.msg ~src ~now
+let node_down t node = Stramash_fault.node_down t.faults node
+
+let on_node_death t ~procs ~threads ~node ~now =
+  Stramash_fault.on_node_death t.faults ~procs ~threads ~node ~now
+
+let on_peer_detected t ~node ~now = Stramash_fault.on_peer_detected t.faults ~node ~now
+
+let on_node_restart t ~procs ~node ~now =
+  Stramash_fault.on_node_restart t.faults ~procs ~node ~now

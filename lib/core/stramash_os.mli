@@ -65,3 +65,26 @@ val futex_wake :
 
 val exit_process : t -> proc:Stramash_kernel.Process.t -> unit
 (** §6.4 memory recycling (see {!Stramash_fault.exit_process}). *)
+
+(** {2 Crash-stop node failures}
+
+    Present only when the fault plan schedules node deaths; see
+    {!Stramash_fault} for the semantics. The machine runner drives these
+    at quantum boundaries. *)
+
+val heartbeat : t -> Stramash_interconnect.Heartbeat.t option
+val heartbeat_tick : t -> src:Stramash_sim.Node_id.t -> now:int -> unit
+val node_down : t -> Stramash_sim.Node_id.t -> bool
+
+val on_node_death :
+  t ->
+  procs:Stramash_kernel.Process.t list ->
+  threads:Stramash_kernel.Thread.t list ->
+  node:Stramash_sim.Node_id.t ->
+  now:int ->
+  unit
+
+val on_peer_detected : t -> node:Stramash_sim.Node_id.t -> now:int -> unit
+
+val on_node_restart :
+  t -> procs:Stramash_kernel.Process.t list -> node:Stramash_sim.Node_id.t -> now:int -> unit

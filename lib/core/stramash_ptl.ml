@@ -6,19 +6,39 @@ module Fault = Stramash_fault_inject.Fault
 module Plan = Stramash_fault_inject.Plan
 module Trace = Stramash_obs.Trace
 
+(* Ownership is a fencing token, not a bare node id: the epoch is the
+   holder's liveness epoch at acquisition time. Every crash and every
+   restart bumps the node's epoch, so a token minted before a crash can
+   never match the node's current epoch again — a zombie restart replaying
+   its pre-crash token is rejected instead of silently re-acquiring stale
+   ownership. *)
+type token = { node : Node_id.t; epoch : int }
+
 type t = {
   env : Env.t;
   lock_addr : int;
-  mutable held_by : Node_id.t option;
+  mutable held_by : token option;
   mutable acquisitions : int;
   mutable remote_acquisitions : int;
+  mutable breaks : int;
+  mutable stale_rejections : int;
 }
 
 let create env ~lock_addr =
-  { env; lock_addr; held_by = None; acquisitions = 0; remote_acquisitions = 0 }
+  {
+    env;
+    lock_addr;
+    held_by = None;
+    acquisitions = 0;
+    remote_acquisitions = 0;
+    breaks = 0;
+    stale_rejections = 0;
+  }
 
 let lock_addr t = t.lock_addr
 let is_held t = t.held_by <> None
+let holder t = Option.map (fun tok -> tok.node) t.held_by
+let mint t ~actor = { node = actor; epoch = Env.node_epoch t.env actor }
 
 let with_lock t ~actor f =
   if t.held_by <> None then
@@ -30,7 +50,7 @@ let with_lock t ~actor f =
     else Trace.null
   in
   Env.charge_atomic t.env actor ~paddr:t.lock_addr;
-  t.held_by <- Some actor;
+  t.held_by <- Some (mint t ~actor);
   t.acquisitions <- t.acquisitions + 1;
   let remote =
     match Layout.locality t.env.Env.hw_model ~node:actor t.lock_addr with
@@ -95,3 +115,80 @@ let try_with_lock t ~actor ?inject f =
 
 let acquisitions t = t.acquisitions
 let remote_acquisitions t = t.remote_acquisitions
+let breaks t = t.breaks
+let stale_rejections t = t.stale_rejections
+
+(* --- explicit token protocol (crash-stop model) ------------------------- *)
+
+let token_current t tok = tok.epoch = Env.node_epoch t.env tok.node
+
+let stale t tok =
+  t.stale_rejections <- t.stale_rejections + 1;
+  Error (Fault.Stale_token { lock_addr = t.lock_addr; node = Node_id.to_string tok.node; epoch = tok.epoch })
+
+let acquire t ~actor =
+  if not (Env.node_alive t.env actor) then
+    Error (Fault.Node_dead { node = Node_id.to_string actor; op = "ptl_acquire" })
+  else
+    match t.held_by with
+    | Some _ -> Error (Fault.Lock_timeout { lock_addr = t.lock_addr; attempts = 1 })
+    | None ->
+        Env.charge_atomic t.env actor ~paddr:t.lock_addr;
+        let tok = mint t ~actor in
+        t.held_by <- Some tok;
+        t.acquisitions <- t.acquisitions + 1;
+        Ok tok
+
+(* A zombie replaying its pre-crash token to claim it still owns the lock.
+   The CAS really happens (and is charged), but the fencing epoch check
+   rejects any token from a superseded incarnation. *)
+let reacquire t ~token =
+  if not (Env.node_alive t.env token.node) then
+    Error (Fault.Node_dead { node = Node_id.to_string token.node; op = "ptl_reacquire" })
+  else begin
+    Env.charge_atomic t.env token.node ~paddr:t.lock_addr;
+    if not (token_current t token) then stale t token
+    else
+      match t.held_by with
+      | Some held when held = token -> Ok ()
+      | Some _ -> Error (Fault.Lock_timeout { lock_addr = t.lock_addr; attempts = 1 })
+      | None ->
+          t.held_by <- Some token;
+          t.acquisitions <- t.acquisitions + 1;
+          Ok ()
+  end
+
+let release t ~token =
+  if not (Env.node_alive t.env token.node) then
+    Error (Fault.Node_dead { node = Node_id.to_string token.node; op = "ptl_release" })
+  else begin
+    Env.charge_store t.env token.node ~paddr:t.lock_addr;
+    if not (token_current t token) then stale t token
+    else
+      match t.held_by with
+      | Some held when held = token ->
+          t.held_by <- None;
+          Ok ()
+      | _ -> stale t token
+  end
+
+(* Survivor-side lock break: the word is force-cleared by [actor] once the
+   watchdog has declared the holder dead. The store is real work and is
+   charged to the breaker. *)
+let break_dead t ~actor =
+  match t.held_by with
+  | Some tok when not (Env.node_alive t.env tok.node) ->
+      Env.charge_store t.env actor ~paddr:t.lock_addr;
+      t.held_by <- None;
+      t.breaks <- t.breaks + 1;
+      if Trace.enabled () then
+        Trace.instant ~node:actor ~subsys:"ptl" ~op:"break_dead"
+          ~tags:
+            [
+              ("holder", Node_id.to_string tok.node);
+              ("epoch", string_of_int tok.epoch);
+              ("lock", Printf.sprintf "0x%x" t.lock_addr);
+            ]
+          ();
+      true
+  | _ -> false

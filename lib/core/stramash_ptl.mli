@@ -10,12 +10,19 @@
 
 type t
 
+type token = private { node : Stramash_sim.Node_id.t; epoch : int }
+(** Fencing token: the holder's identity plus its liveness epoch at
+    acquisition. Crashes and restarts both bump the epoch, so a pre-crash
+    token can never validate against any later incarnation of its node. *)
+
 val create : Stramash_kernel.Env.t -> lock_addr:int -> t
 val lock_addr : t -> int
 
 val is_held : t -> bool
 (** True while some kernel is inside the critical section — must be false
     at quiescence (audited after every campaign run). *)
+
+val holder : t -> Stramash_sim.Node_id.t option
 
 val with_lock : t -> actor:Stramash_sim.Node_id.t -> (unit -> 'a) -> 'a
 (** Charges the CAS (acquire) and store (release) at [lock_addr] to
@@ -34,3 +41,35 @@ val try_with_lock :
 
 val acquisitions : t -> int
 val remote_acquisitions : t -> int
+
+(** {2 Explicit token protocol (crash-stop model)}
+
+    The closure API above covers normal kernel entries, which are
+    serialised and never span a crash. The explicit protocol exists for
+    the failure model: ownership outlives the call that took it, so it
+    must be re-validated — by epoch — whenever it is exercised. *)
+
+val acquire :
+  t -> actor:Stramash_sim.Node_id.t -> (token, Stramash_fault_inject.Fault.error) result
+(** Take the free lock and mint a token under [actor]'s current epoch.
+    [Error (Lock_timeout _)] if held; [Error (Node_dead _)] if [actor] is
+    itself dead (a dead node executes nothing). *)
+
+val reacquire : t -> token:token -> (unit, Stramash_fault_inject.Fault.error) result
+(** Replay [token] to claim (or confirm) ownership — what a zombie restart
+    attempts with its pre-crash token. The CAS is charged, then a token
+    from a superseded incarnation is rejected with [Error (Stale_token _)]
+    regardless of the lock's current state. *)
+
+val release : t -> token:token -> (unit, Stramash_fault_inject.Fault.error) result
+(** Release under [token]; [Error (Stale_token _)] if the epoch is stale
+    or the lock is no longer held by exactly this token (e.g. it was
+    broken while its holder was down). *)
+
+val break_dead : t -> actor:Stramash_sim.Node_id.t -> bool
+(** Force-release iff the current holder is dead (ground truth); the
+    store is charged to the breaking survivor. Returns whether a break
+    happened. *)
+
+val breaks : t -> int
+val stale_rejections : t -> int

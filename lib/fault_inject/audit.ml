@@ -1,11 +1,15 @@
 module Node_id = Stramash_sim.Node_id
+module Liveness = Stramash_sim.Liveness
 module Addr = Stramash_mem.Addr
+module Layout = Stramash_mem.Layout
 module Env = Stramash_kernel.Env
 module Kernel = Stramash_kernel.Kernel
 module Frame_alloc = Stramash_kernel.Frame_alloc
+module Futex = Stramash_kernel.Futex
 module Page_table = Stramash_kernel.Page_table
 module Pte = Stramash_kernel.Pte
 module Process = Stramash_kernel.Process
+module Thread = Stramash_kernel.Thread
 module Vma = Stramash_kernel.Vma
 
 type violation = { check : string; detail : string }
@@ -58,7 +62,7 @@ let iter_leaves env ~proc ~f =
         ranges)
     proc.Process.mms
 
-let run ~env ~procs ?(extra = []) () =
+let run ~env ~procs ?threads ?held ?ledger ?(extra = []) () =
   let checks = ref 0 in
   let violations = ref [] in
   let bad check detail = violations := { check; detail } :: !violations in
@@ -111,6 +115,75 @@ let run ~env ~procs ?(extra = []) () =
                        proc.Process.pid)
               | _ -> Hashtbl.replace global_frames paddr proc.Process.pid)))
     procs;
+  (* Futex waiter lists: every queued tid must name an existing thread,
+     blocked on exactly that futex word, on a live node (dead-node waiters
+     are parked in the downtime holding area, never left in a queue). *)
+  (match threads with
+  | None -> ()
+  | Some threads ->
+      let liveness = env.Env.liveness in
+      let find tid = List.find_opt (fun th -> th.Thread.tid = tid) threads in
+      List.iter
+        (fun node ->
+          let futexes = (Env.kernel env node).Kernel.futexes in
+          Futex.iter_waiters futexes ~f:(fun ~uaddr ~tid ->
+              incr checks;
+              match find tid with
+              | None ->
+                  bad "futex-waiter"
+                    (Printf.sprintf "%s bucket 0x%x queues absent tid=%d"
+                       (Node_id.to_string node) uaddr tid)
+              | Some th ->
+                  incr checks;
+                  if not (Liveness.is_alive liveness th.Thread.node) then
+                    bad "futex-waiter"
+                      (Printf.sprintf "%s bucket 0x%x queues tid=%d of dead node %s"
+                         (Node_id.to_string node) uaddr tid
+                         (Node_id.to_string th.Thread.node));
+                  incr checks;
+                  (match th.Thread.state with
+                  | Thread.Blocked_futex u when u = uaddr -> ()
+                  | st ->
+                      bad "futex-waiter"
+                        (Format.asprintf "%s bucket 0x%x queues tid=%d in state %a"
+                           (Node_id.to_string node) uaddr tid Thread.pp_state st))))
+        Node_id.all;
+      (* the holding area is the dual: only dead-node threads may park there *)
+      List.iter
+        (fun (uaddr, tid) ->
+          incr checks;
+          match find tid with
+          | None ->
+              bad "futex-held"
+                (Printf.sprintf "holding area parks absent tid=%d (uaddr=0x%x)" tid uaddr)
+          | Some th ->
+              incr checks;
+              if Liveness.is_alive liveness th.Thread.node then
+                bad "futex-held"
+                  (Printf.sprintf "holding area parks tid=%d but node %s is alive" tid
+                     (Node_id.to_string th.Thread.node)))
+        (Option.value ~default:[] held));
+  (* Hotplug ledger: a donated block is either owned by a live node or
+     orphaned by a dead one — a dead node's non-orphaned block escaped the
+     death sweep; an orphaned block under a live owner escaped restart
+     re-adoption. *)
+  (match ledger with
+  | None -> ()
+  | Some entries ->
+      let liveness = env.Env.liveness in
+      List.iter
+        (fun (owner, (region : Layout.region), orphaned) ->
+          incr checks;
+          let alive = Liveness.is_alive liveness owner in
+          if orphaned && alive then
+            bad "hotplug-ledger"
+              (Printf.sprintf "block 0x%x-0x%x orphaned but owner %s is alive" region.Layout.lo
+                 region.Layout.hi (Node_id.to_string owner));
+          if (not orphaned) && not alive then
+            bad "hotplug-ledger"
+              (Printf.sprintf "block 0x%x-0x%x owned by dead node %s and not orphaned"
+                 region.Layout.lo region.Layout.hi (Node_id.to_string owner)))
+        entries);
   List.iter
     (fun (name, ok) ->
       incr checks;

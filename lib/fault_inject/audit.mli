@@ -26,12 +26,23 @@ val pp : Format.formatter -> report -> unit
 val run :
   env:Stramash_kernel.Env.t ->
   procs:Stramash_kernel.Process.t list ->
+  ?threads:Stramash_kernel.Thread.t list ->
+  ?held:(int * int) list ->
+  ?ledger:(Stramash_sim.Node_id.t * Stramash_mem.Layout.region * bool) list ->
   ?extra:(string * bool) list ->
   unit ->
   report
 (** Consistency audit over live processes. [extra] carries caller-side
     predicates (e.g. "PTL quiescent") folded into the same report; a
-    [false] entry becomes a violation named by its label. *)
+    [false] entry becomes a violation named by its label.
+
+    [threads] arms the futex-waiter checks: every queued tid must name an
+    existing thread, blocked on exactly that futex word, on a live node;
+    [held] is the downtime holding area as [(uaddr, tid)] pairs, whose
+    dual invariant is that only dead-node threads park there. [ledger]
+    (from {!Stramash_core.Global_alloc.ledger}-shaped data) arms the
+    hotplug-consistency check: every donated block is live-owned or
+    orphaned-by-a-dead-node, never neither. *)
 
 val mapped_frames :
   env:Stramash_kernel.Env.t ->

@@ -4,6 +4,8 @@ type error =
   | Walk_failed of { vaddr : int; attempts : int }
   | Lock_timeout of { lock_addr : int; attempts : int }
   | Msg_timeout of { label : string; attempts : int }
+  | Node_dead of { node : string; op : string }
+  | Stale_token of { lock_addr : int; node : string; epoch : int }
 
 exception Error of error
 
@@ -17,6 +19,10 @@ let to_string = function
       Printf.sprintf "lock acquisition timed out at 0x%x after %d attempts" lock_addr attempts
   | Msg_timeout { label; attempts } ->
       Printf.sprintf "message %S timed out after %d attempts" label attempts
+  | Node_dead { node; op } -> Printf.sprintf "node %s is dead (op %s)" node op
+  | Stale_token { lock_addr; node; epoch } ->
+      Printf.sprintf "stale fencing token for lock 0x%x: %s epoch %d has been superseded"
+        lock_addr node epoch
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 

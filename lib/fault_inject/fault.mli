@@ -14,6 +14,10 @@ type error =
       (** remote PTE reads kept failing transiently *)
   | Lock_timeout of { lock_addr : int; attempts : int }
   | Msg_timeout of { label : string; attempts : int }
+  | Node_dead of { node : string; op : string }
+      (** the peer needed by [op] has crash-stopped *)
+  | Stale_token of { lock_addr : int; node : string; epoch : int }
+      (** a fencing token from a pre-crash incarnation was presented *)
 
 exception Error of error
 (** CLI-edge escape hatch; library code returns [result]s instead. *)

@@ -1,5 +1,7 @@
 open Stramash_sim
 
+type node_event = { node : Node_id.t; kill_at : int; restart_after : int option }
+
 type config = {
   (* message layer *)
   msg_drop_rate : float;
@@ -23,6 +25,11 @@ type config = {
   ptl_max_attempts : int;
   (* frame allocator *)
   alloc_fail_rate : float;
+  (* crash-stop node failures *)
+  node_events : node_event list;
+  heartbeat_interval_cycles : int;
+  heartbeat_miss_threshold : int;
+  degraded_walk_penalty_cycles : int;
 }
 
 let default =
@@ -44,6 +51,10 @@ let default =
     ptl_backoff_cycles = Cycles.of_us 1.0;
     ptl_max_attempts = 4;
     alloc_fail_rate = 0.0;
+    node_events = [];
+    heartbeat_interval_cycles = Cycles.of_us 10.0;
+    heartbeat_miss_threshold = 3;
+    degraded_walk_penalty_cycles = Cycles.of_us 3.0;
   }
 
 type t = {
@@ -57,7 +68,41 @@ type t = {
   recovery : Metrics.Histogram.t;
 }
 
+(* Kill/restart schedules are normalized at plan creation: sorted by kill
+   time, with per-node sanity enforced up front so the runner can treat
+   the list as a simple cursor. *)
+let validate_events events =
+  let sorted =
+    List.stable_sort (fun a b -> compare (a.kill_at, Node_id.index a.node) (b.kill_at, Node_id.index b.node)) events
+  in
+  List.iter
+    (fun e ->
+      if e.kill_at < 0 then invalid_arg "Plan: node_event kill_at must be >= 0";
+      match e.restart_after with
+      | Some d when d <= 0 -> invalid_arg "Plan: node_event restart_after must be > 0"
+      | _ -> ())
+    sorted;
+  List.iter
+    (fun node ->
+      let mine = List.filter (fun e -> Node_id.equal e.node node) sorted in
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+            (match a.restart_after with
+            | None ->
+                invalid_arg
+                  "Plan: a node_event without restart_after must be the node's last"
+            | Some d ->
+                if b.kill_at < a.kill_at + d then
+                  invalid_arg "Plan: overlapping node_events for one node");
+            check rest
+        | _ -> ()
+      in
+      check mine)
+    Node_id.all;
+  sorted
+
 let create ~seed config =
+  let config = { config with node_events = validate_events config.node_events } in
   (* One private stream per injection site, split off in a fixed order so
      adding draws at one site never perturbs decisions at another — and the
      workload RNG (a different seed entirely) is untouched. *)
@@ -178,6 +223,46 @@ let note_fallback_escalation t = Metrics.incr t.metrics "fallback.escalations"
 
 let record_recovery t ~cycles =
   Metrics.Histogram.record t.recovery (float_of_int cycles)
+
+(* --- crash-stop node failures ------------------------------------------- *)
+
+let node_events t = t.config.node_events
+let chaos_armed t = t.config.node_events <> []
+let heartbeat_interval_cycles t = t.config.heartbeat_interval_cycles
+let heartbeat_miss_threshold t = t.config.heartbeat_miss_threshold
+let degraded_walk_penalty_cycles t = t.config.degraded_walk_penalty_cycles
+
+let note_node_death t node =
+  Metrics.incr t.metrics (Printf.sprintf "chaos.%s.deaths" (Node_id.to_string node));
+  mark "node_death"
+
+let note_node_restart t node =
+  Metrics.incr t.metrics (Printf.sprintf "chaos.%s.restarts" (Node_id.to_string node));
+  mark "node_restart"
+
+let note_watchdog_detection t node =
+  Metrics.incr t.metrics
+    (Printf.sprintf "chaos.%s.watchdog_detections" (Node_id.to_string node));
+  mark "watchdog_detect"
+
+let note_lock_break t = Metrics.incr t.metrics "chaos.lock_breaks"
+let note_stale_token t =
+  Metrics.incr t.metrics "chaos.stale_tokens";
+  mark "stale_token"
+let note_waiter_parked t = Metrics.incr t.metrics "chaos.waiters_parked"
+let note_waiter_requeued t = Metrics.incr t.metrics "chaos.waiters_requeued"
+let note_blocks_reclaimed t n = Metrics.add t.metrics "chaos.blocks_reclaimed" n
+let note_blocks_orphaned t n = Metrics.add t.metrics "chaos.blocks_orphaned" n
+let note_degraded_walk t = Metrics.incr t.metrics "chaos.degraded_walks"
+let note_dead_node_message t = Metrics.incr t.metrics "chaos.dead_node_messages"
+let add_downtime_cycles t ~cycles = Metrics.add t.metrics "chaos.downtime_cycles" cycles
+let add_degraded_cycles t ~cycles = Metrics.add t.metrics "chaos.degraded_cycles" cycles
+let note_checkpoint t ~bytes =
+  Metrics.incr t.metrics "chaos.checkpoints";
+  Metrics.add t.metrics "chaos.checkpoint_bytes" bytes
+let note_restore t ~pages =
+  Metrics.incr t.metrics "chaos.restores";
+  Metrics.add t.metrics "chaos.restored_pages" pages
 
 (* --- reporting ---------------------------------------------------------- *)
 

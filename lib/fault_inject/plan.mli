@@ -11,6 +11,13 @@
     verdict bumps the matching counter in {!metrics}, so a campaign report
     needs no extra bookkeeping at the call sites. *)
 
+type node_event = {
+  node : Stramash_sim.Node_id.t;
+  kill_at : int;  (** wall cycle at (or after) which the node crash-stops *)
+  restart_after : int option;
+      (** downtime in cycles before the node restarts; [None] = never *)
+}
+
 type config = {
   msg_drop_rate : float;  (** probability a ring/TCP message attempt is dropped *)
   msg_delay_rate : float;  (** probability of a delivery delay spike *)
@@ -29,14 +36,25 @@ type config = {
   ptl_backoff_cycles : int;
   ptl_max_attempts : int;
   alloc_fail_rate : float;  (** simulated frame-allocator exhaustion *)
+  node_events : node_event list;  (** crash-stop kill/restart schedule *)
+  heartbeat_interval_cycles : int;
+  heartbeat_miss_threshold : int;  (** missed beats before a peer is declared dead *)
+  degraded_walk_penalty_cycles : int;
+      (** extra cost of a message-based (Popcorn-style) walk while degraded *)
 }
 
 val default : config
-(** All rates zero: a plan built from [default] injects nothing. *)
+(** All rates zero, no node events: a plan built from [default] injects
+    nothing. *)
 
 type t
 
 val create : seed:int64 -> config -> t
+(** Normalizes and validates [node_events] (sorted by kill time; per-node
+    kill/restart intervals must not overlap; an event with no restart must
+    be its node's last).
+    @raise Invalid_argument on a malformed schedule. *)
+
 val config : t -> config
 val metrics : t -> Stramash_sim.Metrics.registry
 val recovery_histogram : t -> Stramash_sim.Metrics.Histogram.t
@@ -78,6 +96,37 @@ val note_fallback_escalation : t -> unit
 (** {2 Recovery accounting} *)
 
 val record_recovery : t -> cycles:int -> unit
+
+(** {2 Crash-stop node failures}
+
+    The schedule itself is data; the runner interprets it at quantum
+    boundaries. The [note_*] functions centralise chaos counters in the
+    plan's registry so campaign reports and [--metrics-json] see one
+    consistent namespace. *)
+
+val node_events : t -> node_event list
+(** Sorted by kill time. *)
+
+val chaos_armed : t -> bool
+val heartbeat_interval_cycles : t -> int
+val heartbeat_miss_threshold : t -> int
+val degraded_walk_penalty_cycles : t -> int
+
+val note_node_death : t -> Stramash_sim.Node_id.t -> unit
+val note_node_restart : t -> Stramash_sim.Node_id.t -> unit
+val note_watchdog_detection : t -> Stramash_sim.Node_id.t -> unit
+val note_lock_break : t -> unit
+val note_stale_token : t -> unit
+val note_waiter_parked : t -> unit
+val note_waiter_requeued : t -> unit
+val note_blocks_reclaimed : t -> int -> unit
+val note_blocks_orphaned : t -> int -> unit
+val note_degraded_walk : t -> unit
+val note_dead_node_message : t -> unit
+val add_downtime_cycles : t -> cycles:int -> unit
+val add_degraded_cycles : t -> cycles:int -> unit
+val note_checkpoint : t -> bytes:int -> unit
+val note_restore : t -> pages:int -> unit
 
 val report : Format.formatter -> t -> unit
 (** Deterministic dump: sorted counters plus the recovery-latency

@@ -140,6 +140,7 @@ let data_packing fmt =
       meters = [| Meter.create (); Meter.create () |];
       tlbs = [| Tlb.create (); Tlb.create () |];
       hw_model = Layout.Shared;
+      liveness = Stramash_sim.Liveness.create ();
     }
   in
   let packer = Data_packing.create env ~owner:Node_id.X86 ~window_bytes:(16 * Addr.page_size) in

@@ -1,0 +1,41 @@
+(** Node-failure chaos campaign: crash-stop kills and restarts injected
+    into a live NPB run, with invariant audits after every recovery and a
+    survivor-fingerprint check against a fault-free baseline. Output is a
+    pure function of (seed, bench, kills, downtime, cache mode). *)
+
+type verdict =
+  | Clean  (** Every kill recovered, all audits clean, checksum matches. *)
+  | Violations  (** Campaign ran but an audit or the fingerprint failed. *)
+  | Unrecovered  (** A typed fault escaped recovery (e.g. [Node_dead]). *)
+  | Unknown_bench  (** Unusable arguments — the campaign never ran. *)
+
+val verdict_to_string : verdict -> string
+
+val exit_code : verdict -> int
+(** Normalised CLI contract shared with [faults]: [Clean] → 0,
+    [Violations]/[Unrecovered] → 1, [Unknown_bench] → 2. *)
+
+val default_downtime : int
+(** Cycles a killed node stays down before its scheduled restart
+    (clamped against the kill gap so events on a node never overlap). *)
+
+val campaign :
+  Format.formatter ->
+  ?seed:int64 ->
+  ?bench:string ->
+  ?kills:int ->
+  ?downtime:int ->
+  ?cache_mode:Stramash_cache.Cache_sim.mode ->
+  ?on_metrics:(Stramash_sim.Metrics.registry -> unit) ->
+  unit ->
+  verdict
+(** Fingerprint the bench fault-free, then replay it under [kills]
+    alternating-node kill/restart cycles spread over the baseline wall
+    with seeded jitter. Prints the schedule, per-recovery audits, the
+    fault plan's chaos counters, per-node downtime, and a final
+    ["campaign verdict: ..."] line for CI grep. [on_metrics] receives
+    the chaos run's fault-plan registry once the run settles (the CLI
+    folds it into [--metrics-json] snapshots). *)
+
+val chaos : Format.formatter -> unit
+(** The ["chaos"] experiment: one soak with the default schedule. *)

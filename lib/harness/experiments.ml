@@ -21,6 +21,7 @@ let all =
     { id = "ablation-fallback"; title = "ablation: fused fault-path breakdown"; run = Ablation.fallback_stats };
     { id = "ablation-packing"; title = "ablation: secure data packing"; run = Ablation.data_packing };
     { id = "faults"; title = "fault-injection campaign & kernel audit"; run = Fault_experiments.faults };
+    { id = "chaos"; title = "node-failure chaos campaign (kill/restart soak)"; run = Chaos_experiments.chaos };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -30,6 +30,8 @@ let plan_config ?(drop_rate = 0.05) ?(ipi_loss = 0.02) ?(walk_fail = 0.02)
 
 (* Small problem sizes: the campaign's point is fault-path coverage, not
    steady-state performance, and the tests run it twice back to back. *)
+let benches = [ "is"; "cg"; "mg"; "ft" ]
+
 let spec_of_bench = function
   | "is" ->
       Some (W.Npb_is.spec ~params:{ W.Npb_is.nkeys = 16384; max_key = 1024; iterations = 2 } ())

@@ -1,0 +1,53 @@
+module Node_id = Stramash_sim.Node_id
+module Trace = Stramash_obs.Trace
+
+type t = {
+  interval : int;
+  miss_threshold : int;
+  last_beat : int array;
+  suspected : bool array;
+  mutable detections : int;
+}
+
+let create ~interval ~miss_threshold =
+  if interval <= 0 then invalid_arg "Heartbeat.create: interval must be > 0";
+  if miss_threshold <= 0 then invalid_arg "Heartbeat.create: miss_threshold must be > 0";
+  {
+    interval;
+    miss_threshold;
+    last_beat = Array.make (List.length Node_id.all) 0;
+    suspected = Array.make (List.length Node_id.all) false;
+    detections = 0;
+  }
+
+let interval t = t.interval
+let detection_latency t = t.interval * t.miss_threshold
+
+let beat t ~node ~now =
+  let i = Node_id.index node in
+  if now > t.last_beat.(i) then t.last_beat.(i) <- now;
+  t.suspected.(i) <- false
+
+let missed_deadlines t ~peer ~now =
+  let i = Node_id.index peer in
+  if now <= t.last_beat.(i) then 0 else (now - t.last_beat.(i)) / t.interval
+
+let suspects t ~peer ~now = missed_deadlines t ~peer ~now >= t.miss_threshold
+let is_suspected t ~peer = t.suspected.(Node_id.index peer)
+let detections t = t.detections
+
+let declare_dead t ~peer ~now =
+  let i = Node_id.index peer in
+  if not t.suspected.(i) then begin
+    t.suspected.(i) <- true;
+    t.detections <- t.detections + 1;
+    if Trace.enabled () then
+      Trace.instant ~subsys:"heartbeat" ~op:"declare_dead"
+        ~tags:
+          [
+            ("peer", Node_id.to_string peer);
+            ("at", string_of_int now);
+            ("missed", string_of_int (missed_deadlines t ~peer ~now));
+          ]
+        ()
+  end

@@ -1,0 +1,35 @@
+(** Peer heartbeats and the crash-stop watchdog.
+
+    Each live node publishes a beat over the message layer once per
+    scheduling quantum (rate-limited by [interval]); a peer that has
+    missed [miss_threshold] consecutive deadlines is *suspected* — the
+    survivor's view flips from fused operation to degraded message-based
+    fallback. Suspicion is perceived state: the ground truth lives in
+    {!Stramash_sim.Liveness}, and the gap between a kill and its
+    detection is exactly the window where a survivor still charges
+    fused-path costs against a peer that will never answer. *)
+
+type t
+
+val create : interval:int -> miss_threshold:int -> t
+(** @raise Invalid_argument unless both arguments are positive. *)
+
+val interval : t -> int
+
+val detection_latency : t -> int
+(** [interval * miss_threshold]: worst-case cycles between a silent crash
+    and the watchdog declaring the peer dead. *)
+
+val beat : t -> node:Stramash_sim.Node_id.t -> now:int -> unit
+(** Record a beat from [node]; clears any suspicion of it (a restarted
+    peer is trusted again as soon as it beats). *)
+
+val missed_deadlines : t -> peer:Stramash_sim.Node_id.t -> now:int -> int
+val suspects : t -> peer:Stramash_sim.Node_id.t -> now:int -> bool
+(** True once [peer] has missed [miss_threshold] deadlines at [now]. *)
+
+val declare_dead : t -> peer:Stramash_sim.Node_id.t -> now:int -> unit
+(** Latch the suspicion (idempotent) and emit a watchdog trace event. *)
+
+val is_suspected : t -> peer:Stramash_sim.Node_id.t -> bool
+val detections : t -> int

@@ -143,3 +143,20 @@ let cross_isa_delivery ?inject () =
         ]
       ();
   d
+
+module Fault = Stramash_fault_inject.Fault
+module Liveness = Stramash_sim.Liveness
+module Node_id = Stramash_sim.Node_id
+
+let cross_isa_delivery_checked ~liveness ~dst ?inject () =
+  if not (Liveness.is_alive liveness dst) then begin
+    (* There is no core to interrupt: the doorbell write lands in a dead
+       complex. This is a typed error, not a lost-IPI timeout — the caller
+       must take the degraded path, not retry. *)
+    if Trace.enabled () then
+      Trace.instant ~subsys:"ipi" ~op:"deliver"
+        ~tags:[ ("outcome", "dead_node"); ("dst", Node_id.to_string dst) ]
+        ();
+    Error (Fault.Node_dead { node = Node_id.to_string dst; op = "ipi" })
+  end
+  else Ok (cross_isa_delivery ?inject ())

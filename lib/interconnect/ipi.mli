@@ -47,3 +47,14 @@ val cross_isa_delivery : ?inject:Stramash_fault_inject.Plan.t -> unit -> deliver
 (** [cross_isa_delivery ()] is the clean 2 us cost; with a fault plan the
     draw may add a jitter spike or lose the IPI entirely, in which case
     [cycles] is the plan's detection timeout. *)
+
+val cross_isa_delivery_checked :
+  liveness:Stramash_sim.Liveness.t ->
+  dst:Stramash_sim.Node_id.t ->
+  ?inject:Stramash_fault_inject.Plan.t ->
+  unit ->
+  (delivery, Stramash_fault_inject.Fault.error) result
+(** Like {!cross_isa_delivery}, but an IPI aimed at a crash-stopped node
+    returns [Error (Node_dead _)] instead of a silent timeout: a dead
+    complex has no core to interrupt, so the caller must degrade rather
+    than retry. *)

@@ -9,9 +9,12 @@ type t = {
   meters : Meter.t array;
   tlbs : Tlb.t array;
   hw_model : Stramash_mem.Layout.hw_model;
+  liveness : Stramash_sim.Liveness.t;
 }
 
 let kernel t node = t.kernels.(Node_id.index node)
+let node_alive t node = Stramash_sim.Liveness.is_alive t.liveness node
+let node_epoch t node = Stramash_sim.Liveness.epoch t.liveness node
 let meter t node = t.meters.(Node_id.index node)
 let tlb t node = t.tlbs.(Node_id.index node)
 

@@ -13,9 +13,14 @@ type t = {
   meters : Stramash_sim.Meter.t array;
   tlbs : Tlb.t array;
   hw_model : Stramash_mem.Layout.hw_model;
+  liveness : Stramash_sim.Liveness.t;
+      (** ground-truth crash-stop state + fencing epochs (all-alive in
+          runs without a chaos schedule) *)
 }
 
 val kernel : t -> Stramash_sim.Node_id.t -> Kernel.t
+val node_alive : t -> Stramash_sim.Node_id.t -> bool
+val node_epoch : t -> Stramash_sim.Node_id.t -> int
 val meter : t -> Stramash_sim.Node_id.t -> Stramash_sim.Meter.t
 val tlb : t -> Stramash_sim.Node_id.t -> Tlb.t
 

@@ -37,3 +37,23 @@ let remove_waiter t ~uaddr ~tid =
 
 let waiter_count t ~uaddr = Queue.length (bucket t uaddr).waiters
 let buckets t = Hashtbl.length t.table
+
+(* Deterministic order for checkpointing and audits: buckets sorted by
+   futex address, waiters in FIFO order. *)
+let snapshot t =
+  Hashtbl.fold (fun uaddr b acc -> (uaddr, List.of_seq (Queue.to_seq b.waiters)) :: acc)
+    t.table []
+  |> List.filter (fun (_, ws) -> ws <> [])
+  |> List.sort compare
+
+let drain t ~uaddr =
+  let b = bucket t uaddr in
+  let ws = List.of_seq (Queue.to_seq b.waiters) in
+  Queue.clear b.waiters;
+  ws
+
+let clear t =
+  Hashtbl.iter (fun _ b -> Queue.clear b.waiters) t.table
+
+let iter_waiters t ~f =
+  List.iter (fun (uaddr, ws) -> List.iter (fun tid -> f ~uaddr ~tid) ws) (snapshot t)

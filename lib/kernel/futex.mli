@@ -22,3 +22,16 @@ val dequeue_waiter : t -> uaddr:int -> int option
 val remove_waiter : t -> uaddr:int -> tid:int -> bool
 val waiter_count : t -> uaddr:int -> int
 val buckets : t -> int
+
+val snapshot : t -> (int * int list) list
+(** All non-empty buckets as [(uaddr, waiters)] sorted by address, waiters
+    in FIFO order — the deterministic view checkpoints and audits consume. *)
+
+val drain : t -> uaddr:int -> int list
+(** Remove and return every waiter queued on [uaddr], FIFO order. *)
+
+val clear : t -> unit
+(** Empty every waiter queue (bucket structs and their kernel-heap
+    addresses are kept: they are identity, not state). *)
+
+val iter_waiters : t -> f:(uaddr:int -> tid:int -> unit) -> unit

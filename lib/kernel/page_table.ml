@@ -130,3 +130,21 @@ let unmap t io ~vaddr =
       present
 
 let table_pages t = t.table_pages
+
+(* Full-tree traversal in ascending vaddr order. Directory entries share
+   the leaf encoding, so at levels > 0 a present entry's frame is the next
+   table down; at level 0 it is the mapped leaf. Used by checkpointing —
+   unlike range walks it needs no VMA metadata, which is exactly what a
+   crash may have taken down. *)
+let iter_leaves t io ~f =
+  let rec go ~level ~table ~va_base =
+    for idx = 0 to entries - 1 do
+      match Pte.decode ~isa:t.isa (read_entry io (entry_addr table idx)) with
+      | None -> ()
+      | Some (frame, flags) ->
+          let va = va_base lor (idx lsl (Addr.page_shift + (index_bits * level))) in
+          if level = 0 then f ~vaddr:va ~frame ~flags
+          else go ~level:(level - 1) ~table:(frame lsl Addr.page_shift) ~va_base:va
+    done
+  in
+  go ~level:(levels - 1) ~table:t.root ~va_base:0

@@ -54,3 +54,8 @@ val leaf_entry_paddr : t -> io -> vaddr:int -> int option
 
 val table_pages : t -> int
 (** Number of table pages allocated (root included). *)
+
+val iter_leaves : t -> io -> f:(vaddr:int -> frame:int -> flags:Pte.flags -> unit) -> unit
+(** Visit every present leaf mapping in ascending [vaddr] order by
+    traversing the whole tree (no VMA metadata required); entry reads are
+    charged through [io]. This is the checkpoint serialisation walk. *)

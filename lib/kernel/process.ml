@@ -25,6 +25,10 @@ let add_mm t node m =
   assert (mm t node = None);
   t.mms <- (node, m) :: t.mms
 
+let remove_mm t node = t.mms <- List.remove_assoc node t.mms
+
+let set_mm t node m = t.mms <- (node, m) :: List.remove_assoc node t.mms
+
 let fresh_tid t =
   let tid = t.next_tid in
   t.next_tid <- tid + 1;

@@ -33,4 +33,12 @@ val image : t -> Stramash_sim.Node_id.t -> Stramash_isa.Machine.program
 val mm : t -> Stramash_sim.Node_id.t -> mm option
 val mm_exn : t -> Stramash_sim.Node_id.t -> mm
 val add_mm : t -> Stramash_sim.Node_id.t -> mm -> unit
+
+val remove_mm : t -> Stramash_sim.Node_id.t -> unit
+(** Forget the node's memory descriptor (crash teardown); a no-op if the
+    process never ran there. *)
+
+val set_mm : t -> Stramash_sim.Node_id.t -> mm -> unit
+(** Install a rebuilt descriptor, replacing any existing one (restore). *)
+
 val fresh_tid : t -> int

@@ -101,6 +101,7 @@ let create cfg =
       meters = [| Meter.create (); Meter.create () |];
       tlbs = [| Tlb.create (); Tlb.create () |];
       hw_model = cfg.hw_model;
+      liveness = Stramash_sim.Liveness.create ();
     }
   in
   (* The plan's streams derive from a seed decorrelated from — but fully

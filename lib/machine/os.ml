@@ -152,3 +152,32 @@ let reset_counters = function
   | Stramash s ->
       Stramash_fault.reset_counters (Stramash_os.faults s);
       Msg_layer.reset_counts (Stramash_os.msg s)
+
+(* Crash-stop node failures are a Stramash-personality feature: the other
+   personalities have no checkpoint/degraded-mode machinery, so a chaos
+   schedule under them is a configuration error, surfaced loudly. *)
+
+let supports_chaos = function Vanilla | Popcorn _ -> false | Stramash _ -> true
+
+let require_stramash op = function
+  | Vanilla | Popcorn _ ->
+      invalid_arg (Printf.sprintf "Os.%s: node failures require the Stramash personality" op)
+  | Stramash s -> s
+
+let heartbeat = function
+  | Vanilla | Popcorn _ -> None
+  | Stramash s -> Stramash_os.heartbeat s
+
+let heartbeat_tick t ~src ~now =
+  match t with
+  | Vanilla | Popcorn _ -> ()
+  | Stramash s -> Stramash_os.heartbeat_tick s ~src ~now
+
+let on_node_death t ~procs ~threads ~node ~now =
+  Stramash_os.on_node_death (require_stramash "on_node_death" t) ~procs ~threads ~node ~now
+
+let on_peer_detected t ~node ~now =
+  Stramash_os.on_peer_detected (require_stramash "on_peer_detected" t) ~node ~now
+
+let on_node_restart t ~procs ~node ~now =
+  Stramash_os.on_node_restart (require_stramash "on_node_restart" t) ~procs ~node ~now

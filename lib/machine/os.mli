@@ -73,3 +73,27 @@ val seed_resident_page : t -> proc:Stramash_kernel.Process.t -> vaddr:int -> fra
     DSM protocol as origin-owned. *)
 
 val reset_counters : t -> unit
+
+(** {2 Crash-stop node failures}
+
+    Stramash-only: the other personalities raise [Invalid_argument] when a
+    chaos schedule reaches them. The runner drives these at quantum
+    boundaries. *)
+
+val supports_chaos : t -> bool
+
+val heartbeat : t -> Stramash_interconnect.Heartbeat.t option
+val heartbeat_tick : t -> src:Stramash_sim.Node_id.t -> now:int -> unit
+
+val on_node_death :
+  t ->
+  procs:Stramash_kernel.Process.t list ->
+  threads:Stramash_kernel.Thread.t list ->
+  node:Stramash_sim.Node_id.t ->
+  now:int ->
+  unit
+
+val on_peer_detected : t -> node:Stramash_sim.Node_id.t -> now:int -> unit
+
+val on_node_restart :
+  t -> procs:Stramash_kernel.Process.t list -> node:Stramash_sim.Node_id.t -> now:int -> unit

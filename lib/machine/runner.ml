@@ -15,6 +15,10 @@ module Tlb = Stramash_kernel.Tlb
 module Mir = Stramash_isa.Mir
 module Interp = Stramash_isa.Interp
 module Ipi = Stramash_interconnect.Ipi
+module Heartbeat = Stramash_interconnect.Heartbeat
+module Liveness = Stramash_sim.Liveness
+module Plan = Stramash_fault_inject.Plan
+module Fault = Stramash_fault_inject.Fault
 module Trace = Stramash_obs.Trace
 
 type result = {
@@ -34,6 +38,7 @@ type result = {
   node_idle : int array;
   l0_hits : int array;
   l0_misses : int array;
+  node_downtime : int array;
 }
 
 let fastpath_counters r =
@@ -172,16 +177,28 @@ let collect machine ~node_icounts ~migrations ~user_stalls ~idle ~marks =
     node_idle = idle;
     l0_hits = per_node "l0_hits";
     l0_misses = per_node "l0_misses";
+    node_downtime =
+      (let liveness = env.Env.liveness in
+       Array.of_list
+         (List.map
+            (fun node ->
+              (* completed downtimes, plus the open interval of a node
+                 still dead at collection *)
+              Liveness.downtime liveness node
+              + (if Liveness.is_alive liveness node then 0
+                 else wall - Liveness.died_at liveness node))
+            Node_id.all));
   }
 
 (* The scheduler: run the runnable thread whose node clock is lowest,
    interleaving in [fuel]-instruction quanta. Handles migration points,
    futex syscalls and completion for any number of threads. *)
-let run_scheduler machine items ~fuel =
+let run_scheduler ?on_recovery machine items ~fuel =
   (* items : (spec, proc, thread) list — each thread belongs to a process
      with its own migration plan *)
   let env = Machine.env machine in
   let os = Machine.os machine in
+  let liveness = env.Env.liveness in
   let node_icounts = [| 0; 0 |] in
   let user_stalls = [| 0; 0 |] in
   let idle = [| 0; 0 |] in
@@ -247,19 +264,141 @@ let run_scheduler machine items ~fuel =
     end
   in
   let finished th = th.Thread.state = Thread.Finished in
+  (* --- crash-stop chaos schedule (quantum-boundary processing) ---------- *)
+  let chaos_events =
+    match Machine.inject_plan machine with Some p -> Plan.node_events p | None -> []
+  in
+  if chaos_events <> [] && not (Os.supports_chaos os) then
+    invalid_arg "Runner: chaos schedule requires the Stramash personality";
+  let pending_kills = ref chaos_events in
+  let pending_restarts = ref [] (* (node, restart_at), sorted by time *) in
+  let procs =
+    List.fold_left
+      (fun acc (_, p, _) ->
+        if List.exists (fun q -> q.Process.pid = p.Process.pid) acc then acc else p :: acc)
+      [] items
+    |> List.rev
+  in
+  let wall () = Array.fold_left (fun a m -> max a (Meter.get m)) 0 env.Env.meters in
+  (* Jump a node's clock to [at], accounting the gap as idle time. *)
+  let advance_to node at =
+    let m = Env.meter env node in
+    if Meter.get m < at then begin
+      idle.(Node_id.index node) <- idle.(Node_id.index node) + (at - Meter.get m);
+      Meter.set m at
+    end
+  in
+  let do_kill (ev : Plan.node_event) =
+    let node = ev.Plan.node in
+    if not (Liveness.is_alive liveness (Node_id.other node)) then
+      invalid_arg "Runner: chaos schedule kills a node while its peer is already dead";
+    let now = wall () in
+    Liveness.kill liveness node ~at:now;
+    Os.on_node_death os ~procs ~threads:(Machine.threads machine) ~node ~now;
+    match ev.Plan.restart_after with
+    | None -> ()
+    | Some d ->
+        pending_restarts :=
+          List.merge
+            (fun (_, a) (_, b) -> compare (a : int) b)
+            !pending_restarts
+            [ (node, now + d) ]
+  in
+  let do_restart node ~at =
+    Liveness.revive liveness node ~at;
+    advance_to node at;
+    Os.on_node_restart os ~procs ~node ~now:at;
+    match on_recovery with Some f -> f node | None -> ()
+  in
+  (* Watchdog bookkeeping: live nodes publish beats at their own clocks;
+     a survivor whose peer has gone silent past the miss threshold
+     declares it dead (the perceived-death event behind the detection
+     metrics — ground-truth transitions are the schedule's job). *)
+  let heartbeat_work () =
+    match Os.heartbeat os with
+    | None -> ()
+    | Some hb ->
+        List.iter
+          (fun node ->
+            if Liveness.is_alive liveness node then
+              Os.heartbeat_tick os ~src:node ~now:(Meter.get (Env.meter env node)))
+          Node_id.all;
+        List.iter
+          (fun peer ->
+            if not (Liveness.is_alive liveness peer) then begin
+              let survivor = Node_id.other peer in
+              if Liveness.is_alive liveness survivor then begin
+                let now = Meter.get (Env.meter env survivor) in
+                if Heartbeat.suspects hb ~peer ~now && not (Heartbeat.is_suspected hb ~peer)
+                then begin
+                  Heartbeat.declare_dead hb ~peer ~now;
+                  Os.on_peer_detected os ~node:peer ~now
+                end
+              end
+            end)
+          Node_id.all
+  in
+  let next_due () =
+    let kill = match !pending_kills with ev :: _ -> Some (ev.Plan.kill_at, `Kill ev) | [] -> None in
+    let restart =
+      match !pending_restarts with (n, at) :: _ -> Some (at, `Restart n) | [] -> None
+    in
+    match (kill, restart) with
+    | None, x | x, None -> x
+    | Some (tk, _), Some (tr, _) -> if tr <= tk then restart else kill
+  in
+  let rec process_chaos () =
+    match next_due () with
+    | Some (at, ev) when at <= wall () ->
+        (match ev with
+        | `Kill ev ->
+            pending_kills := List.tl !pending_kills;
+            do_kill ev
+        | `Restart node ->
+            pending_restarts := List.tl !pending_restarts;
+            do_restart node ~at);
+        process_chaos ()
+    | _ -> heartbeat_work ()
+  in
+  let chaos = chaos_events <> [] in
   let rec loop () =
+    if chaos then process_chaos ();
     let live = List.filter (fun th -> not (finished th)) threads in
     if live <> [] then begin
-      let runnable = List.filter Thread.is_runnable live in
+      let runnable =
+        List.filter
+          (fun th -> Thread.is_runnable th && Liveness.is_alive liveness th.Thread.node)
+          live
+      in
       match runnable with
-      | [] ->
-          raise
-            (Deadlock
-               (String.concat ", "
-                  (List.map
-                     (fun th ->
-                       Format.asprintf "tid%d:%a" th.Thread.tid Thread.pp_state th.Thread.state)
-                     live)))
+      | [] -> (
+          (* Nothing can run. If threads are frozen on a dead node and a
+             restart is scheduled, idle the platform forward to it; with
+             no restart coming, the failure is unrecoverable. *)
+          let frozen =
+            List.filter (fun th -> not (Liveness.is_alive liveness th.Thread.node)) live
+          in
+          match (!pending_restarts, frozen) with
+          | (_, at) :: _, _ ->
+              List.iter
+                (fun node -> if Liveness.is_alive liveness node then advance_to node at)
+                Node_id.all;
+              process_chaos ();
+              loop ()
+          | [], th :: _ ->
+              raise
+                (Fault.Error
+                   (Fault.Node_dead
+                      { node = Node_id.to_string th.Thread.node; op = "schedule" }))
+          | _ ->
+              raise
+                (Deadlock
+                   (String.concat ", "
+                      (List.map
+                         (fun th ->
+                           Format.asprintf "tid%d:%a" th.Thread.tid Thread.pp_state
+                             th.Thread.state)
+                         live))))
       | _ ->
           let th =
             List.fold_left
@@ -290,6 +429,23 @@ let run_scheduler machine items ~fuel =
               | Some dst
                 when Os.supports_migration os && not (Node_id.equal dst th.Thread.node) ->
                   let src_node = th.Thread.node in
+                  if not (Liveness.is_alive liveness dst) then begin
+                    (* Destination is crash-stopped: the migration request
+                       blocks at the source until the peer returns. With no
+                       restart scheduled the thread can never arrive. *)
+                    match List.find_opt (fun (n, _) -> Node_id.equal n dst) !pending_restarts with
+                    | None ->
+                        raise
+                          (Fault.Error
+                             (Fault.Node_dead { node = Node_id.to_string dst; op = "migrate" }))
+                    | Some (_, at) ->
+                        let stall = at - Meter.get (Env.meter env src_node) in
+                        advance_to src_node at;
+                        (match Machine.inject_plan machine with
+                        | Some p when stall > 0 -> Plan.add_degraded_cycles p ~cycles:stall
+                        | _ -> ());
+                        process_chaos ()
+                  end;
                   let sp =
                     if traced then
                       Trace.span ~at:(Meter.get (Env.meter env src_node)) ~node:src_node
@@ -323,16 +479,21 @@ let run_scheduler machine items ~fuel =
                       with
                       | Some waiter ->
                           waiter.Thread.state <- Thread.Ready;
-                          let delivery =
-                            if Node_id.equal waiter.Thread.node th.Thread.node then
-                              Cycles.of_ns 300.0
-                            else Ipi.cross_isa_ipi_cycles
-                          in
-                          let wm = Env.meter env waiter.Thread.node in
-                          if Meter.get wm < wake_time + delivery then begin
-                            let wi = Node_id.index waiter.Thread.node in
-                            idle.(wi) <- idle.(wi) + (wake_time + delivery - Meter.get wm);
-                            Meter.set wm (wake_time + delivery)
+                          (* A waiter on a crash-stopped node becomes Ready
+                             but its clock stays parked: it resumes when the
+                             restart advances the node's meter. *)
+                          if Liveness.is_alive liveness waiter.Thread.node then begin
+                            let delivery =
+                              if Node_id.equal waiter.Thread.node th.Thread.node then
+                                Cycles.of_ns 300.0
+                              else Ipi.cross_isa_ipi_cycles
+                            in
+                            let wm = Env.meter env waiter.Thread.node in
+                            if Meter.get wm < wake_time + delivery then begin
+                              let wi = Node_id.index waiter.Thread.node in
+                              idle.(wi) <- idle.(wi) + (wake_time + delivery - Meter.get wm);
+                              Meter.set wm (wake_time + delivery)
+                            end
                           end
                       | None -> ())
                     woken));
@@ -340,6 +501,13 @@ let run_scheduler machine items ~fuel =
     end
   in
   loop ();
+  (* Restarts still pending when the workload finishes fire now: the
+     platform ends the run fully recovered (kills that never came due are
+     dropped). *)
+  if chaos then begin
+    List.iter (fun (node, at) -> do_restart node ~at) !pending_restarts;
+    pending_restarts := []
+  end;
   List.iter2
     (fun node sp -> Trace.close ~at:(Meter.get (Env.meter env node)) sp)
     (if run_spans = [] then [] else Node_id.all)
@@ -355,12 +523,13 @@ let run_scheduler machine items ~fuel =
   collect machine ~node_icounts ~migrations:!migrations ~user_stalls ~idle
     ~marks:(List.rev !marks)
 
-let run machine proc thread spec = run_scheduler machine [ (spec, proc, thread) ] ~fuel:50_000
+let run ?on_recovery machine proc thread spec =
+  run_scheduler ?on_recovery machine [ (spec, proc, thread) ] ~fuel:50_000
 
-let run_threads machine proc threads spec =
-  run_scheduler machine (List.map (fun th -> (spec, proc, th)) threads) ~fuel:400
+let run_threads ?on_recovery machine proc threads spec =
+  run_scheduler ?on_recovery machine (List.map (fun th -> (spec, proc, th)) threads) ~fuel:400
 
-let run_workloads machine items = run_scheduler machine items ~fuel:2_000
+let run_workloads ?on_recovery machine items = run_scheduler ?on_recovery machine items ~fuel:2_000
 
 let pp_result fmt r =
   let pct x = 100.0 *. x in

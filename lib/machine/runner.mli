@@ -34,6 +34,9 @@ type result = {
          part of the simulated model: both arrays are all-zero in Reference
          mode and excluded from the [cache] registry so registries compare
          equal across modes) *)
+  node_downtime : int array;
+      (* simulated cycles each node spent crash-stopped (all-zero without a
+         chaos schedule), including a still-open downtime at collection *)
 }
 
 val fastpath_counters : result -> (string * int) list
@@ -46,16 +49,40 @@ val node_busy : result -> Stramash_sim.Node_id.t -> int
 val phase_span : result -> start:int -> stop:int -> int
 (** Cycles elapsed between two phase marks (both must be present). *)
 
-val run : Machine.t -> Stramash_kernel.Process.t -> Stramash_kernel.Thread.t -> Spec.t -> result
+val run :
+  ?on_recovery:(Stramash_sim.Node_id.t -> unit) ->
+  Machine.t ->
+  Stramash_kernel.Process.t ->
+  Stramash_kernel.Thread.t ->
+  Spec.t ->
+  result
 (** Run a single thread to completion, following the spec's migration
-    plan (ignored under an OS that cannot migrate). *)
+    plan (ignored under an OS that cannot migrate).
+
+    When the machine's fault plan carries a chaos schedule
+    ({!Stramash_fault_inject.Plan.node_events}), the scheduler processes
+    kills and restarts at quantum boundaries: a killed node's threads
+    freeze, survivors degrade per {!Stramash_core.Stramash_fault}, and
+    [on_recovery] fires after each completed restart (the chaos campaign's
+    audit hook). A kill with no scheduled restart that strands unfinished
+    threads raises [Fault.Error (Node_dead _)] — the unrecovered-failure
+    outcome. Chaos schedules require the Stramash personality. *)
 
 val run_threads :
-  Machine.t -> Stramash_kernel.Process.t -> Stramash_kernel.Thread.t list -> Spec.t -> result
+  ?on_recovery:(Stramash_sim.Node_id.t -> unit) ->
+  Machine.t ->
+  Stramash_kernel.Process.t ->
+  Stramash_kernel.Thread.t list ->
+  Spec.t ->
+  result
 (** Interleave several threads (smallest-clock-first), with futex
     block/wake semantics; used by the futex microbenchmark. *)
 
-val run_workloads : Machine.t -> (Spec.t * Stramash_kernel.Process.t * Stramash_kernel.Thread.t) list -> result
+val run_workloads :
+  ?on_recovery:(Stramash_sim.Node_id.t -> unit) ->
+  Machine.t ->
+  (Spec.t * Stramash_kernel.Process.t * Stramash_kernel.Thread.t) list ->
+  result
 (** Run several processes concurrently on the platform (each with its own
     spec/migration plan); threads interleave smallest-clock-first, so two
     threads resident on the same node serialise on that node's single

@@ -8,6 +8,9 @@ module Ring_buffer = Stramash_interconnect.Ring_buffer
 module Tcp_link = Stramash_interconnect.Tcp_link
 module Ipi = Stramash_interconnect.Ipi
 module Plan = Stramash_fault_inject.Plan
+module Fault = Stramash_fault_inject.Fault
+module Liveness = Stramash_sim.Liveness
+module Heartbeat = Stramash_interconnect.Heartbeat
 module Trace = Stramash_obs.Trace
 
 type kind = Shm | Tcp
@@ -22,6 +25,7 @@ type t = {
   staging : int array; (* per-node staging buffer paddr for TCP serialisation *)
   notify_kind : notify_mode;
   inject : Plan.t option;
+  heartbeat : Heartbeat.t option;
   counts : Metrics.registry;
   mutable total : int;
 }
@@ -31,7 +35,8 @@ type t = {
 let poll_notice_cycles = 400
 let poll_busy_cycles = 300
 
-let create kind env ?(ring_slots = 512) ?(slot_bytes = 256) ?(notify = Ipi) ?tcp ?inject () =
+let create kind env ?(ring_slots = 512) ?(slot_bytes = 256) ?(notify = Ipi) ?tcp ?inject
+    ?heartbeat () =
   let ring sender_index =
     let sender = Node_id.of_index sender_index in
     (* Each direction gets half of a dedicated slice of the ring area. *)
@@ -51,12 +56,25 @@ let create kind env ?(ring_slots = 512) ?(slot_bytes = 256) ?(notify = Ipi) ?tcp
     staging;
     notify_kind = notify;
     inject;
+    heartbeat;
     counts = Metrics.registry ();
     total = 0;
   }
 
 let transport t = t.kind
 let notify_mode t = t.notify_kind
+let heartbeat t = t.heartbeat
+
+(* Heartbeats ride the message layer but are deliberately kept out of the
+   RPC counters: they are liveness chatter, not workload traffic, and
+   their rate (one per scheduling quantum) would drown the message-count
+   results the experiments compare. *)
+let heartbeat_tick t ~src ~now =
+  match t.heartbeat with
+  | None -> ()
+  | Some hb ->
+      Heartbeat.beat hb ~node:src ~now;
+      Metrics.incr t.counts "heartbeat"
 
 let shm_notify_latency t ~dst =
   match t.notify_kind with
@@ -153,7 +171,20 @@ let deliver t ~src ~bytes =
     latency
   end
 
-let rpc t ~src ~label ~req_bytes ~resp_bytes ~handler =
+(* A message aimed at a crash-stopped peer is a dead letter: nothing
+   dequeues it and no handler will ever run. Rather than silently dropping
+   (or timing out through the injection path, which models *transient*
+   loss), the send fails fast with a typed error so callers choose their
+   degraded path explicitly. *)
+let dead_letter t ~dst ~label ~op =
+  (match t.inject with Some plan -> Plan.note_dead_node_message plan | None -> ());
+  if Trace.enabled () then
+    Trace.instant ~subsys:"msg" ~op:"dead_letter"
+      ~tags:[ ("label", label); ("dst", Node_id.to_string dst) ]
+      ();
+  Error (Fault.Node_dead { node = Node_id.to_string dst; op })
+
+let do_rpc t ~src ~label ~req_bytes ~resp_bytes ~handler =
   let dst = Node_id.other src in
   let src_meter = Env.meter t.env src in
   let dst_meter = Env.meter t.env dst in
@@ -180,7 +211,15 @@ let rpc t ~src ~label ~req_bytes ~resp_bytes ~handler =
   Meter.add src_meter !reply_notify;
   if sp != Trace.null then Trace.close ~at:(Meter.get src_meter) sp
 
-let notify t ~src ~label ~bytes ~handler =
+let rpc_checked t ~src ~label ~req_bytes ~resp_bytes ~handler =
+  let dst = Node_id.other src in
+  if not (Liveness.is_alive t.env.Env.liveness dst) then dead_letter t ~dst ~label ~op:"rpc"
+  else Ok (do_rpc t ~src ~label ~req_bytes ~resp_bytes ~handler)
+
+let rpc t ~src ~label ~req_bytes ~resp_bytes ~handler =
+  Fault.get_exn (rpc_checked t ~src ~label ~req_bytes ~resp_bytes ~handler)
+
+let do_notify t ~src ~label ~bytes ~handler =
   let dst = Node_id.other src in
   let src_meter = Env.meter t.env src in
   let sp =
@@ -196,6 +235,14 @@ let notify t ~src ~label ~bytes ~handler =
   (* The peer processes the message on its own time. *)
   ignore (Meter.delta (Env.meter t.env dst) handler);
   if sp != Trace.null then Trace.close ~at:(Meter.get src_meter) sp
+
+let notify_checked t ~src ~label ~bytes ~handler =
+  let dst = Node_id.other src in
+  if not (Liveness.is_alive t.env.Env.liveness dst) then dead_letter t ~dst ~label ~op:"notify"
+  else Ok (do_notify t ~src ~label ~bytes ~handler)
+
+let notify t ~src ~label ~bytes ~handler =
+  Fault.get_exn (notify_checked t ~src ~label ~bytes ~handler)
 
 let record_async t ~label = count t label
 

@@ -1,0 +1,44 @@
+(* Ground-truth node liveness with fencing epochs.
+
+   The epoch is bumped on every transition (kill and revive), so a token
+   minted under any earlier incarnation of a node can never compare equal
+   to the current epoch — the fencing-token construction that keeps a
+   zombie restart from replaying pre-crash ownership. *)
+
+type state = {
+  mutable alive : bool;
+  mutable epoch : int;
+  mutable died_at : int;
+  mutable deaths : int;
+  mutable downtime : int;
+}
+
+type t = state array
+
+let create () =
+  Array.init (List.length Node_id.all) (fun _ ->
+      { alive = true; epoch = 0; died_at = 0; deaths = 0; downtime = 0 })
+
+let st t node = t.(Node_id.index node)
+let is_alive t node = (st t node).alive
+let epoch t node = (st t node).epoch
+let deaths t node = (st t node).deaths
+let downtime t node = (st t node).downtime
+let all_alive t = Array.for_all (fun s -> s.alive) t
+
+let kill t node ~at =
+  let s = st t node in
+  if not s.alive then invalid_arg "Liveness.kill: node already dead";
+  s.alive <- false;
+  s.epoch <- s.epoch + 1;
+  s.died_at <- at;
+  s.deaths <- s.deaths + 1
+
+let revive t node ~at =
+  let s = st t node in
+  if s.alive then invalid_arg "Liveness.revive: node already alive";
+  s.alive <- true;
+  s.epoch <- s.epoch + 1;
+  s.downtime <- s.downtime + max 0 (at - s.died_at)
+
+let died_at t node = (st t node).died_at

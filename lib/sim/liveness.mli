@@ -1,0 +1,37 @@
+(** Ground-truth node liveness with monotonically increasing fencing
+    epochs.
+
+    Every kill and every revive bumps the node's epoch, so an epoch
+    observed while a node was alive uniquely identifies that incarnation:
+    a lock token carrying a pre-crash epoch can never validate against any
+    later incarnation (the classic fencing-token construction). Detection
+    — when a *peer* learns of the death — is a separate, later event
+    modelled by the heartbeat watchdog; this module records what is
+    physically true. *)
+
+type t
+
+val create : unit -> t
+(** All nodes alive, epoch 0. *)
+
+val is_alive : t -> Node_id.t -> bool
+val epoch : t -> Node_id.t -> int
+
+val kill : t -> Node_id.t -> at:int -> unit
+(** Crash-stop [node] at cycle [at]: epoch bumps, node goes dead.
+    @raise Invalid_argument if already dead. *)
+
+val revive : t -> Node_id.t -> at:int -> unit
+(** Restart [node] at cycle [at]: epoch bumps again (so the dead-interval
+    epoch is also unreachable), accumulated downtime grows by
+    [at - died_at].
+    @raise Invalid_argument if already alive. *)
+
+val deaths : t -> Node_id.t -> int
+val downtime : t -> Node_id.t -> int
+(** Total cycles spent dead across all completed kill/revive pairs. *)
+
+val died_at : t -> Node_id.t -> int
+(** Cycle of the most recent kill (0 if never killed). *)
+
+val all_alive : t -> bool

@@ -45,6 +45,7 @@ let make_env () =
     meters = [| Meter.create (); Meter.create () |];
     tlbs = [| Tlb.create (); Tlb.create () |];
     hw_model = Layout.Shared;
+      liveness = Stramash_sim.Liveness.create ();
   }
 
 let trivial_mir () =

@@ -86,6 +86,7 @@ let make_env () =
     meters = [| Meter.create (); Meter.create () |];
     tlbs = [| Tlb.create (); Tlb.create () |];
     hw_model = Layout.Shared;
+      liveness = Stramash_sim.Liveness.create ();
   }
 
 let test_polling_cheaper_for_requester () =

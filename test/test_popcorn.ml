@@ -34,6 +34,7 @@ let make_env ?(hw = Layout.Shared) () =
     meters = [| Meter.create (); Meter.create () |];
     tlbs = [| Tlb.create (); Tlb.create () |];
     hw_model = hw;
+    liveness = Stramash_sim.Liveness.create ();
   }
 
 let trivial_mir () =

@@ -8,7 +8,7 @@
 module H = Stramash_harness
 
 let usage () =
-  Format.printf "usage: main.exe [--list] [--bechamel] [--perf] [EXPERIMENT-ID]...@.";
+  Format.printf "usage: main.exe [--list] [--bechamel] [--perf] [--placement] [EXPERIMENT-ID]...@.";
   Format.printf "experiments:@.";
   List.iter
     (fun e -> Format.printf "  %-10s %s@." e.H.Experiments.id e.H.Experiments.title)
@@ -215,6 +215,93 @@ let run_perf () =
   close_out oc;
   Format.printf "  wrote BENCH_3.json@."
 
+(* ---------- `--placement`: adaptive vs static placement, BENCH_5.json ---------- *)
+
+module Policy = Stramash_placement.Policy
+module Engine = Stramash_placement.Engine
+
+(* Simulated wall cycles (not host time): placement quality is a
+   simulated-performance claim. Each Stramash config runs under one
+   policy; Popcorn-SHM is the normalisation reference the paper's CG
+   crossover is stated against. *)
+let run_placement () =
+  Format.printf "@.=== Page placement: adaptive vs static, wall cycles vs Popcorn-SHM ===@.";
+  Format.printf "  %-6s %12s %16s %16s %16s@." "bench" "shm wall" "static-stramash"
+    "adaptive" "static-shm";
+  let policies =
+    [
+      ("static_stramash", Policy.Static_stramash);
+      ("adaptive", Policy.Adaptive);
+      ("static_shm", Policy.Static_shm);
+    ]
+  in
+  let rows =
+    List.map
+      (fun bench ->
+        let spec = Option.get (H.Placement_experiments.full_spec_of_bench bench) in
+        let shm = H.Placement_experiments.run_shm spec in
+        let shm_wall = shm.Runner.wall_cycles in
+        let cells =
+          List.map
+            (fun (label, policy) ->
+              let machine, engine, proc, result =
+                H.Placement_experiments.run_policy ~policy spec
+              in
+              let counters = Engine.counters engine in
+              Machine.exit_process machine proc;
+              (label, result.Runner.wall_cycles, counters))
+            policies
+        in
+        let speedup wall = float_of_int shm_wall /. float_of_int wall in
+        let cell label =
+          let _, wall, _ = List.find (fun (l, _, _) -> l = label) cells in
+          Printf.sprintf "%5.2fx" (speedup wall)
+        in
+        Format.printf "  %-6s %12d %16s %16s %16s@." bench shm_wall (cell "static_stramash")
+          (cell "adaptive") (cell "static_shm");
+        (bench, shm_wall, cells))
+      [ "is"; "cg"; "ft" ]
+  in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "stramash-bench/5");
+        ("metric", Json.String "simulated wall cycles; speedup = shm_wall / wall");
+        ( "reference",
+          Json.String "popcorn-shm on the same full-size spec, seed and hardware model" );
+        ( "benchmarks",
+          Json.List
+            (List.map
+               (fun (bench, shm_wall, cells) ->
+                 Json.Obj
+                   [
+                     ("bench", Json.String bench);
+                     ("shm_wall_cycles", Json.Int shm_wall);
+                     ( "configs",
+                       Json.Obj
+                         (List.map
+                            (fun (label, wall, counters) ->
+                              ( label,
+                                Json.Obj
+                                  [
+                                    ("wall_cycles", Json.Int wall);
+                                    ( "speedup_vs_shm",
+                                      Json.Float (float_of_int shm_wall /. float_of_int wall) );
+                                    ( "counters",
+                                      Json.Obj
+                                        (List.map (fun (k, v) -> (k, Json.Int v)) counters) );
+                                  ] ))
+                            cells) );
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out "BENCH_5.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "  wrote BENCH_5.json@."
+
 let run_bechamel () =
   let open Bechamel in
   let open Toolkit in
@@ -245,7 +332,10 @@ let () =
   else begin
     let fmt = Format.std_formatter in
     (match ids with
-    | [] when List.mem "--perf" flags || List.mem "--bechamel" flags -> ()
+    | []
+      when List.mem "--perf" flags || List.mem "--bechamel" flags
+           || List.mem "--placement" flags ->
+        ()
     | [] -> H.Experiments.run_all fmt
     | ids ->
         List.iter
@@ -260,5 +350,6 @@ let () =
                 usage ())
           ids);
     if List.mem "--perf" flags then run_perf ();
+    if List.mem "--placement" flags then run_placement ();
     if List.mem "--bechamel" flags then run_bechamel ()
   end

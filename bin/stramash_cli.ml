@@ -8,6 +8,7 @@
      futex <loops>                run the futex microbenchmark
      faults                       run the fault-injection campaign + audit
      chaos                        run the node-failure chaos campaign
+     place                        run the page-placement campaign
      machine                      describe the simulated platform *)
 
 open Cmdliner
@@ -278,8 +279,8 @@ let npb_cmd =
               (Cycles.to_ms result.Runner.wall_cycles)
               result.Runner.instructions result.Runner.messages result.Runner.replicated_pages;
             (if cache_mode <> Cache_sim.Reference then
-               let hits = Array.fold_left ( + ) 0 result.Runner.l0_hits in
-               let total = hits + Array.fold_left ( + ) 0 result.Runner.l0_misses in
+               let hits = Array.fold_left ( + ) 0 result.Runner.ext.Runner.l0_hits in
+               let total = hits + Array.fold_left ( + ) 0 result.Runner.ext.Runner.l0_misses in
                if total > 0 then
                  Format.fprintf fmt "fast-path L0: %d of %d accesses (%.1f%%)%s@." hits total
                    (100.0 *. float_of_int hits /. float_of_int total)
@@ -331,15 +332,32 @@ let futex_cmd =
     (Cmd.info "futex" ~doc:"Run the futex microbenchmark")
     Term.(const run $ loops_arg $ obs_term)
 
+(* ---------- campaign plumbing (shared by faults / chaos / place) ---------- *)
+
+(* Every campaign subcommand shares one contract: a `-b` bench restricted
+   to the fault-campaign quartet, and exit codes 0 = campaign ran clean,
+   1 = invariant violation or unrecovered failure, 2 = unusable
+   arguments. The bench guard fails fast — before observability sinks are
+   installed or a possibly minutes-long run starts. *)
+let campaign_bench_arg =
+  Arg.(value & opt string "is" & info [ "b"; "bench" ] ~docv:"BENCH" ~doc:"is | cg | mg | ft")
+
+let guard_campaign_bench ~campaign bench k =
+  if List.mem bench H.Fault_experiments.benches then k ()
+  else begin
+    Format.eprintf "unknown benchmark %s (%s campaign runs %s)@." bench campaign
+      (String.concat " | " H.Fault_experiments.benches);
+    H.Chaos_experiments.exit_code H.Chaos_experiments.Unknown_bench
+  end
+
+let verdict_exit = H.Chaos_experiments.exit_code
+
 (* ---------- faults ---------- *)
 
 let faults_cmd =
   let seed_arg =
     Arg.(value & opt int64 0xC0FFEEL & info [ "s"; "seed" ] ~docv:"SEED"
          ~doc:"Machine seed; the fault plan derives from it, so the same seed replays the same faults")
-  in
-  let bench_arg =
-    Arg.(value & opt string "is" & info [ "b"; "bench" ] ~docv:"BENCH" ~doc:"is | cg | mg | ft")
   in
   let rate name doc default =
     Arg.(value & opt float default & info [ name ] ~docv:"RATE" ~doc)
@@ -349,29 +367,24 @@ let faults_cmd =
   let walk_arg = rate "walk-fail" "Transient remote PTE read-failure probability" 0.02 in
   let ptl_arg = rate "ptl-timeout" "Page-table-lock acquisition timeout probability" 0.01 in
   let alloc_arg = rate "alloc-fail" "Injected frame-allocator exhaustion probability" 0.005 in
-  (* Exit-code contract (shared with `chaos`): 0 = campaign ran and every
-     fault recovered; 1 = invariant violation or unrecovered failure;
-     2 = unusable arguments. *)
   let run seed bench drop ipi walk ptl alloc obs =
-    if not (List.mem bench H.Fault_experiments.benches) then begin
-      Format.eprintf "unknown benchmark %s (faults campaign runs %s)@." bench
-        (String.concat " | " H.Fault_experiments.benches);
-      2
-    end
-    else
-      run_with_obs obs (fun () ->
-          let config =
-            H.Fault_experiments.plan_config ~drop_rate:drop ~ipi_loss:ipi ~walk_fail:walk
-              ~ptl_timeout:ptl ~alloc_fail:alloc ()
-          in
-          if H.Fault_experiments.campaign fmt ~seed ~bench ~config () then 0 else 1)
+    guard_campaign_bench ~campaign:"faults" bench (fun () ->
+        run_with_obs obs (fun () ->
+            let config =
+              H.Fault_experiments.plan_config ~drop_rate:drop ~ipi_loss:ipi ~walk_fail:walk
+                ~ptl_timeout:ptl ~alloc_fail:alloc ()
+            in
+            verdict_exit
+              (if H.Fault_experiments.campaign fmt ~seed ~bench ~config () then
+                 H.Chaos_experiments.Clean
+               else H.Chaos_experiments.Violations)))
   in
   Cmd.v
     (Cmd.info "faults"
        ~doc:"Run a deterministic fault-injection campaign and audit kernel invariants")
     Term.(
-      const run $ seed_arg $ bench_arg $ drop_arg $ ipi_arg $ walk_arg $ ptl_arg $ alloc_arg
-      $ obs_term)
+      const run $ seed_arg $ campaign_bench_arg $ drop_arg $ ipi_arg $ walk_arg $ ptl_arg
+      $ alloc_arg $ obs_term)
 
 (* ---------- chaos ---------- *)
 
@@ -380,9 +393,6 @@ let chaos_cmd =
     Arg.(value & opt int64 0xC4A05L & info [ "s"; "seed" ] ~docv:"SEED"
          ~doc:"Campaign seed; schedule jitter and the machine both derive from it, so the same \
                seed replays the same kills, restarts, and recoveries byte-for-byte")
-  in
-  let bench_arg =
-    Arg.(value & opt string "is" & info [ "b"; "bench" ] ~docv:"BENCH" ~doc:"is | cg | mg | ft")
   in
   let kills_arg =
     Arg.(value & opt int 3 & info [ "k"; "kills" ] ~docv:"N"
@@ -393,31 +403,101 @@ let chaos_cmd =
          & info [ "d"; "downtime" ] ~docv:"CYCLES"
              ~doc:"Cycles a killed node stays down before restarting (clamped to half the kill gap)")
   in
-  let run seed bench kills downtime cache_mode obs =
-    if not (List.mem bench H.Fault_experiments.benches) then begin
-      Format.eprintf "unknown benchmark %s (chaos campaign runs %s)@." bench
-        (String.concat " | " H.Fault_experiments.benches);
-      2
-    end
-    else
-      let plan_metrics = ref None in
-      let extra snap =
-        match !plan_metrics with
-        | Some reg -> Obs.Snapshot.add_registry snap "fault_plan" reg
-        | None -> ()
-      in
-      run_with_obs obs ~extra (fun () ->
-          H.Chaos_experiments.exit_code
-            (H.Chaos_experiments.campaign fmt ~seed ~bench ~kills ~downtime ~cache_mode
-               ~on_metrics:(fun reg -> plan_metrics := Some reg)
-               ()))
+  let placement_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "placement" ] ~docv:"POLICY"
+          ~doc:
+            "Attach a page-placement engine with this policy (static-stramash | static-shm | \
+             adaptive) to both the baseline and the chaos run, so degraded replica collapses \
+             and restart reconciles happen under the campaign's audits")
+  in
+  let run seed bench kills downtime cache_mode placement obs =
+    guard_campaign_bench ~campaign:"chaos" bench (fun () ->
+        match placement with
+        | Some p when Stramash_placement.Policy.of_string p = None ->
+            Format.eprintf "unknown placement policy %s (static-stramash | static-shm | adaptive)@."
+              p;
+            verdict_exit H.Chaos_experiments.Unknown_bench
+        | _ ->
+            let placement = Option.map (fun p ->
+                Option.get (Stramash_placement.Policy.of_string p)) placement in
+            let plan_metrics = ref None in
+            let extra snap =
+              match !plan_metrics with
+              | Some reg -> Obs.Snapshot.add_registry snap "fault_plan" reg
+              | None -> ()
+            in
+            run_with_obs obs ~extra (fun () ->
+                verdict_exit
+                  (H.Chaos_experiments.campaign fmt ~seed ~bench ~kills ~downtime ~cache_mode
+                     ?placement
+                     ~on_metrics:(fun reg -> plan_metrics := Some reg)
+                     ())))
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run a deterministic node-failure chaos campaign: crash-stop kernel kills, \
           degraded-mode fallback, checkpoint/restore recovery, and invariant audits")
-    Term.(const run $ seed_arg $ bench_arg $ kills_arg $ downtime_arg $ cache_mode_term $ obs_term)
+    Term.(
+      const run $ seed_arg $ campaign_bench_arg $ kills_arg $ downtime_arg $ cache_mode_term
+      $ placement_arg $ obs_term)
+
+(* ---------- place ---------- *)
+
+let place_cmd =
+  let seed_arg =
+    Arg.(value & opt int64 0x91ACEL & info [ "s"; "seed" ] ~docv:"SEED"
+         ~doc:"Machine seed; placement decisions derive from the seeded run, so the same seed \
+               replays the same replicate/collapse/migrate stream byte-for-byte")
+  in
+  let policy_conv =
+    let parse s =
+      match Stramash_placement.Policy.of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "unknown placement policy %S" s))
+    in
+    Arg.conv
+      (parse, fun ppf p -> Format.pp_print_string ppf (Stramash_placement.Policy.to_string p))
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt policy_conv Stramash_placement.Policy.Adaptive
+      & info [ "p"; "policy" ] ~docv:"POLICY"
+          ~doc:"Placement policy: static-stramash | static-shm | adaptive")
+  in
+  let epoch_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "e"; "epoch" ] ~docv:"QUANTA"
+          ~doc:"Scheduling quanta per placement epoch (default: engine default)")
+  in
+  let run seed bench policy epoch cache_mode obs =
+    guard_campaign_bench ~campaign:"placement" bench (fun () ->
+        let placement_metrics = ref None in
+        let extra snap =
+          match !placement_metrics with
+          | Some reg -> Obs.Snapshot.add_registry snap "placement" reg
+          | None -> ()
+        in
+        run_with_obs obs ~extra (fun () ->
+            verdict_exit
+              (H.Placement_experiments.campaign fmt ~seed ~bench ~policy ?epoch ~cache_mode
+                 ~on_metrics:(fun reg -> placement_metrics := Some reg)
+                 ())))
+  in
+  Cmd.v
+    (Cmd.info "place"
+       ~doc:
+         "Run the page-placement campaign: a seeded policy run with kernel invariant audits, a \
+          determinism replay, and a Paranoid-engine cross-check")
+    Term.(
+      const run $ seed_arg $ campaign_bench_arg $ policy_arg $ epoch_arg $ cache_mode_term
+      $ obs_term)
 
 (* ---------- disasm ---------- *)
 
@@ -499,6 +579,7 @@ let () =
             futex_cmd;
             faults_cmd;
             chaos_cmd;
+            place_cmd;
             machine_cmd;
             disasm_cmd;
           ]))

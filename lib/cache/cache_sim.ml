@@ -203,6 +203,16 @@ let mode t = t.mode
 
 let config t = t.cfg
 
+(* Classify an access latency the way the placement sampler needs it:
+   anything at or above the node's DRAM latency missed every cache level,
+   and at or above the remote-memory latency it crossed the interconnect.
+   Latencies are per-node (Table 2), so the thresholds must be too. *)
+let latency_class t ~node cycles =
+  let lat = Config.latencies t.cfg node in
+  if cycles >= lat.Latency.remote_mem then `Remote_mem
+  else if cycles >= lat.Latency.mem then `Local_mem
+  else `Cache
+
 let stats t =
   let reg = Metrics.registry () in
   List.iter

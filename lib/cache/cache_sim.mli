@@ -41,6 +41,14 @@ val access_bytes : t -> node:Stramash_sim.Node_id.t -> kind -> paddr:int -> len:
 (** Access every cache line spanned by [[paddr, paddr+len)]; the cost of a
     bulk copy such as a message payload or a page replication. *)
 
+val latency_class :
+  t -> node:Stramash_sim.Node_id.t -> int -> [ `Cache | `Local_mem | `Remote_mem ]
+(** Classify an observed access latency against the node's Table-2
+    thresholds: below DRAM latency it hit in some cache, at or above the
+    remote-memory latency it crossed the interconnect. Used by the
+    placement sampler to count remote misses without probing the tag
+    stores a second time. *)
+
 val atomic_rmw : t -> node:Stramash_sim.Node_id.t -> paddr:int -> int
 (** An atomic read-modify-write (CAS / LSE, §6.5): a store-class access
     plus the configured atomic overhead. *)

@@ -49,6 +49,12 @@ type t = {
   mutable remote_walks : int;
   mutable shared_mappings : int;
   mutable degraded_walks : int;
+  mutable write_hook : (proc:Process.t -> node:Node_id.t -> vaddr:int -> bool) option;
+      (* Consulted when a write faults on a page that is mapped but
+         read-only: the placement engine collapses its replica there and
+         returns true (the retry then sees a writable leaf). Without a
+         hook — or when it declines — the fault is treated as the
+         raced/spurious case it always was. *)
 }
 
 let create ?inject ?global_alloc env msg =
@@ -63,9 +69,20 @@ let create ?inject ?global_alloc env msg =
     remote_walks = 0;
     shared_mappings = 0;
     degraded_walks = 0;
+    write_hook = None;
   }
 
 let inject t = t.inject
+let set_write_hook t f = t.write_hook <- Some f
+
+(* A mapped-but-read-only leaf hit by a write: give the placement engine
+   (if any) the chance to collapse a replica; otherwise it is the
+   raced/spurious fault it always was and the retry proceeds. *)
+let write_protect_fault t ~proc ~node ~vaddr ~write ~(flags : Pte.flags) =
+  if write && not flags.Pte.writable then
+    match t.write_hook with
+    | Some hook -> ignore (hook ~proc ~node ~vaddr : bool)
+    | None -> ()
 let fallback_pages t = t.fallback_pages
 let remote_walks t = t.remote_walks
 let shared_mappings t = t.shared_mappings
@@ -316,7 +333,7 @@ let plan_note t f = match t.inject with Some p -> f p | None -> ()
    round the origin would have served, at a fixed penalty. The page is
    mapped survivor-locally only — the origin-table install is deferred to
    [on_node_restart]'s reconcile pass. *)
-let degraded_fault t dt ~proc ~node ~vaddr =
+let degraded_fault t dt ~proc ~node ~vaddr ~write =
   let meter = Env.meter t.env node in
   (* The survivor only learns of the death when the watchdog fires: a
      fault landing inside the detection window stalls until then. *)
@@ -334,7 +351,9 @@ let degraded_fault t dt ~proc ~node ~vaddr =
       let mm = ensure_mm t ~proc ~node in
       let local_io = Env.pt_io t.env ~actor:node ~owner:node in
       match Page_table.walk mm.Process.pgtable local_io ~vaddr with
-      | Some _ -> Ok ()
+      | Some (_, flags) ->
+          write_protect_fault t ~proc ~node ~vaddr ~write ~flags;
+          Ok ()
       | None -> (
           let penalty =
             match t.inject with
@@ -362,7 +381,7 @@ let degraded_fault t dt ~proc ~node ~vaddr =
                     :: dt.dt_pending;
                   Ok ())))
 
-let handle_fault_fused t ~proc ~node ~vaddr =
+let handle_fault_fused t ~proc ~node ~vaddr ~write =
   let origin = proc.Process.origin in
   let mm = ensure_mm t ~proc ~node in
   match vma_for t ~proc ~node ~vaddr with
@@ -373,7 +392,11 @@ let handle_fault_fused t ~proc ~node ~vaddr =
       let writable = vma.Vma.writable in
       let local_io = Env.pt_io t.env ~actor:node ~owner:node in
       match Page_table.walk mm.Process.pgtable local_io ~vaddr with
-      | Some _ -> Ok () (* raced/spurious: already mapped *)
+      | Some (_, flags) ->
+          (* Raced/spurious for a writable leaf; for a read-only leaf a
+             write here is a replica collapse request. *)
+          write_protect_fault t ~proc ~node ~vaddr ~write ~flags;
+          Ok ()
       | None ->
           if Node_id.equal node origin then begin
             (* Fresh anon page at the origin. *)
@@ -386,11 +409,11 @@ let handle_fault_fused t ~proc ~node ~vaddr =
           else remote_fault t ~proc ~node ~mm ~vaddr ~writable)
 
 let handle_fault_untraced t ~proc ~node ~vaddr ~write =
-  ignore write;
   let origin = proc.Process.origin in
   match downtime_of t origin with
-  | Some dt when not (Node_id.equal node origin) -> degraded_fault t dt ~proc ~node ~vaddr
-  | _ -> handle_fault_fused t ~proc ~node ~vaddr
+  | Some dt when not (Node_id.equal node origin) ->
+      degraded_fault t dt ~proc ~node ~vaddr ~write
+  | _ -> handle_fault_fused t ~proc ~node ~vaddr ~write
 
 let handle_fault t ~proc ~node ~vaddr ~write =
   if not (Trace.enabled ()) then handle_fault_untraced t ~proc ~node ~vaddr ~write

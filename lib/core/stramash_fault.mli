@@ -27,6 +27,15 @@ val create :
 
 val inject : t -> Stramash_fault_inject.Plan.t option
 
+val set_write_hook :
+  t ->
+  (proc:Stramash_kernel.Process.t -> node:Stramash_sim.Node_id.t -> vaddr:int -> bool) ->
+  unit
+(** Hook consulted when a write faults on a page that is mapped but
+    read-only — the placement engine registers its replica-collapse
+    handler here (returning [true] when it upgraded the leaf). Without a
+    hook such faults stay the raced/spurious no-ops they always were. *)
+
 val ensure_mm :
   t -> proc:Stramash_kernel.Process.t -> node:Stramash_sim.Node_id.t -> Stramash_kernel.Process.mm
 

@@ -27,6 +27,7 @@ module Stramash_fault = Stramash_core.Stramash_fault
 module Global_alloc = Stramash_core.Global_alloc
 module Checkpoint = Stramash_core.Checkpoint
 module W = Stramash_workloads
+module Placement_engine = Stramash_placement.Engine
 
 type verdict = Clean | Violations | Unrecovered | Unknown_bench
 
@@ -45,6 +46,18 @@ let exit_code = function
   | Unknown_bench -> 2
 
 let default_downtime = Cycles.of_us 40.0
+
+(* Optionally run the campaign with a page-placement engine attached —
+   the placement acceptance gate reruns the kill/restart soak with the
+   adaptive policy live, so degraded collapses and restart reconciles
+   get audited too. *)
+let attach_placement ?policy machine =
+  match policy with
+  | None -> ()
+  | Some policy -> (
+      match Machine.os machine with
+      | Os.Stramash os -> Machine.attach_placement machine (Placement_engine.create ~policy os)
+      | _ -> ())
 
 (* Read the NPB checksum word through whichever kernel still maps it —
    this is the workload fingerprint that must survive the chaos. *)
@@ -108,7 +121,8 @@ let schedule ~seed ~wall ~kills ~downtime ~origin ~anchor =
         downtime )
 
 let campaign fmt ?(seed = 0xC4A05L) ?(bench = "is") ?(kills = 3) ?(downtime = default_downtime)
-    ?(cache_mode = Cache_sim.Fast) ?(on_metrics = fun (_ : Metrics.registry) -> ()) () =
+    ?(cache_mode = Cache_sim.Fast) ?placement
+    ?(on_metrics = fun (_ : Metrics.registry) -> ()) () =
   match Fault_experiments.spec_of_bench bench with
   | None ->
       Format.fprintf fmt "unknown benchmark %s (chaos campaign runs %s)@." bench
@@ -125,6 +139,7 @@ let campaign fmt ?(seed = 0xC4A05L) ?(bench = "is") ?(kills = 3) ?(downtime = de
             cache_mode;
           }
       in
+      attach_placement ?policy:placement baseline;
       let bproc, bthread = Machine.load baseline spec in
       let bresult = Runner.run baseline bproc bthread spec in
       let bchecksum = checksum baseline ~proc:bproc in
@@ -156,6 +171,7 @@ let campaign fmt ?(seed = 0xC4A05L) ?(bench = "is") ?(kills = 3) ?(downtime = de
             inject = Some config;
           }
       in
+      attach_placement ?policy:placement machine;
       let proc, thread = Machine.load machine spec in
       let env = Machine.env machine in
       let recoveries = ref 0 in
@@ -222,7 +238,7 @@ let campaign fmt ?(seed = 0xC4A05L) ?(bench = "is") ?(kills = 3) ?(downtime = de
           List.iter
             (fun node ->
               Format.fprintf fmt "  %s downtime: %d cycles@." (Node_id.to_string node)
-                result.Runner.node_downtime.(Node_id.index node))
+                result.Runner.ext.Runner.node_downtime.(Node_id.index node))
             Node_id.all;
           (match Machine.inject_plan machine with
           | Some plan -> Plan.report fmt plan

@@ -26,12 +26,16 @@ val campaign :
   ?kills:int ->
   ?downtime:int ->
   ?cache_mode:Stramash_cache.Cache_sim.mode ->
+  ?placement:Stramash_placement.Policy.t ->
   ?on_metrics:(Stramash_sim.Metrics.registry -> unit) ->
   unit ->
   verdict
 (** Fingerprint the bench fault-free, then replay it under [kills]
     alternating-node kill/restart cycles spread over the baseline wall
-    with seeded jitter. Prints the schedule, per-recovery audits, the
+    with seeded jitter. [placement] attaches a page-placement engine
+    with that policy to both the baseline and the chaos machine, so
+    degraded replica collapses and restart-time reconciles run under
+    the same audits. Prints the schedule, per-recovery audits, the
     fault plan's chaos counters, per-node downtime, and a final
     ["campaign verdict: ..."] line for CI grep. [on_metrics] receives
     the chaos run's fault-plan registry once the run settles (the CLI

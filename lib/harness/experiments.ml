@@ -22,6 +22,7 @@ let all =
     { id = "ablation-packing"; title = "ablation: secure data packing"; run = Ablation.data_packing };
     { id = "faults"; title = "fault-injection campaign & kernel audit"; run = Fault_experiments.faults };
     { id = "chaos"; title = "node-failure chaos campaign (kill/restart soak)"; run = Chaos_experiments.chaos };
+    { id = "placement"; title = "adaptive page placement (crossover + verdict soak)"; run = Placement_experiments.placement };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -112,6 +112,11 @@ let matrix_mean_ns mat =
 
 let cross_isa_ipi_cycles = Cycles.of_us 2.0
 
+(* A cross-ISA TLB shootdown is one IPI round to the peer kernel (the
+   Fig. 5-6 ~2 us doorbell cost); the local invalidation itself is in the
+   architectural noise next to it, so the round is the whole charge. *)
+let tlb_shootdown_cycles = cross_isa_ipi_cycles
+
 module Plan = Stramash_fault_inject.Plan
 
 type delivery = { cycles : int; lost : bool; jittered : bool }

@@ -38,6 +38,12 @@ val matrix_mean_ns : float array array -> float
 val cross_isa_ipi_cycles : int
 (** The simulator's cross-ISA IPI cost: 2 us (the big-pair mean), §8.2. *)
 
+val tlb_shootdown_cycles : int
+(** Cost of one cross-ISA TLB-shootdown round: a single peer IPI at the
+    Fig. 5-6 2 us doorbell cost. The placement engine charges this on
+    every replica install/collapse that invalidates the other kernel's
+    translations. *)
+
 type delivery = { cycles : int; lost : bool; jittered : bool }
 (** One cross-ISA notification: the cycles the receiver waits, and whether
     the interrupt was lost (receiver fell back to a polling timeout) or

@@ -7,6 +7,7 @@ type t = {
   entries : entry array;
   mutable hits : int;
   mutable misses : int;
+  mutable shootdowns : int;
 }
 
 let none = { frame = 0; writable = false }
@@ -20,6 +21,7 @@ let create ?(entries = 64) () =
     entries = Array.make entries none;
     hits = 0;
     misses = 0;
+    shootdowns = 0;
   }
 
 let slot t vpage = vpage land (t.size - 1)
@@ -85,5 +87,13 @@ let flush_all t =
   Array.fill t.vpages 0 t.size (-1);
   Array.fill t.asids 0 t.size (-1)
 
+(* A shootdown is a remotely-requested [flush_page]: same invalidation,
+   but counted separately so cross-ISA invalidation traffic (the cost the
+   placement engine charges an IPI round for) is visible on its own. *)
+let shootdown t ~vpage =
+  t.shootdowns <- t.shootdowns + 1;
+  flush_page t ~vpage
+
 let hits t = t.hits
 let misses t = t.misses
+let shootdowns t = t.shootdowns

@@ -33,6 +33,14 @@ val flush_page : t -> vpage:int -> unit
 (** Drop any entry for this virtual page, regardless of ASID (a
     conservative shootdown). *)
 
+val shootdown : t -> vpage:int -> unit
+(** A remotely-requested {!flush_page}: same invalidation, but counted in
+    {!shootdowns} so cross-ISA invalidation traffic stays visible apart
+    from the owner kernel's own flushes. *)
+
 val flush_all : t -> unit
 val hits : t -> int
 val misses : t -> int
+
+val shootdowns : t -> int
+(** Number of {!shootdown} rounds this TLB has absorbed. *)

@@ -22,6 +22,8 @@ module Popcorn_os = Stramash_popcorn.Popcorn_os
 module Msg_layer = Stramash_popcorn.Msg_layer
 module Stramash_os = Stramash_core.Stramash_os
 module Plan = Stramash_fault_inject.Plan
+module Quantum = Stramash_sim.Quantum
+module Placement = Stramash_placement.Engine
 
 type os_choice =
   | Vanilla
@@ -68,6 +70,8 @@ type t = {
   os : Os.t;
   inject_plan : Plan.t option;
   rng : Rng.t;
+  quantum : Quantum.t;
+  mutable placement : Placement.t option;
   mutable next_pid : int;
   mutable next_tid : int; (* machine-global: futex queues and the scheduler key on tids *)
   mutable all_threads : Thread.t list;
@@ -128,6 +132,8 @@ let create cfg =
     os;
     inject_plan;
     rng = Rng.create ~seed:cfg.seed;
+    quantum = Quantum.create ();
+    placement = None;
     next_pid = 1;
     next_tid = 0;
     all_threads = [];
@@ -141,6 +147,24 @@ let cache t = t.env.Env.cache
 let rng t = t.rng
 let threads t = t.all_threads
 let meter_of t node = Env.meter t.env node
+let quantum t = t.quantum
+let placement t = t.placement
+
+(* The engine must see every access from the first instruction on, and
+   its per-proc state starts at [load] — so attachment is only legal on a
+   machine that has loaded nothing yet, and only once. *)
+let attach_placement t engine =
+  (match t.os with
+  | Os.Stramash _ -> ()
+  | _ -> invalid_arg "Machine.attach_placement: placement requires the Stramash personality");
+  if t.next_pid > 1 then
+    invalid_arg "Machine.attach_placement: attach before loading any process";
+  (match t.placement with
+  | Some _ -> invalid_arg "Machine.attach_placement: already attached"
+  | None -> ());
+  t.placement <- Some engine;
+  Placement.install_write_hook engine;
+  Quantum.add t.quantum (fun ~now -> Placement.tick engine ~now)
 
 let reset_meters t = Array.iter Meter.reset t.env.Env.meters
 
@@ -236,9 +260,14 @@ let load t (spec : Spec.t) =
   let cpu = Interp.create (Process.image proc origin) in
   let thread = Thread.create ~tid:(fresh_tid t) ~origin ~cpu in
   t.all_threads <- thread :: t.all_threads;
+  (match t.placement with Some e -> Placement.register_proc e proc | None -> ());
   (proc, thread)
 
-let exit_process t proc = Os.exit_process t.os ~env:t.env ~proc
+let exit_process t proc =
+  (* Collapse outstanding replicas first so the §6.4 exit sweep sees the
+     mappings and allocator state it expects. *)
+  (match t.placement with Some e -> Placement.drain e ~proc | None -> ());
+  Os.exit_process t.os ~env:t.env ~proc
 
 let used_frames t node =
   Stramash_kernel.Frame_alloc.used_frames (Env.kernel t.env node).Kernel.frames

@@ -56,6 +56,19 @@ val cache : t -> Stramash_cache.Cache_sim.t
 val rng : t -> Stramash_sim.Rng.t
 val threads : t -> Stramash_kernel.Thread.t list
 
+val quantum : t -> Stramash_sim.Quantum.t
+(** Scheduling-quantum boundary hooks; the runner fires them after every
+    quantum's invariant audit. *)
+
+val placement : t -> Stramash_placement.Engine.t option
+
+val attach_placement : t -> Stramash_placement.Engine.t -> unit
+(** Wire a placement engine into the machine: its epoch tick joins the
+    quantum hooks, its collapse trigger joins the fault path, and [load]/
+    [exit_process] register and drain processes with it. Must be called
+    before any [load], at most once, and only on the Stramash
+    personality — [Invalid_argument] otherwise. *)
+
 val load : t -> Spec.t -> Stramash_kernel.Process.t * Stramash_kernel.Thread.t
 (** Create the process at its origin (x86), build the origin memory
     descriptor, map code and eager data segments (load-time work is not

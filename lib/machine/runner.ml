@@ -20,6 +20,18 @@ module Liveness = Stramash_sim.Liveness
 module Plan = Stramash_fault_inject.Plan
 module Fault = Stramash_fault_inject.Fault
 module Trace = Stramash_obs.Trace
+module Quantum = Stramash_sim.Quantum
+module Placement = Stramash_placement.Engine
+
+(* Counters that accreted onto the result across PRs (fast-path L0,
+   chaos downtime, placement) live in one extension record, so the next
+   subsystem adds a field here instead of another top-level array. *)
+type ext = {
+  l0_hits : int array;
+  l0_misses : int array;
+  node_downtime : int array; (* cycles each node spent crash-stopped *)
+  placement : (string * int) list; (* placement.* counters; [] when detached *)
+}
 
 type result = {
   os_name : string;
@@ -36,9 +48,7 @@ type result = {
   phase_marks : (int * int) list;
   node_user_stalls : int array;
   node_idle : int array;
-  l0_hits : int array;
-  l0_misses : int array;
-  node_downtime : int array;
+  ext : ext;
 }
 
 let fastpath_counters r =
@@ -46,7 +56,7 @@ let fastpath_counters r =
     (fun node ->
       let i = Node_id.index node in
       let name c = Node_id.to_string node ^ "." ^ c in
-      [ (name "l0_hits", r.l0_hits.(i)); (name "l0_misses", r.l0_misses.(i)) ])
+      [ (name "l0_hits", r.ext.l0_hits.(i)); (name "l0_misses", r.ext.l0_misses.(i)) ])
     Node_id.all
 
 let node_busy r node =
@@ -83,6 +93,17 @@ let make_memio machine proc thread ~user_stalls =
     else 0
   in
   let asid = proc.Process.pid in
+  (* Placement telemetry: one counter bump per user access, reusing the
+     latency the access already paid for its hit-depth class. [None]
+     (the common case) keeps the fast path free of the sampling call. *)
+  let sample =
+    match Machine.placement machine with
+    | None -> None
+    | Some engine ->
+        Some
+          (fun ~vaddr ~write lat ->
+            Placement.sample engine ~pid:asid ~node ~vaddr ~write ~latency:lat)
+  in
   (* Bound once so the per-access address math below compiles to shifts and
      masks with no cross-module calls. *)
   let page_shift = Addr.page_shift in
@@ -125,19 +146,25 @@ let make_memio machine proc thread ~user_stalls =
     Interp.load =
       (fun width vaddr ->
         let paddr = data_paddr vaddr ~write:false in
-        Meter.add meter (stall (Cache_sim.access cache ~node Cache_sim.Load ~paddr));
+        let lat = Cache_sim.access cache ~node Cache_sim.Load ~paddr in
+        (match sample with None -> () | Some f -> f ~vaddr ~write:false lat);
+        Meter.add meter (stall lat);
         if width = 8 then Phys_mem.read_u64 phys paddr else Phys_mem.read phys paddr ~width);
     store =
       (fun width vaddr value ->
         let paddr = data_paddr vaddr ~write:true in
-        Meter.add meter (stall (Cache_sim.access cache ~node Cache_sim.Store ~paddr));
+        let lat = Cache_sim.access cache ~node Cache_sim.Store ~paddr in
+        (match sample with None -> () | Some f -> f ~vaddr ~write:true lat);
+        Meter.add meter (stall lat);
         if width = 8 then Phys_mem.write_u64 phys paddr value
         else Phys_mem.write phys paddr ~width value);
     fetch =
       (fun vaddr ->
         let paddr = data_paddr vaddr ~write:false in
+        let lat = Cache_sim.access cache ~node Cache_sim.Ifetch ~paddr in
+        (match sample with None -> () | Some f -> f ~vaddr ~write:false lat);
         (* one base cycle per instruction + any fetch stall *)
-        Meter.add meter (1 + stall (Cache_sim.access cache ~node Cache_sim.Ifetch ~paddr)));
+        Meter.add meter (1 + stall lat));
   }
 
 let resolve_futex_args thread (syscall : Mir.syscall) =
@@ -175,19 +202,26 @@ let collect machine ~node_icounts ~migrations ~user_stalls ~idle ~marks =
     phase_marks = marks;
     node_user_stalls = user_stalls;
     node_idle = idle;
-    l0_hits = per_node "l0_hits";
-    l0_misses = per_node "l0_misses";
-    node_downtime =
-      (let liveness = env.Env.liveness in
-       Array.of_list
-         (List.map
-            (fun node ->
-              (* completed downtimes, plus the open interval of a node
-                 still dead at collection *)
-              Liveness.downtime liveness node
-              + (if Liveness.is_alive liveness node then 0
-                 else wall - Liveness.died_at liveness node))
-            Node_id.all));
+    ext =
+      {
+        l0_hits = per_node "l0_hits";
+        l0_misses = per_node "l0_misses";
+        node_downtime =
+          (let liveness = env.Env.liveness in
+           Array.of_list
+             (List.map
+                (fun node ->
+                  (* completed downtimes, plus the open interval of a node
+                     still dead at collection *)
+                  Liveness.downtime liveness node
+                  + (if Liveness.is_alive liveness node then 0
+                     else wall - Liveness.died_at liveness node))
+                Node_id.all));
+        placement =
+          (match Machine.placement machine with
+          | Some engine -> Placement.counters engine
+          | None -> []);
+      };
   }
 
 (* The scheduler: run the runnable thread whose node clock is lowest,
@@ -308,6 +342,13 @@ let run_scheduler ?on_recovery machine items ~fuel =
     Liveness.revive liveness node ~at;
     advance_to node at;
     Os.on_node_restart os ~procs ~node ~now:at;
+    (* The checkpoint restore faithfully reinstalls any replica leaf the
+       node held at death; if the replica was collapsed while it was
+       down, the placement engine must correct that before any thread
+       runs against the stale mapping. *)
+    (match Machine.placement machine with
+    | Some engine -> Placement.reconcile engine ~node
+    | None -> ());
     match on_recovery with Some f -> f node | None -> ()
   in
   (* Watchdog bookkeeping: live nodes publish beats at their own clocks;
@@ -411,6 +452,7 @@ let run_scheduler ?on_recovery machine items ~fuel =
           let memio = make_memio machine (proc_of th) th ~user_stalls in
           let outcome = Interp.run th.Thread.cpu memio ~fuel in
           audit ();
+          Quantum.fire (Machine.quantum machine) ~now:(wall ());
           (match outcome with
           | Interp.Out_of_fuel -> account th
           | Interp.Halted ->
@@ -545,11 +587,11 @@ let pp_result fmt r =
            (rate
               (g "l1d_hits" + g "l1i_hits")
               (g "l1d_accesses" + g "l1i_accesses")));
-      (let l0_total = r.l0_hits.(idx) + r.l0_misses.(idx) in
+      (let l0_total = r.ext.l0_hits.(idx) + r.ext.l0_misses.(idx) in
        if l0_total > 0 then
          Format.fprintf fmt "  L0 Fast-Path Hit Rate: %.2f%% (%d of %d accesses)@."
-           (pct (rate r.l0_hits.(idx) l0_total))
-           r.l0_hits.(idx) l0_total);
+           (pct (rate r.ext.l0_hits.(idx) l0_total))
+           r.ext.l0_hits.(idx) l0_total);
       Format.fprintf fmt "  L2 Cache Hit Rate: %.2f%%@." (pct (rate (g "l2_hits") (g "l2_accesses")));
       Format.fprintf fmt "  L3 Cache Hit Rate: %.2f%%@." (pct (rate (g "l3_hits") (g "l3_accesses")));
       Format.fprintf fmt "  Local Memory Hits: %d@." (g "local_mem_hits");

@@ -8,6 +8,24 @@
     Migration synchronises the destination node's clock with the source's,
     so a single-threaded run's completion time is the final node's meter. *)
 
+type ext = {
+  l0_hits : int array;
+  l0_misses : int array;
+      (* per-node L0 line-filter outcomes (host-performance telemetry, not
+         part of the simulated model: both arrays are all-zero in Reference
+         mode and excluded from the [cache] registry so registries compare
+         equal across modes) *)
+  node_downtime : int array;
+      (* simulated cycles each node spent crash-stopped (all-zero without a
+         chaos schedule), including a still-open downtime at collection *)
+  placement : (string * int) list;
+      (* placement.* counter snapshot from the attached engine ([] when no
+         engine is attached) *)
+}
+(** Result-extension record: the per-PR counters (fast-path L0, chaos
+    downtime, placement) collected in one place instead of as ad-hoc
+    top-level fields. *)
+
 type result = {
   os_name : string;
   hw_model : Stramash_mem.Layout.hw_model;
@@ -28,15 +46,7 @@ type result = {
   node_idle : int array;
       (* clock-synchronisation jumps (waiting for a migration arrival or a
          futex wake): simulated time during which the node did no work *)
-  l0_hits : int array;
-  l0_misses : int array;
-      (* per-node L0 line-filter outcomes (host-performance telemetry, not
-         part of the simulated model: both arrays are all-zero in Reference
-         mode and excluded from the [cache] registry so registries compare
-         equal across modes) *)
-  node_downtime : int array;
-      (* simulated cycles each node spent crash-stopped (all-zero without a
-         chaos schedule), including a still-open downtime at collection *)
+  ext : ext;
 }
 
 val fastpath_counters : result -> (string * int) list

@@ -51,4 +51,16 @@ let locality model ~node a =
 
 let in_message_ring a = region_contains message_ring a
 
+(* Home node of a physical address: the kernel whose memory controller the
+   line lives behind. Private boot ranges belong to their owner; under the
+   Separated model each node also homes its half of the upper 4-8G range.
+   The message ring and the MMIO hole have no single home. *)
+let home_node a =
+  if region_contains x86_private a then Some Node_id.X86
+  else if region_contains arm_private a then Some Node_id.Arm
+  else if in_message_ring a then None
+  else if region_contains (pool_half Node_id.X86) a then Some Node_id.X86
+  else if region_contains (pool_half Node_id.Arm) a then Some Node_id.Arm
+  else None
+
 let total_memory = Addr.gib 8

@@ -45,5 +45,10 @@ type locality = Local | Remote
 val locality : hw_model -> node:Stramash_sim.Node_id.t -> Addr.paddr -> locality
 val in_message_ring : Addr.paddr -> bool
 
+val home_node : Addr.paddr -> Stramash_sim.Node_id.t option
+(** Kernel whose memory controller homes the address: private boot ranges
+    belong to their owner, the upper 4-8G pool is split per
+    {!pool_half}; [None] for the message ring and the MMIO hole. *)
+
 val total_memory : int
 (** 8 GB, as configured in the paper's experiments (§9.2). *)

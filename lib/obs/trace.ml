@@ -249,6 +249,15 @@ let subsystems t =
   Hashtbl.fold (fun (subsys, _) _ acc -> subsys :: acc) t.agg []
   |> List.sort_uniq String.compare
 
+(* One subsystem's operation counts, sorted by op name — the shape the
+   placement engine folds into metrics snapshots without dragging the
+   full attribution row type along. *)
+let op_counts t ~subsys =
+  Hashtbl.fold
+    (fun (s, op) c acc -> if String.equal s subsys then (op, c.c_count) :: acc else acc)
+    t.agg []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 (* ---------- sinks ---------- *)
 
 let tags_json tags = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) tags)

@@ -134,6 +134,10 @@ val attribution : t -> row list
 val subsystems : t -> string list
 (** Distinct subsystems observed, sorted. *)
 
+val op_counts : t -> subsys:string -> (string * int) list
+(** Event counts for one subsystem's operations, sorted by op name —
+    spans and point events alike. *)
+
 (** {1 Sinks} *)
 
 val chrome_json : t -> Json.t

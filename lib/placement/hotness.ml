@@ -1,0 +1,81 @@
+(* Epoch-aggregated per-page access telemetry.
+
+   Every user memory access sampled from the pipeline lands here as one
+   counter bump keyed by (pid, page); the policy reads whole-epoch
+   aggregates and [decay] ages them out with a per-epoch halving, so a
+   page's history fades in a few epochs instead of pinning a decision
+   forever. Iteration order is sorted by key — decisions derived from a
+   fold over this table are deterministic per run. *)
+
+module Node_id = Stramash_sim.Node_id
+module Addr = Stramash_mem.Addr
+
+let nnodes = List.length Node_id.all
+
+type page = {
+  born : int; (* epoch index at which tracking of this page started *)
+  reads : int array; (* per node index *)
+  writes : int array;
+  remote : int array; (* accesses that crossed the interconnect *)
+}
+
+type t = {
+  pages : (int * int, page) Hashtbl.t; (* (pid, page-base vaddr) *)
+  mutable samples : int;
+}
+
+let create () = { pages = Hashtbl.create 1024; samples = 0 }
+
+let fresh_page ~now =
+  {
+    born = now;
+    reads = Array.make nnodes 0;
+    writes = Array.make nnodes 0;
+    remote = Array.make nnodes 0;
+  }
+
+let touch t ~pid ~node ~vaddr ~write ~remote ~now =
+  let key = (pid, Addr.page_base vaddr) in
+  let p =
+    match Hashtbl.find_opt t.pages key with
+    | Some p -> p
+    | None ->
+        let p = fresh_page ~now in
+        Hashtbl.add t.pages key p;
+        p
+  in
+  let i = Node_id.index node in
+  if write then p.writes.(i) <- p.writes.(i) + 1 else p.reads.(i) <- p.reads.(i) + 1;
+  if remote then p.remote.(i) <- p.remote.(i) + 1;
+  t.samples <- t.samples + 1
+
+let page_stats t ~pid ~vaddr = Hashtbl.find_opt t.pages (pid, Addr.page_base vaddr)
+
+(* Halve every counter; drop pages that age to silence so the table
+   tracks the working set, not the whole address-space history. *)
+let decay t =
+  let dead =
+    Hashtbl.fold
+      (fun key p acc ->
+        let live = ref false in
+        let halve a =
+          Array.iteri
+            (fun i v ->
+              a.(i) <- v asr 1;
+              if a.(i) > 0 then live := true)
+            a
+        in
+        halve p.reads;
+        halve p.writes;
+        halve p.remote;
+        if !live then acc else key :: acc)
+      t.pages []
+  in
+  List.iter (Hashtbl.remove t.pages) dead
+
+let to_sorted t =
+  Hashtbl.fold (fun k p acc -> (k, p) :: acc) t.pages []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let size t = Hashtbl.length t.pages
+let samples t = t.samples

@@ -1,0 +1,41 @@
+(** Epoch-aggregated per-page access telemetry.
+
+    One counter record per (pid, page): per-node reads, writes, and
+    accesses that crossed the interconnect. [decay] halves everything at
+    each epoch boundary so stale history (e.g. a benchmark's init-phase
+    writes) ages out instead of pinning decisions. *)
+
+type page = {
+  born : int;  (** epoch index at which tracking of this page started *)
+  reads : int array;  (** per {!Stramash_sim.Node_id.index} *)
+  writes : int array;
+  remote : int array;  (** accesses charged at remote-memory latency *)
+}
+
+type t
+
+val create : unit -> t
+
+val touch :
+  t ->
+  pid:int ->
+  node:Stramash_sim.Node_id.t ->
+  vaddr:int ->
+  write:bool ->
+  remote:bool ->
+  now:int ->
+  unit
+(** One sampled access; [vaddr] is normalised to its page base. [now] is
+    the current epoch index, recorded as [born] on first touch. *)
+
+val page_stats : t -> pid:int -> vaddr:int -> page option
+
+val decay : t -> unit
+(** Halve every counter and drop pages that age to silence. *)
+
+val to_sorted : t -> ((int * int) * page) list
+(** Snapshot sorted by (pid, page vaddr) — the deterministic iteration
+    order policy decisions are made in. *)
+
+val size : t -> int
+val samples : t -> int

@@ -1,0 +1,80 @@
+(* Placement policies over one epoch's hotness view of a page.
+
+   [Static_stramash] is the paper's native strategy: every remote access
+   goes over the coherent interconnect, nothing ever moves. [Static_shm]
+   mimics Popcorn-SHM: any page the far node read remotely gets a local
+   replica, writes be damned (the write-collapse ping-pong is exactly how
+   SHM loses on write-shared pages). [Adaptive] is the cost model: an
+   action is taken only when the epoch's measured remote misses, valued
+   at the Table-2 local/remote latency gap and amortised over a payback
+   horizon, outweigh the copy plus the cross-ISA TLB-shootdown round it
+   will eventually cost to undo. *)
+
+module Node_id = Stramash_sim.Node_id
+
+type t = Static_stramash | Static_shm | Adaptive
+
+let to_string = function
+  | Static_stramash -> "static-stramash"
+  | Static_shm -> "static-shm"
+  | Adaptive -> "adaptive"
+
+let of_string = function
+  | "static-stramash" -> Some Static_stramash
+  | "static-shm" -> Some Static_shm
+  | "adaptive" -> Some Adaptive
+  | _ -> None
+
+let all = [ Static_stramash; Static_shm; Adaptive ]
+
+type verdict = Keep | Replicate of Node_id.t | Migrate of Node_id.t
+
+let verdict_to_string = function
+  | Keep -> "keep"
+  | Replicate n -> "replicate:" ^ Node_id.to_string n
+  | Migrate n -> "migrate:" ^ Node_id.to_string n
+
+(* One page's decision inputs: epoch counters plus the cost constants the
+   engine derived from the cache configuration. [gain_per_miss] is the
+   far node's remote-vs-local DRAM latency gap; [act_cost] the estimated
+   page copy plus one shootdown round. *)
+type view = {
+  home : Node_id.t;  (** node whose memory controller holds the frame *)
+  reads : int array;  (** per node index *)
+  writes : int array;
+  remote : int array;
+  gain_per_miss : int;
+  act_cost : int;
+  payback : int;  (** epochs over which [act_cost] must amortise *)
+  min_remote : int;  (** noise floor for the adaptive policy *)
+  age : int;  (** epochs this page has been tracked *)
+  warmup : int;  (** epochs of observation the adaptive policy demands *)
+}
+
+let decide policy v =
+  let peer = Node_id.other v.home in
+  let pi = Node_id.index peer and hi = Node_id.index v.home in
+  let p_remote = v.remote.(pi) in
+  match policy with
+  | Static_stramash -> Keep
+  | Static_shm -> if p_remote > 0 then Replicate peer else Keep
+  | Adaptive ->
+      let writes_total = v.writes.(pi) + v.writes.(hi) in
+      let benefit = p_remote * v.gain_per_miss * v.payback in
+      (* [age < warmup] defers any action on a freshly-tracked page: a
+         first write phase has not had a chance to show up yet, and
+         acting on first-iteration read heat is how phased
+         read-then-write workloads get dragged into replicate/collapse
+         churn. *)
+      if v.age < v.warmup then Keep
+      else if writes_total = 0 && p_remote > v.min_remote && benefit > v.act_cost then
+        Replicate peer
+      else if
+        (* the far node owns the page outright, writes included: move the
+           frame home rather than bounce replicas *)
+        v.writes.(pi) > 0
+        && v.reads.(hi) + v.writes.(hi) = 0
+        && p_remote > v.min_remote
+        && benefit > 2 * v.act_cost
+      then Migrate peer
+      else Keep

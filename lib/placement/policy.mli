@@ -1,0 +1,36 @@
+(** Placement policies over one epoch's hotness view of a page.
+
+    [Static_stramash] never moves anything (the paper's direct remote
+    access). [Static_shm] replicates on any remote read, Popcorn-SHM
+    style, accepting the write-collapse ping-pong. [Adaptive] weighs the
+    epoch's measured remote misses, valued at the Table-2 local/remote
+    latency gap, against the copy + TLB-shootdown cost of acting. *)
+
+type t = Static_stramash | Static_shm | Adaptive
+
+val to_string : t -> string
+val of_string : string -> t option
+val all : t list
+
+type verdict =
+  | Keep
+  | Replicate of Stramash_sim.Node_id.t  (** install a replica at this reader *)
+  | Migrate of Stramash_sim.Node_id.t  (** move the home frame to this node *)
+
+val verdict_to_string : verdict -> string
+
+type view = {
+  home : Stramash_sim.Node_id.t;
+  reads : int array;
+  writes : int array;
+  remote : int array;
+  gain_per_miss : int;
+  act_cost : int;
+  payback : int;
+  min_remote : int;
+  age : int;
+  warmup : int;
+}
+
+val decide : t -> view -> verdict
+(** Pure function of the view — unit-testable and deterministic. *)

@@ -1,0 +1,20 @@
+(* Scheduling-quantum boundary hooks.
+
+   The runner executes threads in fuel-bounded quanta; subsystems that
+   want to act between quanta (the placement engine's epoch tick, for
+   one) register a hook here rather than patching the scheduler loop.
+   Hooks fire in registration order with the current smallest-node wall
+   clock, so everything they do is deterministic per run. *)
+
+type hook = now:int -> unit
+
+type t = { mutable hooks : hook list (* reverse registration order *) }
+
+let create () = { hooks = [] }
+let add t h = t.hooks <- h :: t.hooks
+let count t = List.length t.hooks
+
+let fire t ~now =
+  match t.hooks with
+  | [] -> ()
+  | hooks -> List.iter (fun h -> h ~now) (List.rev hooks)

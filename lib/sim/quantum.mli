@@ -1,0 +1,18 @@
+(** Scheduling-quantum boundary hooks.
+
+    The runner executes threads in fuel-bounded quanta; subsystems that
+    want to act between quanta (e.g. the placement engine's epoch tick)
+    register a hook here instead of patching the scheduler loop. Hooks
+    fire in registration order with the smallest-node wall clock, so
+    their effects are deterministic per run. *)
+
+type hook = now:int -> unit
+
+type t
+
+val create : unit -> t
+val add : t -> hook -> unit
+val count : t -> int
+
+val fire : t -> now:int -> unit
+(** Run every hook, oldest registration first. *)

@@ -258,13 +258,13 @@ let test_npb_fast_equals_reference () =
           Alcotest.(check bool)
             (Printf.sprintf "%s/%s fast run used the L0 filter" name (Machine.os_choice_name os))
             true
-            (Array.fold_left ( + ) 0 fast.Runner.l0_hits > 0);
+            (Array.fold_left ( + ) 0 fast.Runner.ext.Runner.l0_hits > 0);
           checki
             (Printf.sprintf "%s/%s reference run has no L0 traffic" name
                (Machine.os_choice_name os))
             0
-            (Array.fold_left ( + ) 0 ref_.Runner.l0_hits
-            + Array.fold_left ( + ) 0 ref_.Runner.l0_misses))
+            (Array.fold_left ( + ) 0 ref_.Runner.ext.Runner.l0_hits
+            + Array.fold_left ( + ) 0 ref_.Runner.ext.Runner.l0_misses))
         [ Machine.Vanilla; Machine.Stramash_kernel_os; Machine.Popcorn_shm ])
     npb_small
 

@@ -9,6 +9,7 @@
      faults                       run the fault-injection campaign + audit
      chaos                        run the node-failure chaos campaign
      place                        run the page-placement campaign
+     gray                         run the gray-failure breaker-on/off campaign
      machine                      describe the simulated platform *)
 
 open Cmdliner
@@ -19,6 +20,8 @@ module Runner = Stramash_machine.Runner
 module Layout = Stramash_mem.Layout
 module Node_id = Stramash_sim.Node_id
 module Cycles = Stramash_sim.Cycles
+module Metrics = Stramash_sim.Metrics
+module Plan = Stramash_fault_inject.Plan
 module Cache_sim = Stramash_cache.Cache_sim
 
 let fmt = Format.std_formatter
@@ -352,6 +355,26 @@ let guard_campaign_bench ~campaign bench k =
 
 let verdict_exit = H.Chaos_experiments.exit_code
 
+(* One structural validation shared by every campaign entry point: a bad
+   flag combination fails fast with a message and exit 2, before
+   observability sinks are installed or a machine is built. *)
+let guard_plan_config config k =
+  match Plan.validate config with
+  | Ok () -> k ()
+  | Error msg ->
+      Format.eprintf "invalid fault-plan config: %s@." msg;
+      verdict_exit H.Chaos_experiments.Unknown_bench
+
+(* Every campaign's JSON snapshot echoes the plan seed and the config
+   fingerprint, so any output file traces back to its exact parameters. *)
+let add_campaign_stamp snap ~seed ~fingerprint =
+  Obs.Snapshot.add_counters snap "campaign"
+    [ ("seed", seed); ("config_fingerprint", fingerprint) ]
+
+let stamp_from_registry snap reg =
+  add_campaign_stamp snap ~seed:(Metrics.get reg "plan.seed")
+    ~fingerprint:(Metrics.get reg "plan.config_fingerprint")
+
 (* ---------- faults ---------- *)
 
 let faults_cmd =
@@ -369,15 +392,27 @@ let faults_cmd =
   let alloc_arg = rate "alloc-fail" "Injected frame-allocator exhaustion probability" 0.005 in
   let run seed bench drop ipi walk ptl alloc obs =
     guard_campaign_bench ~campaign:"faults" bench (fun () ->
-        run_with_obs obs (fun () ->
-            let config =
-              H.Fault_experiments.plan_config ~drop_rate:drop ~ipi_loss:ipi ~walk_fail:walk
-                ~ptl_timeout:ptl ~alloc_fail:alloc ()
+        let config =
+          H.Fault_experiments.plan_config ~drop_rate:drop ~ipi_loss:ipi ~walk_fail:walk
+            ~ptl_timeout:ptl ~alloc_fail:alloc ()
+        in
+        guard_plan_config config (fun () ->
+            let plan_metrics = ref None in
+            let extra snap =
+              match !plan_metrics with
+              | Some reg ->
+                  Obs.Snapshot.add_registry snap "fault_plan" reg;
+                  stamp_from_registry snap reg
+              | None -> ()
             in
-            verdict_exit
-              (if H.Fault_experiments.campaign fmt ~seed ~bench ~config () then
-                 H.Chaos_experiments.Clean
-               else H.Chaos_experiments.Violations)))
+            run_with_obs obs ~extra (fun () ->
+                verdict_exit
+                  (if
+                     H.Fault_experiments.campaign fmt ~seed ~bench ~config
+                       ~on_metrics:(fun reg -> plan_metrics := Some reg)
+                       ()
+                   then H.Chaos_experiments.Clean
+                   else H.Chaos_experiments.Violations))))
   in
   Cmd.v
     (Cmd.info "faults"
@@ -423,18 +458,21 @@ let chaos_cmd =
         | _ ->
             let placement = Option.map (fun p ->
                 Option.get (Stramash_placement.Policy.of_string p)) placement in
-            let plan_metrics = ref None in
-            let extra snap =
-              match !plan_metrics with
-              | Some reg -> Obs.Snapshot.add_registry snap "fault_plan" reg
-              | None -> ()
-            in
-            run_with_obs obs ~extra (fun () ->
-                verdict_exit
-                  (H.Chaos_experiments.campaign fmt ~seed ~bench ~kills ~downtime ~cache_mode
-                     ?placement
-                     ~on_metrics:(fun reg -> plan_metrics := Some reg)
-                     ())))
+            guard_plan_config Plan.default (fun () ->
+                let plan_metrics = ref None in
+                let extra snap =
+                  match !plan_metrics with
+                  | Some reg ->
+                      Obs.Snapshot.add_registry snap "fault_plan" reg;
+                      stamp_from_registry snap reg
+                  | None -> ()
+                in
+                run_with_obs obs ~extra (fun () ->
+                    verdict_exit
+                      (H.Chaos_experiments.campaign fmt ~seed ~bench ~kills ~downtime
+                         ~cache_mode ?placement
+                         ~on_metrics:(fun reg -> plan_metrics := Some reg)
+                         ()))))
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -478,17 +516,22 @@ let place_cmd =
   in
   let run seed bench policy epoch cache_mode obs =
     guard_campaign_bench ~campaign:"placement" bench (fun () ->
-        let placement_metrics = ref None in
-        let extra snap =
-          match !placement_metrics with
-          | Some reg -> Obs.Snapshot.add_registry snap "placement" reg
-          | None -> ()
-        in
-        run_with_obs obs ~extra (fun () ->
-            verdict_exit
-              (H.Placement_experiments.campaign fmt ~seed ~bench ~policy ?epoch ~cache_mode
-                 ~on_metrics:(fun reg -> placement_metrics := Some reg)
-                 ())))
+        guard_plan_config Plan.default (fun () ->
+            let placement_metrics = ref None in
+            let extra snap =
+              (match !placement_metrics with
+              | Some reg -> Obs.Snapshot.add_registry snap "placement" reg
+              | None -> ());
+              (* No fault plan is armed here; the stamp still records the
+                 seed and the (default) config the run was built from. *)
+              add_campaign_stamp snap ~seed:(Int64.to_int seed)
+                ~fingerprint:(Plan.config_fingerprint Plan.default)
+            in
+            run_with_obs obs ~extra (fun () ->
+                verdict_exit
+                  (H.Placement_experiments.campaign fmt ~seed ~bench ~policy ?epoch ~cache_mode
+                     ~on_metrics:(fun reg -> placement_metrics := Some reg)
+                     ()))))
   in
   Cmd.v
     (Cmd.info "place"
@@ -498,6 +541,46 @@ let place_cmd =
     Term.(
       const run $ seed_arg $ campaign_bench_arg $ policy_arg $ epoch_arg $ cache_mode_term
       $ obs_term)
+
+(* ---------- gray ---------- *)
+
+let gray_cmd =
+  let seed_arg =
+    Arg.(value & opt int64 0x64A7L & info [ "s"; "seed" ] ~docv:"SEED"
+         ~doc:"Campaign seed; the gray schedule's jitter and both machines derive from it, so \
+               the same seed replays the same slow-downs, flaps, and breaker decisions \
+               byte-for-byte")
+  in
+  let factor_arg =
+    Arg.(value & opt float H.Gray_experiments.default_slow_factor
+         & info [ "f"; "factor" ] ~docv:"FACTOR"
+             ~doc:"Service-time inflation inside the slow-down window (>= 1.0)")
+  in
+  let run seed bench factor cache_mode obs =
+    guard_campaign_bench ~campaign:"gray" bench (fun () ->
+        guard_plan_config (H.Gray_experiments.probe_config ~factor) (fun () ->
+            let registries = ref [] in
+            let extra snap =
+              List.iter
+                (fun (label, reg) ->
+                  Obs.Snapshot.add_registry snap label reg;
+                  if label = "gray_on" then stamp_from_registry snap reg)
+                (List.rev !registries)
+            in
+            run_with_obs obs ~extra (fun () ->
+                verdict_exit
+                  (H.Gray_experiments.campaign fmt ~seed ~bench ~factor ~cache_mode
+                     ~on_metrics:(fun ~label reg ->
+                       registries := (label, reg) :: !registries)
+                     ()))))
+  in
+  Cmd.v
+    (Cmd.info "gray"
+       ~doc:
+         "Run a deterministic gray-failure campaign: a slow-but-alive origin node (latency \
+          inflation, link flaps, PTL stalls), executed breaker-off then breaker-on, with \
+          per-operation latency percentiles comparing the two")
+    Term.(const run $ seed_arg $ campaign_bench_arg $ factor_arg $ cache_mode_term $ obs_term)
 
 (* ---------- disasm ---------- *)
 
@@ -580,6 +663,7 @@ let () =
             faults_cmd;
             chaos_cmd;
             place_cmd;
+            gray_cmd;
             machine_cmd;
             disasm_cmd;
           ]))

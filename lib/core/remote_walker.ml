@@ -1,4 +1,5 @@
 module Meter = Stramash_sim.Meter
+module Node_id = Stramash_sim.Node_id
 module Env = Stramash_kernel.Env
 module Page_table = Stramash_kernel.Page_table
 module Process = Stramash_kernel.Process
@@ -45,8 +46,13 @@ let walk_checked env ~actor ~owner_mm ~vaddr ?inject () =
         else Trace.null
       in
       let cfg = Plan.config plan in
+      (* In the two-node system the table owner is always the other
+         kernel: its health absorbs walk outcomes, and a slow-down
+         window on it stretches the coherent reads the walk issues. *)
+      let peer = Node_id.other actor in
       let rec attempt_walk attempt burned =
         if Plan.walk_read_faulted plan then begin
+          Plan.observe_failure plan ~peer ~now:(Meter.get meter);
           let pay = cfg.Plan.walk_retry_cycles in
           Meter.add (Env.meter env actor) pay;
           if attempt + 1 >= cfg.Plan.walk_max_attempts then
@@ -58,7 +64,15 @@ let walk_checked env ~actor ~owner_mm ~vaddr ?inject () =
         end
         else begin
           if burned > 0 then Plan.record_recovery plan ~cycles:burned;
-          Ok (walk env ~actor ~owner_mm ~vaddr)
+          let t0 = Meter.get meter in
+          let r = walk env ~actor ~owner_mm ~vaddr in
+          let base = Meter.get meter - t0 in
+          let extra = Plan.inflate plan ~node:peer ~now:t0 ~cycles:base in
+          if extra > 0 then Meter.add meter extra;
+          Plan.record_op plan ~op:"remote_walk" ~cycles:(burned + base + extra);
+          Plan.observe_service plan ~peer ~cycles:(base + extra) ~nominal:(max 1 base)
+            ~now:(Meter.get meter);
+          Ok r
         end
       in
       let result = attempt_walk 0 0 in

@@ -49,6 +49,7 @@ type t = {
   mutable remote_walks : int;
   mutable shared_mappings : int;
   mutable degraded_walks : int;
+  mutable gray_fallbacks : int;
   mutable write_hook : (proc:Process.t -> node:Node_id.t -> vaddr:int -> bool) option;
       (* Consulted when a write faults on a page that is mapped but
          read-only: the placement engine collapses its replica there and
@@ -69,6 +70,7 @@ let create ?inject ?global_alloc env msg =
     remote_walks = 0;
     shared_mappings = 0;
     degraded_walks = 0;
+    gray_fallbacks = 0;
     write_hook = None;
   }
 
@@ -87,7 +89,9 @@ let fallback_pages t = t.fallback_pages
 let remote_walks t = t.remote_walks
 let shared_mappings t = t.shared_mappings
 let degraded_walks t = t.degraded_walks
+let gray_fallbacks t = t.gray_fallbacks
 let chaos_armed t = match t.inject with Some p -> Plan.chaos_armed p | None -> false
+let plan_note t f = match t.inject with Some p -> f p | None -> ()
 let downtime_of t node = t.downs.(Node_id.index node)
 let node_down t node = downtime_of t node <> None
 
@@ -252,6 +256,53 @@ let origin_fallback t ~proc ~node ~mm ~vaddr ~writable =
     result
   end
 
+(* Circuit-breaker diversion: the peer's health score tripped, so skip
+   the fused shared-memory path (remote walk under the origin PTL)
+   entirely and let the origin serve the fault over one message round —
+   the same Popcorn-style message-walk shape as the crash-stop degraded
+   mode, but against a live (merely slow) origin. The origin walks its
+   own table; an existing page is shared as-is, a missing one is
+   allocated and mapped origin-side, all without touching the PTL (kernel
+   entries are serialised origin-side, as in [origin_fallback]). *)
+let gray_fallback_untraced t ~proc ~node ~(mm : Process.mm) ~vaddr ~writable =
+  let origin = proc.Process.origin in
+  let omm = Process.mm_exn proc origin in
+  let result = ref (Error (Fault.Out_of_memory { node = Node_id.to_string origin })) in
+  Msg_layer.rpc t.msg ~src:node ~label:"gray_walk" ~req_bytes:64 ~resp_bytes:64
+    ~handler:(fun () ->
+      let oio = Env.pt_io t.env ~actor:origin ~owner:origin in
+      match Page_table.walk omm.Process.pgtable oio ~vaddr with
+      | Some (frame, _flags) -> result := Ok (frame lsl Addr.page_shift)
+      | None -> (
+          match alloc_zeroed t ~node:origin with
+          | Error _ as e -> result := e
+          | Ok frame ->
+              Page_table.map omm.Process.pgtable oio ~vaddr:(Addr.page_base vaddr)
+                ~frame:(frame lsr Addr.page_shift)
+                { Pte.default_flags with writable };
+              result := Ok frame));
+  match !result with
+  | Error _ as e -> e
+  | Ok frame ->
+      map_local t ~node ~mm ~vaddr ~frame ~writable;
+      t.gray_fallbacks <- t.gray_fallbacks + 1;
+      plan_note t Plan.note_breaker_fallback;
+      Ok ()
+
+let gray_fallback t ~proc ~node ~mm ~vaddr ~writable =
+  if not (Trace.enabled ()) then gray_fallback_untraced t ~proc ~node ~mm ~vaddr ~writable
+  else begin
+    let meter = Env.meter t.env node in
+    let sp =
+      Trace.span ~at:(Meter.get meter) ~node ~subsys:"stramash_fault" ~op:"gray_fallback" ()
+    in
+    let result = gray_fallback_untraced t ~proc ~node ~mm ~vaddr ~writable in
+    Trace.close ~at:(Meter.get meter)
+      ~tags:[ ("ok", match result with Ok () -> "true" | Error _ -> "false") ]
+      sp;
+    result
+  end
+
 (* A fault (transient walk failure, PTL timeout) pushed the fast path off
    the road: degrade to the origin-fallback protocol instead of crashing. *)
 let escalate_to_fallback t ~proc ~node ~mm ~vaddr ~writable =
@@ -323,8 +374,6 @@ let remote_fault t ~proc ~node ~mm ~vaddr ~writable =
       sp;
     result
   end
-
-let plan_note t f = match t.inject with Some p -> f p | None -> ()
 
 (* Popcorn-style degraded mode (the fused fast path's fallback while a
    peer is crash-stopped): the origin kernel is gone, so the survivor can
@@ -406,7 +455,24 @@ let handle_fault_fused t ~proc ~node ~vaddr ~write =
                 map_local t ~node ~mm ~vaddr ~frame ~writable;
                 Ok ()
           end
-          else remote_fault t ~proc ~node ~mm ~vaddr ~writable)
+          else begin
+            (* Per-peer circuit breaker: a tripped origin is served over
+               the message-walk fallback instead of the fused path, with
+               paced probes re-exercising the fused path so hysteresis
+               can re-admit a recovered peer. *)
+            match t.inject with
+            | None -> remote_fault t ~proc ~node ~mm ~vaddr ~writable
+            | Some plan -> (
+                let now = Meter.get (Env.meter t.env node) in
+                match Plan.breaker_route plan ~peer:origin ~now with
+                | `Fused -> remote_fault t ~proc ~node ~mm ~vaddr ~writable
+                | `Divert -> gray_fallback t ~proc ~node ~mm ~vaddr ~writable
+                | `Probe ->
+                    let result = remote_fault t ~proc ~node ~mm ~vaddr ~writable in
+                    Plan.breaker_probe_done plan ~peer:origin
+                      ~now:(Meter.get (Env.meter t.env node));
+                    result)
+          end)
 
 let handle_fault_untraced t ~proc ~node ~vaddr ~write =
   let origin = proc.Process.origin in
@@ -415,8 +481,21 @@ let handle_fault_untraced t ~proc ~node ~vaddr ~write =
       degraded_fault t dt ~proc ~node ~vaddr ~write
   | _ -> handle_fault_fused t ~proc ~node ~vaddr ~write
 
+(* Remote (non-origin) faults are the operations the gray campaign's
+   latency verdict compares breaker-on vs breaker-off, so their end-to-end
+   service time feeds the plan's "fault" histogram. *)
+let handle_fault_measured t ~proc ~node ~vaddr ~write =
+  match t.inject with
+  | Some plan when not (Node_id.equal node proc.Process.origin) ->
+      let meter = Env.meter t.env node in
+      let t0 = Meter.get meter in
+      let result = handle_fault_untraced t ~proc ~node ~vaddr ~write in
+      Plan.record_op plan ~op:"fault" ~cycles:(Meter.get meter - t0);
+      result
+  | _ -> handle_fault_untraced t ~proc ~node ~vaddr ~write
+
 let handle_fault t ~proc ~node ~vaddr ~write =
-  if not (Trace.enabled ()) then handle_fault_untraced t ~proc ~node ~vaddr ~write
+  if not (Trace.enabled ()) then handle_fault_measured t ~proc ~node ~vaddr ~write
   else begin
     let meter = Env.meter t.env node in
     let sp =
@@ -424,7 +503,7 @@ let handle_fault t ~proc ~node ~vaddr ~write =
         ~tags:[ ("origin", string_of_bool (Node_id.equal node proc.Process.origin)) ]
         ~node ~subsys:"stramash_fault" ~op:"fault" ()
     in
-    let result = handle_fault_untraced t ~proc ~node ~vaddr ~write in
+    let result = handle_fault_measured t ~proc ~node ~vaddr ~write in
     Trace.close ~at:(Meter.get meter)
       ~tags:[ ("ok", match result with Ok () -> "true" | Error _ -> "false") ]
       sp;

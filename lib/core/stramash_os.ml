@@ -25,8 +25,10 @@ let create ?(futex_optimized = true) ?inject env () =
     | Some plan when Plan.chaos_armed plan ->
         Some
           (Stramash_interconnect.Heartbeat.create
+             ~readmit_beats:(Plan.heartbeat_readmit_beats plan)
              ~interval:(Plan.heartbeat_interval_cycles plan)
-             ~miss_threshold:(Plan.heartbeat_miss_threshold plan))
+             ~miss_threshold:(Plan.heartbeat_miss_threshold plan)
+             ())
     | _ -> None
   in
   let msg = Msg_layer.create Msg_layer.Shm env ?inject ?heartbeat () in

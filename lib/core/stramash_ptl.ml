@@ -93,8 +93,11 @@ let try_with_lock t ~actor ?inject f =
         else Trace.null
       in
       let cfg = Plan.config plan in
+      let peer = Node_id.other actor in
       let rec acquire attempt burned =
+        let now = Meter.get meter in
         if Plan.ptl_acquire_timed_out plan then begin
+          Plan.observe_failure plan ~peer ~now;
           let pay = cfg.Plan.ptl_backoff_cycles in
           Meter.add (Env.meter t.env actor) pay;
           if attempt + 1 >= cfg.Plan.ptl_max_attempts then
@@ -103,6 +106,14 @@ let try_with_lock t ~actor ?inject f =
         end
         else begin
           if burned > 0 then Plan.record_recovery plan ~cycles:burned;
+          (* A lock-holder stall window models the peer sitting on the
+             PTL: the actor spins that long before its CAS lands. *)
+          let stall = Plan.ptl_stall_extra plan ~now in
+          if stall > 0 then Meter.add meter stall;
+          let acquire_cycles = burned + stall + cfg.Plan.ptl_backoff_cycles in
+          Plan.record_op plan ~op:"ptl_acquire" ~cycles:acquire_cycles;
+          Plan.observe_service plan ~peer ~cycles:acquire_cycles
+            ~nominal:cfg.Plan.ptl_backoff_cycles ~now:(Meter.get meter);
           Ok (with_lock t ~actor f)
         end
       in

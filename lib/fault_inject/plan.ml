@@ -2,6 +2,10 @@ open Stramash_sim
 
 type node_event = { node : Node_id.t; kill_at : int; restart_after : int option }
 
+type gray_window = { g_node : Node_id.t; g_start : int; g_len : int; g_factor : float }
+type flap_burst = { fl_start : int; fl_len : int; fl_drop_rate : float; fl_delay_cycles : int }
+type ptl_stall = { st_start : int; st_len : int; st_stall_cycles : int }
+
 type config = {
   (* message layer *)
   msg_drop_rate : float;
@@ -30,6 +34,22 @@ type config = {
   heartbeat_interval_cycles : int;
   heartbeat_miss_threshold : int;
   degraded_walk_penalty_cycles : int;
+  (* gray failures *)
+  gray_slow : gray_window list;
+  gray_flaps : flap_burst list;
+  gray_ptl_stalls : ptl_stall list;
+  msg_dup_rate : float;
+  msg_reorder_rate : float;
+  msg_reorder_cycles : int;
+  (* health scoring / circuit breaker *)
+  health_enabled : bool;
+  health_alpha : float;
+  breaker_trip_score : float;
+  breaker_probe_interval : int;
+  breaker_readmit_probes : int;
+  backoff_jitter : float;
+  adaptive_timeout_mult : float;
+  heartbeat_readmit_beats : int;
 }
 
 let default =
@@ -55,6 +75,20 @@ let default =
     heartbeat_interval_cycles = Cycles.of_us 10.0;
     heartbeat_miss_threshold = 3;
     degraded_walk_penalty_cycles = Cycles.of_us 3.0;
+    gray_slow = [];
+    gray_flaps = [];
+    gray_ptl_stalls = [];
+    msg_dup_rate = 0.0;
+    msg_reorder_rate = 0.0;
+    msg_reorder_cycles = Cycles.of_us 1.0;
+    health_enabled = true;
+    health_alpha = 0.2;
+    breaker_trip_score = 0.55;
+    breaker_probe_interval = Cycles.of_us 500.0;
+    breaker_readmit_probes = 3;
+    backoff_jitter = 0.25;
+    adaptive_timeout_mult = 4.0;
+    heartbeat_readmit_beats = 2;
   }
 
 type t = {
@@ -64,8 +98,12 @@ type t = {
   walk_rng : Rng.t;
   ptl_rng : Rng.t;
   alloc_rng : Rng.t;
+  gray_rng : Rng.t;
   metrics : Metrics.registry;
   recovery : Metrics.Histogram.t;
+  gray_on : bool;
+  health : Health.t option;
+  ops : (string * Metrics.Histogram.t) list;
 }
 
 (* Kill/restart schedules are normalized at plan creation: sorted by kill
@@ -101,17 +139,161 @@ let validate_events events =
     Node_id.all;
   sorted
 
+(* One place to reject a malformed config before a campaign starts, so
+   the CLI can exit with a message instead of failing deep inside a run.
+   [create] applies it too, raising Invalid_argument. *)
+let validate config =
+  let check cond msg = if not cond then failwith msg in
+  try
+    let rate name v =
+      check (v >= 0.0 && v <= 1.0)
+        (Printf.sprintf "Plan: %s must be in [0, 1] (got %g)" name v)
+    in
+    let non_neg name v =
+      check (v >= 0) (Printf.sprintf "Plan: %s must be >= 0 (got %d)" name v)
+    in
+    let at_least name floor v =
+      check (v >= floor) (Printf.sprintf "Plan: %s must be >= %d (got %d)" name floor v)
+    in
+    rate "msg_drop_rate" config.msg_drop_rate;
+    rate "msg_delay_rate" config.msg_delay_rate;
+    rate "ipi_loss_rate" config.ipi_loss_rate;
+    rate "ipi_jitter_rate" config.ipi_jitter_rate;
+    rate "walk_fail_rate" config.walk_fail_rate;
+    rate "ptl_timeout_rate" config.ptl_timeout_rate;
+    rate "alloc_fail_rate" config.alloc_fail_rate;
+    rate "msg_dup_rate" config.msg_dup_rate;
+    rate "msg_reorder_rate" config.msg_reorder_rate;
+    non_neg "msg_delay_cycles" config.msg_delay_cycles;
+    non_neg "msg_timeout_cycles" config.msg_timeout_cycles;
+    non_neg "msg_backoff_base_cycles" config.msg_backoff_base_cycles;
+    non_neg "ipi_jitter_cycles" config.ipi_jitter_cycles;
+    non_neg "ipi_timeout_cycles" config.ipi_timeout_cycles;
+    non_neg "walk_retry_cycles" config.walk_retry_cycles;
+    non_neg "ptl_backoff_cycles" config.ptl_backoff_cycles;
+    non_neg "degraded_walk_penalty_cycles" config.degraded_walk_penalty_cycles;
+    non_neg "msg_reorder_cycles" config.msg_reorder_cycles;
+    at_least "msg_max_attempts" 1 config.msg_max_attempts;
+    at_least "walk_max_attempts" 1 config.walk_max_attempts;
+    at_least "ptl_max_attempts" 1 config.ptl_max_attempts;
+    at_least "heartbeat_interval_cycles" 1 config.heartbeat_interval_cycles;
+    at_least "heartbeat_miss_threshold" 1 config.heartbeat_miss_threshold;
+    at_least "heartbeat_readmit_beats" 1 config.heartbeat_readmit_beats;
+    at_least "breaker_probe_interval" 1 config.breaker_probe_interval;
+    at_least "breaker_readmit_probes" 1 config.breaker_readmit_probes;
+    check
+      (config.health_alpha > 0.0 && config.health_alpha <= 1.0)
+      (Printf.sprintf "Plan: health_alpha must be in (0, 1] (got %g)" config.health_alpha);
+    check
+      (config.breaker_trip_score > 0.0 && config.breaker_trip_score < 1.0)
+      (Printf.sprintf "Plan: breaker_trip_score must be in (0, 1) (got %g)"
+         config.breaker_trip_score);
+    check
+      (config.backoff_jitter >= 0.0 && config.backoff_jitter < 1.0)
+      (Printf.sprintf "Plan: backoff_jitter must be in [0, 1) (got %g)"
+         config.backoff_jitter);
+    check
+      (config.adaptive_timeout_mult >= 1.0)
+      (Printf.sprintf "Plan: adaptive_timeout_mult must be >= 1 (got %g)"
+         config.adaptive_timeout_mult);
+    (try ignore (validate_events config.node_events)
+     with Invalid_argument m -> failwith m);
+    List.iter
+      (fun w ->
+        non_neg "gray_slow start" w.g_start;
+        at_least "gray_slow length" 1 w.g_len;
+        check (w.g_factor >= 1.0)
+          (Printf.sprintf "Plan: gray_slow factor must be >= 1 (got %g)" w.g_factor))
+      config.gray_slow;
+    List.iter
+      (fun node ->
+        let mine =
+          List.filter (fun w -> Node_id.equal w.g_node node) config.gray_slow
+          |> List.sort (fun a b -> compare a.g_start b.g_start)
+        in
+        let rec overlap = function
+          | a :: (b :: _ as rest) ->
+              check
+                (a.g_start + a.g_len <= b.g_start)
+                "Plan: overlapping gray_slow windows for one node";
+              overlap rest
+          | _ -> ()
+        in
+        overlap mine)
+      Node_id.all;
+    List.iter
+      (fun fl ->
+        non_neg "gray_flaps start" fl.fl_start;
+        at_least "gray_flaps length" 1 fl.fl_len;
+        rate "gray_flaps drop rate" fl.fl_drop_rate;
+        non_neg "gray_flaps delay" fl.fl_delay_cycles)
+      config.gray_flaps;
+    List.iter
+      (fun st ->
+        non_neg "gray_ptl_stalls start" st.st_start;
+        at_least "gray_ptl_stalls length" 1 st.st_len;
+        non_neg "gray_ptl_stalls stall" st.st_stall_cycles)
+      config.gray_ptl_stalls;
+    Ok ()
+  with Failure m -> Error m
+
+(* A structural fingerprint of the whole config, echoed in campaign JSON
+   alongside the seed so any output can be traced back to its exact
+   parameters. Stable across runs of one binary. *)
+let config_fingerprint (config : config) = Hashtbl.hash_param 256 256 config
+
+let gray_armed_config config =
+  config.gray_slow <> [] || config.gray_flaps <> []
+  || config.gray_ptl_stalls <> [] || config.msg_dup_rate > 0.0
+  || config.msg_reorder_rate > 0.0
+
+let op_names = [ "fault"; "remote_walk"; "msg_rpc"; "ptl_acquire" ]
+
 let create ~seed config =
+  (match validate config with Ok () -> () | Error m -> invalid_arg m);
   let config = { config with node_events = validate_events config.node_events } in
   (* One private stream per injection site, split off in a fixed order so
      adding draws at one site never perturbs decisions at another — and the
-     workload RNG (a different seed entirely) is untouched. *)
+     workload RNG (a different seed entirely) is untouched. The gray and
+     health streams split last, preserving the five original streams. *)
   let root = Rng.create ~seed in
   let msg_rng = Rng.split root in
   let ipi_rng = Rng.split root in
   let walk_rng = Rng.split root in
   let ptl_rng = Rng.split root in
   let alloc_rng = Rng.split root in
+  let gray_rng = Rng.split root in
+  let health_rng = Rng.split root in
+  let metrics = Metrics.registry () in
+  (* Echoed in every campaign's JSON snapshot: any output traces back to
+     the exact (seed, config) pair that produced it. *)
+  Metrics.set metrics "plan.seed" (Int64.to_int seed);
+  Metrics.set metrics "plan.config_fingerprint" (config_fingerprint config);
+  let gray_on = gray_armed_config config in
+  let health =
+    if gray_on && config.health_enabled then
+      Some
+        (Health.create ~rng:health_rng ~metrics
+           {
+             Health.alpha = config.health_alpha;
+             trip_score = config.breaker_trip_score;
+             probe_interval = config.breaker_probe_interval;
+             readmit_probes = config.breaker_readmit_probes;
+             backoff_jitter = config.backoff_jitter;
+             adaptive_timeout_mult = config.adaptive_timeout_mult;
+           })
+    else None
+  in
+  let ops =
+    if gray_on then
+      List.map
+        (fun name ->
+          ( name,
+            Metrics.Histogram.create ~buckets:96 ~lo:0.0
+              ~hi:(float_of_int (Cycles.of_us 200.0)) ))
+        op_names
+    else []
+  in
   {
     config;
     msg_rng;
@@ -119,10 +301,14 @@ let create ~seed config =
     walk_rng;
     ptl_rng;
     alloc_rng;
-    metrics = Metrics.registry ();
+    gray_rng;
+    metrics;
     recovery =
       Metrics.Histogram.create ~buckets:64 ~lo:0.0
         ~hi:(float_of_int (Cycles.of_us 200.0));
+    gray_on;
+    health;
+    ops;
   }
 
 let config t = t.config
@@ -230,7 +416,12 @@ let node_events t = t.config.node_events
 let chaos_armed t = t.config.node_events <> []
 let heartbeat_interval_cycles t = t.config.heartbeat_interval_cycles
 let heartbeat_miss_threshold t = t.config.heartbeat_miss_threshold
+let heartbeat_readmit_beats t = t.config.heartbeat_readmit_beats
 let degraded_walk_penalty_cycles t = t.config.degraded_walk_penalty_cycles
+
+let note_detection_latency t ~cycles =
+  Metrics.incr t.metrics "chaos.detections";
+  Metrics.add t.metrics "chaos.detection_latency_cycles" cycles
 
 let note_node_death t node =
   Metrics.incr t.metrics (Printf.sprintf "chaos.%s.deaths" (Node_id.to_string node));
@@ -264,6 +455,131 @@ let note_restore t ~pages =
   Metrics.incr t.metrics "chaos.restores";
   Metrics.add t.metrics "chaos.restored_pages" pages
 
+(* --- gray failures ------------------------------------------------------ *)
+
+let gray_armed t = t.gray_on
+let health t = t.health
+
+(* Window queries are pure in [now]: they draw no RNG state and add no
+   cycles when the schedule is empty, so an unarmed gray plan is
+   bit-identical to no gray plan at all. *)
+let slow_factor t ~node ~now =
+  List.fold_left
+    (fun acc w ->
+      if Node_id.equal w.g_node node && now >= w.g_start && now < w.g_start + w.g_len
+      then Float.max acc w.g_factor
+      else acc)
+    1.0 t.config.gray_slow
+
+let inflate t ~node ~now ~cycles =
+  let f = slow_factor t ~node ~now in
+  if f > 1.0 && cycles > 0 then begin
+    let extra = int_of_float (float_of_int cycles *. (f -. 1.0)) in
+    if extra > 0 then begin
+      Metrics.add t.metrics "gray.inflated_cycles" extra;
+      Metrics.incr t.metrics "gray.inflations"
+    end;
+    extra
+  end
+  else 0
+
+let flap_at t ~now =
+  List.find_opt
+    (fun fl -> now >= fl.fl_start && now < fl.fl_start + fl.fl_len)
+    t.config.gray_flaps
+
+let msg_attempt_at t ~now =
+  match flap_at t ~now with
+  | Some fl when hit t.gray_rng fl.fl_drop_rate ->
+      Metrics.incr t.metrics "gray.flap_drops";
+      mark "flap_drop";
+      `Drop
+  | flap -> (
+      let flap_delay =
+        match flap with
+        | Some fl when fl.fl_delay_cycles > 0 ->
+            Metrics.incr t.metrics "gray.flap_delays";
+            fl.fl_delay_cycles
+        | _ -> 0
+      in
+      match msg_attempt t with
+      | `Drop -> `Drop
+      | `Deliver extra -> `Deliver (extra + flap_delay))
+
+let msg_duplicated t =
+  if hit t.gray_rng t.config.msg_dup_rate then begin
+    Metrics.incr t.metrics "gray.msg_dups";
+    mark "msg_dup";
+    true
+  end
+  else false
+
+let msg_reorder_extra t =
+  if hit t.gray_rng t.config.msg_reorder_rate then begin
+    Metrics.incr t.metrics "gray.msg_reorders";
+    mark "msg_reorder";
+    t.config.msg_reorder_cycles
+  end
+  else 0
+
+let ptl_stall_extra t ~now =
+  let extra =
+    List.fold_left
+      (fun acc st ->
+        if now >= st.st_start && now < st.st_start + st.st_len then
+          max acc st.st_stall_cycles
+        else acc)
+      0 t.config.gray_ptl_stalls
+  in
+  if extra > 0 then begin
+    Metrics.add t.metrics "gray.ptl_stall_cycles" extra;
+    Metrics.incr t.metrics "gray.ptl_stalls"
+  end;
+  extra
+
+(* --- health / circuit breaker ------------------------------------------- *)
+
+let observe_msg_rtt t ~peer ~cycles ~nominal ~now =
+  match t.health with
+  | Some h -> Health.observe_msg_rtt h ~peer ~cycles ~nominal ~now
+  | None -> ()
+
+let observe_service t ~peer ~cycles ~nominal ~now =
+  match t.health with
+  | Some h -> Health.observe_service h ~peer ~cycles ~nominal ~now
+  | None -> ()
+
+let observe_failure t ~peer ~now =
+  match t.health with Some h -> Health.observe_failure h ~peer ~now | None -> ()
+
+let breaker_route t ~peer ~now =
+  match t.health with Some h -> Health.route h ~peer ~now | None -> `Fused
+
+let breaker_probe_done t ~peer ~now =
+  match t.health with Some h -> Health.probe_done h ~peer ~now | None -> ()
+
+let note_breaker_fallback t =
+  Metrics.incr t.metrics "gray.breaker_fallbacks";
+  mark "breaker_fallback"
+
+let msg_backoff_for t ~peer ~attempt =
+  match t.health with
+  | None -> msg_backoff t ~attempt
+  | Some h ->
+      Health.backoff h ~peer ~attempt ~base:t.config.msg_backoff_base_cycles
+        ~floor:t.config.msg_backoff_base_cycles
+        ~cap:(2 * t.config.msg_timeout_cycles)
+        ~default:t.config.msg_timeout_cycles
+
+(* --- per-operation latency ---------------------------------------------- *)
+
+let record_op t ~op ~cycles =
+  match List.assoc_opt op t.ops with
+  | Some h -> Metrics.Histogram.record h (float_of_int cycles)
+  | None -> ()
+
+let op_histograms t = t.ops
+
 (* --- reporting ---------------------------------------------------------- *)
 
 let report fmt t =
@@ -281,4 +597,14 @@ let report fmt t =
       "recovery latency (cycles): n=%d mean=%.0f p50=%.0f p95=%.0f p99=%.0f@." n
       (Metrics.Histogram.mean h) (Metrics.Histogram.p50 h) (Metrics.Histogram.p95 h)
       (Metrics.Histogram.p99 h)
-  else Format.fprintf fmt "recovery latency (cycles): n=0@."
+  else Format.fprintf fmt "recovery latency (cycles): n=0@.";
+  (match t.health with Some health -> Health.report fmt health | None -> ());
+  List.iter
+    (fun (name, oph) ->
+      let n = Metrics.Histogram.count oph in
+      if n > 0 then
+        Format.fprintf fmt
+          "op latency[%s] (cycles): n=%d p50=%.0f p95=%.0f p99=%.0f@." name n
+          (Metrics.Histogram.p50 oph) (Metrics.Histogram.p95 oph)
+          (Metrics.Histogram.p99 oph))
+    t.ops

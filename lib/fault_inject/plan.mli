@@ -18,6 +18,28 @@ type node_event = {
       (** downtime in cycles before the node restarts; [None] = never *)
 }
 
+type gray_window = {
+  g_node : Stramash_sim.Node_id.t;
+  g_start : int;  (** wall cycle the slow-down window opens *)
+  g_len : int;
+  g_factor : float;
+      (** multiplicative service-time inflation while inside the window;
+          must be >= 1.0 *)
+}
+
+type flap_burst = {
+  fl_start : int;
+  fl_len : int;
+  fl_drop_rate : float;  (** correlated drop probability during the burst *)
+  fl_delay_cycles : int;  (** added to every delivery inside the burst *)
+}
+
+type ptl_stall = {
+  st_start : int;
+  st_len : int;
+  st_stall_cycles : int;  (** extra hold time per PTL acquire in the window *)
+}
+
 type config = {
   msg_drop_rate : float;  (** probability a ring/TCP message attempt is dropped *)
   msg_delay_rate : float;  (** probability of a delivery delay spike *)
@@ -41,19 +63,46 @@ type config = {
   heartbeat_miss_threshold : int;  (** missed beats before a peer is declared dead *)
   degraded_walk_penalty_cycles : int;
       (** extra cost of a message-based (Popcorn-style) walk while degraded *)
+  gray_slow : gray_window list;  (** per-node slow-down windows *)
+  gray_flaps : flap_burst list;  (** correlated link-flap episodes *)
+  gray_ptl_stalls : ptl_stall list;  (** PTL lock-holder stall windows *)
+  msg_dup_rate : float;  (** probability a delivery is duplicated *)
+  msg_reorder_rate : float;  (** probability a delivery is reordered *)
+  msg_reorder_cycles : int;
+  health_enabled : bool;
+      (** arm health scoring + circuit breakers (the breaker-on/off A/B
+          switch; only takes effect when a gray schedule is armed) *)
+  health_alpha : float;  (** EWMA smoothing factor, (0, 1] *)
+  breaker_trip_score : float;
+  breaker_probe_interval : int;
+  breaker_readmit_probes : int;
+  backoff_jitter : float;  (** +/- fraction applied to retry backoff *)
+  adaptive_timeout_mult : float;
+  heartbeat_readmit_beats : int;
+      (** consecutive on-time beats before a suspected peer is re-trusted *)
 }
 
 val default : config
 (** All rates zero, no node events: a plan built from [default] injects
     nothing. *)
 
+val validate : config -> (unit, string) result
+(** Full structural validation: rates in [0, 1], cycle counts
+    non-negative, attempt counts >= 1, non-overlapping [node_events] and
+    per-node [gray_slow] windows, sane health parameters. CLI entry
+    points call this before building a machine so a bad flag fails fast
+    with a message instead of deep inside a run. *)
+
+val config_fingerprint : config -> int
+(** Structural hash of the whole config, echoed next to the seed in
+    campaign JSON output for reproducibility. *)
+
 type t
 
 val create : seed:int64 -> config -> t
-(** Normalizes and validates [node_events] (sorted by kill time; per-node
-    kill/restart intervals must not overlap; an event with no restart must
-    be its node's last).
-    @raise Invalid_argument on a malformed schedule. *)
+(** Runs {!validate}, then normalizes [node_events] (sorted by kill
+    time).
+    @raise Invalid_argument on a malformed config. *)
 
 val config : t -> config
 val metrics : t -> Stramash_sim.Metrics.registry
@@ -110,7 +159,11 @@ val node_events : t -> node_event list
 val chaos_armed : t -> bool
 val heartbeat_interval_cycles : t -> int
 val heartbeat_miss_threshold : t -> int
+val heartbeat_readmit_beats : t -> int
 val degraded_walk_penalty_cycles : t -> int
+
+val note_detection_latency : t -> cycles:int -> unit
+(** Watchdog detected a dead peer [cycles] after it actually died. *)
 
 val note_node_death : t -> Stramash_sim.Node_id.t -> unit
 val note_node_restart : t -> Stramash_sim.Node_id.t -> unit
@@ -128,6 +181,77 @@ val add_degraded_cycles : t -> cycles:int -> unit
 val note_checkpoint : t -> bytes:int -> unit
 val note_restore : t -> pages:int -> unit
 
+(** {2 Gray failures}
+
+    Window queries are pure in [now] (wall cycles): no RNG state is
+    consumed and no cycles are added when the schedule is empty, so an
+    unarmed gray plan is bit-identical to no gray plan at all. *)
+
+val gray_armed : t -> bool
+(** True when any gray schedule entry or dup/reorder rate is set. *)
+
+val health : t -> Health.t option
+(** The health tracker; [Some] iff {!gray_armed} and
+    [config.health_enabled]. *)
+
+val slow_factor : t -> node:Stramash_sim.Node_id.t -> now:int -> float
+(** Service-time inflation factor for work served by [node] at [now];
+    1.0 outside every window. *)
+
+val inflate : t -> node:Stramash_sim.Node_id.t -> now:int -> cycles:int -> int
+(** Extra cycles (beyond [cycles]) the current slow-down window adds to
+    an operation served by [node]; counts into ["gray.inflated_cycles"]. *)
+
+val msg_attempt_at : t -> now:int -> [ `Deliver of int | `Drop ]
+(** Flap-aware {!msg_attempt}: inside a flap burst the correlated drop
+    rate applies first and deliveries carry the burst's extra delay.
+    Equivalent to {!msg_attempt} when no burst covers [now]. *)
+
+val msg_duplicated : t -> bool
+(** Whether this delivery is duplicated (receiver pays twice). *)
+
+val msg_reorder_extra : t -> int
+(** Extra delivery cycles simulating queue reordering, 0 normally. *)
+
+val ptl_stall_extra : t -> now:int -> int
+(** Extra lock-holder stall cycles for a PTL acquire at [now]. *)
+
+(** {2 Health / circuit breaker}
+
+    Thin wrappers over {!Health} that no-op when health is unarmed, so
+    call sites need no option plumbing. *)
+
+val observe_msg_rtt :
+  t -> peer:Stramash_sim.Node_id.t -> cycles:int -> nominal:int -> now:int -> unit
+
+val observe_service :
+  t -> peer:Stramash_sim.Node_id.t -> cycles:int -> nominal:int -> now:int -> unit
+
+val observe_failure : t -> peer:Stramash_sim.Node_id.t -> now:int -> unit
+
+val breaker_route :
+  t -> peer:Stramash_sim.Node_id.t -> now:int -> [ `Fused | `Probe | `Divert ]
+(** [`Fused] when health is unarmed or the breaker is closed. *)
+
+val breaker_probe_done : t -> peer:Stramash_sim.Node_id.t -> now:int -> unit
+val note_breaker_fallback : t -> unit
+
+val msg_backoff_for : t -> peer:Stramash_sim.Node_id.t -> attempt:int -> int
+(** Health-adaptive, jittered replacement for {!msg_backoff}; identical
+    to it when health is unarmed. *)
+
+(** {2 Per-operation latency} *)
+
+val op_names : string list
+(** The tracked operation classes, in display order:
+    ["fault"], ["remote_walk"], ["msg_rpc"], ["ptl_acquire"]. *)
+
+val record_op : t -> op:string -> cycles:int -> unit
+(** Record one operation's latency; no-op unless {!gray_armed} and [op]
+    is one of {!op_names}. *)
+
+val op_histograms : t -> (string * Stramash_sim.Metrics.Histogram.t) list
+
 val report : Format.formatter -> t -> unit
 (** Deterministic dump: sorted counters plus the recovery-latency
-    histogram summary. *)
+    histogram summary, health state, and per-op latency percentiles. *)

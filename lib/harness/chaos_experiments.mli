@@ -19,6 +19,20 @@ val default_downtime : int
 (** Cycles a killed node stays down before its scheduled restart
     (clamped against the kill gap so events on a node never overlap). *)
 
+val checksum :
+  Stramash_machine.Machine.t -> proc:Stramash_kernel.Process.t -> int64 option
+(** The NPB checksum word read through whichever kernel still maps it —
+    the workload fingerprint campaigns compare against their baseline. *)
+
+val far_anchor :
+  spec:Stramash_machine.Spec.t ->
+  origin:Stramash_sim.Node_id.t ->
+  Stramash_machine.Runner.result ->
+  int option
+(** First cycle at which a baseline run lands the thread on a node other
+    than its origin — the anchor both the chaos and gray schedules build
+    around. *)
+
 val campaign :
   Format.formatter ->
   ?seed:int64 ->

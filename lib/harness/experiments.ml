@@ -23,6 +23,7 @@ let all =
     { id = "faults"; title = "fault-injection campaign & kernel audit"; run = Fault_experiments.faults };
     { id = "chaos"; title = "node-failure chaos campaign (kill/restart soak)"; run = Chaos_experiments.chaos };
     { id = "placement"; title = "adaptive page placement (crossover + verdict soak)"; run = Placement_experiments.placement };
+    { id = "gray"; title = "gray-failure campaign (breaker-on/off A/B soak)"; run = Gray_experiments.gray };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -40,7 +40,8 @@ let spec_of_bench = function
   | "ft" -> Some (W.Npb_ft.spec ~params:{ W.Npb_ft.n = 8; iterations = 2 } ())
   | _ -> None
 
-let campaign fmt ?(seed = 0xC0FFEEL) ?(bench = "is") ?(config = plan_config ()) () =
+let campaign fmt ?(seed = 0xC0FFEEL) ?(bench = "is") ?(config = plan_config ())
+    ?(on_metrics = fun (_ : Stramash_sim.Metrics.registry) -> ()) () =
   match spec_of_bench bench with
   | None ->
       Format.fprintf fmt "unknown benchmark %s (faults campaign runs is | cg | mg | ft)@." bench;
@@ -63,7 +64,9 @@ let campaign fmt ?(seed = 0xC0FFEEL) ?(bench = "is") ?(config = plan_config ()) 
         result.Runner.wall_cycles result.Runner.instructions result.Runner.migrations
         result.Runner.messages result.Runner.replicated_pages;
       (match Machine.inject_plan machine with
-      | Some plan -> Plan.report fmt plan
+      | Some plan ->
+          Plan.report fmt plan;
+          on_metrics (Plan.metrics plan)
       | None -> ());
       let env = Machine.env machine in
       let extra =

@@ -25,11 +25,13 @@ val campaign :
   ?seed:int64 ->
   ?bench:string ->
   ?config:Stramash_fault_inject.Plan.config ->
+  ?on_metrics:(Stramash_sim.Metrics.registry -> unit) ->
   unit ->
   bool
 (** Run the campaign; print run stats, the plan's injection counters and
     recovery-latency histogram, and both audits. Returns [true] iff both
-    audits are clean. *)
+    audits are clean. [on_metrics] receives the armed plan's registry
+    (the CLI folds it into [--metrics-json] snapshots). *)
 
 val faults : Format.formatter -> unit
 (** The ["faults"] experiment: an injected campaign plus a no-fault

@@ -4,29 +4,57 @@ module Trace = Stramash_obs.Trace
 type t = {
   interval : int;
   miss_threshold : int;
+  readmit_beats : int;
   last_beat : int array;
   suspected : bool array;
+  streak : int array;
   mutable detections : int;
+  mutable readmissions : int;
 }
 
-let create ~interval ~miss_threshold =
+let create ?(readmit_beats = 2) ~interval ~miss_threshold () =
   if interval <= 0 then invalid_arg "Heartbeat.create: interval must be > 0";
   if miss_threshold <= 0 then invalid_arg "Heartbeat.create: miss_threshold must be > 0";
+  if readmit_beats <= 0 then invalid_arg "Heartbeat.create: readmit_beats must be > 0";
+  let nodes = List.length Node_id.all in
   {
     interval;
     miss_threshold;
-    last_beat = Array.make (List.length Node_id.all) 0;
-    suspected = Array.make (List.length Node_id.all) false;
+    readmit_beats;
+    last_beat = Array.make nodes 0;
+    suspected = Array.make nodes false;
+    streak = Array.make nodes 0;
     detections = 0;
+    readmissions = 0;
   }
 
 let interval t = t.interval
+let readmit_beats t = t.readmit_beats
 let detection_latency t = t.interval * t.miss_threshold
 
+(* Re-admission is hysteresis-gated: a suspected peer must deliver
+   [readmit_beats] consecutive *on-time* beats (each within one interval
+   of the previous) before it is trusted again. The first beat after a
+   long silence — e.g. a restart — has a huge gap and only resets the
+   streak, so a single beat never clears suspicion. *)
 let beat t ~node ~now =
   let i = Node_id.index node in
+  let gap = now - t.last_beat.(i) in
   if now > t.last_beat.(i) then t.last_beat.(i) <- now;
-  t.suspected.(i) <- false
+  if t.suspected.(i) then
+    if gap <= t.interval then begin
+      t.streak.(i) <- t.streak.(i) + 1;
+      if t.streak.(i) >= t.readmit_beats then begin
+        t.suspected.(i) <- false;
+        t.streak.(i) <- 0;
+        t.readmissions <- t.readmissions + 1;
+        if Trace.enabled () then
+          Trace.instant ~subsys:"heartbeat" ~op:"readmit"
+            ~tags:[ ("peer", Node_id.to_string node); ("at", string_of_int now) ]
+            ()
+      end
+    end
+    else t.streak.(i) <- 0
 
 let missed_deadlines t ~peer ~now =
   let i = Node_id.index peer in
@@ -35,11 +63,13 @@ let missed_deadlines t ~peer ~now =
 let suspects t ~peer ~now = missed_deadlines t ~peer ~now >= t.miss_threshold
 let is_suspected t ~peer = t.suspected.(Node_id.index peer)
 let detections t = t.detections
+let readmissions t = t.readmissions
 
 let declare_dead t ~peer ~now =
   let i = Node_id.index peer in
   if not t.suspected.(i) then begin
     t.suspected.(i) <- true;
+    t.streak.(i) <- 0;
     t.detections <- t.detections + 1;
     if Trace.enabled () then
       Trace.instant ~subsys:"heartbeat" ~op:"declare_dead"

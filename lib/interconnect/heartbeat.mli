@@ -11,18 +11,23 @@
 
 type t
 
-val create : interval:int -> miss_threshold:int -> t
-(** @raise Invalid_argument unless both arguments are positive. *)
+val create : ?readmit_beats:int -> interval:int -> miss_threshold:int -> unit -> t
+(** [readmit_beats] (default 2) is the hysteresis gate: consecutive
+    on-time beats required before a suspected peer is re-trusted.
+    @raise Invalid_argument unless all arguments are positive. *)
 
 val interval : t -> int
+val readmit_beats : t -> int
 
 val detection_latency : t -> int
 (** [interval * miss_threshold]: worst-case cycles between a silent crash
     and the watchdog declaring the peer dead. *)
 
 val beat : t -> node:Stramash_sim.Node_id.t -> now:int -> unit
-(** Record a beat from [node]; clears any suspicion of it (a restarted
-    peer is trusted again as soon as it beats). *)
+(** Record a beat from [node]. A beat never clears suspicion by itself:
+    a suspected peer must deliver [readmit_beats] consecutive beats each
+    within one [interval] of the previous (the first beat after a long
+    silence only resets the streak) before suspicion lifts. *)
 
 val missed_deadlines : t -> peer:Stramash_sim.Node_id.t -> now:int -> int
 val suspects : t -> peer:Stramash_sim.Node_id.t -> now:int -> bool
@@ -33,3 +38,6 @@ val declare_dead : t -> peer:Stramash_sim.Node_id.t -> now:int -> unit
 
 val is_suspected : t -> peer:Stramash_sim.Node_id.t -> bool
 val detections : t -> int
+
+val readmissions : t -> int
+(** Times a suspected peer completed the re-admission streak. *)

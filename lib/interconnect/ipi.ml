@@ -123,7 +123,7 @@ type delivery = { cycles : int; lost : bool; jittered : bool }
 
 module Trace = Stramash_obs.Trace
 
-let cross_isa_delivery ?inject () =
+let cross_isa_delivery ?inject ?peer ?now () =
   let d =
     match inject with
     | None -> { cycles = cross_isa_ipi_cycles; lost = false; jittered = false }
@@ -137,6 +137,16 @@ let cross_isa_delivery ?inject () =
                and falls back to polling the ring head. *)
             { cycles = Plan.ipi_timeout_cycles plan; lost = true; jittered = false })
   in
+  (* Observation only: any slow-window inflation is charged (and
+     observed) once at the message layer, so the IPI feeds the peer's
+     health score without double-counting cycles. *)
+  (match (inject, peer, now) with
+  | Some plan, Some peer, Some now ->
+      if d.lost then Plan.observe_failure plan ~peer ~now
+      else
+        Plan.observe_service plan ~peer ~cycles:d.cycles ~nominal:cross_isa_ipi_cycles
+          ~now
+  | _ -> ());
   (* No node in scope here: the event lands on the node of the innermost
      open span (the message send that triggered the IPI). *)
   if Trace.enabled () then

@@ -49,10 +49,17 @@ type delivery = { cycles : int; lost : bool; jittered : bool }
     the interrupt was lost (receiver fell back to a polling timeout) or
     arrived late. *)
 
-val cross_isa_delivery : ?inject:Stramash_fault_inject.Plan.t -> unit -> delivery
+val cross_isa_delivery :
+  ?inject:Stramash_fault_inject.Plan.t ->
+  ?peer:Stramash_sim.Node_id.t ->
+  ?now:int ->
+  unit ->
+  delivery
 (** [cross_isa_delivery ()] is the clean 2 us cost; with a fault plan the
     draw may add a jitter spike or lose the IPI entirely, in which case
-    [cycles] is the plan's detection timeout. *)
+    [cycles] is the plan's detection timeout. Passing [peer] and [now]
+    additionally feeds the delivery outcome into the plan's health score
+    for [peer] (observation only — no extra cycles). *)
 
 val cross_isa_delivery_checked :
   liveness:Stramash_sim.Liveness.t ->

@@ -373,7 +373,14 @@ let run_scheduler ?on_recovery machine items ~fuel =
                 if Heartbeat.suspects hb ~peer ~now && not (Heartbeat.is_suspected hb ~peer)
                 then begin
                   Heartbeat.declare_dead hb ~peer ~now;
-                  Os.on_peer_detected os ~node:peer ~now
+                  Os.on_peer_detected os ~node:peer ~now;
+                  (* Actual detection latency (death to watchdog firing),
+                     vs. the worst-case interval * miss_threshold bound. *)
+                  match Machine.inject_plan machine with
+                  | Some plan ->
+                      Plan.note_detection_latency plan
+                        ~cycles:(now - Liveness.died_at liveness peer)
+                  | None -> ()
                 end
               end
             end)

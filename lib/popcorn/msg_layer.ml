@@ -79,7 +79,10 @@ let heartbeat_tick t ~src ~now =
 let shm_notify_latency t ~dst =
   match t.notify_kind with
   | Ipi ->
-      let d = Ipi.cross_isa_delivery ?inject:t.inject () in
+      let d =
+        Ipi.cross_isa_delivery ?inject:t.inject ~peer:dst
+          ~now:(Meter.get (Env.meter t.env dst)) ()
+      in
       (* A lost IPI is noticed by the receiver's backstop poll; it burns
          spin work while the sender waits out the detection timeout. *)
       if d.Ipi.lost then Meter.add (Env.meter t.env dst) poll_busy_cycles;
@@ -135,19 +138,38 @@ let deliver_untraced t ~src ~bytes =
   match t.inject with
   | None -> convey t ~src ~bytes
   | Some plan ->
+      let dst = Node_id.other src in
+      (* Deliver with gray effects on top of the base notify latency: a
+         slow-window on the receiver inflates the sender-observed RTT,
+         duplicates cost the receiver a discard, reordering adds queue
+         delay. The completed RTT (or the drop) feeds the peer's health
+         score, and backoff is health-adaptive and jittered. *)
+      let finish burned extra =
+        if burned > 0 then Plan.record_recovery plan ~cycles:burned;
+        let now = Meter.get (Env.meter t.env src) in
+        let base = convey t ~src ~bytes in
+        let inflated = Plan.inflate plan ~node:dst ~now ~cycles:(base + extra) in
+        let reorder = Plan.msg_reorder_extra plan in
+        if Plan.msg_duplicated plan then
+          (* receiver dequeues and discards the duplicate *)
+          Meter.add (Env.meter t.env dst) poll_busy_cycles;
+        let total = base + extra + inflated + reorder in
+        Plan.observe_msg_rtt plan ~peer:dst ~cycles:total ~nominal:base ~now;
+        total
+      in
       let rec attempt_loop attempt burned =
-        match Plan.msg_attempt plan with
-        | `Deliver extra ->
-            if burned > 0 then Plan.record_recovery plan ~cycles:burned;
-            convey t ~src ~bytes + extra
+        let now = Meter.get (Env.meter t.env src) in
+        match Plan.msg_attempt_at plan ~now with
+        | `Deliver extra -> finish burned extra
         | `Drop ->
-            let pay = Plan.msg_backoff plan ~attempt in
+            Plan.observe_failure plan ~peer:dst ~now;
+            let pay = Plan.msg_backoff_for plan ~peer:dst ~attempt in
             Meter.add (Env.meter t.env src) pay;
             let burned = burned + pay in
             if Plan.msg_attempts_exhausted plan ~attempt:(attempt + 1) then begin
               Plan.note_msg_escalation plan;
               Plan.record_recovery plan ~cycles:burned;
-              convey t ~src ~bytes
+              finish 0 0
             end
             else begin
               Plan.note_msg_retry plan;
@@ -196,6 +218,7 @@ let do_rpc t ~src ~label ~req_bytes ~resp_bytes ~handler =
     else Trace.null
   in
   count t label;
+  let rpc_start = Meter.get src_meter in
   let notify_latency = deliver t ~src ~bytes:req_bytes in
   Meter.add src_meter notify_latency;
   (* Peer handles the request; the requester blocks for that long. *)
@@ -209,6 +232,10 @@ let do_rpc t ~src ~label ~req_bytes ~resp_bytes ~handler =
   in
   Meter.add src_meter reply_latency;
   Meter.add src_meter !reply_notify;
+  (match t.inject with
+  | Some plan ->
+      Plan.record_op plan ~op:"msg_rpc" ~cycles:(Meter.get src_meter - rpc_start)
+  | None -> ());
   if sp != Trace.null then Trace.close ~at:(Meter.get src_meter) sp
 
 let rpc_checked t ~src ~label ~req_bytes ~resp_bytes ~handler =

@@ -149,7 +149,7 @@ let test_plan_validates_schedule () =
 (* ---------- heartbeat watchdog ---------- *)
 
 let test_heartbeat_watchdog () =
-  let hb = Heartbeat.create ~interval:100 ~miss_threshold:3 in
+  let hb = Heartbeat.create ~readmit_beats:2 ~interval:100 ~miss_threshold:3 () in
   checki "detection latency" 300 (Heartbeat.detection_latency hb);
   Heartbeat.beat hb ~node:arm ~now:50;
   checkb "fresh beat, no suspicion" false (Heartbeat.suspects hb ~peer:arm ~now:140);
@@ -160,9 +160,16 @@ let test_heartbeat_watchdog () =
   Heartbeat.declare_dead hb ~peer:arm ~now:400;
   checkb "latched" true (Heartbeat.is_suspected hb ~peer:arm);
   checki "idempotent detection count" 1 (Heartbeat.detections hb);
-  (* A restarted peer is trusted again as soon as it beats. *)
+  (* Re-admission is hysteresis-gated: the first beat after the silence
+     only resets the streak, and suspicion lifts only after readmit_beats
+     consecutive on-time beats. *)
   Heartbeat.beat hb ~node:arm ~now:500;
-  checkb "beat clears suspicion" false (Heartbeat.is_suspected hb ~peer:arm)
+  checkb "single beat does not clear suspicion" true (Heartbeat.is_suspected hb ~peer:arm);
+  Heartbeat.beat hb ~node:arm ~now:580;
+  checkb "one on-time beat is not enough" true (Heartbeat.is_suspected hb ~peer:arm);
+  Heartbeat.beat hb ~node:arm ~now:660;
+  checkb "streak complete clears suspicion" false (Heartbeat.is_suspected hb ~peer:arm);
+  checki "readmission counted" 1 (Heartbeat.readmissions hb)
 
 (* ---------- typed dead-node errors ---------- *)
 

@@ -9,6 +9,7 @@ module Cache_sim = Stramash_cache.Cache_sim
 module Ipi = Stramash_interconnect.Ipi
 module Ring_buffer = Stramash_interconnect.Ring_buffer
 module Tcp_link = Stramash_interconnect.Tcp_link
+module Heartbeat = Stramash_interconnect.Heartbeat
 
 let checki = Alcotest.(check int)
 
@@ -118,6 +119,67 @@ let test_tcp_custom_rtt () =
   Alcotest.(check bool) "configurable rtt" true
     (Float.abs (Cycles.to_us (Tcp_link.round_trip_cycles link ~payload_bytes:0) -. 10.0) < 0.5)
 
+(* ---------- heartbeat ---------- *)
+
+(* missed_deadlines counts whole intervals: the count (and therefore
+   suspicion) flips exactly at the deadline, not one cycle early. *)
+let test_heartbeat_deadline_boundary () =
+  let hb = Heartbeat.create ~readmit_beats:2 ~interval:100 ~miss_threshold:3 () in
+  let peer = Node_id.Arm in
+  Heartbeat.beat hb ~node:peer ~now:100;
+  checki "two deadlines one cycle before the third" 2
+    (Heartbeat.missed_deadlines hb ~peer ~now:399);
+  Alcotest.(check bool) "not suspect one cycle early" false
+    (Heartbeat.suspects hb ~peer ~now:399);
+  checki "third deadline exactly on the boundary" 3
+    (Heartbeat.missed_deadlines hb ~peer ~now:400);
+  Alcotest.(check bool) "suspect exactly on the deadline" true
+    (Heartbeat.suspects hb ~peer ~now:400);
+  (* A beat landing exactly one interval after the previous one is
+     on-time (boundary inclusive) for the re-admission streak. *)
+  Heartbeat.declare_dead hb ~peer ~now:400;
+  Heartbeat.beat hb ~node:peer ~now:500;
+  Heartbeat.beat hb ~node:peer ~now:600;
+  Heartbeat.beat hb ~node:peer ~now:700;
+  Alcotest.(check bool) "exact-interval cadence readmits" false
+    (Heartbeat.is_suspected hb ~peer)
+
+(* A restart inside the suspicion window must re-earn trust: the first
+   beat after the silence only resets the streak, and a late beat breaks
+   a streak already in progress. *)
+let test_heartbeat_restart_inside_window () =
+  let hb = Heartbeat.create ~readmit_beats:2 ~interval:100 ~miss_threshold:3 () in
+  let peer = Node_id.X86 in
+  Heartbeat.beat hb ~node:peer ~now:50;
+  Heartbeat.declare_dead hb ~peer ~now:360;
+  Alcotest.(check bool) "suspected after silence" true (Heartbeat.is_suspected hb ~peer);
+  Heartbeat.beat hb ~node:peer ~now:460;
+  Alcotest.(check bool) "single post-restart beat never readmits" true
+    (Heartbeat.is_suspected hb ~peer);
+  Heartbeat.beat hb ~node:peer ~now:550;
+  Alcotest.(check bool) "streak of one not enough" true (Heartbeat.is_suspected hb ~peer);
+  (* Late beat: the streak resets, suspicion survives. *)
+  Heartbeat.beat hb ~node:peer ~now:700;
+  Alcotest.(check bool) "late beat breaks the streak" true (Heartbeat.is_suspected hb ~peer);
+  Heartbeat.beat hb ~node:peer ~now:790;
+  Heartbeat.beat hb ~node:peer ~now:880;
+  Alcotest.(check bool) "full streak after the reset readmits" false
+    (Heartbeat.is_suspected hb ~peer);
+  checki "one readmission counted" 1 (Heartbeat.readmissions hb)
+
+let prop_heartbeat_missed_monotone =
+  QCheck.Test.make ~name:"missed_deadlines is monotone in now between beats" ~count:300
+    QCheck.(
+      quad (int_range 1 50) (int_range 0 1000) (int_range 0 2000) (int_range 0 2000))
+    (fun (interval, beat_at, a, b) ->
+      let hb = Heartbeat.create ~interval ~miss_threshold:3 () in
+      let peer = Node_id.Arm in
+      Heartbeat.beat hb ~node:peer ~now:beat_at;
+      let t1 = min a b and t2 = max a b in
+      let m1 = Heartbeat.missed_deadlines hb ~peer ~now:t1 in
+      let m2 = Heartbeat.missed_deadlines hb ~peer ~now:t2 in
+      m1 >= 0 && m1 <= m2)
+
 let () =
   Alcotest.run "interconnect"
     [
@@ -140,5 +202,11 @@ let () =
           Alcotest.test_case "rtt" `Quick test_tcp_rtt;
           Alcotest.test_case "payload term" `Quick test_tcp_payload_term;
           Alcotest.test_case "custom rtt" `Quick test_tcp_custom_rtt;
+        ] );
+      ( "heartbeat",
+        [
+          Alcotest.test_case "deadline boundary" `Quick test_heartbeat_deadline_boundary;
+          Alcotest.test_case "restart inside window" `Quick test_heartbeat_restart_inside_window;
+          QCheck_alcotest.to_alcotest prop_heartbeat_missed_monotone;
         ] );
     ]

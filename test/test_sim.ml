@@ -237,6 +237,34 @@ let test_histogram_percentile_interpolates () =
   Alcotest.(check bool) "p>1 clamped" true
     (Metrics.Histogram.percentile h 2.0 <= Metrics.Histogram.max_value h)
 
+let test_histogram_edge_cases () =
+  (* Every percentile of an empty histogram reads 0, not NaN or a raise —
+     campaign tables render before any sample may have landed. *)
+  let empty = Metrics.Histogram.create ~buckets:8 ~lo:0.0 ~hi:10.0 in
+  Alcotest.(check (float 0.0)) "empty p50" 0.0 (Metrics.Histogram.p50 empty);
+  Alcotest.(check (float 0.0)) "empty p99" 0.0 (Metrics.Histogram.p99 empty);
+  (* With one sample, clamping to [min, max] pins every percentile to it. *)
+  let one = Metrics.Histogram.create ~buckets:8 ~lo:0.0 ~hi:100.0 in
+  Metrics.Histogram.record one 37.0;
+  Alcotest.(check (float 0.0)) "single-sample p50" 37.0 (Metrics.Histogram.p50 one);
+  Alcotest.(check (float 0.0)) "single-sample p99" 37.0 (Metrics.Histogram.p99 one);
+  (* Same shape, disjoint occupied ranges: counts, extrema and the tail
+     all reflect the union. *)
+  let low = Metrics.Histogram.create ~buckets:10 ~lo:0.0 ~hi:100.0 in
+  let high = Metrics.Histogram.create ~buckets:10 ~lo:0.0 ~hi:100.0 in
+  List.iter (Metrics.Histogram.record low) [ 1.0; 2.0; 3.0 ];
+  List.iter (Metrics.Histogram.record high) [ 91.0; 92.0 ];
+  let merged = Metrics.Histogram.merge low high in
+  checki "merged count" 5 (Metrics.Histogram.count merged);
+  Alcotest.(check (float 0.0)) "merged min" 1.0 (Metrics.Histogram.min_value merged);
+  Alcotest.(check (float 0.0)) "merged max" 92.0 (Metrics.Histogram.max_value merged);
+  Alcotest.(check bool) "merged p99 lands in the high range" true
+    (Metrics.Histogram.p99 merged >= 90.0);
+  (* Disjoint bucket *ranges* are a shape mismatch, refused loudly. *)
+  let shifted = Metrics.Histogram.create ~buckets:10 ~lo:100.0 ~hi:200.0 in
+  Alcotest.check_raises "shape mismatch" (Invalid_argument "Histogram.merge: shape mismatch")
+    (fun () -> ignore (Metrics.Histogram.merge low shifted))
+
 (* ---------- Meter ---------- *)
 
 let test_meter () =
@@ -293,6 +321,7 @@ let () =
           Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "percentile interpolation" `Quick test_histogram_percentile_interpolates;
+          Alcotest.test_case "histogram edge cases" `Quick test_histogram_edge_cases;
           Alcotest.test_case "meter" `Quick test_meter;
         ] );
       ("node_id", [ Alcotest.test_case "basics" `Quick test_node_id ]);

@@ -183,6 +183,7 @@ let run_with_obs (trace_file, metrics_file, filter) ?(extra = fun (_ : Obs.Snaps
         | Some path ->
             let snap = Obs.Snapshot.create () in
             Obs.Snapshot.add_trace snap tracer;
+            Obs.Snapshot.add_causal snap tracer;
             extra snap;
             write_file path (Obs.Snapshot.to_string snap);
             Format.fprintf fmt "metrics: %s@." path
@@ -582,6 +583,194 @@ let gray_cmd =
           per-operation latency percentiles comparing the two")
     Term.(const run $ seed_arg $ campaign_bench_arg $ factor_arg $ cache_mode_term $ obs_term)
 
+(* ---------- obs (offline causal-trace analysis) ---------- *)
+
+module Causal = Stramash_obs.Causal
+
+(* Snapshot files store the causal sections pre-computed; rebuild blame
+   rows from the JSON so the same table renderer serves both inputs. *)
+let blame_rows_of_json json =
+  match Obs.Json.get_list json with
+  | None -> []
+  | Some rows ->
+      List.filter_map
+        (fun row ->
+          let int k = Option.bind (Obs.Json.member k row) Obs.Json.get_int in
+          let str k = Option.bind (Obs.Json.member k row) Obs.Json.get_string in
+          match (str "subsys", str "op") with
+          | Some subsys, Some op ->
+              let get k = Option.value ~default:0 (int k) in
+              Some
+                {
+                  Causal.b_subsys = subsys;
+                  b_op = op;
+                  b_hops = get "hops";
+                  b_cycles = get "cycles";
+                  b_node = [| get "x86_cycles"; get "arm_cycles" |];
+                }
+          | _ -> None)
+        rows
+
+let blocked_rows_of_json json =
+  let tbl = Hashtbl.create 8 in
+  (match Obs.Json.get_obj json with
+  | None -> ()
+  | Some nodes ->
+      List.iter
+        (fun (node_name, fields) ->
+          match
+            ( List.find_index (fun n -> Node_id.to_string n = node_name) Node_id.all,
+              Obs.Json.get_obj fields )
+          with
+          | Some idx, Some fields ->
+              List.iter
+                (fun (subsys, v) ->
+                  if subsys <> "total" then
+                    match Obs.Json.get_int v with
+                    | Some cycles ->
+                        let row =
+                          match Hashtbl.find_opt tbl subsys with
+                          | Some row -> row
+                          | None ->
+                              let row = Array.make (List.length Node_id.all) 0 in
+                              Hashtbl.add tbl subsys row;
+                              row
+                        in
+                        row.(idx) <- row.(idx) + cycles
+                    | None -> ())
+                fields
+          | _ -> ())
+        nodes);
+  Hashtbl.fold (fun s row acc -> (s, row) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let print_exemplar (f : Causal.flow) =
+  Format.fprintf fmt "  flow %d: %s.%s on %s, %d cycles, %d spans@." f.Causal.f_id
+    f.Causal.f_root_subsys f.Causal.f_root_op
+    (Node_id.to_string (Node_id.of_index f.Causal.f_node))
+    f.Causal.f_cycles f.Causal.f_spans;
+  List.iter
+    (fun (h : Causal.hop) ->
+      Format.fprintf fmt "    %-4s %s.%s %d@."
+        (Node_id.to_string (Node_id.of_index h.Causal.h_node))
+        h.Causal.h_subsys h.Causal.h_op h.Causal.h_cycles)
+    f.Causal.f_path
+
+let obs_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A --trace output (Chrome trace-event JSON, or JSONL) or a --metrics-json snapshot \
+             with causal sections")
+  in
+  let flame_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame" ] ~docv:"OUT"
+          ~doc:
+            "Write a folded-stack flamegraph to $(docv) (one 'node;frames count' line per stack; \
+             feed to flamegraph.pl or speedscope). Needs a trace file, not a snapshot")
+  in
+  let percentile_arg =
+    Arg.(
+      value & opt float 0.99
+      & info [ "percentile" ] ~docv:"P" ~doc:"Tail threshold for exemplar flows (0 < P < 1)")
+  in
+  let exemplars_arg =
+    Arg.(value & opt int 8 & info [ "exemplars" ] ~docv:"N" ~doc:"Tail exemplar traces to keep")
+  in
+  let top_arg =
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Blame-table rows to print (0 = all)")
+  in
+  let run file flame percentile exemplars top =
+    let contents =
+      match open_in_bin file with
+      | ic ->
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          Some s
+      | exception Sys_error msg ->
+          Format.eprintf "stramash_cli obs: %s@." msg;
+          None
+    in
+    match contents with
+    | None -> 2
+    | Some contents -> (
+        let snapshot_sections =
+          match Obs.Json.parse (String.trim contents) with
+          | Ok json -> (
+              match (Obs.Json.member "critical_path" json, Obs.Json.member "blocked_on_remote" json) with
+              | Some cp, Some blocked -> Some (cp, blocked)
+              | _ -> None)
+          | Error _ -> None
+        in
+        match snapshot_sections with
+        | Some (cp, blocked) ->
+            if flame <> None then begin
+              Format.eprintf
+                "stramash_cli obs: --flame needs a trace file; a snapshot has no event stream@.";
+              2
+            end
+            else begin
+              let flows = Option.bind (Obs.Json.member "flows" cp) Obs.Json.get_int in
+              let cross = Option.bind (Obs.Json.member "cross_node_flows" cp) Obs.Json.get_int in
+              (* No file name in the report body: same-seed runs must
+                 produce byte-identical output whatever the paths are. *)
+              Format.fprintf fmt "snapshot: %d flows, %d cross-node@."
+                (Option.value ~default:0 flows)
+                (Option.value ~default:0 cross);
+              H.Report.print fmt
+                (H.Obs_report.blame_report ~top
+                   (blame_rows_of_json
+                      (Option.value ~default:(Obs.Json.List []) (Obs.Json.member "blame" cp))));
+              H.Obs_report.print_blocked_rows fmt (blocked_rows_of_json blocked);
+              0
+            end
+        | None -> (
+            match Causal.events_of_string contents with
+            | Error msg ->
+                Format.eprintf "stramash_cli obs: cannot read %s: %s@." file msg;
+                2
+            | Ok events -> (
+                match Causal.Reservoir.create ~percentile ~max_keep:exemplars () with
+                | exception Invalid_argument msg ->
+                    Format.eprintf "stramash_cli obs: %s@." msg;
+                    2
+                | reservoir ->
+                    let flows = Causal.flows_of_events events in
+                    let cross = Causal.cross_node_flows flows in
+                    Format.fprintf fmt "trace: %d events, %d flows, %d cross-node@."
+                      (List.length events) (List.length flows) (List.length cross);
+                    H.Report.print fmt (H.Obs_report.blame_report ~top (Causal.blame flows));
+                    H.Obs_report.print_blocked_rows fmt (Causal.blocked_of_flows flows);
+                    List.iter (Causal.Reservoir.offer reservoir) flows;
+                    let threshold, tail = Causal.Reservoir.finalize reservoir in
+                    if tail <> [] then begin
+                      Format.fprintf fmt "tail exemplars (p%g >= %d cycles over %d flows):@."
+                        (100.0 *. percentile) threshold
+                        (Causal.Reservoir.count reservoir);
+                      List.iter print_exemplar tail
+                    end;
+                    (match flame with
+                    | None -> ()
+                    | Some out ->
+                        write_file out (Causal.folded events);
+                        Format.fprintf fmt "flamegraph: %s@." out);
+                    0)))
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:
+         "Analyse a trace or metrics snapshot offline: assemble causal flows, print the \
+          critical-path blame table, the blocked-on-remote summary, and tail-exemplar traces; \
+          optionally export a folded-stack flamegraph")
+    Term.(const run $ file_arg $ flame_arg $ percentile_arg $ exemplars_arg $ top_arg)
+
 (* ---------- disasm ---------- *)
 
 let disasm_cmd =
@@ -664,6 +853,7 @@ let () =
             chaos_cmd;
             place_cmd;
             gray_cmd;
+            obs_cmd;
             machine_cmd;
             disasm_cmd;
           ]))

@@ -19,13 +19,60 @@ let io env ~actor =
     alloc_table = (fun () -> invalid_arg "Remote_walker: remote walks never allocate tables");
   }
 
+(* A remote walk is the requester loading the owner's page-table lines
+   over the coherent interconnect — there is no responder software, so the
+   responder-side hops of the causal path are synthesized from the
+   latency table: each read's remote premium ([remote_mem - mem]) is
+   round-trip wire, the local-DRAM share is the remote memory system
+   serving the line. Estimates are clamped to the observed span (reads
+   that hit a local cache cost less than the table says), and the tiling
+   [self | request wire | remote serve | reply wire] always sums to the
+   walk's end-to-end duration. *)
+let synth_remote_hops env ~actor ~flow ~subsys ~reads t0 t1 =
+  if flow <> 0 && reads > 0 && t1 > t0 then begin
+    let total = t1 - t0 in
+    let lat = Stramash_cache.Config.latencies (Stramash_cache.Cache_sim.config env.Env.cache) actor in
+    let diff = max 0 (lat.Stramash_mem.Latency.remote_mem - lat.Stramash_mem.Latency.mem) in
+    let wire = min (total / 2) (reads * diff / 2) in
+    let serve = max 0 (min (total - (2 * wire)) (reads * lat.Stramash_mem.Latency.mem)) in
+    let peer = Node_id.other actor in
+    let s0 = t1 - ((2 * wire) + serve) in
+    let hop node sub op ts te =
+      if te > ts then
+        Trace.with_flow ~node ~flow (fun () ->
+            Trace.close ~at:te (Trace.span ~at:ts ~node ~subsys:sub ~op ()))
+    in
+    hop peer "interconnect" "request" s0 (s0 + wire);
+    hop peer subsys "serve" (s0 + wire) (s0 + wire + serve);
+    hop actor "interconnect" "reply" (s0 + wire + serve) t1;
+    Trace.add_blocked ~node:actor ~subsys ((2 * wire) + serve)
+  end
+
 let walk env ~actor ~owner_mm ~vaddr =
   if not (Trace.enabled ()) then Page_table.walk owner_mm.Process.pgtable (io env ~actor) ~vaddr
   else begin
     let meter = Env.meter env actor in
-    let sp = Trace.span ~at:(Meter.get meter) ~node:actor ~subsys:"remote_walker" ~op:"walk" () in
-    let result = Page_table.walk owner_mm.Process.pgtable (io env ~actor) ~vaddr in
-    Trace.close ~at:(Meter.get meter)
+    let sp =
+      Trace.span ~at:(Meter.get meter) ~flow_root:true ~node:actor ~subsys:"remote_walker"
+        ~op:"walk" ()
+    in
+    let reads = ref 0 in
+    let io =
+      let base = io env ~actor in
+      {
+        base with
+        Page_table.charge_read =
+          (fun paddr ->
+            incr reads;
+            base.Page_table.charge_read paddr);
+      }
+    in
+    let t0 = Meter.get meter in
+    let result = Page_table.walk owner_mm.Process.pgtable io ~vaddr in
+    let t1 = Meter.get meter in
+    synth_remote_hops env ~actor ~flow:(Trace.flow_of sp) ~subsys:"remote_walker" ~reads:!reads
+      t0 t1;
+    Trace.close ~at:t1
       ~tags:[ ("present", match result with Some _ -> "1" | None -> "0") ]
       sp;
     result
@@ -42,7 +89,8 @@ let walk_checked env ~actor ~owner_mm ~vaddr ?inject () =
       let meter = Env.meter env actor in
       let sp =
         if Trace.enabled () then
-          Trace.span ~at:(Meter.get meter) ~node:actor ~subsys:"remote_walker" ~op:"request" ()
+          Trace.span ~at:(Meter.get meter) ~flow_root:true ~node:actor ~subsys:"remote_walker"
+            ~op:"request" ()
         else Trace.null
       in
       let cfg = Plan.config plan in
@@ -93,13 +141,32 @@ let install_leaf env ~actor ~owner_mm ~vaddr ~frame ~remote_owned =
   else begin
     let meter = Env.meter env actor in
     let sp =
-      Trace.span ~at:(Meter.get meter) ~node:actor ~subsys:"remote_walker" ~op:"install_leaf" ()
+      Trace.span ~at:(Meter.get meter) ~flow_root:true ~node:actor ~subsys:"remote_walker"
+        ~op:"install_leaf" ()
     in
+    let accesses = ref 0 in
+    let io =
+      let base = io env ~actor in
+      {
+        base with
+        Page_table.charge_read =
+          (fun paddr ->
+            incr accesses;
+            base.Page_table.charge_read paddr);
+        charge_write =
+          (fun paddr ->
+            incr accesses;
+            base.Page_table.charge_write paddr);
+      }
+    in
+    let t0 = Meter.get meter in
     let result =
-      Page_table.set_leaf_if_upper_present owner_mm.Process.pgtable (io env ~actor) ~vaddr ~frame
-        flags
+      Page_table.set_leaf_if_upper_present owner_mm.Process.pgtable io ~vaddr ~frame flags
     in
-    Trace.close ~at:(Meter.get meter) sp;
+    let t1 = Meter.get meter in
+    synth_remote_hops env ~actor ~flow:(Trace.flow_of sp) ~subsys:"remote_walker"
+      ~reads:!accesses t0 t1;
+    Trace.close ~at:t1 sp;
     result
   end
 
@@ -107,12 +174,25 @@ let find_vma env ~actor ~owner_mm ~vaddr =
   let meter = Env.meter env actor in
   let sp =
     if Trace.enabled () then
-      Trace.span ~at:(Meter.get meter) ~node:actor ~subsys:"remote_walker" ~op:"find_vma" ()
+      Trace.span ~at:(Meter.get meter) ~flow_root:true ~node:actor ~subsys:"remote_walker"
+        ~op:"find_vma" ()
     else Trace.null
   in
+  let accesses = ref 0 in
+  let t0 = Meter.get meter in
   Env.charge_atomic env actor ~paddr:(Vma.lock_addr owner_mm.Process.vmas);
-  let charge v = Env.charge_load env actor ~paddr:v.Vma.struct_addr in
+  incr accesses;
+  let charge v =
+    incr accesses;
+    Env.charge_load env actor ~paddr:v.Vma.struct_addr
+  in
   let result = Vma.find ~visit:charge owner_mm.Process.vmas ~vaddr in
   Env.charge_store env actor ~paddr:(Vma.lock_addr owner_mm.Process.vmas);
-  if sp != Trace.null then Trace.close ~at:(Meter.get meter) sp;
+  incr accesses;
+  if sp != Trace.null then begin
+    let t1 = Meter.get meter in
+    synth_remote_hops env ~actor ~flow:(Trace.flow_of sp) ~subsys:"remote_walker"
+      ~reads:!accesses t0 t1;
+    Trace.close ~at:t1 sp
+  end;
   result

@@ -501,7 +501,7 @@ let handle_fault t ~proc ~node ~vaddr ~write =
     let sp =
       Trace.span ~at:(Meter.get meter)
         ~tags:[ ("origin", string_of_bool (Node_id.equal node proc.Process.origin)) ]
-        ~node ~subsys:"stramash_fault" ~op:"fault" ()
+        ~flow_root:true ~node ~subsys:"stramash_fault" ~op:"fault" ()
     in
     let result = handle_fault_measured t ~proc ~node ~vaddr ~write in
     Trace.close ~at:(Meter.get meter)

@@ -50,9 +50,10 @@ let wait_acting t ~actor ~proc ~thread ~uaddr ~expected =
     if Trace.enabled () then
       Trace.span ~at:(Meter.get meter)
         ~tags:[ ("cross", string_of_bool (not (Node_id.equal actor proc.Process.origin))) ]
-        ~node:actor ~subsys:"futex" ~op:"wait" ()
+        ~flow_root:true ~node:actor ~subsys:"futex" ~op:"wait" ()
     else Trace.null
   in
+  let t0 = Meter.get meter in
   let home = home_node t ~origin:proc.Process.origin in
   let kernel = Env.kernel t.env home in
   (* Direct access to the home (normally origin) kernel's futex bucket:
@@ -75,10 +76,15 @@ let wait_acting t ~actor ~proc ~thread ~uaddr ~expected =
       `Proceed
     end
   in
-  if sp != Trace.null then
-    Trace.close ~at:(Meter.get meter)
+  if sp != Trace.null then begin
+    let t1 = Meter.get meter in
+    (* Bucket ops against another node's futex hash are coherent remote
+       atomics: the whole sequence is serialized behind the home node. *)
+    if not (Node_id.equal home actor) then Trace.add_blocked ~node:actor ~subsys:"futex" (t1 - t0);
+    Trace.close ~at:t1
       ~tags:[ ("outcome", match outcome with `Block -> "block" | `Proceed -> "proceed") ]
-      sp;
+      sp
+  end;
   outcome
 
 let wait t ~proc ~thread ~uaddr ~expected =
@@ -89,9 +95,10 @@ let wake_acting t ~actor ~proc ~threads ~uaddr ~nwake =
   let meter = Env.meter t.env node in
   let sp =
     if Trace.enabled () then
-      Trace.span ~at:(Meter.get meter) ~node ~subsys:"futex" ~op:"wake" ()
+      Trace.span ~at:(Meter.get meter) ~flow_root:true ~node ~subsys:"futex" ~op:"wake" ()
     else Trace.null
   in
+  let t0 = Meter.get meter in
   let home = home_node t ~origin:proc.Process.origin in
   let drain_bucket knode n =
     if n <= 0 then []
@@ -145,10 +152,13 @@ let wake_acting t ~actor ~proc ~threads ~uaddr ~nwake =
           Trace.instant ~node ~subsys:"ipi" ~op:"futex_wake" ()
       | Some _ | None -> ())
     woken;
-  if sp != Trace.null then
-    Trace.close ~at:(Meter.get meter)
+  if sp != Trace.null then begin
+    let t1 = Meter.get meter in
+    if not (Node_id.equal home node) then Trace.add_blocked ~node ~subsys:"futex" (t1 - t0);
+    Trace.close ~at:t1
       ~tags:[ ("woken", string_of_int (List.length woken)) ]
-      sp;
+      sp
+  end;
   woken
 
 let wake t ~proc ~thread ~threads ~uaddr ~nwake =

@@ -61,7 +61,7 @@ let migrate t ~proc ~thread ~dst ~point =
     if Trace.enabled () then
       Trace.span ~at:(Meter.get src_meter)
         ~tags:[ ("dst", Node_id.to_string dst) ]
-        ~node:src ~subsys:"migrate" ~op:"transfer" ()
+        ~flow_root:true ~node:src ~subsys:"migrate" ~op:"transfer" ()
     else Trace.null
   in
   Msg_layer.rpc t.msg ~src ~label:"migrate" ~req_bytes:256 ~resp_bytes:64 ~handler:(fun () ->

@@ -46,9 +46,11 @@ let with_lock t ~actor f =
   let traced = Trace.enabled () in
   let meter = Env.meter t.env actor in
   let acq =
-    if traced then Trace.span ~at:(Meter.get meter) ~node:actor ~subsys:"ptl" ~op:"acquire" ()
+    if traced then
+      Trace.span ~at:(Meter.get meter) ~flow_root:true ~node:actor ~subsys:"ptl" ~op:"acquire" ()
     else Trace.null
   in
+  let acq_start = Meter.get meter in
   Env.charge_atomic t.env actor ~paddr:t.lock_addr;
   t.held_by <- Some (mint t ~actor);
   t.acquisitions <- t.acquisitions + 1;
@@ -59,8 +61,13 @@ let with_lock t ~actor f =
         true
     | Layout.Local -> false
   in
-  if traced then
-    Trace.close ~at:(Meter.get meter) ~tags:[ ("remote", string_of_bool remote) ] acq;
+  if traced then begin
+    let acq_end = Meter.get meter in
+    (* A remote acquisition is one coherent atomic serialized behind the
+       other node's cache line — the whole CAS is blocked-on-remote. *)
+    if remote then Trace.add_blocked ~node:actor ~subsys:"ptl" (acq_end - acq_start);
+    Trace.close ~at:acq_end ~tags:[ ("remote", string_of_bool remote) ] acq
+  end;
   let crit =
     if traced then Trace.span ~at:(Meter.get meter) ~node:actor ~subsys:"ptl" ~op:"critical" ()
     else Trace.null
@@ -89,7 +96,8 @@ let try_with_lock t ~actor ?inject f =
       let meter = Env.meter t.env actor in
       let sp =
         if Trace.enabled () then
-          Trace.span ~at:(Meter.get meter) ~node:actor ~subsys:"ptl" ~op:"contend" ()
+          Trace.span ~at:(Meter.get meter) ~flow_root:true ~node:actor ~subsys:"ptl"
+            ~op:"contend" ()
         else Trace.null
       in
       let cfg = Plan.config plan in

@@ -1,4 +1,5 @@
 module Trace = Stramash_obs.Trace
+module Causal = Stramash_obs.Causal
 module Node_id = Stramash_sim.Node_id
 
 let attribution_report tracer =
@@ -23,6 +24,43 @@ let attribution_report tracer =
     (Trace.attribution tracer);
   report
 
+let blame_report ?(top = 0) rows =
+  let rows = if top > 0 then List.filteri (fun i _ -> i < top) rows else rows in
+  let report =
+    Report.create ~title:"Critical-path blame (subsystem x operation)"
+      ~note:"cycles each hop contributes to the end-to-end latency of its causal flow"
+      ~columns:[ "subsys"; "op"; "hops"; "cycles"; "x86"; "arm" ]
+  in
+  List.iter
+    (fun (r : Causal.blame_row) ->
+      Report.add_row report
+        [
+          r.Causal.b_subsys;
+          r.Causal.b_op;
+          string_of_int r.Causal.b_hops;
+          string_of_int r.Causal.b_cycles;
+          string_of_int r.Causal.b_node.(0);
+          string_of_int r.Causal.b_node.(1);
+        ])
+    rows;
+  report
+
+let print_blocked_rows fmt rows =
+  if rows <> [] then begin
+    Format.fprintf fmt "blocked-on-remote cycles:";
+    List.iteri
+      (fun idx node ->
+        let total = List.fold_left (fun acc (_, row) -> acc + row.(idx)) 0 rows in
+        Format.fprintf fmt " %s=%d" (Node_id.to_string node) total)
+      Node_id.all;
+    Format.fprintf fmt " (%s)@."
+      (String.concat ", "
+         (List.map
+            (fun (subsys, row) ->
+              Printf.sprintf "%s %d" subsys (Array.fold_left ( + ) 0 row))
+            rows))
+  end
+
 let print ?(fastpath = []) fmt tracer =
   Report.print fmt (attribution_report tracer);
   Format.fprintf fmt "events: %d recorded, %d dropped; top-span cycles:%s@."
@@ -32,6 +70,12 @@ let print ?(fastpath = []) fmt tracer =
           (fun node ->
             Printf.sprintf " %s=%d" (Node_id.to_string node) (Trace.node_span_cycles tracer node))
           Node_id.all));
+  (match Trace.dropped_by_subsystem tracer with
+  | [] -> ()
+  | drops ->
+      Format.fprintf fmt "ring drops by subsystem:%s@."
+        (String.concat "" (List.map (fun (s, n) -> Printf.sprintf " %s=%d" s n) drops)));
+  print_blocked_rows fmt (Trace.blocked_rows tracer);
   if fastpath <> [] then begin
     let value name = try List.assoc name fastpath with Not_found -> 0 in
     let hits =

@@ -497,8 +497,8 @@ let run_scheduler ?on_recovery machine items ~fuel =
                   end;
                   let sp =
                     if traced then
-                      Trace.span ~at:(Meter.get (Env.meter env src_node)) ~node:src_node
-                        ~subsys:"runner" ~op:"migrate" ()
+                      Trace.span ~at:(Meter.get (Env.meter env src_node)) ~flow_root:true
+                        ~node:src_node ~subsys:"runner" ~op:"migrate" ()
                     else Trace.null
                   in
                   Os.migrate os ~proc:(proc_of th) ~thread:th ~dst ~point;

@@ -27,10 +27,16 @@ let rec render buf = function
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int n -> Buffer.add_string buf (string_of_int n)
   | Float f ->
-      if Float.is_finite f then
-        (* Round-trippable and always a valid JSON number (never "inf"). *)
-        Buffer.add_string buf (Printf.sprintf "%.12g" f)
-      else Buffer.add_string buf "0"
+      if Float.is_finite f then begin
+        (* Round-trippable and always a valid JSON number (never "inf").
+           Integral values get an explicit ".0" so they re-parse as Float,
+           not Int — [parse] distinguishes the constructors by lexeme. *)
+        let s = Printf.sprintf "%.12g" f in
+        Buffer.add_string buf s;
+        if not (String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s) then
+          Buffer.add_string buf ".0"
+      end
+      else Buffer.add_string buf "0.0"
   | String s ->
       Buffer.add_char buf '"';
       escape buf s;
@@ -157,7 +163,14 @@ let parse_number c =
   | None -> (
       match float_of_string_opt s with Some f -> Float f | None -> fail c "bad number")
 
-let rec parse_value c =
+(* Containers deeper than this are rejected rather than risking a stack
+   overflow in the recursive descent — no artifact we emit nests anywhere
+   near it, so hitting the limit means hostile or corrupt input. *)
+let max_depth = 512
+
+let rec parse_value ?(depth = 0) c =
+  if depth > max_depth then fail c "nesting too deep";
+  let parse_value c = parse_value ~depth:(depth + 1) c in
   skip_ws c;
   match peek c with
   | None -> fail c "unexpected end of input"

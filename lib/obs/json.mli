@@ -1,6 +1,9 @@
 (** Minimal dependency-free JSON: enough to emit Chrome trace-event files
     and metrics snapshots, and to parse them back for round-trip tests.
-    Renders compactly (no whitespace); numbers are [Int] when integral. *)
+    Renders compactly (no whitespace). [Int] and [Float] round-trip
+    distinguishably: floats always carry a decimal point or exponent
+    (integral floats render as e.g. ["2.0"]), so [parse (to_string v)]
+    reconstructs the same constructors. *)
 
 type t =
   | Null
@@ -15,7 +18,8 @@ val to_string : t -> string
 (** Compact, deterministic rendering (object fields keep their order). *)
 
 val parse : string -> (t, string) result
-(** Strict parse of one JSON value; rejects trailing garbage. *)
+(** Strict parse of one JSON value; rejects trailing garbage and
+    containers nested deeper than 512 levels. *)
 
 val member : string -> t -> t option
 (** Field lookup on an [Obj]; [None] on any other constructor. *)

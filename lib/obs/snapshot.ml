@@ -32,6 +32,18 @@ let add_histogram t name h =
 
 let add_trace t tracer = add_json t "trace" (Trace.attribution_json tracer)
 
+let add_causal t tracer =
+  add_json t "blocked_on_remote" (Trace.blocked_json tracer);
+  let flows = Causal.flows_of_events (Trace.events tracer) in
+  let cross = Causal.cross_node_flows flows in
+  add_json t "critical_path"
+    (Json.Obj
+       [
+         ("flows", Json.Int (List.length flows));
+         ("cross_node_flows", Json.Int (List.length cross));
+         ("blame", Causal.blame_json (Causal.blame flows));
+       ])
+
 let sections t = List.rev t.sections
 
 let to_json t = Json.Obj (sections t)

@@ -19,6 +19,12 @@ val add_histogram : t -> string -> Metrics.Histogram.t -> unit
 val add_trace : t -> Trace.t -> unit
 (** Adds the tracer's attribution table as a ["trace"] section. *)
 
+val add_causal : t -> Trace.t -> unit
+(** Adds the causal sections: ["blocked_on_remote"] (per-node cycles
+    serialized behind remote replies, by subsystem) and ["critical_path"]
+    (flow counts plus the per-(subsystem, op) critical-path blame table
+    assembled from the tracer's surviving events). *)
+
 val sections : t -> (string * Json.t) list
 (** In insertion order. *)
 

@@ -9,8 +9,22 @@
     [close] pops it, attributing the duration to the parent's child-time so
     the aggregator can report both inclusive and self cycles. Closed spans
     and point events land in a bounded ring buffer (oldest overwritten,
-    drops counted); attribution is folded incrementally at close time, so a
-    ring overflow never corrupts the cycle-attribution table. *)
+    drops counted per subsystem); attribution is folded incrementally at
+    close time, so a ring overflow never corrupts the cycle-attribution
+    table.
+
+    {2 Causal flows}
+
+    Every span and event carries a {e flow id} (0 = none) tying together
+    the cross-node causal chain of one top-level kernel operation. A span
+    opened with [~flow_root:true] mints a fresh id when no enclosing flow
+    exists, and nested spans inherit it. To stitch the responder side of a
+    cross-node operation into the requester's flow, the requester-side
+    layer wraps the responder-side recording in {!with_flow}; spans and
+    instants recorded inside then carry the requester's id even though
+    they sit on the other node's stack. Ids are minted deterministically
+    from (node, per-node sequence), so a fixed seed replays to identical
+    flow ids. *)
 
 module Node_id = Stramash_sim.Node_id
 
@@ -33,6 +47,7 @@ type event = {
   ev_subsys : string;
   ev_op : string;
   ev_depth : int;  (** nesting depth at record time; 0 = top level *)
+  ev_flow : int;  (** causal flow id; 0 = not part of any flow *)
   ev_tags : (string * string) list;
 }
 
@@ -61,13 +76,16 @@ val set_clock : (Node_id.t -> int) -> unit
 val span :
   ?at:int ->
   ?tags:(string * string) list ->
+  ?flow_root:bool ->
   node:Node_id.t ->
   subsys:string ->
   op:string ->
   unit ->
   span
 (** Open a span at cycle [at] (default: the installed clock, else the
-    enclosing span's start). Returns an inert handle when disabled. *)
+    enclosing span's start). With [~flow_root:true] the span mints a fresh
+    flow id when neither a {!with_flow} override nor an enclosing flow is
+    active. Returns an inert handle when disabled. *)
 
 val close : ?at:int -> ?tags:(string * string) list -> span -> unit
 (** Close a span at cycle [at] (same default as {!span}); records the event
@@ -75,9 +93,14 @@ val close : ?at:int -> ?tags:(string * string) list -> span -> unit
 
 val add_tag : span -> string -> string -> unit
 
+val flow_of : span -> int
+(** The flow id carried by an open span (0 for the inert handle). Used by
+    cross-node layers to hand the requester's flow to {!with_flow}. *)
+
 val instant :
   ?at:int ->
   ?node:Node_id.t ->
+  ?flow:int ->
   ?tags:(string * string) list ->
   subsys:string ->
   op:string ->
@@ -86,11 +109,13 @@ val instant :
 (** Record a point event. When [node] is omitted it defaults to the node of
     the innermost open span (any node), letting layers with no node handle
     — fault injection, IPI backend, page-table IO — land their events
-    inside the span they perturbed. *)
+    inside the span they perturbed. When [flow] is omitted it inherits
+    from the node's {!with_flow} override or innermost open span. *)
 
 val with_span :
   ?at:int ->
   ?tags:(string * string) list ->
+  ?flow_root:bool ->
   node:Node_id.t ->
   subsys:string ->
   op:string ->
@@ -98,6 +123,27 @@ val with_span :
   'a
 (** [with_span ~node ~subsys ~op f] wraps [f] in a span, closing it on
     normal return and on exception. *)
+
+(** {1 Causal flows} *)
+
+val fresh_flow : node:Node_id.t -> int
+(** Mint a flow id on [node] without opening a span — for point events that
+    are flow roots of their own (heartbeats, placement actions). Returns 0
+    when no tracer is installed. *)
+
+val with_flow : node:Node_id.t -> flow:int -> (unit -> 'a) -> 'a
+(** [with_flow ~node ~flow f] runs [f] with [flow] pushed as the flow
+    override for [node]: spans and instants recorded on that node inside
+    [f] carry [flow] instead of minting or inheriting their own. A [flow]
+    of 0 (or no tracer) makes this a plain call. *)
+
+val current_flow : unit -> int
+(** Flow id of the innermost open span on any node, else 0. *)
+
+val add_blocked : node:Node_id.t -> subsys:string -> int -> unit
+(** Account [cycles] of [node] being serialized behind a remote reply, on
+    behalf of [subsys]. Non-positive amounts and uninstalled tracers are
+    no-ops; the subsystem filter applies. *)
 
 (** {1 Inspection} *)
 
@@ -107,12 +153,23 @@ val recorded : t -> int
 val dropped : t -> int
 (** Events lost to ring overflow: [max 0 (recorded - capacity)]. *)
 
+val dropped_by_subsystem : t -> (string * int) list
+(** Ring-overflow losses broken down by the overwritten event's subsystem,
+    sorted by name. Sums to {!dropped}. *)
+
 val capacity : t -> int
 val open_spans : t -> int
 
 val node_span_cycles : t -> Node_id.t -> int
 (** Cycles covered by depth-0 spans on the node — comparable to the node's
     final [Meter] reading when the runner wraps execution in a top span. *)
+
+val blocked_rows : t -> (string * int array) list
+(** Blocked-on-remote cycles per subsystem (per-node arrays), sorted by
+    subsystem name. *)
+
+val node_blocked_cycles : t -> Node_id.t -> int
+(** Total cycles [node] spent blocked on remote replies, all subsystems. *)
 
 val events : t -> event list
 (** Surviving ring contents, oldest first. *)
@@ -143,13 +200,18 @@ val op_counts : t -> subsys:string -> (string * int) list
 val chrome_json : t -> Json.t
 (** Chrome trace-event format (load in Perfetto or chrome://tracing):
     spans as "X" complete events, point events as "i" instants, one thread
-    per node, [ts]/[dur] in simulated cycles. *)
+    per node, [ts]/[dur] in simulated cycles. Nonzero flow ids ride in
+    [args.flow]. *)
 
 val chrome_string : t -> string
 
 val jsonl_string : t -> string
 (** One JSON object per line per surviving event, oldest first. *)
 
+val blocked_json : t -> Json.t
+(** Per-node blocked-on-remote cycles with per-subsystem breakdown. *)
+
 val attribution_json : t -> Json.t
-(** The attribution table plus recorded/dropped counters and per-node
-    top-span cycles, as JSON. *)
+(** The attribution table plus recorded/dropped counters (aggregate and
+    per-subsystem), per-node top-span cycles, and the blocked-on-remote
+    account, as JSON. *)

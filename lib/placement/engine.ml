@@ -199,7 +199,9 @@ let free_frame t paddr =
 
 let note op ~node ~vaddr =
   if Trace.enabled () then
-    Trace.instant ~node ~subsys:"placement" ~op
+    Trace.instant ~node
+      ~flow:(Trace.fresh_flow ~node)
+      ~subsys:"placement" ~op
       ~tags:[ ("vaddr", Printf.sprintf "0x%x" vaddr) ]
       ()
 

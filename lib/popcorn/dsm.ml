@@ -297,7 +297,7 @@ let handle_fault t ~proc ~node ~vaddr ~write =
     let sp =
       Trace.span ~at:(Meter.get meter)
         ~tags:[ ("write", string_of_bool write) ]
-        ~node ~subsys:"dsm" ~op:"fault" ()
+        ~flow_root:true ~node ~subsys:"dsm" ~op:"fault" ()
     in
     let result = handle_fault_untraced t ~proc ~node ~vaddr ~write in
     Trace.close ~at:(Meter.get meter)

@@ -73,6 +73,10 @@ let heartbeat_tick t ~src ~now =
   match t.heartbeat with
   | None -> ()
   | Some hb ->
+      if Trace.enabled () then
+        Trace.instant ~at:now ~node:src
+          ~flow:(Trace.fresh_flow ~node:src)
+          ~subsys:"heartbeat" ~op:"beat" ();
       Heartbeat.beat hb ~node:src ~now;
       Metrics.incr t.counts "heartbeat"
 
@@ -206,6 +210,15 @@ let dead_letter t ~dst ~label ~op =
       ();
   Error (Fault.Node_dead { node = Node_id.to_string dst; op })
 
+(* Record a span with explicit endpoints on [node] carrying [flow]: the
+   responder-side hops of an RPC, synthesized in the *requester's* clock
+   so the flow's critical path lives in one clock domain and its hops
+   tile the end-to-end interval exactly. *)
+let synth_hop ~node ~flow ~subsys ~op ts te =
+  if te > ts then
+    Trace.with_flow ~node ~flow (fun () ->
+        Trace.close ~at:te (Trace.span ~at:ts ~node ~subsys ~op ()))
+
 let do_rpc t ~src ~label ~req_bytes ~resp_bytes ~handler =
   let dst = Node_id.other src in
   let src_meter = Env.meter t.env src in
@@ -214,29 +227,46 @@ let do_rpc t ~src ~label ~req_bytes ~resp_bytes ~handler =
     if Trace.enabled () then
       Trace.span ~at:(Meter.get src_meter)
         ~tags:[ ("label", label) ]
-        ~node:src ~subsys:"msg" ~op:"rpc" ()
+        ~flow_root:true ~node:src ~subsys:"msg" ~op:"rpc" ()
     else Trace.null
   in
+  let flow = Trace.flow_of sp in
   count t label;
   let rpc_start = Meter.get src_meter in
   let notify_latency = deliver t ~src ~bytes:req_bytes in
+  let send_end = Meter.get src_meter in
   Meter.add src_meter notify_latency;
-  (* Peer handles the request; the requester blocks for that long. *)
-  let handler_cycles = Meter.delta dst_meter handler in
+  let t1 = Meter.get src_meter in
+  if sp != Trace.null then synth_hop ~node:dst ~flow ~subsys:"interconnect" ~op:"request" send_end t1;
+  (* Peer handles the request; the requester blocks for that long. The
+     responder's own spans record in its clock under the requester's flow. *)
+  let handler_cycles =
+    Meter.delta dst_meter (fun () -> Trace.with_flow ~node:dst ~flow handler)
+  in
   Meter.add src_meter handler_cycles;
+  let t2 = Meter.get src_meter in
+  if sp != Trace.null then synth_hop ~node:dst ~flow ~subsys:"msg" ~op:"serve" t1 t2;
   (* Response. *)
   count t (label ^ "_reply");
   let reply_notify = ref 0 in
   let reply_latency =
-    Meter.delta dst_meter (fun () -> reply_notify := deliver t ~src:dst ~bytes:resp_bytes)
+    Meter.delta dst_meter (fun () ->
+        Trace.with_flow ~node:dst ~flow (fun () ->
+            reply_notify := deliver t ~src:dst ~bytes:resp_bytes))
   in
   Meter.add src_meter reply_latency;
   Meter.add src_meter !reply_notify;
+  let t3 = Meter.get src_meter in
   (match t.inject with
-  | Some plan ->
-      Plan.record_op plan ~op:"msg_rpc" ~cycles:(Meter.get src_meter - rpc_start)
+  | Some plan -> Plan.record_op plan ~op:"msg_rpc" ~cycles:(t3 - rpc_start)
   | None -> ());
-  if sp != Trace.null then Trace.close ~at:(Meter.get src_meter) sp
+  if sp != Trace.null then begin
+    synth_hop ~node:src ~flow ~subsys:"interconnect" ~op:"reply" t2 t3;
+    (* Everything after the request left the sender is serialized behind
+       the remote side: notification, remote handling, and the reply. *)
+    Trace.add_blocked ~node:src ~subsys:"msg" (t3 - send_end);
+    Trace.close ~at:t3 sp
+  end
 
 let rpc_checked t ~src ~label ~req_bytes ~resp_bytes ~handler =
   let dst = Node_id.other src in
@@ -253,14 +283,17 @@ let do_notify t ~src ~label ~bytes ~handler =
     if Trace.enabled () then
       Trace.span ~at:(Meter.get src_meter)
         ~tags:[ ("label", label) ]
-        ~node:src ~subsys:"msg" ~op:"notify" ()
+        ~flow_root:true ~node:src ~subsys:"msg" ~op:"notify" ()
     else Trace.null
   in
+  let flow = Trace.flow_of sp in
   count t label;
   let lat = deliver t ~src ~bytes in
   ignore lat;
-  (* The peer processes the message on its own time. *)
-  ignore (Meter.delta (Env.meter t.env dst) handler);
+  (* The peer processes the message on its own time, under the sender's
+     flow so its spans still stitch to the notification. *)
+  ignore
+    (Meter.delta (Env.meter t.env dst) (fun () -> Trace.with_flow ~node:dst ~flow handler));
   if sp != Trace.null then Trace.close ~at:(Meter.get src_meter) sp
 
 let notify_checked t ~src ~label ~bytes ~handler =

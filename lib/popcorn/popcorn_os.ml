@@ -34,7 +34,7 @@ let migrate t ~proc ~thread ~dst ~point =
     if Trace.enabled () then
       Trace.span ~at:(Meter.get src_meter)
         ~tags:[ ("dst", Node_id.to_string dst) ]
-        ~node:src ~subsys:"migrate" ~op:"transfer" ()
+        ~flow_root:true ~node:src ~subsys:"migrate" ~op:"transfer" ()
     else Trace.null
   in
   Msg_layer.rpc (msg t) ~src ~label:"migrate" ~req_bytes:2048 ~resp_bytes:128

@@ -3,12 +3,16 @@
    ids; `--list` shows them). `--bechamel` additionally runs wall-clock
    microbenchmarks of the simulator's core primitives. `--perf` measures
    host instructions/sec of the fast-path engine against the reference
-   engine on the NPB set and writes BENCH_3.json. *)
+   engine on the NPB set and writes BENCH_3.json; with `--domains[=1,2,4]`
+   it instead sweeps the host-scaling curve (D replica machines on D
+   domains, trace cache on/off) and writes BENCH_6.json. *)
 
 module H = Stramash_harness
 
 let usage () =
-  Format.printf "usage: main.exe [--list] [--bechamel] [--perf] [--placement] [EXPERIMENT-ID]...@.";
+  Format.printf
+    "usage: main.exe [--list] [--bechamel] [--perf] [--perf --domains[=1,2,4]] [--placement] \
+     [EXPERIMENT-ID]...@.";
   Format.printf "experiments:@.";
   List.iter
     (fun e -> Format.printf "  %-10s %s@." e.H.Experiments.id e.H.Experiments.title)
@@ -109,8 +113,8 @@ module Cache_sim = Stramash_cache.Cache_sim
 module Json = Stramash_obs.Json
 module W = Stramash_workloads
 
-let perf_benches () =
-  H.Npb_experiments.benchmarks ~small:false @ [ ("ep", W.Npb_ep.spec ()) ]
+(* One shared workload table (bench, harness, CLI, CI all key on it). *)
+let perf_benches () = W.Npb_suite.perf_set ()
 
 (* Pre-fast-path baseline: simulated instructions per host CPU second of
    the tree as of commit cdf6cbd (before the fast-path engine existed),
@@ -214,6 +218,150 @@ let run_perf () =
   output_char oc '\n';
   close_out oc;
   Format.printf "  wrote BENCH_3.json@."
+
+(* ---------- `--domains`: host-scaling curve, BENCH_6.json ---------- *)
+
+module Domain_pool = Stramash_sim.Domain_pool
+
+(* Committed BENCH_3.json fast_ips: the fixed yardstick the scaling curve
+   is normalised against, copied from the checked-in file so a BENCH_6
+   run never needs (or clobbers) BENCH_3. *)
+let bench3_fast_ips =
+  [
+    ("is", 12_061_166.2673); ("cg", 13_362_351.7243); ("mg", 22_995_571.454);
+    ("ft", 21_276_597.3259); ("ep", 7_680_710.53482);
+  ]
+
+(* Aggregate throughput of D fingerprint-identical replica machines, one
+   per domain slot: wall-clock is the right denominator here (the whole
+   point is host parallelism), instructions the numerator is D times one
+   replica's count. Every replica must simulate the identical run — the
+   determinism half of the scaling claim — so divergence is fatal, not a
+   warning. *)
+let time_domains ~domains ~trace_cache spec =
+  let replica () =
+    let machine =
+      Machine.create
+        { Machine.default_config with cache_mode = Cache_sim.Fast; trace_cache }
+    in
+    let proc, thread = Machine.load machine spec in
+    let r = Runner.run machine proc thread spec in
+    (r.Runner.wall_cycles, r.Runner.instructions)
+  in
+  let instr = ref 0 in
+  let best = ref infinity in
+  for _ = 1 to 2 do
+    let t0 = Unix.gettimeofday () in
+    let results = Domain_pool.map ~domains (Array.init domains (fun _ -> replica)) in
+    let dt = Unix.gettimeofday () -. t0 in
+    let w0, i0 = results.(0) in
+    Array.iteri
+      (fun i (w, ic) ->
+        if w <> w0 || ic <> i0 then
+          failwith
+            (Printf.sprintf "replica %d diverged from replica 0 (wall %d vs %d, instr %d vs %d)"
+               i w w0 ic i0))
+      results;
+    instr := i0;
+    if dt < !best then best := dt
+  done;
+  (!instr, !best)
+
+let run_perf6 domains_list =
+  Format.printf
+    "@.=== Host scaling: aggregate simulated instructions per host wall second ===@.";
+  Format.printf "  (D replica machines via Domain_pool; host has %d cores)@."
+    (Domain.recommended_domain_count ());
+  Format.printf "  %-6s %4s %12s %14s %14s %8s %12s@." "bench" "D" "instructions" "tc-on ips"
+    "tc-off ips" "tc gain" "vs BENCH_3";
+  let rows =
+    List.map
+      (fun (name, spec) ->
+        let cells =
+          List.map
+            (fun domains ->
+              let instr, t_on = time_domains ~domains ~trace_cache:true spec in
+              let _, t_off = time_domains ~domains ~trace_cache:false spec in
+              let agg t = float_of_int (domains * instr) /. t in
+              let vs_b3 =
+                match List.assoc_opt name bench3_fast_ips with
+                | Some b -> agg t_on /. b
+                | None -> nan
+              in
+              Format.printf "  %-6s %4d %12d %14.0f %14.0f %7.2fx %11.2fx@." name domains instr
+                (agg t_on) (agg t_off) (t_off /. t_on) vs_b3;
+              (domains, instr, t_on, t_off, vs_b3))
+            domains_list
+        in
+        (name, cells))
+      (perf_benches ())
+  in
+  let max_d = List.fold_left max 1 domains_list in
+  (* The headline number (and CI's regression signal): geomean over the
+     suite of tc-on aggregate ips at the widest D, against the committed
+     BENCH_3 fast_ips. *)
+  let geomean =
+    let logs =
+      List.filter_map
+        (fun (_, cells) ->
+          List.find_map
+            (fun (d, _, _, _, vs) -> if d = max_d then Some (log vs) else None)
+            cells)
+        rows
+    in
+    exp (List.fold_left ( +. ) 0.0 logs /. float_of_int (List.length logs))
+  in
+  Format.printf "  geomean vs committed BENCH_3 fast_ips at %d domains, trace cache on: %.2fx@."
+    max_d geomean;
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "stramash-bench/6");
+        ( "metric",
+          Json.String
+            "aggregate simulated instructions per host wall second across D replica machines" );
+        ( "baseline",
+          Json.String "committed BENCH_3.json fast_ips (fixed copy; see bench3_fast_ips)" );
+        ("host_cores", Json.Int (Domain.recommended_domain_count ()));
+        ("domains", Json.List (List.map (fun d -> Json.Int d) domains_list));
+        ( "benchmarks",
+          Json.List
+            (List.map
+               (fun (name, cells) ->
+                 Json.Obj
+                   [
+                     ("bench", Json.String name);
+                     ( "baseline_fast_ips",
+                       match List.assoc_opt name bench3_fast_ips with
+                       | Some b -> Json.Float b
+                       | None -> Json.Null );
+                     ( "curve",
+                       Json.List
+                         (List.map
+                            (fun (domains, instr, t_on, t_off, vs) ->
+                              let agg t = float_of_int (domains * instr) /. t in
+                              Json.Obj
+                                [
+                                  ("domains", Json.Int domains);
+                                  ("instructions_per_replica", Json.Int instr);
+                                  ("tc_on_wall_seconds", Json.Float t_on);
+                                  ("tc_off_wall_seconds", Json.Float t_off);
+                                  ("tc_on_ips", Json.Float (agg t_on));
+                                  ("tc_off_ips", Json.Float (agg t_off));
+                                  ("trace_cache_gain", Json.Float (t_off /. t_on));
+                                  ("vs_bench3_fast_ips", Json.Float vs);
+                                ])
+                            cells) );
+                   ])
+               rows) );
+        ("geomean_vs_bench3", Json.Float geomean);
+      ]
+  in
+  let oc = open_out "BENCH_6.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "  wrote BENCH_6.json@."
 
 (* ---------- `--placement`: adaptive vs static placement, BENCH_5.json ---------- *)
 
@@ -331,10 +479,29 @@ let () =
   if List.mem "--help" flags || List.mem "--list" flags then usage ()
   else begin
     let fmt = Format.std_formatter in
+    (* --domains[=1,2,4] switches --perf from the single-host BENCH_3
+       measurement to the BENCH_6 host-scaling sweep. *)
+    let domains_list =
+      List.find_map
+        (fun flag ->
+          if flag = "--domains" then Some [ 1; 2; 4 ]
+          else
+            match String.length flag > 10 && String.sub flag 0 10 = "--domains=" with
+            | true ->
+                Some
+                  (String.sub flag 10 (String.length flag - 10)
+                  |> String.split_on_char ','
+                  |> List.map (fun s ->
+                         match int_of_string_opt (String.trim s) with
+                         | Some d when d >= 1 -> d
+                         | _ -> failwith (Printf.sprintf "bad --domains value %S" s)))
+            | false -> None)
+        flags
+    in
     (match ids with
     | []
       when List.mem "--perf" flags || List.mem "--bechamel" flags
-           || List.mem "--placement" flags ->
+           || List.mem "--placement" flags || domains_list <> None ->
         ()
     | [] -> H.Experiments.run_all fmt
     | ids ->
@@ -349,7 +516,9 @@ let () =
                 Format.fprintf fmt "unknown experiment %s@." id;
                 usage ())
           ids);
-    if List.mem "--perf" flags then run_perf ();
+    (match domains_list with
+    | Some domains -> run_perf6 domains
+    | None -> if List.mem "--perf" flags then run_perf ());
     if List.mem "--placement" flags then run_placement ();
     if List.mem "--bechamel" flags then run_bechamel ()
   end

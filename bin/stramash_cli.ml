@@ -90,15 +90,9 @@ let cache_mode_term =
         else Cache_sim.Fast)
     $ paranoid_arg $ reference_arg)
 
-let spec_of_bench = function
-  | "is" -> Some (W.Npb_is.spec ())
-  | "cg" -> Some (W.Npb_cg.spec ())
-  | "mg" -> Some (W.Npb_mg.spec ())
-  | "ft" -> Some (W.Npb_ft.spec ())
-  | "ep" -> Some (W.Npb_ep.spec ())
-  | "lu" -> Some (W.Npb_lu.spec ())
-  | "sp" -> Some (W.Npb_sp.spec ())
-  | _ -> None
+(* Bench names resolve through the shared NPB table, the same one the
+   bench harness's --perf/--domains sweeps and CI run. *)
+let spec_of_bench = W.Npb_suite.spec_of_name
 
 (* ---------- observability (--trace / --metrics-json / --trace-filter) ---------- *)
 
@@ -207,7 +201,7 @@ let list_cmd =
       (fun e -> Format.fprintf fmt "  %-10s %s@." e.H.Experiments.id e.H.Experiments.title)
       H.Experiments.all;
     Format.fprintf fmt "@.NPB-like workloads (run with `stramash_cli npb <name>`):@.";
-    Format.fprintf fmt "  is cg mg ft ep lu sp@.";
+    Format.fprintf fmt "  %s@." (String.concat " " W.Npb_suite.all_names);
     0
   in
   Cmd.v (Cmd.info "list" ~doc:"List experiments and workloads") Term.(const run $ const ())
@@ -449,7 +443,22 @@ let chaos_cmd =
              adaptive) to both the baseline and the chaos run, so degraded replica collapses \
              and restart reconciles happen under the campaign's audits")
   in
-  let run seed bench kills downtime cache_mode placement obs =
+  let soak_arg =
+    Arg.(value & opt int 1 & info [ "soak" ] ~docv:"CELLS"
+         ~doc:"Run $(docv) independent campaign cells at derived seeds (seed, seed+1, ...); \
+               the soak verdict is the worst across cells")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D"
+         ~doc:"Host domains to spread soak cells across. Cell outputs are buffered and emitted \
+               in cell order, so the soak's output and verdicts are byte-identical for any $(docv)")
+  in
+  let soak_json_arg =
+    Arg.(value & opt (some string) None & info [ "soak-json" ] ~docv:"FILE"
+         ~doc:"Write the per-cell soak verdicts as JSON to $(docv) (deterministic: contains no \
+               timings or host facts, so 1-domain and N-domain soaks write identical files)")
+  in
+  let run seed bench kills downtime cache_mode placement soak domains soak_json obs =
     guard_campaign_bench ~campaign:"chaos" bench (fun () ->
         match placement with
         | Some p when Stramash_placement.Policy.of_string p = None ->
@@ -460,20 +469,75 @@ let chaos_cmd =
             let placement = Option.map (fun p ->
                 Option.get (Stramash_placement.Policy.of_string p)) placement in
             guard_plan_config Plan.default (fun () ->
-                let plan_metrics = ref None in
-                let extra snap =
-                  match !plan_metrics with
-                  | Some reg ->
-                      Obs.Snapshot.add_registry snap "fault_plan" reg;
-                      stamp_from_registry snap reg
-                  | None -> ()
-                in
-                run_with_obs obs ~extra (fun () ->
-                    verdict_exit
-                      (H.Chaos_experiments.campaign fmt ~seed ~bench ~kills ~downtime
-                         ~cache_mode ?placement
-                         ~on_metrics:(fun reg -> plan_metrics := Some reg)
-                         ()))))
+                if soak < 1 || domains < 1 then begin
+                  Format.eprintf "chaos: --soak and --domains must be >= 1@.";
+                  verdict_exit H.Chaos_experiments.Unknown_bench
+                end
+                else if soak > 1 || domains > 1 || soak_json <> None then begin
+                  (* Soak mode: cells render into private buffers; the
+                     process-global tracer cannot be shared across them. *)
+                  let trace_file, metrics_file, _ = obs in
+                  if trace_file <> None || metrics_file <> None then begin
+                    Format.eprintf
+                      "chaos: --trace/--metrics-json capture one campaign through the \
+                       process-global tracer and cannot be combined with a soak (--soak/--domains)@.";
+                    verdict_exit H.Chaos_experiments.Unknown_bench
+                  end
+                  else if not (check_writable soak_json) then
+                    verdict_exit H.Chaos_experiments.Unknown_bench
+                  else begin
+                    let verdict, cells =
+                      H.Chaos_experiments.soak fmt ~seed ~bench ~kills ~downtime ~cache_mode
+                        ?placement ~cells:soak ~domains ()
+                    in
+                    (match soak_json with
+                    | Some path ->
+                        let module Json = Obs.Json in
+                        let json =
+                          Json.Obj
+                            [
+                              ("schema", Json.String "stramash-chaos-soak/1");
+                              ("bench", Json.String bench);
+                              ("kills", Json.Int kills);
+                              ( "cells",
+                                Json.List
+                                  (List.map
+                                     (fun (cell, seed, v) ->
+                                       Json.Obj
+                                         [
+                                           ("cell", Json.Int cell);
+                                           ("seed", Json.Int (Int64.to_int seed));
+                                           ( "verdict",
+                                             Json.String
+                                               (H.Chaos_experiments.verdict_to_string v) );
+                                         ])
+                                     cells) );
+                              ( "verdict",
+                                Json.String (H.Chaos_experiments.verdict_to_string verdict) );
+                            ]
+                        in
+                        write_file path (Obs.Json.to_string json ^ "\n");
+                        Format.fprintf fmt "soak json: %s@." path
+                    | None -> ());
+                    verdict_exit verdict
+                  end
+                end
+                else begin
+                  let plan_metrics = ref None in
+                  let extra snap =
+                    match !plan_metrics with
+                    | Some reg ->
+                        Obs.Snapshot.add_registry snap "fault_plan" reg;
+                        stamp_from_registry snap reg
+                    | None -> ()
+                  in
+                  run_with_obs obs ~extra (fun () ->
+                      verdict_exit
+                        (H.Chaos_experiments.campaign fmt ~seed ~bench ~kills ~downtime
+                           ~cache_mode ?placement
+                           ~on_metrics:(fun reg -> plan_metrics := Some reg)
+                           ()))
+                end))
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -482,7 +546,7 @@ let chaos_cmd =
           degraded-mode fallback, checkpoint/restore recovery, and invariant audits")
     Term.(
       const run $ seed_arg $ campaign_bench_arg $ kills_arg $ downtime_arg $ cache_mode_term
-      $ placement_arg $ obs_term)
+      $ placement_arg $ soak_arg $ domains_arg $ soak_json_arg $ obs_term)
 
 (* ---------- place ---------- *)
 

@@ -135,8 +135,15 @@ type node_caches = {
 
    An L0 hit replicates the reference path's observable effects exactly:
    the same stat increments and the same LRU touch (same way, same tick
-   advance), and returns the same L1 latency. *)
-let l0_slots = 1024
+   advance), and returns the same L1 latency.
+
+   Sizing: the filter is purely host-side (slot count changes only which
+   accesses take the fast path, never any simulated state), so it is
+   sized to make conflict misses negligible — the backing L1s hold at
+   most a few hundred lines, and 8192 direct-mapped slots leave the
+   collision probability between live lines in the noise while the
+   arrays still fit comfortably in the host's caches. *)
+let l0_slots = 8192
 
 type l0_filter = {
   l0_lines : int array; (* -1 empty *)
@@ -308,9 +315,9 @@ let evict_from_shared_l3 t ~line =
     Node_id.all
 
 let insert_with_eviction t node level ~line ~coherence_point =
-  match Level.insert level ~line with
-  | None -> ()
-  | Some evicted ->
+  match Level.insert_evict level ~line with
+  | -1 -> ()
+  | evicted ->
       if coherence_point then evict_from_coherence_point t node ~line:evicted
       else begin
         (* Inclusive hierarchy: dropping from L2 drops from the L1s too. *)
@@ -320,9 +327,9 @@ let insert_with_eviction t node level ~line ~coherence_point =
       end
 
 let insert_shared_l3 t level ~line =
-  match Level.insert level ~line with
-  | None -> ()
-  | Some evicted -> evict_from_shared_l3 t ~line:evicted
+  match Level.insert_evict level ~line with
+  | -1 -> ()
+  | evicted -> evict_from_shared_l3 t ~line:evicted
 
 (* Classify the memory behind [paddr] for [node] and count the fill. *)
 let memory_fill_latency t node paddr =
@@ -612,6 +619,48 @@ let access t ~node kind ~paddr =
                 "L0 fast path diverges at paddr 0x%x (%s %s): predicted %d cycles, reference %d"
                 paddr (Node_id.to_string node) (kind_name kind) predicted actual));
       actual
+
+(* Raw window for the runner's fused memio fast path: the L0 filters, the
+   L1 tag/LRU views and the per-node counter record, bundled per node.
+   Only available when the fast engine is authoritative (mode = Fast) and
+   no probes are registered — a probe must observe every access, which
+   only [access] guarantees. Re-requested at every scheduling quantum (the
+   runner rebuilds its memio then), so a mid-run [set_mode] or [add_probe]
+   takes effect at the next quantum boundary at the latest; within a
+   quantum the interpreter runs uninterrupted, so no observer can tell. *)
+type fast_path = {
+  fp_stats : node_stats;
+  fp_lat_l1 : int;
+  fp_slot_mask : int;
+  fp_i_lines : int array;
+  fp_i_ways : int array;
+  fp_i_v : Level.view;
+  fp_d_lines : int array;
+  fp_d_ways : int array;
+  fp_d_store_m : bool array;
+  fp_d_v : Level.view;
+}
+
+let fast_path t ~node =
+  match t.mode with
+  | Fast when t.probes = [] ->
+      let idx = Node_id.index node in
+      let n = t.l0s.(idx) in
+      let c = t.nodes.(idx) in
+      Some
+        {
+          fp_stats = t.nstats.(idx);
+          fp_lat_l1 = t.lat_l1.(idx);
+          fp_slot_mask = l0_slots - 1;
+          fp_i_lines = n.l0i.l0_lines;
+          fp_i_ways = n.l0i.l0_ways;
+          fp_i_v = c.l1i_v;
+          fp_d_lines = n.l0d.l0_lines;
+          fp_d_ways = n.l0d.l0_ways;
+          fp_d_store_m = n.l0d.l0_store_m;
+          fp_d_v = c.l1d_v;
+        }
+  | _ -> None
 
 let fastpath_stats t =
   List.concat_map

@@ -60,6 +60,64 @@ val stat : t -> Stramash_sim.Node_id.t -> string -> int
 val hit_rate : t -> Stramash_sim.Node_id.t -> string -> float
 (** [hit_rate t node "l1d"] from the hit/access counters; 0 if unused. *)
 
+(** {2 Fused-path raw window}
+
+    [fast_path] hands the runner the exact arrays the Fast engine's own
+    L0 hit path reads, so the whole per-instruction chain (TLB probe,
+    L0/L1 replay, meter charge, physical access) can be fused into one
+    closure with no cross-module calls. The contract mirrors
+    {!Level.view}: all fields alias live storage; the only permitted
+    mutations are the ones {!access} itself would have performed for the
+    same L0 hit — the counter increments on [fp_stats] and the LRU touch
+    on the matching {!Level.view} — and only after {e every} hit
+    condition has been re-proved against the live arrays. Any condition
+    failing means no mutation at all and a fall back to {!access}. *)
+
+type node_stats = {
+  mutable l1i_hits : int;
+  mutable l1i_accesses : int;
+  mutable l1d_hits : int;
+  mutable l1d_accesses : int;
+  mutable l2_hits : int;
+  mutable l2_accesses : int;
+  mutable l3_hits : int;
+  mutable l3_accesses : int;
+  mutable local_mem_hits : int;
+  mutable remote_mem_hits : int;
+  mutable remote_shared_mem_hits : int;
+  mutable writebacks : int;
+  mutable back_invalidations : int;
+  mutable snoop_data : int;
+  mutable snoop_invalidates : int;
+  mutable mem_accesses : int;
+  mutable l0_hits : int;
+  mutable l0_misses : int;
+}
+(** One node's counters (the record behind {!stat}). Exposed concretely
+    only for the fused path; an L0 ifetch hit bumps [l0_hits],
+    [l1i_accesses], [mem_accesses], [l1i_hits]; a data hit bumps
+    [l0_hits], [l1d_accesses], [mem_accesses], [l1d_hits]. Nothing else
+    may be touched from outside this module. *)
+
+type fast_path = {
+  fp_stats : node_stats;
+  fp_lat_l1 : int;  (** the latency an L0 hit returns *)
+  fp_slot_mask : int;  (** L0 slot = line land [fp_slot_mask] *)
+  fp_i_lines : int array;  (** ifetch-port L0: cached lines, -1 empty *)
+  fp_i_ways : int array;  (** ifetch-port L0: way into the L1I tag store *)
+  fp_i_v : Level.view;  (** L1I tag/LRU window (hit proof + LRU touch) *)
+  fp_d_lines : int array;
+  fp_d_ways : int array;
+  fp_d_store_m : bool array;  (** data-port L0: directory state known M *)
+  fp_d_v : Level.view;
+}
+
+val fast_path : t -> node:Stramash_sim.Node_id.t -> fast_path option
+(** [Some] only while the fast engine is authoritative for every access:
+    mode is [Fast] and no probes are registered. Callers must re-request
+    it at least every scheduling quantum so mode flips and probe
+    registrations take effect. *)
+
 val fastpath_stats : t -> (string * int) list
 (** Per-node L0 fast-path hit/miss counters (["x86.l0_hits"], ...). Kept
     out of {!stats} so model-metric registries stay bit-identical between

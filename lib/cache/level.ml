@@ -41,9 +41,12 @@ let find t line =
   in
   scan 0
 
+(* [idx] always comes from [find]/[insert], which stay within
+   [sets * ways], so the unsafe write is in bounds by construction. *)
 let touch t idx =
-  t.tick := !(t.tick) + 1;
-  t.stamp.(idx) <- !(t.tick)
+  let tk = !(t.tick) + 1 in
+  t.tick := tk;
+  Array.unsafe_set t.stamp idx tk
 
 let probe t ~line =
   let idx = find t line in
@@ -68,25 +71,38 @@ let touch_way t idx = touch t idx
 
 let contains t ~line = find t line >= 0
 
-let insert t ~line =
-  assert (find t line < 0);
+(* Allocation-free insert on the miss-fill hot path: returns the evicted
+   line, or -1 when an invalid way absorbed the fill. The line must be
+   absent (callers insert only after a failed probe); [insert] asserts
+   that, [insert_evict] is the no-assert form the cache simulator's
+   per-access path uses. Victim choice is identical to the historical
+   loop: the first invalid way if any, else the least-recently-used way
+   with the lowest index winning ties ([<] keeps the earlier victim). *)
+let insert_evict t ~line =
   let base = set_of t line * t.ways in
+  let tags = t.tags and stamp = t.stamp and ways = t.ways in
   (* Prefer an invalid way; otherwise evict the least recently used. *)
   let victim = ref base in
-  let found_invalid = ref false in
-  for w = 0 to t.ways - 1 do
-    let idx = base + w in
-    if (not !found_invalid) && t.tags.(idx) = -1 then begin
+  let found_invalid = ref (Array.unsafe_get tags base = -1) in
+  let w = ref 1 in
+  while (not !found_invalid) && !w < ways do
+    let idx = base + !w in
+    if Array.unsafe_get tags idx = -1 then begin
       victim := idx;
       found_invalid := true
     end
-    else if (not !found_invalid) && t.stamp.(idx) < t.stamp.(!victim) then victim := idx
+    else if Array.unsafe_get stamp idx < Array.unsafe_get stamp !victim then victim := idx;
+    incr w
   done;
-  let evicted = if !found_invalid then None else Some t.tags.(!victim) in
+  let evicted = if !found_invalid then -1 else Array.unsafe_get tags !victim in
   if !found_invalid then t.occupied <- t.occupied + 1;
-  t.tags.(!victim) <- line;
+  Array.unsafe_set tags !victim line;
   touch t !victim;
   evicted
+
+let insert t ~line =
+  assert (find t line < 0);
+  match insert_evict t ~line with -1 -> None | evicted -> Some evicted
 
 let invalidate t ~line =
   let idx = find t line in

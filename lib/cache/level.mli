@@ -43,6 +43,12 @@ val insert : t -> line:int -> int option
 (** Insert a line (must not already be present); returns the evicted line,
     if the chosen way held one. *)
 
+val insert_evict : t -> line:int -> int
+(** Allocation-free [insert] for the per-access fill path: returns the
+    evicted line, or -1 when an invalid way absorbed the fill. Identical
+    victim choice and LRU effects; skips [insert]'s absence assertion, so
+    callers must only fill after a failed probe. *)
+
 val invalidate : t -> line:int -> bool
 (** Drop a line; returns whether it was present. *)
 

@@ -55,5 +55,26 @@ val campaign :
     the chaos run's fault-plan registry once the run settles (the CLI
     folds it into [--metrics-json] snapshots). *)
 
+val soak :
+  Format.formatter ->
+  ?seed:int64 ->
+  ?bench:string ->
+  ?kills:int ->
+  ?downtime:int ->
+  ?cache_mode:Stramash_cache.Cache_sim.mode ->
+  ?placement:Stramash_placement.Policy.t ->
+  cells:int ->
+  domains:int ->
+  unit ->
+  verdict * (int * int64 * verdict) list
+(** Run [cells] independent campaigns at derived seeds
+    ([seed + cell index]) across [domains] host domains via
+    {!Stramash_sim.Domain_pool}. Each cell renders into a private buffer
+    emitted in cell order, so the printed output — and the returned
+    [(cell, seed, verdict)] list — is byte-identical whatever [domains]
+    is; the overall verdict is the worst across cells. The caller must
+    not have a tracer installed when [domains > 1] (the tracer is
+    process-global; the CLI rejects that combination). *)
+
 val chaos : Format.formatter -> unit
 (** The ["chaos"] experiment: one soak with the default schedule. *)

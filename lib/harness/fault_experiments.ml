@@ -29,16 +29,11 @@ let plan_config ?(drop_rate = 0.05) ?(ipi_loss = 0.02) ?(walk_fail = 0.02)
   }
 
 (* Small problem sizes: the campaign's point is fault-path coverage, not
-   steady-state performance, and the tests run it twice back to back. *)
-let benches = [ "is"; "cg"; "mg"; "ft" ]
+   steady-state performance, and the tests run it twice back to back.
+   The set itself comes from the shared NPB table. *)
+let benches = W.Npb_suite.fig9_names
 
-let spec_of_bench = function
-  | "is" ->
-      Some (W.Npb_is.spec ~params:{ W.Npb_is.nkeys = 16384; max_key = 1024; iterations = 2 } ())
-  | "cg" -> Some (W.Npb_cg.spec ~params:{ W.Npb_cg.n = 4096; row_nnz = 8; iterations = 3 } ())
-  | "mg" -> Some (W.Npb_mg.spec ~params:{ W.Npb_mg.n = 16; iterations = 2 } ())
-  | "ft" -> Some (W.Npb_ft.spec ~params:{ W.Npb_ft.n = 8; iterations = 2 } ())
-  | _ -> None
+let spec_of_bench bench = List.assoc_opt bench (W.Npb_suite.fig9_set ~small:true)
 
 let campaign fmt ?(seed = 0xC0FFEEL) ?(bench = "is") ?(config = plan_config ())
     ?(on_metrics = fun (_ : Stramash_sim.Metrics.registry) -> ()) () =

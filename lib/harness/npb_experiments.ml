@@ -12,21 +12,9 @@ type run_summary = {
   replicated : int;
 }
 
-let benchmarks ~small =
-  if small then
-    [
-      ("is", W.Npb_is.spec ~params:{ W.Npb_is.nkeys = 16384; max_key = 1024; iterations = 2 } ());
-      ("cg", W.Npb_cg.spec ~params:{ W.Npb_cg.n = 4096; row_nnz = 8; iterations = 3 } ());
-      ("mg", W.Npb_mg.spec ~params:{ W.Npb_mg.n = 16; iterations = 2 } ());
-      ("ft", W.Npb_ft.spec ~params:{ W.Npb_ft.n = 8; iterations = 2 } ());
-    ]
-  else
-    [
-      ("is", W.Npb_is.spec ());
-      ("cg", W.Npb_cg.spec ());
-      ("mg", W.Npb_mg.spec ());
-      ("ft", W.Npb_ft.spec ());
-    ]
+(* The bench set lives in the shared NPB table ({!W.Npb_suite}), which
+   bench --perf, the CLI and CI key on as well. *)
+let benchmarks ~small = W.Npb_suite.fig9_set ~small
 
 (* The paper's Fig. 9 configurations: Vanilla; Popcorn-TCP (memory-model
    independent); Popcorn-SHM and Stramash on each of the three hardware

@@ -12,11 +12,14 @@ let kind_to_string = function
 
 type set = { ids : (kind * int) list }
 
-let counter = ref 0
+(* Process-global id source, atomic because independent machines may boot
+   kernels concurrently on different host domains (Sim.Domain_pool). Ids
+   are only ever compared for equality within one machine — absolute
+   values never appear in results — so cross-domain allocation order does
+   not affect any observable output. *)
+let counter = Atomic.make 0
 
-let fresh_id () =
-  incr counter;
-  !counter
+let fresh_id () = Atomic.fetch_and_add counter 1 + 1
 
 let fresh_set () = { ids = List.map (fun k -> (k, fresh_id ())) all_kinds }
 

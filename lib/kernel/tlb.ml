@@ -5,9 +5,17 @@ type t = {
   vpages : int array; (* -1 invalid *)
   asids : int array;
   entries : entry array;
-  mutable hits : int;
-  mutable misses : int;
+  hits : int ref; (* refs, not mutable fields: the view aliases them *)
+  misses : int ref;
   mutable shootdowns : int;
+}
+
+type view = {
+  tv_vpages : int array;
+  tv_asids : int array;
+  tv_entries : entry array;
+  tv_mask : int;
+  tv_hits : int ref;
 }
 
 let none = { frame = 0; writable = false }
@@ -19,9 +27,18 @@ let create ?(entries = 64) () =
     vpages = Array.make entries (-1);
     asids = Array.make entries (-1);
     entries = Array.make entries none;
-    hits = 0;
-    misses = 0;
+    hits = ref 0;
+    misses = ref 0;
     shootdowns = 0;
+  }
+
+let view t =
+  {
+    tv_vpages = t.vpages;
+    tv_asids = t.asids;
+    tv_entries = t.entries;
+    tv_mask = t.size - 1;
+    tv_hits = t.hits;
   }
 
 let slot t vpage = vpage land (t.size - 1)
@@ -29,11 +46,11 @@ let slot t vpage = vpage land (t.size - 1)
 let lookup t ~asid ~vpage =
   let s = slot t vpage in
   if t.vpages.(s) = vpage && t.asids.(s) = asid then begin
-    t.hits <- t.hits + 1;
+    incr t.hits;
     Some t.entries.(s)
   end
   else begin
-    t.misses <- t.misses + 1;
+    incr t.misses;
     None
   end
 
@@ -61,12 +78,12 @@ let translate t ~asid ~vpage ~write =
      are in bounds by construction. *)
   let s = vpage land (t.size - 1) in
   if Array.unsafe_get t.vpages s = vpage && Array.unsafe_get t.asids s = asid then begin
-    t.hits <- t.hits + 1;
+    incr t.hits;
     let e = Array.unsafe_get t.entries s in
     if write && not e.writable then not_writable else e.frame
   end
   else begin
-    t.misses <- t.misses + 1;
+    incr t.misses;
     miss
   end
 
@@ -94,6 +111,6 @@ let shootdown t ~vpage =
   t.shootdowns <- t.shootdowns + 1;
   flush_page t ~vpage
 
-let hits t = t.hits
-let misses t = t.misses
+let hits t = !(t.hits)
+let misses t = !(t.misses)
 let shootdowns t = t.shootdowns

@@ -8,8 +8,26 @@
 type entry = { frame : int; writable : bool }
 type t
 
+type view = private {
+  tv_vpages : int array;
+  tv_asids : int array;
+  tv_entries : entry array;
+  tv_mask : int;
+  tv_hits : int ref;
+}
+(** Raw window over the direct-mapped arrays for the runner's fused
+    memio fast path, in the style of {!Level.view}: the arrays alias the
+    live TLB storage. The only mutation permitted through a view is
+    [incr tv_hits] after a probe that {!translate} itself would have
+    counted as a usable hit — i.e. [tv_vpages.(vpage land tv_mask) =
+    vpage && tv_asids.(slot) = asid] and, for writes, the entry is
+    writable. Anything short of a full hit must fall back to
+    {!translate} (which also does the miss accounting). *)
+
 val create : ?entries:int -> unit -> t
 (** Default 64 entries. *)
+
+val view : t -> view
 
 val lookup : t -> asid:int -> vpage:int -> entry option
 val insert : t -> asid:int -> vpage:int -> entry -> unit

@@ -50,6 +50,7 @@ type config = {
   seed : int64;
   inject : Plan.config option;
   cache_mode : Cache_sim.mode;
+  trace_cache : bool;
 }
 
 let default_config =
@@ -62,6 +63,7 @@ let default_config =
     seed = 0xC0FFEEL;
     inject = None;
     cache_mode = Cache_sim.Fast;
+    trace_cache = true;
   }
 
 type t = {
@@ -71,6 +73,11 @@ type t = {
   inject_plan : Plan.t option;
   rng : Rng.t;
   quantum : Quantum.t;
+  (* One trace-cache handle per machine (None with the cache disabled):
+     every interpreter the machine creates shares it, so its counters
+     describe the whole run and never cross a machine (or host-domain)
+     boundary. *)
+  tc : Interp.tc option;
   mutable placement : Placement.t option;
   mutable next_pid : int;
   mutable next_tid : int; (* machine-global: futex queues and the scheduler key on tids *)
@@ -133,6 +140,7 @@ let create cfg =
     inject_plan;
     rng = Rng.create ~seed:cfg.seed;
     quantum = Quantum.create ();
+    tc = (if cfg.trace_cache then Some (Interp.make_tc ()) else None);
     placement = None;
     next_pid = 1;
     next_tid = 0;
@@ -149,6 +157,10 @@ let threads t = t.all_threads
 let meter_of t node = Env.meter t.env node
 let quantum t = t.quantum
 let placement t = t.placement
+let trace_cache t = t.tc
+
+let trace_cache_counters t =
+  match t.tc with Some tc -> Interp.tc_counters tc | None -> []
 
 (* The engine must see every access from the first instruction on, and
    its per-proc state starts at [load] — so attachment is only legal on a
@@ -257,7 +269,7 @@ let load t (spec : Spec.t) =
         write_init t ~frame_of ~base:seg.Spec.base seg.Spec.init ~len:seg.Spec.len
       end)
     spec.Spec.segments;
-  let cpu = Interp.create (Process.image proc origin) in
+  let cpu = Interp.create ?tc:t.tc (Process.image proc origin) in
   let thread = Thread.create ~tid:(fresh_tid t) ~origin ~cpu in
   t.all_threads <- thread :: t.all_threads;
   (match t.placement with Some e -> Placement.register_proc e proc | None -> ());
@@ -296,7 +308,7 @@ let read_user_f64 t ~proc ~node ~vaddr =
 let spawn_thread t proc ~at_point ~node =
   ignore (Os.ensure_mm t.os ~env:t.env ~proc ~node);
   let image = Process.image proc node in
-  let cpu = Interp.create image in
+  let cpu = Interp.create ?tc:t.tc image in
   ignore (Process.fresh_tid proc);
   let tid = fresh_tid t in
   Interp.set_pc cpu (Machine_code.find_migrate_pc image at_point + 1);

@@ -37,6 +37,10 @@ type config = {
          pre-fast-path simulator for baselines; Paranoid cross-checks
          every access and makes the runner audit invariants at each
          scheduling quantum *)
+  trace_cache : bool;
+      (* superblock trace cache in the interpreter (default true):
+         host-side replay machinery only — simulated counters, cycles
+         and memory contents are bit-identical either way *)
 }
 
 val default_config : config
@@ -61,6 +65,14 @@ val quantum : t -> Stramash_sim.Quantum.t
     quantum's invariant audit. *)
 
 val placement : t -> Stramash_placement.Engine.t option
+
+val trace_cache : t -> Stramash_isa.Interp.tc option
+(** The machine-wide trace-cache handle ([None] with [trace_cache =
+    false]); every interpreter this machine creates shares it. *)
+
+val trace_cache_counters : t -> (string * int) list
+(** Host-side [tc.*] counters; [] with the cache disabled. Kept out of
+    the model metrics so registries stay bit-identical on/off. *)
 
 val attach_placement : t -> Stramash_placement.Engine.t -> unit
 (** Wire a placement engine into the machine: its epoch tick joins the

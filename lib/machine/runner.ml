@@ -7,6 +7,7 @@ module Layout = Stramash_mem.Layout
 module Phys_mem = Stramash_mem.Phys_mem
 module Cache_sim = Stramash_cache.Cache_sim
 module Cache_config = Stramash_cache.Config
+module Level = Stramash_cache.Level
 module Env = Stramash_kernel.Env
 module Page_table = Stramash_kernel.Page_table
 module Process = Stramash_kernel.Process
@@ -31,6 +32,7 @@ type ext = {
   l0_misses : int array;
   node_downtime : int array; (* cycles each node spent crash-stopped *)
   placement : (string * int) list; (* placement.* counters; [] when detached *)
+  trace_cache : (string * int) list; (* tc.* counters; [] when disabled *)
 }
 
 type result = {
@@ -142,30 +144,169 @@ let make_memio machine proc thread ~user_stalls =
     let frame = if frame >= 0 then frame else translate_slow vaddr ~write ~retries:0 in
     (frame lsl page_shift) + (vaddr land page_mask)
   in
-  {
-    Interp.load =
-      (fun width vaddr ->
-        let paddr = data_paddr vaddr ~write:false in
-        let lat = Cache_sim.access cache ~node Cache_sim.Load ~paddr in
-        (match sample with None -> () | Some f -> f ~vaddr ~write:false lat);
-        Meter.add meter (stall lat);
-        if width = 8 then Phys_mem.read_u64 phys paddr else Phys_mem.read phys paddr ~width);
-    store =
-      (fun width vaddr value ->
-        let paddr = data_paddr vaddr ~write:true in
-        let lat = Cache_sim.access cache ~node Cache_sim.Store ~paddr in
-        (match sample with None -> () | Some f -> f ~vaddr ~write:true lat);
-        Meter.add meter (stall lat);
-        if width = 8 then Phys_mem.write_u64 phys paddr value
-        else Phys_mem.write phys paddr ~width value);
-    fetch =
-      (fun vaddr ->
-        let paddr = data_paddr vaddr ~write:false in
-        let lat = Cache_sim.access cache ~node Cache_sim.Ifetch ~paddr in
-        (match sample with None -> () | Some f -> f ~vaddr ~write:false lat);
-        (* one base cycle per instruction + any fetch stall *)
-        Meter.add meter (1 + stall lat));
-  }
+  let load_slow width vaddr =
+    let paddr = data_paddr vaddr ~write:false in
+    let lat = Cache_sim.access cache ~node Cache_sim.Load ~paddr in
+    (match sample with None -> () | Some f -> f ~vaddr ~write:false lat);
+    Meter.add meter (stall lat);
+    if width = 8 then Phys_mem.read_u64 phys paddr else Phys_mem.read phys paddr ~width
+  in
+  let store_slow width vaddr value =
+    let paddr = data_paddr vaddr ~write:true in
+    let lat = Cache_sim.access cache ~node Cache_sim.Store ~paddr in
+    (match sample with None -> () | Some f -> f ~vaddr ~write:true lat);
+    Meter.add meter (stall lat);
+    if width = 8 then Phys_mem.write_u64 phys paddr value
+    else Phys_mem.write phys paddr ~width value
+  in
+  let fetch_slow vaddr =
+    let paddr = data_paddr vaddr ~write:false in
+    let lat = Cache_sim.access cache ~node Cache_sim.Ifetch ~paddr in
+    (match sample with None -> () | Some f -> f ~vaddr ~write:false lat);
+    (* one base cycle per instruction + any fetch stall *)
+    Meter.add meter (1 + stall lat)
+  in
+  (* Fused fast path: when the Fast cache engine is authoritative for
+     every access (no probes) and no placement sampler is attached, the
+     all-hit per-instruction chain — TLB probe, L0/L1 replay, meter
+     charge, physical access — runs inside one closure with no
+     cross-module calls. The closures re-prove {e every} hit condition
+     against the live arrays and commit no counter, LRU or meter mutation
+     until all of them pass; any condition failing falls back to the
+     reference closure above, which recounts the access from scratch
+     (both the TLB probe and the L0 probe are pure until their commit, so
+     the fallback observes exactly the reference state). On the committed
+     path the effects are, in reference order: the TLB hit count, the
+     Cache_sim L0-hit counter set, the L1 LRU touch (same way, same tick
+     advance), the meter charge (1 + 0 stall for a fetch, 0 for data at
+     L1 latency — [lat_l1 > l1_lat] is never true), and the [Phys_mem]
+     byte access via the page-pointer cache. [make_memio] runs at every
+     scheduling quantum, so a mid-run mode flip, probe registration or
+     sampler attach revives the reference closures at the next quantum
+     boundary — within a quantum nothing can register one. *)
+  match (Cache_sim.fast_path cache ~node, sample) with
+  | Some fp, None ->
+      let tv = Tlb.view tlb in
+      let pv = Phys_mem.view phys in
+      let s = fp.Cache_sim.fp_stats in
+      let line_shift = Addr.line_shift in
+      let phys_page frame =
+        let ps = frame land pv.Phys_mem.pv_mask in
+        if Array.unsafe_get pv.Phys_mem.pv_frames ps = frame then
+          Array.unsafe_get pv.Phys_mem.pv_pages ps
+        else Phys_mem.page_for phys frame
+      in
+      {
+        Interp.load =
+          (fun width vaddr ->
+            let vpage = vaddr lsr page_shift in
+            let ts = vpage land tv.Tlb.tv_mask in
+            if
+              Array.unsafe_get tv.Tlb.tv_vpages ts = vpage
+              && Array.unsafe_get tv.Tlb.tv_asids ts = asid
+            then begin
+              let frame = (Array.unsafe_get tv.Tlb.tv_entries ts).Tlb.frame in
+              let off = vaddr land page_mask in
+              let line = ((frame lsl page_shift) + off) lsr line_shift in
+              let slot = line land fp.Cache_sim.fp_slot_mask in
+              let way = Array.unsafe_get fp.Cache_sim.fp_d_ways slot in
+              let v = fp.Cache_sim.fp_d_v in
+              if
+                Array.unsafe_get fp.Cache_sim.fp_d_lines slot = line
+                && Array.unsafe_get v.Level.v_tags way = line
+              then begin
+                incr tv.Tlb.tv_hits;
+                s.Cache_sim.l0_hits <- s.Cache_sim.l0_hits + 1;
+                s.Cache_sim.l1d_accesses <- s.Cache_sim.l1d_accesses + 1;
+                s.Cache_sim.mem_accesses <- s.Cache_sim.mem_accesses + 1;
+                s.Cache_sim.l1d_hits <- s.Cache_sim.l1d_hits + 1;
+                let tk = v.Level.v_tick in
+                tk := !tk + 1;
+                Array.unsafe_set v.Level.v_stamp way !tk;
+                (* data stall at L1 latency is 0 cycles: no meter charge *)
+                let page = phys_page frame in
+                match width with
+                | 8 -> Bytes.get_int64_le page off
+                | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le page off)) 0xFFFFFFFFL
+                | 2 -> Int64.of_int (Bytes.get_uint16_le page off)
+                | 1 -> Int64.of_int (Char.code (Bytes.get page off))
+                | _ -> Phys_mem.read phys ((frame lsl page_shift) + off) ~width
+              end
+              else load_slow width vaddr
+            end
+            else load_slow width vaddr);
+        store =
+          (fun width vaddr value ->
+            let vpage = vaddr lsr page_shift in
+            let ts = vpage land tv.Tlb.tv_mask in
+            if
+              Array.unsafe_get tv.Tlb.tv_vpages ts = vpage
+              && Array.unsafe_get tv.Tlb.tv_asids ts = asid
+            then begin
+              let e = Array.unsafe_get tv.Tlb.tv_entries ts in
+              let off = vaddr land page_mask in
+              let line = ((e.Tlb.frame lsl page_shift) + off) lsr line_shift in
+              let slot = line land fp.Cache_sim.fp_slot_mask in
+              let way = Array.unsafe_get fp.Cache_sim.fp_d_ways slot in
+              let v = fp.Cache_sim.fp_d_v in
+              if
+                e.Tlb.writable
+                && Array.unsafe_get fp.Cache_sim.fp_d_lines slot = line
+                && Array.unsafe_get fp.Cache_sim.fp_d_store_m slot
+                && Array.unsafe_get v.Level.v_tags way = line
+              then begin
+                incr tv.Tlb.tv_hits;
+                s.Cache_sim.l0_hits <- s.Cache_sim.l0_hits + 1;
+                s.Cache_sim.l1d_accesses <- s.Cache_sim.l1d_accesses + 1;
+                s.Cache_sim.mem_accesses <- s.Cache_sim.mem_accesses + 1;
+                s.Cache_sim.l1d_hits <- s.Cache_sim.l1d_hits + 1;
+                let tk = v.Level.v_tick in
+                tk := !tk + 1;
+                Array.unsafe_set v.Level.v_stamp way !tk;
+                let page = phys_page e.Tlb.frame in
+                match width with
+                | 8 -> Bytes.set_int64_le page off value
+                | 4 -> Bytes.set_int32_le page off (Int64.to_int32 value)
+                | 2 -> Bytes.set_uint16_le page off (Int64.to_int (Int64.logand value 0xFFFFL))
+                | 1 -> Bytes.set page off (Char.chr (Int64.to_int (Int64.logand value 0xFFL)))
+                | _ -> Phys_mem.write phys ((e.Tlb.frame lsl page_shift) + off) ~width value
+              end
+              else store_slow width vaddr value
+            end
+            else store_slow width vaddr value);
+        fetch =
+          (fun vaddr ->
+            let vpage = vaddr lsr page_shift in
+            let ts = vpage land tv.Tlb.tv_mask in
+            if
+              Array.unsafe_get tv.Tlb.tv_vpages ts = vpage
+              && Array.unsafe_get tv.Tlb.tv_asids ts = asid
+            then begin
+              let frame = (Array.unsafe_get tv.Tlb.tv_entries ts).Tlb.frame in
+              let line = ((frame lsl page_shift) + (vaddr land page_mask)) lsr line_shift in
+              let slot = line land fp.Cache_sim.fp_slot_mask in
+              let way = Array.unsafe_get fp.Cache_sim.fp_i_ways slot in
+              let v = fp.Cache_sim.fp_i_v in
+              if
+                Array.unsafe_get fp.Cache_sim.fp_i_lines slot = line
+                && Array.unsafe_get v.Level.v_tags way = line
+              then begin
+                incr tv.Tlb.tv_hits;
+                s.Cache_sim.l0_hits <- s.Cache_sim.l0_hits + 1;
+                s.Cache_sim.l1i_accesses <- s.Cache_sim.l1i_accesses + 1;
+                s.Cache_sim.mem_accesses <- s.Cache_sim.mem_accesses + 1;
+                s.Cache_sim.l1i_hits <- s.Cache_sim.l1i_hits + 1;
+                let tk = v.Level.v_tick in
+                tk := !tk + 1;
+                Array.unsafe_set v.Level.v_stamp way !tk;
+                (* one base cycle per instruction; fetch stall at L1 is 0 *)
+                meter.Meter.cycles <- meter.Meter.cycles + 1
+              end
+              else fetch_slow vaddr
+            end
+            else fetch_slow vaddr);
+      }
+  | _ -> { Interp.load = load_slow; store = store_slow; fetch = fetch_slow }
 
 let resolve_futex_args thread (syscall : Mir.syscall) =
   let regs = Interp.regs thread.Thread.cpu in
@@ -221,12 +362,55 @@ let collect machine ~node_icounts ~migrations ~user_stalls ~idle ~marks =
           (match Machine.placement machine with
           | Some engine -> Placement.counters engine
           | None -> []);
+        trace_cache = Machine.trace_cache_counters machine;
       };
   }
 
 (* The scheduler: run the runnable thread whose node clock is lowest,
    interleaving in [fuel]-instruction quanta. Handles migration points,
    futex syscalls and completion for any number of threads. *)
+(* Deterministic chaos mailbox: the pending crash-stop kills and
+   restarts the scheduler drains at quantum boundaries. Drain order is a
+   pure function of simulated time — due-time ascending, restart before
+   kill on a tie (a node revived at cycle T must be back before a
+   same-cycle kill targets its peer; the schedule never leaves both
+   nodes dead at once). Nothing about the order depends on host
+   scheduling or list-construction accidents, which is what lets
+   1-domain and N-domain soaks replay the same failure sequence
+   byte-for-byte. *)
+module Chaos_mailbox = struct
+  type event = Kill of Plan.node_event | Restart of Node_id.t
+
+  type t = {
+    mutable kills : Plan.node_event list; (* plan order = due order *)
+    mutable restarts : (Node_id.t * int) list; (* sorted by due time *)
+  }
+
+  let create events = { kills = events; restarts = [] }
+
+  let post_restart t node ~at =
+    t.restarts <- List.merge (fun (_, a) (_, b) -> compare (a : int) b) t.restarts [ (node, at) ]
+
+  let next_due t =
+    let kill = match t.kills with ev :: _ -> Some (ev.Plan.kill_at, Kill ev) | [] -> None in
+    let restart = match t.restarts with (n, at) :: _ -> Some (at, Restart n) | [] -> None in
+    match (kill, restart) with
+    | None, x | x, None -> x
+    | Some (tk, _), Some (tr, _) -> if tr <= tk then restart else kill
+
+  let pop t = function
+    | Kill _ -> t.kills <- List.tl t.kills
+    | Restart _ -> t.restarts <- List.tl t.restarts
+
+  let earliest_restart t = match t.restarts with [] -> None | r :: _ -> Some r
+  let restart_for t node = List.find_opt (fun (n, _) -> Node_id.equal n node) t.restarts
+
+  let drain_restarts t =
+    let rs = t.restarts in
+    t.restarts <- [];
+    rs
+end
+
 let run_scheduler ?on_recovery machine items ~fuel =
   (* items : (spec, proc, thread) list — each thread belongs to a process
      with its own migration plan *)
@@ -304,8 +488,7 @@ let run_scheduler ?on_recovery machine items ~fuel =
   in
   if chaos_events <> [] && not (Os.supports_chaos os) then
     invalid_arg "Runner: chaos schedule requires the Stramash personality";
-  let pending_kills = ref chaos_events in
-  let pending_restarts = ref [] (* (node, restart_at), sorted by time *) in
+  let mailbox = Chaos_mailbox.create chaos_events in
   let procs =
     List.fold_left
       (fun acc (_, p, _) ->
@@ -322,25 +505,32 @@ let run_scheduler ?on_recovery machine items ~fuel =
       Meter.set m at
     end
   in
+  (* Crash-stop injection and checkpoint restore can change control flow
+     and memory mappings out from under a thread (restored register
+     state, re-seeded pages), so any superblock trace built for a CPU on
+     the affected node is dropped before that CPU runs again. *)
+  let invalidate_node_traces node =
+    List.iter
+      (fun th ->
+        if Node_id.equal th.Thread.node node then Interp.invalidate_traces th.Thread.cpu)
+      (Machine.threads machine)
+  in
   let do_kill (ev : Plan.node_event) =
     let node = ev.Plan.node in
     if not (Liveness.is_alive liveness (Node_id.other node)) then
       invalid_arg "Runner: chaos schedule kills a node while its peer is already dead";
     let now = wall () in
     Liveness.kill liveness node ~at:now;
+    invalidate_node_traces node;
     Os.on_node_death os ~procs ~threads:(Machine.threads machine) ~node ~now;
     match ev.Plan.restart_after with
     | None -> ()
-    | Some d ->
-        pending_restarts :=
-          List.merge
-            (fun (_, a) (_, b) -> compare (a : int) b)
-            !pending_restarts
-            [ (node, now + d) ]
+    | Some d -> Chaos_mailbox.post_restart mailbox node ~at:(now + d)
   in
   let do_restart node ~at =
     Liveness.revive liveness node ~at;
     advance_to node at;
+    invalidate_node_traces node;
     Os.on_node_restart os ~procs ~node ~now:at;
     (* The checkpoint restore faithfully reinstalls any replica leaf the
        node held at death; if the replica was collapsed while it was
@@ -386,25 +576,13 @@ let run_scheduler ?on_recovery machine items ~fuel =
             end)
           Node_id.all
   in
-  let next_due () =
-    let kill = match !pending_kills with ev :: _ -> Some (ev.Plan.kill_at, `Kill ev) | [] -> None in
-    let restart =
-      match !pending_restarts with (n, at) :: _ -> Some (at, `Restart n) | [] -> None
-    in
-    match (kill, restart) with
-    | None, x | x, None -> x
-    | Some (tk, _), Some (tr, _) -> if tr <= tk then restart else kill
-  in
   let rec process_chaos () =
-    match next_due () with
+    match Chaos_mailbox.next_due mailbox with
     | Some (at, ev) when at <= wall () ->
+        Chaos_mailbox.pop mailbox ev;
         (match ev with
-        | `Kill ev ->
-            pending_kills := List.tl !pending_kills;
-            do_kill ev
-        | `Restart node ->
-            pending_restarts := List.tl !pending_restarts;
-            do_restart node ~at);
+        | Chaos_mailbox.Kill ev -> do_kill ev
+        | Chaos_mailbox.Restart node -> do_restart node ~at);
         process_chaos ()
     | _ -> heartbeat_work ()
   in
@@ -426,14 +604,14 @@ let run_scheduler ?on_recovery machine items ~fuel =
           let frozen =
             List.filter (fun th -> not (Liveness.is_alive liveness th.Thread.node)) live
           in
-          match (!pending_restarts, frozen) with
-          | (_, at) :: _, _ ->
+          match (Chaos_mailbox.earliest_restart mailbox, frozen) with
+          | Some (_, at), _ ->
               List.iter
                 (fun node -> if Liveness.is_alive liveness node then advance_to node at)
                 Node_id.all;
               process_chaos ();
               loop ()
-          | [], th :: _ ->
+          | None, th :: _ ->
               raise
                 (Fault.Error
                    (Fault.Node_dead
@@ -482,7 +660,7 @@ let run_scheduler ?on_recovery machine items ~fuel =
                     (* Destination is crash-stopped: the migration request
                        blocks at the source until the peer returns. With no
                        restart scheduled the thread can never arrive. *)
-                    match List.find_opt (fun (n, _) -> Node_id.equal n dst) !pending_restarts with
+                    match Chaos_mailbox.restart_for mailbox dst with
                     | None ->
                         raise
                           (Fault.Error
@@ -553,10 +731,8 @@ let run_scheduler ?on_recovery machine items ~fuel =
   (* Restarts still pending when the workload finishes fire now: the
      platform ends the run fully recovered (kills that never came due are
      dropped). *)
-  if chaos then begin
-    List.iter (fun (node, at) -> do_restart node ~at) !pending_restarts;
-    pending_restarts := []
-  end;
+  if chaos then
+    List.iter (fun (node, at) -> do_restart node ~at) (Chaos_mailbox.drain_restarts mailbox);
   List.iter2
     (fun node sp -> Trace.close ~at:(Meter.get (Env.meter env node)) sp)
     (if run_spans = [] then [] else Node_id.all)
@@ -608,5 +784,13 @@ let pp_result fmt r =
       Format.fprintf fmt "  Runtime: %d cycles (%.3f ms)@." r.node_cycles.(idx)
         (Cycles.to_ms r.node_cycles.(idx)))
     Node_id.all;
+  (match r.ext.trace_cache with
+  | [] -> ()
+  | tcs ->
+      let g n = match List.assoc_opt n tcs with Some v -> v | None -> 0 in
+      if g "tc.entered" > 0 then
+        Format.fprintf fmt
+          "Trace cache: %d built, %d entries, %d instructions replayed, %d side exits, %d flushes@."
+          (g "tc.built") (g "tc.entered") (g "tc.instrs") (g "tc.side_exits") (g "tc.flushes"));
   Format.fprintf fmt "Wall: %d cycles (%.3f ms); migrations=%d messages=%d replicated=%d@."
     r.wall_cycles (Cycles.to_ms r.wall_cycles) r.migrations r.messages r.replicated_pages

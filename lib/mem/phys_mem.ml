@@ -8,6 +8,12 @@ type t = {
   cache_pages : Bytes.t array;
 }
 
+type view = {
+  pv_frames : int array;
+  pv_pages : Bytes.t array;
+  pv_mask : int;
+}
+
 let cache_slots = 512
 let absent = Bytes.create 0
 
@@ -37,6 +43,8 @@ let page_for t frame =
   let slot = frame land (cache_slots - 1) in
   if t.cache_frames.(slot) = frame then t.cache_pages.(slot)
   else page_for_slow t frame slot
+
+let view t = { pv_frames = t.cache_frames; pv_pages = t.cache_pages; pv_mask = cache_slots - 1 }
 
 (* Accesses are assumed not to straddle a page boundary; all simulator
    clients issue naturally aligned accesses. The checks live on the

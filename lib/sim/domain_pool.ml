@@ -1,0 +1,46 @@
+(* Deterministic fork/join over OCaml 5 domains.
+
+   The pool exists to parallelise *whole simulations* (bench replicas,
+   campaign cells): each task owns a complete machine and never shares
+   mutable state with its siblings, so host scheduling cannot perturb
+   simulated results. Determinism therefore reduces to two properties
+   this module guarantees by construction:
+
+   - results come back indexed by task order, not completion order;
+   - an error surfaces as the *first failing task in task order*, however
+     the host interleaved the domains.
+
+   Work distribution is a single atomic cursor: workers claim the next
+   unclaimed index until the array is drained. Each result/error slot is
+   written by exactly one domain and read only after the joins, which
+   [Domain.join]'s happens-before edge makes safe without further
+   synchronisation. *)
+
+let map ~domains tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else if domains <= 1 || n = 1 then Array.map (fun task -> task ()) tasks
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec drain () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          (match tasks.(i) () with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some e);
+          drain ()
+        end
+      in
+      drain ()
+    in
+    (* The calling domain participates, so [domains] is the total host
+       parallelism, not the number of helpers. *)
+    let helpers = Array.init (min domains n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers;
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map Option.get results
+  end

@@ -3,18 +3,39 @@
    The runner executes threads in fuel-bounded quanta; subsystems that
    want to act between quanta (the placement engine's epoch tick, for
    one) register a hook here rather than patching the scheduler loop.
-   Hooks fire in registration order with the current smallest-node wall
-   clock, so everything they do is deterministic per run. *)
+
+   Firing order is the determinism contract: hooks run in registration
+   order, period. The store is a flat array indexed by registration
+   rank — nothing about the order depends on closure identity, hash
+   table iteration, or list-reversal conventions, so adding a hook can
+   never perturb the order of the hooks already registered, on any
+   OCaml version. *)
 
 type hook = now:int -> unit
 
-type t = { mutable hooks : hook list (* reverse registration order *) }
+type t = { mutable hooks : hook array; mutable n : int (* registered so far *) }
 
-let create () = { hooks = [] }
-let add t h = t.hooks <- h :: t.hooks
-let count t = List.length t.hooks
+let dummy ~now:_ = ()
+
+let create () = { hooks = [||]; n = 0 }
+
+let add t h =
+  let cap = Array.length t.hooks in
+  if t.n = cap then begin
+    let grown = Array.make (max 4 (2 * cap)) dummy in
+    Array.blit t.hooks 0 grown 0 t.n;
+    t.hooks <- grown
+  end;
+  t.hooks.(t.n) <- h;
+  t.n <- t.n + 1
+
+let count t = t.n
 
 let fire t ~now =
-  match t.hooks with
-  | [] -> ()
-  | hooks -> List.iter (fun h -> h ~now) (List.rev hooks)
+  (* Fires exactly the hooks registered at call time, oldest first; a
+     hook that registers another hook during the sweep sees it fire
+     starting from the next quantum. *)
+  let n = t.n in
+  for i = 0 to n - 1 do
+    t.hooks.(i) ~now
+  done

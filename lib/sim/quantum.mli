@@ -4,7 +4,14 @@
     want to act between quanta (e.g. the placement engine's epoch tick)
     register a hook here instead of patching the scheduler loop. Hooks
     fire in registration order with the smallest-node wall clock, so
-    their effects are deterministic per run. *)
+    their effects are deterministic per run.
+
+    Registration order {e is} the firing order — a documented, tested
+    contract. The implementation stores hooks in a flat array indexed by
+    registration rank, so the order cannot depend on closure identity,
+    hash-table iteration, or the OCaml version; registering a new hook
+    never reorders the hooks already present. A hook registered from
+    inside a {!fire} sweep first fires on the following quantum. *)
 
 type hook = now:int -> unit
 

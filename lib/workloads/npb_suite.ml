@@ -1,0 +1,38 @@
+(* The one NPB workload table.
+
+   Every consumer of "the NPB set" — the bench harness's --perf and
+   --domains sweeps, the harness experiments, the CLI's bench lookup, CI
+   gates keyed on bench names — reads from here, so adding a workload is
+   a one-line change in exactly one place. *)
+
+let spec_of_name = function
+  | "is" -> Some (Npb_is.spec ())
+  | "cg" -> Some (Npb_cg.spec ())
+  | "mg" -> Some (Npb_mg.spec ())
+  | "ft" -> Some (Npb_ft.spec ())
+  | "ep" -> Some (Npb_ep.spec ())
+  | "lu" -> Some (Npb_lu.spec ())
+  | "sp" -> Some (Npb_sp.spec ())
+  | _ -> None
+
+let all_names = [ "is"; "cg"; "mg"; "ft"; "ep"; "lu"; "sp" ]
+
+(* The paper's plotted quartet (Fig. 9 / Table 3 / campaign benches). *)
+let fig9_names = [ "is"; "cg"; "mg"; "ft" ]
+
+(* The perf-bench set: the quartet plus compute-bound EP, whose near-zero
+   memory traffic exposes pure interpreter dispatch cost. *)
+let perf_names = fig9_names @ [ "ep" ]
+
+let specs names = List.map (fun name -> (name, Option.get (spec_of_name name))) names
+
+let fig9_small () =
+  [
+    ("is", Npb_is.spec ~params:{ Npb_is.nkeys = 16384; max_key = 1024; iterations = 2 } ());
+    ("cg", Npb_cg.spec ~params:{ Npb_cg.n = 4096; row_nnz = 8; iterations = 3 } ());
+    ("mg", Npb_mg.spec ~params:{ Npb_mg.n = 16; iterations = 2 } ());
+    ("ft", Npb_ft.spec ~params:{ Npb_ft.n = 8; iterations = 2 } ());
+  ]
+
+let fig9_set ~small = if small then fig9_small () else specs fig9_names
+let perf_set () = specs perf_names

@@ -7,6 +7,8 @@ module Engine = Stramash_sim.Engine
 module Metrics = Stramash_sim.Metrics
 module Meter = Stramash_sim.Meter
 module Node_id = Stramash_sim.Node_id
+module Quantum = Stramash_sim.Quantum
+module Domain_pool = Stramash_sim.Domain_pool
 
 let checki = Alcotest.(check int)
 
@@ -285,6 +287,66 @@ let test_node_id () =
   Alcotest.(check bool) "of_index inverse" true
     (List.for_all (fun n -> Node_id.of_index (Node_id.index n) = n) Node_id.all)
 
+(* ---------- Quantum (registration order is the firing order) ---------- *)
+
+let test_quantum_registration_order () =
+  let q = Quantum.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Quantum.add q (fun ~now:_ -> log := i :: !log)
+  done;
+  Quantum.fire q ~now:0;
+  Alcotest.(check (list int)) "oldest registration first" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log);
+  checki "count" 10 (Quantum.count q)
+
+let test_quantum_hook_added_during_fire () =
+  let q = Quantum.create () in
+  let log = ref [] in
+  Quantum.add q (fun ~now:_ ->
+      log := "a" :: !log;
+      if Quantum.count q = 1 then Quantum.add q (fun ~now:_ -> log := "b" :: !log));
+  Quantum.fire q ~now:0;
+  Alcotest.(check (list string)) "mid-sweep registration deferred" [ "a" ] (List.rev !log);
+  Quantum.fire q ~now:1;
+  Alcotest.(check (list string)) "fires after existing hooks next quantum" [ "a"; "a"; "b" ]
+    (List.rev !log)
+
+(* ---------- Domain_pool ---------- *)
+
+let test_domain_pool_task_order () =
+  let tasks = Array.init 13 (fun i () -> i * i) in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "results indexed by task at %d domains" domains)
+        (Array.init 13 (fun i -> i * i))
+        (Domain_pool.map ~domains tasks))
+    [ 1; 2; 4; 32 ]
+
+let test_domain_pool_first_error_by_task_order () =
+  let exception Boom of int in
+  (* tasks 3 and 7 fail; whichever domain hits one first, the error that
+     escapes must be task 3's *)
+  let tasks =
+    Array.init 10 (fun i () -> if i = 3 || i = 7 then raise (Boom i) else i)
+  in
+  List.iter
+    (fun domains ->
+      match Domain_pool.map ~domains tasks with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom i ->
+          checki (Printf.sprintf "first failing task at %d domains" domains) 3 i)
+    [ 1; 4 ]
+
+let test_domain_pool_empty_and_inline () =
+  Alcotest.(check (array int)) "empty" [||] (Domain_pool.map ~domains:4 [||]);
+  let ran_on = ref [] in
+  let tasks = Array.init 3 (fun i () -> ran_on := i :: !ran_on) in
+  ignore (Domain_pool.map ~domains:1 tasks);
+  (* inline path runs sequentially, in order, on the calling domain *)
+  Alcotest.(check (list int)) "inline order" [ 0; 1; 2 ] (List.rev !ran_on)
+
 let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_rng_int_range; prop_rng_int_in; prop_rng_float_range; prop_engine_order ]
 
 let () =
@@ -325,5 +387,17 @@ let () =
           Alcotest.test_case "meter" `Quick test_meter;
         ] );
       ("node_id", [ Alcotest.test_case "basics" `Quick test_node_id ]);
+      ( "quantum",
+        [
+          Alcotest.test_case "registration order fires" `Quick test_quantum_registration_order;
+          Alcotest.test_case "mid-sweep add deferred" `Quick test_quantum_hook_added_during_fire;
+        ] );
+      ( "domain_pool",
+        [
+          Alcotest.test_case "task-order results" `Quick test_domain_pool_task_order;
+          Alcotest.test_case "first error by task order" `Quick
+            test_domain_pool_first_error_by_task_order;
+          Alcotest.test_case "empty + inline" `Quick test_domain_pool_empty_and_inline;
+        ] );
       ("properties", qsuite);
     ]

@@ -647,6 +647,139 @@ let gray_cmd =
           per-operation latency percentiles comparing the two")
     Term.(const run $ seed_arg $ campaign_bench_arg $ factor_arg $ cache_mode_term $ obs_term)
 
+(* ---------- scrub ---------- *)
+
+let scrub_cmd =
+  let seed_arg =
+    Arg.(value & opt int64 0x5DCL & info [ "s"; "seed" ] ~docv:"SEED"
+         ~doc:"Campaign seed; the corruption schedule, any kill schedule, and the machine all \
+               derive from it, so the same seed replays the same flips, detections, and \
+               repairs byte-for-byte")
+  in
+  let flips_arg =
+    Arg.(value & opt int H.Integrity_experiments.default_flips
+         & info [ "f"; "flips" ] ~docv:"N"
+             ~doc:"Page bit-flip injection events to schedule across the run")
+  in
+  let msg_rate_arg =
+    Arg.(value & opt float H.Integrity_experiments.default_msg_rate
+         & info [ "msg-rate" ] ~docv:"RATE"
+             ~doc:"Per-message payload-corruption probability (half of these truncate instead \
+                   of flipping bytes); detected by the CRC32 frame and repaired by retransmit")
+  in
+  let pte_rate_arg =
+    Arg.(value & opt float H.Integrity_experiments.default_pte_rate
+         & info [ "pte-rate" ] ~docv:"RATE"
+             ~doc:"Per-install stale-PTE corruption probability in the remote walker; detected \
+                   by the verify-after-install read-back and repaired by reinstall")
+  in
+  let kills_arg =
+    Arg.(value & opt int 0 & info [ "k"; "kills" ] ~docv:"N"
+         ~doc:"Kill/restart cycles to fold into the same plan; every death's checkpoint is \
+               torn, proving the versioned-header rejection and the shadow fallback")
+  in
+  let soak_arg =
+    Arg.(value & opt int 1 & info [ "soak" ] ~docv:"CELLS"
+         ~doc:"Run $(docv) independent campaign cells at derived seeds (seed, seed+1, ...); \
+               cells default to one torn-checkpoint kill each, composing the corruption and \
+               kill/restart schedules; the soak verdict is the worst across cells")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D"
+         ~doc:"Host domains to spread soak cells across. Cell outputs are buffered and emitted \
+               in cell order, so the soak's output and verdicts are byte-identical for any $(docv)")
+  in
+  let soak_json_arg =
+    Arg.(value & opt (some string) None & info [ "soak-json" ] ~docv:"FILE"
+         ~doc:"Write the per-cell soak verdicts as JSON to $(docv) (deterministic: contains no \
+               timings or host facts, so 1-domain and N-domain soaks write identical files)")
+  in
+  let run seed bench flips msg_rate pte_rate kills cache_mode soak domains soak_json obs =
+    guard_campaign_bench ~campaign:"scrub" bench (fun () ->
+        guard_plan_config
+          (H.Integrity_experiments.probe_config ~flips ~msg_rate ~pte_rate)
+          (fun () ->
+            if soak < 1 || domains < 1 then begin
+              Format.eprintf "scrub: --soak and --domains must be >= 1@.";
+              verdict_exit H.Chaos_experiments.Unknown_bench
+            end
+            else if soak > 1 || domains > 1 || soak_json <> None then begin
+              let trace_file, metrics_file, _ = obs in
+              if trace_file <> None || metrics_file <> None then begin
+                Format.eprintf
+                  "scrub: --trace/--metrics-json capture one campaign through the \
+                   process-global tracer and cannot be combined with a soak (--soak/--domains)@.";
+                verdict_exit H.Chaos_experiments.Unknown_bench
+              end
+              else if not (check_writable soak_json) then
+                verdict_exit H.Chaos_experiments.Unknown_bench
+              else begin
+                let verdict, cells =
+                  H.Integrity_experiments.soak fmt ~seed ~bench ~flips ~msg_rate ~pte_rate
+                    ~kills:(max 1 kills) ~cache_mode ~cells:soak ~domains ()
+                in
+                (match soak_json with
+                | Some path ->
+                    let module Json = Obs.Json in
+                    let json =
+                      Json.Obj
+                        [
+                          ("schema", Json.String "stramash-scrub-soak/1");
+                          ("bench", Json.String bench);
+                          ("flips", Json.Int flips);
+                          ("kills", Json.Int (max 1 kills));
+                          ( "cells",
+                            Json.List
+                              (List.map
+                                 (fun (cell, seed, v) ->
+                                   Json.Obj
+                                     [
+                                       ("cell", Json.Int cell);
+                                       ("seed", Json.Int (Int64.to_int seed));
+                                       ( "verdict",
+                                         Json.String
+                                           (H.Chaos_experiments.verdict_to_string v) );
+                                     ])
+                                 cells) );
+                          ( "verdict",
+                            Json.String (H.Chaos_experiments.verdict_to_string verdict) );
+                        ]
+                    in
+                    write_file path (Obs.Json.to_string json ^ "\n");
+                    Format.fprintf fmt "soak json: %s@." path
+                | None -> ());
+                verdict_exit verdict
+              end
+            end
+            else begin
+              let registries = ref [] in
+              let extra snap =
+                List.iter
+                  (fun (label, reg) ->
+                    Obs.Snapshot.add_registry snap label reg;
+                    if label = "scrub" then stamp_from_registry snap reg)
+                  (List.rev !registries)
+              in
+              run_with_obs obs ~extra (fun () ->
+                  verdict_exit
+                    (H.Integrity_experiments.campaign fmt ~seed ~bench ~flips ~msg_rate
+                       ~pte_rate ~kills ~cache_mode
+                       ~on_metrics:(fun ~label reg ->
+                         registries := (label, reg) :: !registries)
+                       ()))
+            end))
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Run a deterministic silent-data-corruption campaign: seeded page bit flips, message \
+          corruption, stale PTE installs and torn checkpoints, detected by CRC framing, a \
+          background page scrubber and verify-after-install, and healed by replica-backed \
+          repair, retransmit, and checkpoint fallback")
+    Term.(
+      const run $ seed_arg $ campaign_bench_arg $ flips_arg $ msg_rate_arg $ pte_rate_arg
+      $ kills_arg $ cache_mode_term $ soak_arg $ domains_arg $ soak_json_arg $ obs_term)
+
 (* ---------- obs (offline causal-trace analysis) ---------- *)
 
 module Causal = Stramash_obs.Causal
@@ -917,6 +1050,7 @@ let () =
             chaos_cmd;
             place_cmd;
             gray_cmd;
+            scrub_cmd;
             obs_cmd;
             machine_cmd;
             disasm_cmd;

@@ -8,6 +8,7 @@ module Vma = Stramash_kernel.Vma
 module Pte = Stramash_kernel.Pte
 module Page_table = Stramash_kernel.Page_table
 module Process = Stramash_kernel.Process
+module Integrity = Stramash_fault_inject.Integrity
 module Trace = Stramash_obs.Trace
 
 type pte_image = { p_vaddr : int; p_frame : int; p_writable : bool; p_remote_owned : bool }
@@ -73,10 +74,16 @@ let kind_of_string = function
   | "anon" -> Vma.Anon
   | s -> invalid_arg ("Checkpoint: unknown VMA kind " ^ s)
 
+(* v2 framing: the first line is [magic ^ " v2 <body-bytes> <crc32-hex>"]
+   and everything after the newline is the body the header vouches for.
+   Length catches torn writes (the common crash-boundary corruption);
+   the CRC catches everything else. The body grammar is unchanged from
+   v1, so the parser below only moved. *)
+let magic = "stramash-checkpoint"
+
 let encode image =
   let buf = Buffer.create 4096 in
   let bool b = if b then 1 else 0 in
-  Buffer.add_string buf "stramash-checkpoint v1\n";
   Buffer.add_string buf (Printf.sprintf "node %s\n" (Node_id.to_string image.node));
   List.iter
     (fun p ->
@@ -100,15 +107,36 @@ let encode image =
         (Printf.sprintf "futex %s 0x%x %d\n" (Node_id.to_string f.f_home) f.f_uaddr f.f_tid))
     image.futexes;
   Buffer.add_string buf "end\n";
-  Buffer.contents buf
+  let body = Buffer.contents buf in
+  Printf.sprintf "%s v2 %d %08x\n%s" magic (String.length body)
+    (Integrity.crc32_string body)
+    body
+
+type decode_error =
+  | Bad_magic
+  | Unsupported_version of string
+  | Truncated of { expected : int; got : int }
+  | Checksum_mismatch of { expected : int; got : int }
+  | Malformed of string
+
+let decode_error_to_string = function
+  | Bad_magic -> "bad magic (not a stramash checkpoint)"
+  | Unsupported_version v -> Printf.sprintf "unsupported checkpoint version %S" v
+  | Truncated { expected; got } ->
+      Printf.sprintf "truncated blob: header promises %d body bytes, found %d" expected got
+  | Checksum_mismatch { expected; got } ->
+      Printf.sprintf "checksum mismatch: header 0x%08x, body 0x%08x" expected got
+  | Malformed msg -> "malformed body: " ^ msg
 
 let node_of_string s =
   match List.find_opt (fun n -> Node_id.to_string n = s) Node_id.all with
   | Some n -> n
-  | None -> invalid_arg ("Checkpoint: unknown node " ^ s)
+  | None -> invalid_arg ("unknown node " ^ s)
 
-let decode blob =
-  let lines = String.split_on_char '\n' blob in
+exception Fail of decode_error
+
+let decode_body body =
+  let lines = String.split_on_char '\n' body in
   let node = ref None in
   let procs = ref [] in
   let cur = ref None in
@@ -124,11 +152,10 @@ let decode blob =
   try
     List.iteri
       (fun i line ->
-        let fail msg = invalid_arg (Printf.sprintf "Checkpoint line %d: %s" (i + 1) msg) in
+        (* line 1 of the blob is the header, so body line [i] is i+2 *)
+        let fail msg = raise (Fail (Malformed (Printf.sprintf "line %d: %s" (i + 2) msg))) in
         match String.split_on_char ' ' (String.trim line) with
         | [ "" ] -> ()
-        | [ "stramash-checkpoint"; "v1" ] when i = 0 -> ()
-        | _ when i = 0 -> fail "bad magic"
         | [ "node"; name ] -> node := Some (node_of_string name)
         | [ "proc"; pid ] ->
             flush_cur ();
@@ -180,14 +207,39 @@ let decode blob =
             finished := true
         | _ -> fail "unrecognised record")
       lines;
-    if not !finished then invalid_arg "Checkpoint: truncated blob (no end record)";
+    if not !finished then raise (Fail (Malformed "no end record"));
     match !node with
-    | None -> invalid_arg "Checkpoint: blob names no node"
+    | None -> Error (Malformed "blob names no node")
     | Some node ->
         Ok { node; procs = List.rev !procs; futexes = List.rev !futexes }
   with
-  | Invalid_argument msg -> Error msg
-  | Failure msg -> Error ("Checkpoint: " ^ msg)
+  | Fail e -> Error e
+  | Invalid_argument msg | Failure msg -> Error (Malformed msg)
+
+let decode blob =
+  let header, body =
+    match String.index_opt blob '\n' with
+    | Some i -> (String.sub blob 0 i, String.sub blob (i + 1) (String.length blob - i - 1))
+    | None -> (blob, "")
+  in
+  match String.split_on_char ' ' header with
+  | [ m; "v2"; len; crc ] when m = magic -> (
+      match (int_of_string_opt len, int_of_string_opt ("0x" ^ crc)) with
+      | Some len, Some expected when len >= 0 ->
+          let got = String.length body in
+          if got < len then Error (Truncated { expected = len; got })
+          else
+            (* tolerate trailing garbage past the promised length: the
+               header only vouches for the first [len] body bytes *)
+            let body = String.sub body 0 len in
+            let actual = Integrity.crc32_string body in
+            if actual <> expected then
+              Error (Checksum_mismatch { expected; got = actual })
+            else decode_body body
+      | _ -> Error Bad_magic)
+  | m :: v :: _ when m = magic -> Error (Unsupported_version v)
+  | [ m ] when m = magic -> Error (Unsupported_version "<missing>")
+  | _ -> Error Bad_magic
 
 (* --- crash teardown ----------------------------------------------------- *)
 

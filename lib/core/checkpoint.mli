@@ -48,9 +48,26 @@ val capture :
     caller, which knows which drained waiters belong to the dead node. *)
 
 val encode : image -> string
-(** Flat line-oriented text blob, stable across runs. *)
+(** Flat line-oriented text blob, stable across runs. The first line is
+    a [stramash-checkpoint v2 <body-bytes> <crc32-hex>] header covering
+    everything after it, so a torn or bit-flipped image is rejected by
+    {!decode} instead of being silently restored. *)
 
-val decode : string -> (image, string) result
+type decode_error =
+  | Bad_magic  (** the blob does not start with the checkpoint magic *)
+  | Unsupported_version of string
+  | Truncated of { expected : int; got : int }
+      (** fewer body bytes than the header promises — a torn write *)
+  | Checksum_mismatch of { expected : int; got : int }
+      (** right length, wrong CRC32 — bit rot inside the image *)
+  | Malformed of string  (** header checks passed but a body record is bad *)
+
+val decode_error_to_string : decode_error -> string
+
+val decode : string -> (image, decode_error) result
+(** Header checks run in order (magic, version, length, checksum) before
+    any body parsing, so every truncation or corruption of a valid blob
+    maps to a typed error — never an exception or a wrong image. *)
 
 val discard :
   Stramash_kernel.Env.t ->

@@ -133,7 +133,7 @@ let walk_checked env ~actor ~owner_mm ~vaddr ?inject () =
 let upper_levels_present env ~actor ~owner_mm ~vaddr =
   Page_table.upper_levels_present owner_mm.Process.pgtable (io env ~actor) ~vaddr
 
-let install_leaf env ~actor ~owner_mm ~vaddr ~frame ~remote_owned =
+let install_leaf_plain env ~actor ~owner_mm ~vaddr ~frame ~remote_owned =
   let flags = { Pte.default_flags with remote_owned } in
   if not (Trace.enabled ()) then
     Page_table.set_leaf_if_upper_present owner_mm.Process.pgtable (io env ~actor) ~vaddr ~frame
@@ -169,6 +169,34 @@ let install_leaf env ~actor ~owner_mm ~vaddr ~frame ~remote_owned =
     Trace.close ~at:t1 sp;
     result
   end
+
+(* With a corruption-armed plan, the cross-format PTE encode can go stale
+   (the modelled SDC: the published frame number is off by one line). The
+   defence is verify-after-install: read the leaf back through the same
+   charged walker path and compare it to the frame we meant to publish;
+   on mismatch, re-encode the correct leaf. Both the read-back and the
+   re-install are billed to [actor], so detection has an honest cost.
+   Unarmed plans skip the whole block and stay bit-identical. *)
+let install_leaf env ~actor ~owner_mm ~vaddr ~frame ~remote_owned ?inject () =
+  match inject with
+  | Some plan when Plan.corruption_armed plan ->
+      let corrupt = Plan.pte_corrupted plan in
+      let first = if corrupt then frame lxor 1 else frame in
+      let installed = install_leaf_plain env ~actor ~owner_mm ~vaddr ~frame:first ~remote_owned in
+      if installed then begin
+        (match Page_table.walk owner_mm.Process.pgtable (io env ~actor) ~vaddr with
+        | Some (f, _) when f = frame -> ()
+        | _ ->
+            ignore (install_leaf_plain env ~actor ~owner_mm ~vaddr ~frame ~remote_owned);
+            Plan.note_pte_repair plan;
+            if Trace.enabled () then
+              Trace.instant ~node:actor ~subsys:"remote_walker" ~op:"pte_repair"
+                ~tags:[ ("vaddr", Printf.sprintf "0x%x" vaddr) ]
+                ());
+        true
+      end
+      else false
+  | _ -> install_leaf_plain env ~actor ~owner_mm ~vaddr ~frame ~remote_owned
 
 let find_vma env ~actor ~owner_mm ~vaddr =
   let meter = Env.meter env actor in

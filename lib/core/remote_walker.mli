@@ -41,10 +41,17 @@ val install_leaf :
   vaddr:int ->
   frame:int ->
   remote_owned:bool ->
+  ?inject:Stramash_fault_inject.Plan.t ->
+  unit ->
   bool
 (** Write a leaf PTE into the owner's table in the owner's format without
     allocating directories; false when an upper level is missing (the
-    caller then falls back to the origin kernel, §9.2.3). *)
+    caller then falls back to the origin kernel, §9.2.3). With a
+    corruption-armed [inject] plan the encode may publish a stale frame
+    ({!Stramash_fault_inject.Plan.pte_corrupted}); the install then runs
+    verify-after-install — a charged read-back of the leaf — and repairs
+    any mismatch in place ({!Stramash_fault_inject.Plan.note_pte_repair}),
+    so a corrupted install is never visible to the caller. *)
 
 val find_vma :
   Stramash_kernel.Env.t ->

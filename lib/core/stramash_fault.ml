@@ -27,7 +27,8 @@ type downtime = {
   dt_died_at : int;
   dt_detect_at : int;
   dt_blob : string;
-  dt_vmas : (int * (int * int * bool) list) list; (* pid -> (start, end, writable) *)
+  dt_vmas : (int * (int * int * Vma.kind * bool) list) list;
+      (* pid -> (start, end, kind, writable) *)
   dt_ptes : (int * int, int * bool) Hashtbl.t;
       (* (pid, page vaddr) -> (frame, writable): the dead table's leaves.
          A degraded fault on one of these re-maps the surviving frame —
@@ -339,7 +340,7 @@ let remote_fault_untraced t ~proc ~node ~(mm : Process.mm) ~vaddr ~writable =
                   let installed =
                     Remote_walker.install_leaf t.env ~actor:node ~owner_mm:omm
                       ~vaddr:(Addr.page_base vaddr) ~frame:(frame lsr Addr.page_shift)
-                      ~remote_owned:true
+                      ~remote_owned:true ?inject:t.inject ()
                   in
                   if installed then begin
                     map_local t ~node ~mm ~vaddr ~frame ~writable;
@@ -392,11 +393,11 @@ let degraded_fault t dt ~proc ~node ~vaddr ~write =
     plan_note t (fun p -> Plan.add_degraded_cycles p ~cycles:stall)
   end;
   let ranges = Option.value ~default:[] (List.assoc_opt proc.Process.pid dt.dt_vmas) in
-  match List.find_opt (fun (s, e, _) -> s <= vaddr && vaddr < e) ranges with
+  match List.find_opt (fun (s, e, _, _) -> s <= vaddr && vaddr < e) ranges with
   | None ->
       Error
         (Fault.Segfault { pid = proc.Process.pid; vaddr; node = Node_id.to_string node })
-  | Some (_, _, writable) -> (
+  | Some (_, _, _, writable) -> (
       let mm = ensure_mm t ~proc ~node in
       let local_io = Env.pt_io t.env ~actor:node ~owner:node in
       match Page_table.walk mm.Process.pgtable local_io ~vaddr with
@@ -567,20 +568,43 @@ let on_node_death t ~procs ~threads ~node ~now =
   let image = Checkpoint.capture t.env ~node ~procs ~futexes:holding in
   let blob = Checkpoint.encode image in
   plan_note t (fun p -> Plan.note_checkpoint p ~bytes:(String.length blob));
+  (* Injected tear: keep only a seeded fraction of the blob, modelling a
+     write cut off mid-image at the crash boundary. The v2 header makes
+     restart detect it and take the shadow fallback. *)
+  let blob =
+    match t.inject with
+    | None -> blob
+    | Some p -> (
+        match Plan.ckpt_torn_fraction p with
+        | None -> blob
+        | Some frac ->
+            let keep =
+              min (String.length blob - 1)
+                (max 1 (int_of_float (frac *. float_of_int (String.length blob))))
+            in
+            if Trace.enabled () then
+              Trace.instant ~node ~subsys:"fault" ~op:"ckpt_tear"
+                ~tags:
+                  [
+                    ("kept_bytes", string_of_int keep);
+                    ("full_bytes", string_of_int (String.length blob));
+                  ]
+                ();
+            String.sub blob 0 keep)
+  in
+  (* Shadow every captured proc, not only the ones whose origin is the
+     dying node: degraded faults consult the shadow for origin procs
+     alone, but the torn-checkpoint fallback rebuilds the whole image
+     from it, and the capture includes migrated-in mms too. *)
   let shadow =
-    List.filter_map
+    List.map
       (fun (p : Checkpoint.proc_image) ->
-        let is_origin pr =
-          pr.Process.pid = p.Checkpoint.pid && Node_id.equal pr.Process.origin node
-        in
-        if List.exists is_origin procs then
-          Some
-            ( p.Checkpoint.pid,
-              List.map
-                (fun (v : Checkpoint.vma_image) ->
-                  (v.Checkpoint.v_start, v.Checkpoint.v_end, v.Checkpoint.v_writable))
-                p.Checkpoint.vmas )
-        else None)
+        ( p.Checkpoint.pid,
+          List.map
+            (fun (v : Checkpoint.vma_image) ->
+              (v.Checkpoint.v_start, v.Checkpoint.v_end, v.Checkpoint.v_kind,
+               v.Checkpoint.v_writable))
+            p.Checkpoint.vmas ))
       image.Checkpoint.procs
   in
   let pte_shadow = Hashtbl.create 256 in
@@ -657,7 +681,50 @@ let on_node_restart t ~procs ~node ~now =
       let image =
         match Checkpoint.decode dt.dt_blob with
         | Ok image -> image
-        | Error msg -> invalid_arg ("on_node_restart: corrupt checkpoint: " ^ msg)
+        | Error err ->
+            (* The checkpoint failed its integrity check (torn or
+               bit-rotted while the node was down). Fall back to the
+               survivor-held shadows: the VMA ranges and PTE leaves that
+               degraded faults have been resolving against all along,
+               plus the drained waiter list. Remote-owned bits are
+               recomputed from frame-allocator ownership, the same rule
+               the deferred-install replay uses below. *)
+            plan_note t Plan.note_ckpt_detected;
+            let kernel = Env.kernel t.env node in
+            let procs_img =
+              List.map
+                (fun (pid, vmas) ->
+                  let vmas =
+                    List.map
+                      (fun (s, e, k, w) ->
+                        { Checkpoint.v_start = s; v_end = e; v_kind = k; v_writable = w })
+                      vmas
+                  in
+                  let ptes =
+                    Hashtbl.fold
+                      (fun (p, va) (fr, w) acc -> if p = pid then (va, fr, w) :: acc else acc)
+                      dt.dt_ptes []
+                    |> List.sort compare
+                    |> List.map (fun (va, fr, w) ->
+                           {
+                             Checkpoint.p_vaddr = va;
+                             p_frame = fr;
+                             p_writable = w;
+                             p_remote_owned =
+                               not
+                                 (Frame_alloc.owns_address kernel.Kernel.frames
+                                    (fr lsl Addr.page_shift));
+                           })
+                  in
+                  { Checkpoint.pid; vmas; ptes })
+                dt.dt_vmas
+            in
+            plan_note t Plan.note_ckpt_fallback;
+            if Trace.enabled () then
+              Trace.instant ~node ~subsys:"chaos" ~op:"ckpt_fallback"
+                ~tags:[ ("error", Checkpoint.decode_error_to_string err) ]
+                ();
+            { Checkpoint.node; procs = procs_img; futexes = dt.dt_holding }
       in
       let stats = Checkpoint.restore t.env ~procs image in
       plan_note t (fun p -> Plan.note_restore p ~pages:stats.Checkpoint.restored_pages);

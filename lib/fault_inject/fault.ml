@@ -6,6 +6,7 @@ type error =
   | Msg_timeout of { label : string; attempts : int }
   | Node_dead of { node : string; op : string }
   | Stale_token of { lock_addr : int; node : string; epoch : int }
+  | Corrupt_message of { label : string; attempts : int }
 
 exception Error of error
 
@@ -23,6 +24,8 @@ let to_string = function
   | Stale_token { lock_addr; node; epoch } ->
       Printf.sprintf "stale fencing token for lock 0x%x: %s epoch %d has been superseded"
         lock_addr node epoch
+  | Corrupt_message { label; attempts } ->
+      Printf.sprintf "message %S failed its integrity check %d times" label attempts
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 

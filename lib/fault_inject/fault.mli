@@ -18,6 +18,8 @@ type error =
       (** the peer needed by [op] has crash-stopped *)
   | Stale_token of { lock_addr : int; node : string; epoch : int }
       (** a fencing token from a pre-crash incarnation was presented *)
+  | Corrupt_message of { label : string; attempts : int }
+      (** every transmission attempt failed its CRC framing check *)
 
 exception Error of error
 (** CLI-edge escape hatch; library code returns [result]s instead. *)

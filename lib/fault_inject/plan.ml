@@ -6,6 +6,9 @@ type gray_window = { g_node : Node_id.t; g_start : int; g_len : int; g_factor : 
 type flap_burst = { fl_start : int; fl_len : int; fl_drop_rate : float; fl_delay_cycles : int }
 type ptl_stall = { st_start : int; st_len : int; st_stall_cycles : int }
 
+type bit_flip = { bf_at : int; bf_node : int; bf_bits : int }
+type scrub_window = { sw_start : int; sw_len : int }
+
 type config = {
   (* message layer *)
   msg_drop_rate : float;
@@ -50,6 +53,16 @@ type config = {
   backoff_jitter : float;
   adaptive_timeout_mult : float;
   heartbeat_readmit_beats : int;
+  (* silent data corruption *)
+  corrupt_flips : bit_flip list;
+  corrupt_msg_rate : float;
+  corrupt_msg_truncate_rate : float;
+  corrupt_ckpt_rate : float;
+  corrupt_pte_rate : float;
+  scrub_enabled : bool;
+  scrub_windows : scrub_window list;
+  scrub_interval_cycles : int;
+  scrub_pages_per_epoch : int;
 }
 
 let default =
@@ -89,6 +102,15 @@ let default =
     backoff_jitter = 0.25;
     adaptive_timeout_mult = 4.0;
     heartbeat_readmit_beats = 2;
+    corrupt_flips = [];
+    corrupt_msg_rate = 0.0;
+    corrupt_msg_truncate_rate = 0.0;
+    corrupt_ckpt_rate = 0.0;
+    corrupt_pte_rate = 0.0;
+    scrub_enabled = false;
+    scrub_windows = [];
+    scrub_interval_cycles = Cycles.of_us 50.0;
+    scrub_pages_per_epoch = 8;
   }
 
 type t = {
@@ -99,11 +121,14 @@ type t = {
   ptl_rng : Rng.t;
   alloc_rng : Rng.t;
   gray_rng : Rng.t;
+  corrupt_rng : Rng.t;
   metrics : Metrics.registry;
   recovery : Metrics.Histogram.t;
   gray_on : bool;
   health : Health.t option;
   ops : (string * Metrics.Histogram.t) list;
+  corrupt_on : bool;
+  integrity : Integrity.t option;
 }
 
 (* Kill/restart schedules are normalized at plan creation: sorted by kill
@@ -234,6 +259,39 @@ let validate config =
         at_least "gray_ptl_stalls length" 1 st.st_len;
         non_neg "gray_ptl_stalls stall" st.st_stall_cycles)
       config.gray_ptl_stalls;
+    rate "corrupt_msg_rate" config.corrupt_msg_rate;
+    rate "corrupt_msg_truncate_rate" config.corrupt_msg_truncate_rate;
+    rate "corrupt_ckpt_rate" config.corrupt_ckpt_rate;
+    rate "corrupt_pte_rate" config.corrupt_pte_rate;
+    let nnodes = List.length Node_id.all in
+    List.iter
+      (fun bf ->
+        non_neg "corrupt_flips at" bf.bf_at;
+        check
+          (bf.bf_bits >= 1 && bf.bf_bits <= 8)
+          (Printf.sprintf "Plan: corrupt_flips bits must be in [1, 8] (got %d)" bf.bf_bits);
+        check
+          (bf.bf_node >= 0 && bf.bf_node < nnodes)
+          (Printf.sprintf "Plan: corrupt_flips node index must be in [0, %d) (got %d)" nnodes
+             bf.bf_node))
+      config.corrupt_flips;
+    List.iter
+      (fun sw ->
+        non_neg "scrub_windows start" sw.sw_start;
+        at_least "scrub_windows length" 1 sw.sw_len)
+      config.scrub_windows;
+    (let sorted =
+       List.sort (fun a b -> compare a.sw_start b.sw_start) config.scrub_windows
+     in
+     let rec overlap = function
+       | a :: (b :: _ as rest) ->
+           check (a.sw_start + a.sw_len <= b.sw_start) "Plan: overlapping scrub_windows";
+           overlap rest
+       | _ -> ()
+     in
+     overlap sorted);
+    at_least "scrub_interval_cycles" 1 config.scrub_interval_cycles;
+    at_least "scrub_pages_per_epoch" 1 config.scrub_pages_per_epoch;
     Ok ()
   with Failure m -> Error m
 
@@ -247,6 +305,13 @@ let gray_armed_config config =
   || config.gray_ptl_stalls <> [] || config.msg_dup_rate > 0.0
   || config.msg_reorder_rate > 0.0
 
+let corruption_armed_config config =
+  config.corrupt_flips <> []
+  || config.corrupt_msg_rate > 0.0
+  || config.corrupt_msg_truncate_rate > 0.0
+  || config.corrupt_ckpt_rate > 0.0
+  || config.corrupt_pte_rate > 0.0
+
 let op_names = [ "fault"; "remote_walk"; "msg_rpc"; "ptl_acquire" ]
 
 let create ~seed config =
@@ -254,8 +319,9 @@ let create ~seed config =
   let config = { config with node_events = validate_events config.node_events } in
   (* One private stream per injection site, split off in a fixed order so
      adding draws at one site never perturbs decisions at another — and the
-     workload RNG (a different seed entirely) is untouched. The gray and
-     health streams split last, preserving the five original streams. *)
+     workload RNG (a different seed entirely) is untouched. The gray,
+     health, and corruption streams split last (in that order),
+     preserving every earlier stream's sequence. *)
   let root = Rng.create ~seed in
   let msg_rng = Rng.split root in
   let ipi_rng = Rng.split root in
@@ -264,6 +330,7 @@ let create ~seed config =
   let alloc_rng = Rng.split root in
   let gray_rng = Rng.split root in
   let health_rng = Rng.split root in
+  let corrupt_rng = Rng.split root in
   let metrics = Metrics.registry () in
   (* Echoed in every campaign's JSON snapshot: any output traces back to
      the exact (seed, config) pair that produced it. *)
@@ -294,6 +361,17 @@ let create ~seed config =
         op_names
     else []
   in
+  let corrupt_on = corruption_armed_config config in
+  let integrity =
+    if corrupt_on || config.scrub_enabled then
+      Some
+        (Integrity.create ~rng:corrupt_rng ~metrics
+           ~flips:(List.map (fun bf -> (bf.bf_at, bf.bf_node, bf.bf_bits)) config.corrupt_flips)
+           ~scrub:config.scrub_enabled
+           ~windows:(List.map (fun sw -> (sw.sw_start, sw.sw_len)) config.scrub_windows)
+           ~interval:config.scrub_interval_cycles ~budget:config.scrub_pages_per_epoch)
+    else None
+  in
   {
     config;
     msg_rng;
@@ -302,6 +380,7 @@ let create ~seed config =
     ptl_rng;
     alloc_rng;
     gray_rng;
+    corrupt_rng;
     metrics;
     recovery =
       Metrics.Histogram.create ~buckets:64 ~lo:0.0
@@ -309,6 +388,8 @@ let create ~seed config =
     gray_on;
     health;
     ops;
+    corrupt_on;
+    integrity;
   }
 
 let config t = t.config
@@ -570,6 +651,90 @@ let msg_backoff_for t ~peer ~attempt =
         ~floor:t.config.msg_backoff_base_cycles
         ~cap:(2 * t.config.msg_timeout_cycles)
         ~default:t.config.msg_timeout_cycles
+
+(* --- silent data corruption --------------------------------------------- *)
+
+let corruption_armed t = t.corrupt_on
+let integrity t = t.integrity
+let scrub_enabled t = t.config.scrub_enabled
+
+(* One verdict per delivery attempt, drawn only when corruption is
+   armed: an unarmed plan draws no corrupt-stream state, so arming the
+   scrubber alone (scrub on, injection off) is bit-identical to no
+   corruption machinery at all. Truncation is drawn first, whole-payload
+   corruption second, in a fixed order. *)
+let msg_corrupt_verdict t =
+  if not t.corrupt_on then `Clean
+  else if hit t.corrupt_rng t.config.corrupt_msg_truncate_rate then begin
+    Metrics.incr t.metrics "corruption.msg_truncated";
+    mark "msg_truncated";
+    `Truncated
+  end
+  else if hit t.corrupt_rng t.config.corrupt_msg_rate then begin
+    Metrics.incr t.metrics "corruption.msg_corrupted";
+    mark "msg_corrupt";
+    `Corrupt
+  end
+  else `Clean
+
+(* The receiver's CRC framing check caught a corrupted attempt: the
+   detection is simultaneous with the check, and the retransmit loop the
+   caller is already in is the repair. *)
+let note_msg_corruption_detected t =
+  Metrics.incr t.metrics "corruption.detected";
+  Metrics.incr t.metrics "corruption.msg_retransmits";
+  Metrics.incr t.metrics "corruption.repaired_retransmit"
+
+(* Stale-PTE corruption in the remote-walker install path. *)
+let pte_corrupted t =
+  t.corrupt_on
+  &&
+  if hit t.corrupt_rng t.config.corrupt_pte_rate then begin
+    Metrics.incr t.metrics "corruption.pte_stale";
+    mark "pte_stale";
+    true
+  end
+  else false
+
+let note_pte_repair t =
+  Metrics.incr t.metrics "corruption.detected";
+  Metrics.incr t.metrics "corruption.repaired_owner";
+  mark "pte_repair"
+
+(* Torn checkpoint blobs: [Some fraction] truncates the encoded image to
+   that prefix fraction. *)
+let ckpt_torn_fraction t =
+  if t.corrupt_on && hit t.corrupt_rng t.config.corrupt_ckpt_rate then begin
+    Metrics.incr t.metrics "corruption.ckpt_torn";
+    mark "ckpt_torn";
+    Some (0.2 +. Rng.float t.corrupt_rng 0.7)
+  end
+  else None
+
+let note_ckpt_detected t =
+  Metrics.incr t.metrics "corruption.detected";
+  mark "ckpt_rejected"
+
+let note_ckpt_fallback t =
+  Metrics.incr t.metrics "corruption.repaired_checkpoint";
+  mark "ckpt_fallback"
+
+let corruption_injected t =
+  Metrics.get t.metrics "corruption.flips"
+  + Metrics.get t.metrics "corruption.msg_corrupted"
+  + Metrics.get t.metrics "corruption.msg_truncated"
+  + Metrics.get t.metrics "corruption.ckpt_torn"
+  + Metrics.get t.metrics "corruption.pte_stale"
+
+let corruption_detected t = Metrics.get t.metrics "corruption.detected"
+
+let corruption_repaired t =
+  Metrics.get t.metrics "corruption.repaired_replica"
+  + Metrics.get t.metrics "corruption.repaired_owner"
+  + Metrics.get t.metrics "corruption.repaired_retransmit"
+
+let corruption_fallbacks t = Metrics.get t.metrics "corruption.repaired_checkpoint"
+let corruption_unrepaired t = Metrics.get t.metrics "corruption.unrepaired"
 
 (* --- per-operation latency ---------------------------------------------- *)
 

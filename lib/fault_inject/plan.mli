@@ -40,6 +40,20 @@ type ptl_stall = {
   st_stall_cycles : int;  (** extra hold time per PTL acquire in the window *)
 }
 
+type bit_flip = {
+  bf_at : int;  (** wall cycle at (or after) which the flip lands *)
+  bf_node : int;  (** preferred victim node, as an index into [Node_id.all] *)
+  bf_bits : int;
+      (** distinct bits flipped in the low byte of one aligned word, in
+          [1, 8] — silent value damage, never a wild pointer (high-bit
+          corruption of an index traps at the MMU and is not an SDC) *)
+}
+
+type scrub_window = {
+  sw_start : int;
+  sw_len : int;  (** span of wall cycles the background scrubber is active *)
+}
+
 type config = {
   msg_drop_rate : float;  (** probability a ring/TCP message attempt is dropped *)
   msg_delay_rate : float;  (** probability of a delivery delay spike *)
@@ -80,6 +94,15 @@ type config = {
   adaptive_timeout_mult : float;
   heartbeat_readmit_beats : int;
       (** consecutive on-time beats before a suspected peer is re-trusted *)
+  corrupt_flips : bit_flip list;  (** seeded single/multi-bit flips in tracked frames *)
+  corrupt_msg_rate : float;  (** probability a delivery attempt's payload is corrupted *)
+  corrupt_msg_truncate_rate : float;  (** probability an attempt arrives truncated *)
+  corrupt_ckpt_rate : float;  (** probability a checkpoint blob is torn mid-write *)
+  corrupt_pte_rate : float;  (** probability a remote-walker install lands a stale frame *)
+  scrub_enabled : bool;  (** arm the background page scrubber (detection only) *)
+  scrub_windows : scrub_window list;  (** active spans; empty = always on *)
+  scrub_interval_cycles : int;  (** minimum cycles between scrub sweeps *)
+  scrub_pages_per_epoch : int;  (** per-sweep page-verification budget *)
 }
 
 val default : config
@@ -88,10 +111,12 @@ val default : config
 
 val validate : config -> (unit, string) result
 (** Full structural validation: rates in [0, 1], cycle counts
-    non-negative, attempt counts >= 1, non-overlapping [node_events] and
-    per-node [gray_slow] windows, sane health parameters. CLI entry
-    points call this before building a machine so a bad flag fails fast
-    with a message instead of deep inside a run. *)
+    non-negative, attempt counts >= 1, non-overlapping [node_events],
+    per-node [gray_slow] windows and [scrub_windows], in-range flip
+    events (bits in [1, 8], node index within [Node_id.all]), sane
+    health parameters. CLI entry points call this before building a
+    machine so a bad flag fails fast with a message instead of deep
+    inside a run. *)
 
 val config_fingerprint : config -> int
 (** Structural hash of the whole config, echoed next to the seed in
@@ -239,6 +264,56 @@ val note_breaker_fallback : t -> unit
 val msg_backoff_for : t -> peer:Stramash_sim.Node_id.t -> attempt:int -> int
 (** Health-adaptive, jittered replacement for {!msg_backoff}; identical
     to it when health is unarmed. *)
+
+(** {2 Silent data corruption}
+
+    The corruption schedule follows the gray pattern: deciders draw from
+    one private stream split off last, guarded on their rates, so an
+    unarmed plan (and a plan with only the scrubber on) is bit-identical
+    to one with no corruption machinery at all. The [note_*] functions
+    centralise the [corruption.*] counter family in the plan registry. *)
+
+val corruption_armed : t -> bool
+(** True when any flip event or corruption rate is set. *)
+
+val integrity : t -> Integrity.t option
+(** The fingerprint store + injector + scrubber; [Some] iff
+    {!corruption_armed} or [config.scrub_enabled]. *)
+
+val scrub_enabled : t -> bool
+
+val msg_corrupt_verdict : t -> [ `Clean | `Corrupt | `Truncated ]
+(** Verdict for one delivery attempt's payload integrity; counts
+    injections into ["corruption.msg_corrupted"/"corruption.msg_truncated"]. *)
+
+val note_msg_corruption_detected : t -> unit
+(** The receiver's CRC framing check rejected the attempt; the caller's
+    retransmit loop is the repair. *)
+
+val pte_corrupted : t -> bool
+(** Whether this remote-walker leaf install lands a stale frame. *)
+
+val note_pte_repair : t -> unit
+(** Verify-after-install caught the stale leaf and re-installed from the
+    owner's tables. *)
+
+val ckpt_torn_fraction : t -> float option
+(** [Some f] tears the checkpoint blob to its first [f] fraction. *)
+
+val note_ckpt_detected : t -> unit
+val note_ckpt_fallback : t -> unit
+
+val corruption_injected : t -> int
+(** Total injected corruptions across all sites (flips, messages,
+    checkpoints, PTEs) — the campaign's detection denominator. *)
+
+val corruption_detected : t -> int
+val corruption_repaired : t -> int
+(** Repairs that did not need a checkpoint fallback (replica re-fetch,
+    owner re-fetch, message retransmit). *)
+
+val corruption_fallbacks : t -> int
+val corruption_unrepaired : t -> int
 
 (** {2 Per-operation latency} *)
 

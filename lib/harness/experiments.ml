@@ -24,6 +24,7 @@ let all =
     { id = "chaos"; title = "node-failure chaos campaign (kill/restart soak)"; run = Chaos_experiments.chaos };
     { id = "placement"; title = "adaptive page placement (crossover + verdict soak)"; run = Placement_experiments.placement };
     { id = "gray"; title = "gray-failure campaign (breaker-on/off A/B soak)"; run = Gray_experiments.gray };
+    { id = "scrub"; title = "silent-data-corruption campaign (inject/detect/repair)"; run = Integrity_experiments.scrub };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

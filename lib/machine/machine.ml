@@ -22,6 +22,7 @@ module Popcorn_os = Stramash_popcorn.Popcorn_os
 module Msg_layer = Stramash_popcorn.Msg_layer
 module Stramash_os = Stramash_core.Stramash_os
 module Plan = Stramash_fault_inject.Plan
+module Integrity = Stramash_fault_inject.Integrity
 module Quantum = Stramash_sim.Quantum
 module Placement = Stramash_placement.Engine
 
@@ -133,19 +134,47 @@ let create cfg =
     | Stramash_no_futex_opt ->
         Os.Stramash (Stramash_os.create ~futex_optimized:false ?inject env ())
   in
-  {
-    cfg;
-    env;
-    os;
-    inject_plan;
-    rng = Rng.create ~seed:cfg.seed;
-    quantum = Quantum.create ();
-    tc = (if cfg.trace_cache then Some (Interp.make_tc ()) else None);
-    placement = None;
-    next_pid = 1;
-    next_tid = 0;
-    all_threads = [];
-  }
+  let t =
+    {
+      cfg;
+      env;
+      os;
+      inject_plan;
+      rng = Rng.create ~seed:cfg.seed;
+      quantum = Quantum.create ();
+      tc = (if cfg.trace_cache then Some (Interp.make_tc ()) else None);
+      placement = None;
+      next_pid = 1;
+      next_tid = 0;
+      all_threads = [];
+    }
+  in
+  (* The integrity daemon (SDC injector + background page scrubber)
+     steps at every scheduling-quantum boundary, before the placement
+     tick (hooks fire in registration order). Scan cycles model one
+     scrubber thread per kernel working the roster in halves; each
+     repair's re-fetch is billed to the node whose frame was healed —
+     cross-ISA when the clean copy lives on the peer. Plans without a
+     corruption schedule or scrubber register nothing. *)
+  (match Option.map Plan.integrity inject_plan with
+  | Some (Some st) ->
+      Quantum.add t.quantum (fun ~now ->
+          let s = Integrity.tick st phys ~now in
+          let scan = s.Integrity.ts_scanned * Integrity.scan_cost_cycles in
+          if scan > 0 then begin
+            Meter.add (Env.meter env Node_id.X86) ((scan + 1) / 2);
+            Meter.add (Env.meter env Node_id.Arm) (scan / 2)
+          end;
+          List.iter
+            (fun (r : Integrity.repair) ->
+              Meter.add
+                (Env.meter env r.Integrity.rp_dst)
+                (if Node_id.equal r.Integrity.rp_src r.Integrity.rp_dst then
+                   Integrity.repair_local_cycles
+                 else Integrity.repair_cross_cycles))
+            s.Integrity.ts_repairs)
+  | _ -> ());
+  t
 
 let config t = t.cfg
 let env t = t.env

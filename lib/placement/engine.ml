@@ -46,6 +46,8 @@ module Ipi = Stramash_interconnect.Ipi
 module Stramash_os = Stramash_core.Stramash_os
 module Stramash_fault = Stramash_core.Stramash_fault
 module Stramash_ptl = Stramash_core.Stramash_ptl
+module Plan = Stramash_fault_inject.Plan
+module Integrity = Stramash_fault_inject.Integrity
 module Trace = Stramash_obs.Trace
 
 (* Pre-replication leaf image of one kernel's table: [None] means the
@@ -205,6 +207,52 @@ let note op ~node ~vaddr =
       ~tags:[ ("vaddr", Printf.sprintf "0x%x" vaddr) ]
       ()
 
+(* ---------- integrity (silent-data-corruption defence) ---------- *)
+
+(* Replica pairs are the repair substrate for the SDC campaign: both
+   frames are read-only while the pair exists, so each is a valid clean
+   copy of the other. [pair] seals them into the plan's fingerprint
+   store at replication; [check_and_unpair] is the choke point run
+   before anything dissolves a pair (collapse, drain) — a last charged
+   verify-and-repair, so corruption can never slip out of the tracked
+   set when its repair source goes away. Plans without a corruption
+   schedule have no store and skip all of this. *)
+let integrity t =
+  match Stramash_fault.inject t.faults with
+  | Some plan -> Plan.integrity plan
+  | None -> None
+
+let pair_replica t (rep : replica) =
+  match integrity t with
+  | None -> ()
+  | Some st ->
+      let home_node =
+        match frame_owner t rep.r_home_frame with
+        | Some owner -> owner
+        | None -> Node_id.other rep.r_reader
+      in
+      Integrity.pair st t.env.Env.phys ~home:rep.r_home_frame ~home_node
+        ~replica:rep.r_replica_frame ~replica_node:rep.r_reader
+
+let check_and_unpair t ~actor (rep : replica) =
+  match integrity t with
+  | None -> ()
+  | Some st ->
+      let meter = Env.meter t.env actor in
+      let s =
+        Integrity.check_pair st t.env.Env.phys ~home:rep.r_home_frame
+          ~replica:rep.r_replica_frame ~now:(Meter.get meter)
+      in
+      Meter.add meter (s.Integrity.ts_scanned * Integrity.scan_cost_cycles);
+      List.iter
+        (fun (r : Integrity.repair) ->
+          Meter.add meter
+            (if Node_id.equal r.Integrity.rp_src r.Integrity.rp_dst then
+               Integrity.repair_local_cycles
+             else Integrity.repair_cross_cycles))
+        s.Integrity.ts_repairs;
+      Integrity.unpair st ~home:rep.r_home_frame ~replica:rep.r_replica_frame
+
 (* ---------- replicate ---------- *)
 
 (* Install a local copy of [vaddr]'s page at [reader]. Preconditions
@@ -267,8 +315,7 @@ let replicate t ~(proc : Process.t) ~vaddr ~reader =
                     leaves
                 in
                 shootdown_round t ~actor:reader ~vaddr;
-                Hashtbl.replace t.replicas
-                  (proc.Process.pid, vaddr)
+                let rep =
                   {
                     r_pid = proc.Process.pid;
                     r_vaddr = vaddr;
@@ -277,7 +324,10 @@ let replicate t ~(proc : Process.t) ~vaddr ~reader =
                     r_home_frame = home_frame;
                     r_saved = saved;
                     r_pending = [];
-                  };
+                  }
+                in
+                Hashtbl.replace t.replicas (proc.Process.pid, vaddr) rep;
+                pair_replica t rep;
                 ignore (Stramash_ptl.release ptl ~token);
                 t.c.replications <- t.c.replications + 1;
                 note "replicate" ~node:reader ~vaddr;
@@ -306,6 +356,11 @@ let restore_leaf t ~(proc : Process.t) ~actor ~node ~vaddr saved =
 let collapse t ~(proc : Process.t) (rep : replica) ~writer =
   let vaddr = rep.r_vaddr in
   let peer = Node_id.other writer in
+  (* Both frames are still read-only here (the triggering write has not
+     landed yet), so this is the last moment each is a trustworthy
+     repair source for the other — even the degraded path must dissolve
+     the pair now, before the writer's restored leaf lets divergence in. *)
+  check_and_unpair t ~actor:writer rep;
   if Env.node_alive t.env peer then begin
     let ptl = Stramash_fault.ptl_for t.faults ~proc in
     let token =
@@ -514,6 +569,14 @@ let drain t ~(proc : Process.t) =
   in
   List.iter
     (fun rep ->
+      (* never-collapsed pairs are still sealed; degraded-collapsed ones
+         were unpaired at collapse time and this is a no-op for them *)
+      (if rep.r_pending = [] then
+         let actor =
+           if Env.node_alive t.env rep.r_reader then rep.r_reader
+           else Node_id.other rep.r_reader
+         in
+         check_and_unpair t ~actor rep);
       List.iter
         (fun (n, saved) ->
           if Env.node_alive t.env n && not (List.mem n rep.r_pending) then begin

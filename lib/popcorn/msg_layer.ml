@@ -9,6 +9,7 @@ module Tcp_link = Stramash_interconnect.Tcp_link
 module Ipi = Stramash_interconnect.Ipi
 module Plan = Stramash_fault_inject.Plan
 module Fault = Stramash_fault_inject.Fault
+module Integrity = Stramash_fault_inject.Integrity
 module Liveness = Stramash_sim.Liveness
 module Heartbeat = Stramash_interconnect.Heartbeat
 module Trace = Stramash_obs.Trace
@@ -133,16 +134,25 @@ let convey t ~src ~bytes =
       Env.charge_bytes_load t.env dst ~paddr:dst_buf ~len:chunk;
       Tcp_link.one_way_cycles t.tcp ~payload_bytes:bytes
 
-(* Like [convey], but under a fault plan each attempt may be dropped: the
+(* Like [convey], but under a fault plan each attempt may be dropped or —
+   when a corruption schedule is armed — arrive with a damaged or
+   truncated payload that the receiver's CRC32 framing check rejects: the
    sender burns the detection timeout plus exponential backoff, retries up
    to the plan's cap, and finally escalates to the reliable (always
    delivered) slow path so forward progress is guaranteed. Returns the
    latency the sender observes before the handler can start. *)
-let deliver_untraced t ~src ~bytes =
+let deliver_untraced ?(label = "msg") t ~src ~bytes =
   match t.inject with
   | None -> convey t ~src ~bytes
   | Some plan ->
       let dst = Node_id.other src in
+      (* Per-message CRC framing: the sender seals every attempt, the
+         receiver verifies every arrival. Charged only when corruption is
+         armed, so unarmed plans stay bit-identical to the pre-framing
+         model. *)
+      let crc_cost =
+        if Plan.corruption_armed plan then Integrity.msg_crc_cycles ~bytes else 0
+      in
       (* Deliver with gray effects on top of the base notify latency: a
          slow-window on the receiver inflates the sender-observed RTT,
          duplicates cost the receiver a discard, reordering adds queue
@@ -161,29 +171,60 @@ let deliver_untraced t ~src ~bytes =
         Plan.observe_msg_rtt plan ~peer:dst ~cycles:total ~nominal:base ~now;
         total
       in
+      (* Retransmit-with-backoff shared by drops and CRC rejections; the
+         escalated reliable path re-frames the payload and always
+         delivers clean, so a corrupt stream can delay but never wedge. *)
+      let backoff_then ~attempt ~burned ~now retry =
+        Plan.observe_failure plan ~peer:dst ~now;
+        let pay = Plan.msg_backoff_for plan ~peer:dst ~attempt in
+        Meter.add (Env.meter t.env src) pay;
+        let burned = burned + pay in
+        if Plan.msg_attempts_exhausted plan ~attempt:(attempt + 1) then begin
+          Plan.note_msg_escalation plan;
+          Plan.record_recovery plan ~cycles:burned;
+          if crc_cost > 0 then begin
+            Meter.add (Env.meter t.env src) crc_cost;
+            Meter.add (Env.meter t.env dst) crc_cost
+          end;
+          finish 0 0
+        end
+        else begin
+          Plan.note_msg_retry plan;
+          retry (attempt + 1) burned
+        end
+      in
       let rec attempt_loop attempt burned =
         let now = Meter.get (Env.meter t.env src) in
         match Plan.msg_attempt_at plan ~now with
-        | `Deliver extra -> finish burned extra
-        | `Drop ->
-            Plan.observe_failure plan ~peer:dst ~now;
-            let pay = Plan.msg_backoff_for plan ~peer:dst ~attempt in
-            Meter.add (Env.meter t.env src) pay;
-            let burned = burned + pay in
-            if Plan.msg_attempts_exhausted plan ~attempt:(attempt + 1) then begin
-              Plan.note_msg_escalation plan;
-              Plan.record_recovery plan ~cycles:burned;
-              finish 0 0
-            end
-            else begin
-              Plan.note_msg_retry plan;
-              attempt_loop (attempt + 1) burned
-            end
+        | `Deliver extra -> (
+            if crc_cost > 0 then Meter.add (Env.meter t.env src) crc_cost;
+            match Plan.msg_corrupt_verdict plan with
+            | `Clean ->
+                if crc_cost > 0 then Meter.add (Env.meter t.env dst) crc_cost;
+                finish burned extra
+            | `Corrupt | `Truncated ->
+                (* The damaged attempt still crosses the wire; the
+                   receiver's framing check rejects it and the payload is
+                   discarded before any handler sees it. *)
+                ignore (convey t ~src ~bytes);
+                if crc_cost > 0 then Meter.add (Env.meter t.env dst) crc_cost;
+                Plan.note_msg_corruption_detected plan;
+                if Trace.enabled () then
+                  Trace.instant ~subsys:"msg" ~op:"crc_reject"
+                    ~tags:
+                      [
+                        ( "error",
+                          Fault.to_string
+                            (Fault.Corrupt_message { label; attempts = attempt + 1 }) );
+                      ]
+                    ();
+                backoff_then ~attempt ~burned ~now attempt_loop)
+        | `Drop -> backoff_then ~attempt ~burned ~now attempt_loop
       in
       attempt_loop 0 0
 
-let deliver t ~src ~bytes =
-  if not (Trace.enabled ()) then deliver_untraced t ~src ~bytes
+let deliver ?label t ~src ~bytes =
+  if not (Trace.enabled ()) then deliver_untraced ?label t ~src ~bytes
   else begin
     let meter = Env.meter t.env src in
     let sp =
@@ -191,7 +232,7 @@ let deliver t ~src ~bytes =
         ~tags:[ ("bytes", string_of_int bytes) ]
         ~node:src ~subsys:"msg" ~op:"send" ()
     in
-    let latency = deliver_untraced t ~src ~bytes in
+    let latency = deliver_untraced ?label t ~src ~bytes in
     Trace.close ~at:(Meter.get meter) sp;
     Trace.instant ~node:(Node_id.other src) ~subsys:"msg" ~op:"deliver" ();
     latency
@@ -233,7 +274,7 @@ let do_rpc t ~src ~label ~req_bytes ~resp_bytes ~handler =
   let flow = Trace.flow_of sp in
   count t label;
   let rpc_start = Meter.get src_meter in
-  let notify_latency = deliver t ~src ~bytes:req_bytes in
+  let notify_latency = deliver ~label t ~src ~bytes:req_bytes in
   let send_end = Meter.get src_meter in
   Meter.add src_meter notify_latency;
   let t1 = Meter.get src_meter in
@@ -252,7 +293,7 @@ let do_rpc t ~src ~label ~req_bytes ~resp_bytes ~handler =
   let reply_latency =
     Meter.delta dst_meter (fun () ->
         Trace.with_flow ~node:dst ~flow (fun () ->
-            reply_notify := deliver t ~src:dst ~bytes:resp_bytes))
+            reply_notify := deliver ~label:(label ^ "_reply") t ~src:dst ~bytes:resp_bytes))
   in
   Meter.add src_meter reply_latency;
   Meter.add src_meter !reply_notify;
@@ -288,7 +329,7 @@ let do_notify t ~src ~label ~bytes ~handler =
   in
   let flow = Trace.flow_of sp in
   count t label;
-  let lat = deliver t ~src ~bytes in
+  let lat = deliver ~label t ~src ~bytes in
   ignore lat;
   (* The peer processes the message on its own time, under the sender's
      flow so its spans still stitch to the notification. *)

@@ -258,7 +258,7 @@ let test_checkpoint_roundtrip () =
   let image = Checkpoint.capture env ~node:x86 ~procs:[ proc ] ~futexes:[] in
   (match Checkpoint.decode (Checkpoint.encode image) with
   | Ok decoded -> Alcotest.(check bool) "encode/decode round-trips" true (decoded = image)
-  | Error e -> Alcotest.failf "decode failed: %s" e);
+  | Error e -> Alcotest.failf "decode failed: %s" (Checkpoint.decode_error_to_string e));
   Checkpoint.discard env ~node:x86 ~procs:[ proc ];
   checkb "mm unlinked by discard" true (Process.mm proc x86 = None);
   let stats = Checkpoint.restore env ~procs:[ proc ] image in

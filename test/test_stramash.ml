@@ -131,11 +131,11 @@ let test_install_leaf_requires_uppers () =
   let omm = Process.mm_exn proc x86 in
   Alcotest.(check bool) "no uppers yet" false
     (Remote_walker.install_leaf env ~actor:arm ~owner_mm:omm ~vaddr:vaddr0 ~frame:7
-       ~remote_owned:true);
+       ~remote_owned:true ());
   Stramash_fault.handle_fault_exn faults ~proc ~node:x86 ~vaddr:(vaddr0 + 8192) ~write:true;
   Alcotest.(check bool) "uppers created by neighbour fault" true
     (Remote_walker.install_leaf env ~actor:arm ~owner_mm:omm ~vaddr:vaddr0 ~frame:7
-       ~remote_owned:true);
+       ~remote_owned:true ());
   match silent_walk env proc x86 vaddr0 with
   | Some (7, flags) -> Alcotest.(check bool) "remote_owned set" true flags.Pte.remote_owned
   | _ -> Alcotest.fail "leaf not installed in origin format"

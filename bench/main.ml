@@ -5,14 +5,15 @@
    host instructions/sec of the fast-path engine against the reference
    engine on the NPB set and writes BENCH_3.json; with `--domains[=1,2,4]`
    it instead sweeps the host-scaling curve (D replica machines on D
-   domains, trace cache on/off) and writes BENCH_6.json. *)
+   domains, trace cache on/off) and writes BENCH_6.json. `--serve` runs
+   the open-loop serving latency sweep and writes BENCH_7.json. *)
 
 module H = Stramash_harness
 
 let usage () =
   Format.printf
     "usage: main.exe [--list] [--bechamel] [--perf] [--perf --domains[=1,2,4]] [--placement] \
-     [EXPERIMENT-ID]...@.";
+     [--serve] [EXPERIMENT-ID]...@.";
   Format.printf "experiments:@.";
   List.iter
     (fun e -> Format.printf "  %-10s %s@." e.H.Experiments.id e.H.Experiments.title)
@@ -450,6 +451,118 @@ let run_placement () =
   close_out oc;
   Format.printf "  wrote BENCH_5.json@."
 
+(* ---------- `--serve`: open-loop serving latency, BENCH_7.json ---------- *)
+
+module Serve = Stramash_serve.Serve
+module Slo = Stramash_serve.Slo
+module Histogram = Stramash_sim.Metrics.Histogram
+
+(* Two offered loads over the full 2^20-key store: 10k req/s sits below
+   every personality's capacity (latency is service time plus mild
+   queueing); 20k req/s is comfortable for Stramash but beyond
+   Popcorn-SHM's capacity, so the open-loop harness shows Popcorn's
+   queue diverging while Stramash holds its SLO at the same load. *)
+let serve_rates = [ 10_000.0; 20_000.0 ]
+
+let serve_base = { Serve.default with keys = 1 lsl 20; requests = 20_000 }
+
+let serve_hist_json h =
+  let us c = Json.Float (Slo.cycles_to_us c) in
+  Json.Obj
+    [
+      ("n", Json.Int (Histogram.count h));
+      ("p50_us", us (Histogram.p50 h));
+      ("p95_us", us (Histogram.p95 h));
+      ("p99_us", us (Histogram.p99 h));
+      ("mean_us", us (Histogram.mean h));
+      ("max_us", us (Histogram.max_value h));
+    ]
+
+let run_serve () =
+  Format.printf "@.=== Open-loop serving: per-op latency vs arrival rate ===@.";
+  Format.printf "  (latency = completion - scheduled arrival; %d Zipfian keys, theta %.2f)@."
+    serve_base.Serve.keys serve_base.Serve.theta;
+  let configs =
+    [
+      ("popcorn-shm", { serve_base with Serve.os = Machine.Popcorn_shm });
+      ("stramash", serve_base);
+      ("stramash+placement", { serve_base with Serve.placement = true });
+    ]
+  in
+  let rate_rows =
+    List.map
+      (fun rate ->
+        Format.printf "  rate %.0f req/s, %d requests:@." rate serve_base.Serve.requests;
+        let cells =
+          List.map
+            (fun (label, cfg) ->
+              let outcome = Serve.run { cfg with Serve.rate } in
+              let us c = Slo.cycles_to_us c in
+              let all = outcome.Serve.o_all in
+              Format.printf "    %-20s p50 %7.1fus  p95 %7.1fus  p99 %7.1fus  max %8.1fus  slo %s@."
+                label (us (Histogram.p50 all)) (us (Histogram.p95 all)) (us (Histogram.p99 all))
+                (us (Histogram.max_value all))
+                (if outcome.Serve.o_slo.Slo.pass then "pass" else "FAIL");
+              (label, outcome))
+            configs
+        in
+        (rate, cells))
+      serve_rates
+  in
+  let slo = serve_base.Serve.slo in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "stramash-bench/7");
+        ( "metric",
+          Json.String
+            "open-loop request latency in microseconds: completion minus scheduled arrival, so \
+             queueing delay is included and coordinated omission is impossible" );
+        ("keys", Json.Int serve_base.Serve.keys);
+        ("theta", Json.Float serve_base.Serve.theta);
+        ("requests", Json.Int serve_base.Serve.requests);
+        ("payload_bytes", Json.Int serve_base.Serve.payload);
+        ("seed", Json.String (Int64.to_string serve_base.Serve.seed));
+        ( "slo_us",
+          Json.Obj
+            [
+              ("p50", Json.Float slo.Slo.p50_us);
+              ("p95", Json.Float slo.Slo.p95_us);
+              ("p99", Json.Float slo.Slo.p99_us);
+            ] );
+        ( "rates",
+          Json.List
+            (List.map
+               (fun (rate, cells) ->
+                 Json.Obj
+                   [
+                     ("rate_rps", Json.Float rate);
+                     ( "configs",
+                       Json.Obj
+                         (List.map
+                            (fun (label, outcome) ->
+                              ( label,
+                                Json.Obj
+                                  [
+                                    ("slo_pass", Json.Bool outcome.Serve.o_slo.Slo.pass);
+                                    ( "ops",
+                                      Json.Obj
+                                        (List.map
+                                           (fun (op, h) -> (op, serve_hist_json h))
+                                           (outcome.Serve.o_rows
+                                           @ [ ("all", outcome.Serve.o_all) ])) );
+                                  ] ))
+                            cells) );
+                   ])
+               rate_rows) );
+      ]
+  in
+  let oc = open_out "BENCH_7.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "  wrote BENCH_7.json@."
+
 let run_bechamel () =
   let open Bechamel in
   let open Toolkit in
@@ -501,7 +614,7 @@ let () =
     (match ids with
     | []
       when List.mem "--perf" flags || List.mem "--bechamel" flags
-           || List.mem "--placement" flags || domains_list <> None ->
+           || List.mem "--placement" flags || List.mem "--serve" flags || domains_list <> None ->
         ()
     | [] -> H.Experiments.run_all fmt
     | ids ->
@@ -520,5 +633,6 @@ let () =
     | Some domains -> run_perf6 domains
     | None -> if List.mem "--perf" flags then run_perf ());
     if List.mem "--placement" flags then run_placement ();
+    if List.mem "--serve" flags then run_serve ();
     if List.mem "--bechamel" flags then run_bechamel ()
   end

@@ -10,6 +10,7 @@
      chaos                        run the node-failure chaos campaign
      place                        run the page-placement campaign
      gray                         run the gray-failure breaker-on/off campaign
+     serve                        run the open-loop serving campaign (tail SLOs)
      machine                      describe the simulated platform *)
 
 open Cmdliner
@@ -780,6 +781,151 @@ let scrub_cmd =
       const run $ seed_arg $ campaign_bench_arg $ flips_arg $ msg_rate_arg $ pte_rate_arg
       $ kills_arg $ cache_mode_term $ soak_arg $ domains_arg $ soak_json_arg $ obs_term)
 
+(* ---------- serve (open-loop serving campaign) ---------- *)
+
+let serve_cmd =
+  let module Serve = Stramash_serve.Serve in
+  let seed_arg =
+    Arg.(value & opt int64 0x5E12E5L & info [ "s"; "seed" ] ~docv:"SEED"
+         ~doc:"Campaign seed; the arrival schedule, key stream, fault schedules and machine all \
+               derive from it, so the same seed replays the same campaign byte-for-byte")
+  in
+  let keys_arg =
+    Arg.(value & opt int (1 lsl 20) & info [ "K"; "keys" ] ~docv:"N"
+         ~doc:"Keyspace size (64 B slots in a real process segment; default 1 Mi keys)")
+  in
+  let theta_arg =
+    Arg.(value & opt float 0.99 & info [ "theta" ] ~docv:"T"
+         ~doc:"Zipfian popularity exponent (> 0; rank 0 is the hottest key)")
+  in
+  let rate_arg =
+    Arg.(value & opt float 20_000.0 & info [ "r"; "rate" ] ~docv:"RPS"
+         ~doc:"Open-loop arrival rate in requests per second; arrivals are stamped by the \
+               schedule, never by the previous reply")
+  in
+  let requests_arg =
+    Arg.(value & opt int 20_000 & info [ "n"; "requests" ] ~docv:"N" ~doc:"Requests per cell")
+  in
+  let payload_arg =
+    Arg.(value & opt int 1024 & info [ "payload" ] ~docv:"BYTES" ~doc:"Value payload per request")
+  in
+  let factor_arg =
+    Arg.(value & opt float 3.0 & info [ "factor" ] ~docv:"F"
+         ~doc:"Gray slow-down inflation factor for the gray-composed cell")
+  in
+  let comp name doc =
+    Arg.(value & opt bool true & info [ name ] ~docv:"BOOL" ~doc)
+  in
+  let placement_arg = comp "placement" "Include the adaptive-placement-composed cell" in
+  let chaos_arg = comp "chaos" "Include the chaos kill/restart-composed cell" in
+  let gray_arg = comp "gray" "Include the gray slow-down-composed cell" in
+  let scrub_arg = comp "scrub" "Include the corruption + scrubber-composed cell" in
+  let soak_arg =
+    Arg.(value & opt int 1 & info [ "soak" ] ~docv:"CELLS"
+         ~doc:"Run $(docv) independent campaigns at derived seeds (seed, seed+1, ...); the soak \
+               verdict is the worst across cells")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D"
+         ~doc:"Host domains to spread soak cells across. Cell outputs are buffered and emitted \
+               in cell order, so the soak's output and verdicts are byte-identical for any $(docv)")
+  in
+  let soak_json_arg =
+    Arg.(value & opt (some string) None & info [ "soak-json" ] ~docv:"FILE"
+         ~doc:"Write the per-cell soak verdicts as JSON to $(docv) (deterministic: contains no \
+               timings or host facts, so 1-domain and N-domain soaks write identical files)")
+  in
+  let run seed keys theta rate requests payload factor placement chaos gray scrub cache_mode soak
+      domains soak_json obs =
+    (* Fail fast on an unusable config — before sinks are installed or a
+       machine is built — with the shared exit-2 contract. *)
+    let probe =
+      { Serve.default with Serve.keys; theta; rate; requests; payload; seed; cache_mode }
+    in
+    match Serve.validate probe with
+    | Error msg ->
+        Format.eprintf "invalid serve config: %s@." msg;
+        verdict_exit H.Chaos_experiments.Unknown_bench
+    | Ok () ->
+        if soak < 1 || domains < 1 then begin
+          Format.eprintf "serve: --soak and --domains must be >= 1@.";
+          verdict_exit H.Chaos_experiments.Unknown_bench
+        end
+        else if soak > 1 || domains > 1 || soak_json <> None then begin
+          let trace_file, metrics_file, _ = obs in
+          if trace_file <> None || metrics_file <> None then begin
+            Format.eprintf
+              "serve: --trace/--metrics-json capture one campaign through the process-global \
+               tracer and cannot be combined with a soak (--soak/--domains)@.";
+            verdict_exit H.Chaos_experiments.Unknown_bench
+          end
+          else if not (check_writable soak_json) then
+            verdict_exit H.Chaos_experiments.Unknown_bench
+          else begin
+            let verdict, cells =
+              H.Serve_experiments.soak fmt ~seed ~keys ~rate ~requests ~cache_mode ~cells:soak
+                ~domains ()
+            in
+            (match soak_json with
+            | Some path ->
+                let module Json = Obs.Json in
+                let json =
+                  Json.Obj
+                    [
+                      ("schema", Json.String "stramash-serve-soak/1");
+                      ("keys", Json.Int keys);
+                      ("rate_rps", Json.Float rate);
+                      ("requests", Json.Int requests);
+                      ( "cells",
+                        Json.List
+                          (List.map
+                             (fun (cell, seed, v) ->
+                               Json.Obj
+                                 [
+                                   ("cell", Json.Int cell);
+                                   ("seed", Json.Int (Int64.to_int seed));
+                                   ( "verdict",
+                                     Json.String (H.Serve_experiments.verdict_to_string v) );
+                                 ])
+                             cells) );
+                      ("verdict", Json.String (H.Serve_experiments.verdict_to_string verdict));
+                    ]
+                in
+                write_file path (Obs.Json.to_string json ^ "\n");
+                Format.fprintf fmt "soak json: %s@." path
+            | None -> ());
+            verdict_exit verdict
+          end
+        end
+        else begin
+          let serve_metrics = ref [] in
+          let extra snap =
+            List.iter
+              (fun (label, reg) -> Obs.Snapshot.add_registry snap ("serve_" ^ label) reg)
+              (List.rev !serve_metrics);
+            add_campaign_stamp snap ~seed:(Int64.to_int seed)
+              ~fingerprint:(Plan.config_fingerprint Plan.default)
+          in
+          run_with_obs obs ~extra (fun () ->
+              verdict_exit
+                (H.Serve_experiments.campaign fmt ~seed ~keys ~theta ~rate ~requests ~payload
+                   ~cache_mode ~placement ~chaos ~gray ~scrub ~factor
+                   ~on_metrics:(fun ~label reg ->
+                     serve_metrics := (label, reg) :: !serve_metrics)
+                   ()))
+        end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the open-loop serving campaign: million-key Zipfian request harness with \
+          per-request tail-latency SLOs, measured under Popcorn and Stramash and composed with \
+          chaos kill/restart, gray slow-down, corruption scrubbing, and adaptive placement")
+    Term.(
+      const run $ seed_arg $ keys_arg $ theta_arg $ rate_arg $ requests_arg $ payload_arg
+      $ factor_arg $ placement_arg $ chaos_arg $ gray_arg $ scrub_arg $ cache_mode_term
+      $ soak_arg $ domains_arg $ soak_json_arg $ obs_term)
+
 (* ---------- obs (offline causal-trace analysis) ---------- *)
 
 module Causal = Stramash_obs.Causal
@@ -1051,6 +1197,7 @@ let () =
             place_cmd;
             gray_cmd;
             scrub_cmd;
+            serve_cmd;
             obs_cmd;
             machine_cmd;
             disasm_cmd;

@@ -25,6 +25,7 @@ let all =
     { id = "placement"; title = "adaptive page placement (crossover + verdict soak)"; run = Placement_experiments.placement };
     { id = "gray"; title = "gray-failure campaign (breaker-on/off A/B soak)"; run = Gray_experiments.gray };
     { id = "scrub"; title = "silent-data-corruption campaign (inject/detect/repair)"; run = Integrity_experiments.scrub };
+    { id = "serve"; title = "open-loop serving campaign (Zipfian tail-latency SLOs)"; run = Serve_experiments.serve };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -1,0 +1,83 @@
+(** Open-loop serving campaign: the Stramash serving scenario measured
+    with per-request tail-latency SLOs under every composition PRs 4–9
+    added — chaos kill/restart, gray slow-down windows, corruption
+    scrubbing, and the adaptive placement engine — each reported as a
+    p99 delta against the fault-free Stramash baseline. Output is a pure
+    function of (seed, keys, theta, rate, requests, payload, cache mode,
+    composition toggles). *)
+
+type verdict = Chaos_experiments.verdict =
+  | Clean
+      (** Every cell completed, the Stramash baseline (and placement
+          cell, when enabled) met the SLO, and both the baseline and the
+          chaos-composed cell replayed byte-identically from the same
+          seed. *)
+  | Violations  (** Campaign ran but an SLO gate or a replay comparison failed. *)
+  | Unrecovered  (** A typed fault escaped recovery inside a cell. *)
+  | Unknown_bench  (** Unusable arguments — the campaign never ran. *)
+
+val verdict_to_string : verdict -> string
+
+val exit_code : verdict -> int
+(** Shared CLI contract: [Clean] → 0, [Violations]/[Unrecovered] → 1,
+    [Unknown_bench] → 2. *)
+
+val chaos_inject :
+  seed:int64 -> span:int -> Stramash_fault_inject.Plan.config
+(** The chaos composition's kill/restart schedule: one downtime window
+    per island at seeded jitter around 1/3 and 2/3 of the expected run
+    span, both with restarts (serve rejects restart-less kills). *)
+
+val gray_inject :
+  seed:int64 -> span:int -> factor:float -> Stramash_fault_inject.Plan.config
+(** One slow-down window on the serving island covering the middle third
+    of the expected span. *)
+
+val scrub_inject : Stramash_fault_inject.Plan.config
+(** Stale-PTE corruption on the remote-walker install path plus the
+    background scrubber — the corruption composition. *)
+
+val campaign :
+  Format.formatter ->
+  ?seed:int64 ->
+  ?keys:int ->
+  ?theta:float ->
+  ?rate:float ->
+  ?requests:int ->
+  ?payload:int ->
+  ?cache_mode:Stramash_cache.Cache_sim.mode ->
+  ?placement:bool ->
+  ?chaos:bool ->
+  ?gray:bool ->
+  ?scrub:bool ->
+  ?factor:float ->
+  ?on_metrics:(label:string -> Stramash_sim.Metrics.registry -> unit) ->
+  unit ->
+  verdict
+(** Run the cell matrix — popcorn-shm and stramash baselines, then the
+    enabled compositions (placement / chaos / gray / scrub, all on by
+    default) — printing each cell's per-op latency table, SLO verdict
+    and p99 delta vs the Stramash baseline, then replay the baseline and
+    the chaos cell from the same seed and compare byte-for-byte. Ends
+    with a ["campaign verdict: ..."] line for CI grep. [on_metrics]
+    receives each cell's [serve.*] registry, labelled by cell name. *)
+
+val soak :
+  Format.formatter ->
+  ?seed:int64 ->
+  ?keys:int ->
+  ?rate:float ->
+  ?requests:int ->
+  ?cache_mode:Stramash_cache.Cache_sim.mode ->
+  cells:int ->
+  domains:int ->
+  unit ->
+  verdict * (int * int64 * verdict) list
+(** Run [cells] independent campaigns at derived seeds (seed + cell)
+    across [domains] host domains via {!Stramash_sim.Domain_pool}; cell
+    output renders into private buffers emitted in cell order, so the
+    soak is byte-identical whatever [domains] is. The caller must not
+    have a tracer installed when [domains > 1]. *)
+
+val serve : Format.formatter -> unit
+(** The ["serve"] experiments-registry entry: one reduced-size campaign. *)

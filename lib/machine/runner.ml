@@ -76,6 +76,27 @@ exception Deadlock of string
    page accessible, so more than a few retries indicates a protocol bug. *)
 let max_fault_retries = 4
 
+(* One scheduling-quantum boundary for a driver that is not [run]'s
+   scheduler loop (the open-loop serving subsystem admits and completes
+   requests against quantum boundaries it paces itself). Mirrors the
+   scheduler's boundary exactly: the Paranoid structural audit on the
+   same 1-in-64 stride, then the machine's quantum hooks (placement
+   epoch tick, integrity scrubber) in registration order. [count] is the
+   caller's quantum counter, carried across calls so the audit stride
+   matches a single continuous run. *)
+let quantum_boundary machine ~count ~now =
+  let env = Machine.env machine in
+  incr count;
+  if Cache_sim.mode env.Env.cache = Cache_sim.Paranoid && !count land 63 = 0 then begin
+    (match Cache_sim.check_consistency env.Env.cache with
+    | Ok () -> ()
+    | Error msg -> raise (Cache_sim.Divergence ("paranoid audit: " ^ msg)));
+    match Phys_mem.self_check env.Env.phys with
+    | Ok () -> ()
+    | Error msg -> raise (Cache_sim.Divergence ("paranoid audit: " ^ msg))
+  end;
+  Quantum.fire (Machine.quantum machine) ~now
+
 let make_memio machine proc thread ~user_stalls =
   let env = Machine.env machine in
   let node = thread.Thread.node in

@@ -105,3 +105,12 @@ val run_workloads :
 val pp_result : Format.formatter -> result -> unit
 (** Artifact-style per-node dump (cache hit rates, memory hit classes,
     runtime) as in the paper's appendix A.5 example output. *)
+
+val quantum_boundary : Machine.t -> count:int ref -> now:int -> unit
+(** One scheduling-quantum boundary outside [run]'s scheduler loop: in
+    Paranoid mode, run the structural invariant audit on the same stride
+    the scheduler uses, then fire the machine's quantum hooks (placement
+    epoch tick, integrity scrubber) at [now]. The open-loop serving
+    subsystem calls this between request admissions so quantum-driven
+    machinery runs under request load exactly as it does under [run];
+    [count] is the caller's running quantum counter. *)

@@ -1,0 +1,38 @@
+module Cycles = Stramash_sim.Cycles
+module Histogram = Stramash_sim.Metrics.Histogram
+
+type thresholds = { p50_us : float; p95_us : float; p99_us : float }
+
+let default = { p50_us = 40.0; p95_us = 120.0; p99_us = 250.0 }
+
+let validate t =
+  if t.p50_us <= 0.0 || t.p95_us <= 0.0 || t.p99_us <= 0.0 then
+    Error "SLO thresholds must be positive"
+  else if t.p50_us > t.p95_us || t.p95_us > t.p99_us then
+    Error "SLO thresholds must be monotone: p50 <= p95 <= p99"
+  else Ok ()
+
+type check = { metric : string; limit_us : float; actual_us : float; ok : bool }
+type report = { checks : check list; samples : int; pass : bool }
+
+let cycles_to_us c = c /. (Cycles.frequency_ghz *. 1000.0)
+
+let evaluate t hist =
+  let samples = Histogram.count hist in
+  let check metric limit_us p =
+    let actual_us = cycles_to_us (Histogram.percentile hist p) in
+    { metric; limit_us; actual_us; ok = actual_us <= limit_us }
+  in
+  let checks =
+    [ check "p50" t.p50_us 0.50; check "p95" t.p95_us 0.95; check "p99" t.p99_us 0.99 ]
+  in
+  { checks; samples; pass = samples > 0 && List.for_all (fun c -> c.ok) checks }
+
+let pp_report fmt r =
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  slo %s <= %.1fus: %.1fus %s@." c.metric c.limit_us c.actual_us
+        (if c.ok then "ok" else "VIOLATION"))
+    r.checks;
+  if r.samples = 0 then Format.fprintf fmt "  slo: no samples recorded@.";
+  Format.fprintf fmt "  slo verdict: %s@." (if r.pass then "pass" else "FAIL")

@@ -1,0 +1,30 @@
+(** Tail-latency service-level objectives for the serving campaign.
+
+    Thresholds are in microseconds of simulated time against the
+    aggregate per-request latency distribution (arrival-to-completion,
+    queueing included — the open-loop harness makes queueing delay part
+    of every sample by construction). *)
+
+type thresholds = { p50_us : float; p95_us : float; p99_us : float }
+
+val default : thresholds
+(** The acceptance gate CI holds the Stramash baseline to. *)
+
+val validate : thresholds -> (unit, string) result
+(** Positive and monotone non-decreasing across the three percentiles. *)
+
+val cycles_to_us : float -> float
+(** Simulated-cycle count to microseconds at the canonical clock. *)
+
+type check = { metric : string; limit_us : float; actual_us : float; ok : bool }
+
+type report = { checks : check list; samples : int; pass : bool }
+(** [pass] requires every percentile under its limit {e and} at least one
+    recorded sample — an empty histogram is a failed run, not a vacuous
+    pass. *)
+
+val evaluate : thresholds -> Stramash_sim.Metrics.Histogram.t -> report
+
+val pp_report : Format.formatter -> report -> unit
+(** One deterministic line per check plus the verdict, e.g.
+    [slo p99 <= 250.0us: 87.3us ok]. *)

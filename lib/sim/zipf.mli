@@ -1,0 +1,25 @@
+(** Seeded Zipfian rank sampler over very large supports.
+
+    Draws ranks in [0, n) with P(rank = k) proportional to 1/(k+1)^theta,
+    using Hörmann-Derflinger rejection-inversion: O(1) work and O(1)
+    memory per draw, no O(n) alias table or harmonic-number precompute,
+    so supports of millions of keys cost nothing to set up. Rank 0 is the
+    hottest key.
+
+    All randomness comes from the caller's {!Rng.t}, so a run's key
+    stream is a pure function of its seed. The rejection loop consumes a
+    variable number of draws per sample, but deterministically so — the
+    serving harness pins a golden sequence in its tests to keep the
+    generator from drifting across refactors. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** Sampler over ranks [0, n) with exponent [theta].
+    @raise Invalid_argument unless [n >= 1] and [theta > 0]. *)
+
+val n : t -> int
+val theta : t -> float
+
+val sample : t -> Rng.t -> int
+(** One rank in [0, n); rank 0 is the most popular. *)

@@ -41,6 +41,9 @@ let parse_cycles = 400
 let dataset_pages = 512 (* 2 MB of values on the server side *)
 
 let make_server machine =
+  (match Machine.os machine with
+  | Os.Vanilla -> invalid_arg "Redis.run: Vanilla cannot host a migrated server"
+  | Os.Popcorn _ | Os.Stramash _ -> ());
   let env = Machine.env machine in
   let origin = Node_id.X86 and server_node = Node_id.Arm in
   let socket_buf = Kernel.alloc_frame_exn (Env.kernel env origin) in
@@ -50,6 +53,7 @@ let make_server machine =
   in
   { env; os = Machine.os machine; server_node; socket_buf; local_buf; dataset; rng = Rng.create ~seed:0x4ED15L }
 
+let node_of t = t.server_node
 let value_addr t = t.dataset.(Rng.int t.rng dataset_pages)
 
 (* Move [bytes] of socket data to/from the migrated server. *)
@@ -93,12 +97,26 @@ let reply_from_server t ~bytes =
       Meter.add (Env.meter t.env t.server_node) tx
   | Os.Vanilla -> assert false
 
-let process_op t op ~payload =
+(* The value phase defaults to the server's private dataset pages; a
+   caller-supplied [?value] callback replaces it (the serve subsystem
+   routes it at a process keyspace through the kernel fault path) while
+   the parse and index-probe costs stay the server's own. The callback
+   is invoked exactly once per [read_value]/[write_value] the default
+   path would perform — ten times for [Mset], once otherwise. *)
+let process_op ?value t op ~payload =
   let node = t.server_node in
   let meter = Env.meter t.env node in
   Meter.add meter parse_cycles;
-  let read_value () = Env.charge_bytes_load t.env node ~paddr:(value_addr t) ~len:payload in
-  let write_value () = Env.charge_bytes_store t.env node ~paddr:(value_addr t) ~len:payload in
+  let read_value () =
+    match value with
+    | Some f -> f ~write:false
+    | None -> Env.charge_bytes_load t.env node ~paddr:(value_addr t) ~len:payload
+  in
+  let write_value () =
+    match value with
+    | Some f -> f ~write:true
+    | None -> Env.charge_bytes_store t.env node ~paddr:(value_addr t) ~len:payload
+  in
   let probe_index n =
     for _ = 1 to n do
       Env.charge_load t.env node ~paddr:(value_addr t)
@@ -134,7 +152,15 @@ let reply_bytes op = match op with Get | Lpop | Rpop -> 1024 | Set | Lpush | Rpu
 
 let request_bytes op ~payload = match op with Get | Lpop | Rpop -> 128 | Mset -> 10 * payload | Set | Lpush | Rpush | Sadd -> payload
 
+let serve_one ?value t op ~payload =
+  if payload <= 0 then invalid_arg "Redis.serve_one: payload must be positive";
+  deliver_to_server t ~bytes:(request_bytes op ~payload);
+  process_op ?value t op ~payload;
+  reply_from_server t ~bytes:(reply_bytes op)
+
 let run ~os ?(requests = 10_000) ?(payload = 1024) () =
+  if requests <= 0 then invalid_arg "Redis.run: requests must be positive";
+  if payload <= 0 then invalid_arg "Redis.run: payload must be positive";
   let machine = Machine.create { Machine.default_config with os; hw_model = Stramash_mem.Layout.Shared } in
   let server = make_server machine in
   List.map
@@ -142,9 +168,7 @@ let run ~os ?(requests = 10_000) ?(payload = 1024) () =
       let meter = Env.meter server.env server.server_node in
       let before = Meter.get meter in
       for _ = 1 to requests do
-        deliver_to_server server ~bytes:(request_bytes op ~payload);
-        process_op server op ~payload;
-        reply_from_server server ~bytes:(reply_bytes op)
+        serve_one server op ~payload
       done;
       let total = Meter.get meter - before in
       { op; cycles_per_request = float_of_int total /. float_of_int requests })

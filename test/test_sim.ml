@@ -267,6 +267,24 @@ let test_histogram_edge_cases () =
   Alcotest.check_raises "shape mismatch" (Invalid_argument "Histogram.merge: shape mismatch")
     (fun () -> ignore (Metrics.Histogram.merge low shifted))
 
+let test_histogram_accessors () =
+  (* Accessors on an empty histogram read 0, not NaN — the serving
+     campaign renders count/mean/max columns before a cell may have
+     recorded anything. *)
+  let empty = Metrics.Histogram.create ~buckets:8 ~lo:0.0 ~hi:10.0 in
+  checki "empty count" 0 (Metrics.Histogram.count empty);
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Metrics.Histogram.mean empty);
+  Alcotest.(check (float 0.0)) "empty min" 0.0 (Metrics.Histogram.min_value empty);
+  Alcotest.(check (float 0.0)) "empty max" 0.0 (Metrics.Histogram.max_value empty);
+  (* The mean is exact (running sum / count), not bucket-quantised, and
+     overflow samples still contribute to count, mean and max. *)
+  let h = Metrics.Histogram.create ~buckets:8 ~lo:0.0 ~hi:10.0 in
+  List.iter (Metrics.Histogram.record h) [ 2.0; 4.0; 12.0 ];
+  checki "count includes overflow" 3 (Metrics.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "mean exact" 6.0 (Metrics.Histogram.mean h);
+  Alcotest.(check (float 0.0)) "min" 2.0 (Metrics.Histogram.min_value h);
+  Alcotest.(check (float 0.0)) "max from overflow" 12.0 (Metrics.Histogram.max_value h)
+
 (* ---------- Meter ---------- *)
 
 let test_meter () =
@@ -384,6 +402,7 @@ let () =
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "percentile interpolation" `Quick test_histogram_percentile_interpolates;
           Alcotest.test_case "histogram edge cases" `Quick test_histogram_edge_cases;
+          Alcotest.test_case "histogram accessors" `Quick test_histogram_accessors;
           Alcotest.test_case "meter" `Quick test_meter;
         ] );
       ("node_id", [ Alcotest.test_case "basics" `Quick test_node_id ]);

@@ -140,6 +140,46 @@ let test_redis_ops () =
       Alcotest.(check bool) (W.Redis.op_name r.W.Redis.op) true (r.W.Redis.cycles_per_request > 0.0))
     results
 
+let test_redis_rejects_bad_args () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" name
+  in
+  expect_invalid "requests = 0" (fun () ->
+      W.Redis.run ~os:Machine.Popcorn_shm ~requests:0 ());
+  expect_invalid "requests < 0" (fun () ->
+      W.Redis.run ~os:Machine.Popcorn_shm ~requests:(-3) ());
+  expect_invalid "payload = 0" (fun () ->
+      W.Redis.run ~os:Machine.Popcorn_shm ~payload:0 ());
+  expect_invalid "vanilla server" (fun () ->
+      let machine = Machine.create { Machine.default_config with os = Machine.Vanilla } in
+      W.Redis.make_server machine);
+  expect_invalid "serve_one payload = 0" (fun () ->
+      let machine =
+        Machine.create { Machine.default_config with os = Machine.Stramash_kernel_os }
+      in
+      let server = W.Redis.make_server machine in
+      W.Redis.serve_one server W.Redis.Get ~payload:0)
+
+let test_redis_value_callback_counts () =
+  (* The serve subsystem substitutes its keyspace for the value phase;
+     the callback contract is one call per value access the op performs,
+     with [~write] telling the direction. *)
+  let machine =
+    Machine.create { Machine.default_config with os = Machine.Stramash_kernel_os }
+  in
+  let server = W.Redis.make_server machine in
+  let count op =
+    let reads = ref 0 and writes = ref 0 in
+    W.Redis.serve_one ~value:(fun ~write -> incr (if write then writes else reads))
+      server op ~payload:1024;
+    (!reads, !writes)
+  in
+  Alcotest.(check (pair int int)) "get reads once" (1, 0) (count W.Redis.Get);
+  Alcotest.(check (pair int int)) "set writes once" (0, 1) (count W.Redis.Set);
+  Alcotest.(check (pair int int)) "mset writes ten times" (0, 10) (count W.Redis.Mset)
+
 let test_redis_tcp_slowest () =
   let mean os =
     let rs = W.Redis.run ~os ~requests:200 () in
@@ -181,6 +221,8 @@ let () =
       ( "redis",
         [
           Alcotest.test_case "ops" `Quick test_redis_ops;
+          Alcotest.test_case "rejects bad args" `Quick test_redis_rejects_bad_args;
+          Alcotest.test_case "value callback counts" `Quick test_redis_value_callback_counts;
           Alcotest.test_case "transport ordering" `Slow test_redis_tcp_slowest;
         ] );
     ]
